@@ -1,0 +1,44 @@
+//! Criterion bench for the Figure 1 artifact: topology construction and
+//! multipath analysis on the 16×16 network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metro_topo::analysis::path_profile;
+use metro_topo::fault::FaultSet;
+use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec, WiringStyle};
+use metro_topo::paths::count_paths;
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+
+    g.bench_function("build_randomized", |b| {
+        b.iter(|| Multibutterfly::build(black_box(&MultibutterflySpec::figure1())).unwrap())
+    });
+
+    g.bench_function("build_deterministic", |b| {
+        let spec = MultibutterflySpec::figure1().with_wiring(WiringStyle::Deterministic);
+        b.iter(|| Multibutterfly::build(black_box(&spec)).unwrap())
+    });
+
+    let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+    let clean = FaultSet::new();
+    g.bench_function("count_paths_single_pair", |b| {
+        b.iter(|| count_paths(black_box(&net), 5, 15, &clean))
+    });
+
+    g.bench_function("path_profile_all_pairs", |b| {
+        b.iter(|| path_profile(black_box(&net), &clean))
+    });
+
+    let mut faults = FaultSet::new();
+    faults.kill_router(1, 0);
+    faults.kill_router(0, 3);
+    g.bench_function("count_paths_under_faults", |b| {
+        b.iter(|| count_paths(black_box(&net), 5, 15, &faults))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the routing component itself: per-cycle tick
+//! cost, allocation/arbitration, checksum absorption, and scan access —
+//! the "simplicity of routing function" the paper trades on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metro_core::{
+    Allocator, ArchParams, BwdIn, FwdIn, RandomSource, Router, RouterConfig, StreamChecksum,
+    Word,
+};
+use metro_scan::ScanDevice;
+use std::hint::black_box;
+
+fn bench_router(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router_micro");
+
+    // Steady-state forwarding tick on an RN1-class router.
+    g.bench_function("tick_forwarding", |b| {
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_swallow_all(true)
+            .build()
+            .unwrap();
+        let mut router = Router::new(params, config, 1).unwrap();
+        // Open connections on all 8 forward ports.
+        let mut open = FwdIn::idle(8);
+        for f in 0..8 {
+            open = open.with(f, Word::Data(((f % 4) as u16) << 6));
+        }
+        router.tick(&open, &BwdIn::idle(8));
+        let mut data = FwdIn::idle(8);
+        for f in 0..8 {
+            data = data.with(f, Word::Data(0x5A));
+        }
+        let bwd = BwdIn::idle(8);
+        b.iter(|| black_box(router.tick(black_box(&data), &bwd)));
+    });
+
+    g.bench_function("tick_idle", |b| {
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params).build().unwrap();
+        let mut router = Router::new(params, config, 1).unwrap();
+        let fwd = FwdIn::idle(8);
+        let bwd = BwdIn::idle(8);
+        b.iter(|| black_box(router.tick(&fwd, &bwd)));
+    });
+
+    g.bench_function("allocator_arbitrate_8way", |b| {
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params).with_dilation(2).build().unwrap();
+        let requests: Vec<(usize, usize)> = (0..8).map(|f| (f, f % 4)).collect();
+        let mut rng = RandomSource::new(7);
+        b.iter(|| {
+            let mut alloc = Allocator::new(&config, 8);
+            black_box(alloc.arbitrate(black_box(&requests), &config, &mut rng))
+        });
+    });
+
+    g.bench_function("checksum_absorb_1k_words", |b| {
+        b.iter(|| {
+            let mut ck = StreamChecksum::new();
+            for v in 0..1024u16 {
+                ck.absorb_value(black_box(v));
+            }
+            ck.value()
+        });
+    });
+
+    g.bench_function("scan_write_config", |b| {
+        let params = ArchParams::metrojr();
+        let config = RouterConfig::new(&params)
+            .with_dilation(1)
+            .build()
+            .unwrap();
+        b.iter(|| {
+            let mut dev = ScanDevice::new(params);
+            dev.write_config(black_box(&config));
+            dev.config().dilation()
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for the Table 3/4/5 artifacts: evaluating the
+//! analytic latency model over the full implementation catalog.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metro_timing::catalog::table3;
+use metro_timing::contemporary::table5;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+
+    g.bench_function("table3_all_rows", |b| {
+        b.iter(|| {
+            let rows = table3();
+            let total: f64 = rows.iter().map(|r| black_box(r.t20_32_ns())).sum();
+            assert!(total > 0.0);
+            total
+        })
+    });
+
+    g.bench_function("table3_verify_against_paper", |b| {
+        let rows = table3();
+        b.iter(|| {
+            rows.iter()
+                .all(|r| (r.t20_32_ns() - r.expected_t20_32_ns).abs() < 1e-9)
+        })
+    });
+
+    g.bench_function("table5_estimates", |b| {
+        b.iter(|| {
+            table5()
+                .iter()
+                .map(|r| black_box(r.estimate_t20_32_ns()).0)
+                .sum::<f64>()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! # metro-bench — regeneration harness for every table and figure
+//!
+//! One binary per paper artifact:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `fig1` | Figure 1 — the 16×16 multipath network and its path structure |
+//! | `fig3` | Figure 3 — latency versus load on the 3-stage radix-4 network |
+//! | `table2` | Table 2 — configuration options and scan-register bit budget |
+//! | `table3` | Table 3 — METRO implementation examples (`t_20,32`) |
+//! | `table4` | Table 4 — the latency equations, worked through |
+//! | `table5` | Table 5 — contemporary routing technologies |
+//! | `fault_sweep` | §6.2 — performance degradation under faults |
+//! | `ablation_selection` | random vs round-robin vs fixed output selection |
+//! | `ablation_reclaim` | fast vs detailed path reclamation |
+//! | `ablation_dilation` | dilated multipath vs non-dilated network |
+//! | `ablation_pipelining` | `hw`/`dp`/wire-delay pipelining options |
+//! | `ablation_concurrency` | one vs two transmit engines per endpoint |
+//! | `traffic_patterns` | uniform / hotspot / transpose / bit-reversal |
+//! | `scaling` | 16 → 256 endpoints at fixed router technology |
+//! | `cascade_sim` | cascade width: simulated cycles vs the Table 4 model |
+//! | `occupancy` | per-router load balance, uniform vs hotspot |
+//! | `fattree_budget` | fat-tree router budgets from METRO parts |
+//! | `message_sizes` | size sweeps and implementation crossovers |
+//!
+//! Criterion benches (`cargo bench`) cover the same artifacts at
+//! micro scale plus router/allocator microbenchmarks.
+
+#![forbid(unsafe_code)]
+
+use metro_sim::experiment::LoadPoint;
+
+/// Renders a latency-versus-load table in a fixed-width layout shared
+/// by the sweep binaries.
+#[must_use]
+pub fn render_load_points(points: &[LoadPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>9} {:>10} {:>8} {:>8} {:>12} {:>10}",
+        "offered", "accepted", "mean(cyc)", "p50", "p95", "retries/msg", "delivered"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(72));
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>8.3} {:>9.3} {:>10.1} {:>8} {:>8} {:>12.3} {:>10}",
+            p.offered,
+            p.accepted,
+            p.mean_latency,
+            p.p50_latency,
+            p.p95_latency,
+            p.retries_per_message,
+            p.delivered
+        );
+    }
+    out
+}
+
+/// A simple ASCII plot of latency versus load for terminal output.
+#[must_use]
+pub fn ascii_curve(points: &[LoadPoint], height: usize) -> String {
+    if points.is_empty() {
+        return String::new();
+    }
+    let max = points
+        .iter()
+        .map(|p| p.mean_latency)
+        .fold(f64::MIN, f64::max);
+    let mut out = String::new();
+    for row in (0..height).rev() {
+        let threshold = max * (row as f64 + 0.5) / height as f64;
+        let line: String = points
+            .iter()
+            .map(|p| if p.mean_latency >= threshold { '█' } else { ' ' })
+            .collect();
+        out.push_str(&format!("{:>8.0} |{}\n", max * (row as f64 + 1.0) / height as f64, line));
+    }
+    out.push_str(&format!("         +{}\n", "-".repeat(points.len())));
+    out.push_str(&format!(
+        "          load {:.2} .. {:.2}\n",
+        points[0].offered,
+        points[points.len() - 1].offered
+    ));
+    out
+}
+
+/// Renders load points as CSV (offered, accepted, mean, p50, p95,
+/// retries, delivered) for plotting.
+#[must_use]
+pub fn load_points_csv(points: &[LoadPoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out =
+        String::from("offered,accepted,mean_latency,p50,p95,retries_per_message,delivered\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            p.offered,
+            p.accepted,
+            p.mean_latency,
+            p.p50_latency,
+            p.p95_latency,
+            p.retries_per_message,
+            p.delivered
+        );
+    }
+    out
+}
+
+/// Writes a CSV artifact under `results/`, creating the directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_result_csv(name: &str, csv: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, csv)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(offered: f64, mean: f64) -> LoadPoint {
+        LoadPoint {
+            offered,
+            accepted: offered,
+            mean_latency: mean,
+            p50_latency: mean as u64,
+            p95_latency: (mean * 2.0) as u64,
+            mean_network_latency: mean,
+            retries_per_message: 0.1,
+            delivered: 100,
+        }
+    }
+
+    #[test]
+    fn load_points_render_one_line_each() {
+        let s = render_load_points(&[point(0.1, 30.0), point(0.5, 90.0)]);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains("0.100"));
+    }
+
+    #[test]
+    fn ascii_curve_has_requested_height() {
+        let s = ascii_curve(&[point(0.1, 30.0), point(0.5, 90.0)], 5);
+        assert_eq!(s.lines().count(), 7);
+    }
+
+    #[test]
+    fn ascii_curve_empty_is_empty() {
+        assert!(ascii_curve(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = load_points_csv(&[point(0.1, 30.0)]);
+        let mut lines = csv.lines();
+        assert!(lines.next().unwrap().starts_with("offered,"));
+        assert!(lines.next().unwrap().starts_with("0.1,"));
+        assert!(lines.next().is_none());
+    }
+}

@@ -1,0 +1,1250 @@
+//! The METRO routing component, modeled at clock-cycle granularity.
+//!
+//! A [`Router`] has `i` forward ports and `o` backward ports. Data
+//! initially flows from forward to backward ports; an open connection can
+//! be *turned* any number of times (paper §4). Internally each connection
+//! traverses `dp` pipeline stages in whichever direction it currently
+//! flows.
+//!
+//! ## Channel model
+//!
+//! Every port pair is connected by two logical lanes plus a backward
+//! control bit (BCB):
+//!
+//! * the **forward lane** carries words toward the destination,
+//! * the **reverse lane** carries words toward the source,
+//! * the **BCB** carries fast path-reclamation requests toward the
+//!   source (paper §5.1).
+//!
+//! Half-duplex operation means only one lane carries the live stream at a
+//! time; the other lane is held at [`Word::DataIdle`] while the
+//! connection is open (a real implementation shares one set of wires —
+//! the two-lane model is the standard simulator idiom for it). A lane
+//! showing [`Word::Empty`] carries no connection.
+//!
+//! ## Per-cycle operation
+//!
+//! [`Router::tick`] consumes the words arriving on every forward-lane
+//! input (one per forward port) and reverse-lane input (one per backward
+//! port, plus BCB), and produces the words driven on every output for
+//! that cycle. New connection requests arriving in the same cycle are
+//! arbitrated in an order drawn from the shared random stream, then each
+//! port's state machine advances one step.
+
+use crate::allocator::{AllocationOutcome, Allocator, SelectionPolicy};
+use crate::checksum::StreamChecksum;
+use crate::config::RouterConfig;
+use crate::header::consume_digit;
+use crate::params::ArchParams;
+use crate::rng::RandomSource;
+use crate::status::StatusWord;
+use crate::word::Word;
+use std::collections::VecDeque;
+
+/// Forward-lane inputs to one [`Router::tick`] call: the word arriving
+/// on each forward port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FwdIn {
+    words: Vec<Word>,
+}
+
+impl FwdIn {
+    /// Inputs from an explicit word per forward port.
+    #[must_use]
+    pub fn data(words: &[Word]) -> Self {
+        Self {
+            words: words.to_vec(),
+        }
+    }
+
+    /// All-idle (undriven) inputs for a router with `i` forward ports.
+    #[must_use]
+    pub fn idle(i: usize) -> Self {
+        Self {
+            words: vec![Word::Empty; i],
+        }
+    }
+
+    /// The word arriving on forward port `f`.
+    #[must_use]
+    pub fn word(&self, f: usize) -> Word {
+        self.words[f]
+    }
+
+    /// Replaces the word on forward port `f` (builder-style).
+    #[must_use]
+    pub fn with(mut self, f: usize, w: Word) -> Self {
+        self.words[f] = w;
+        self
+    }
+}
+
+/// Reverse-lane inputs to one [`Router::tick`] call: the word and BCB
+/// arriving on each backward port (from the downstream neighbor).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BwdIn {
+    words: Vec<Word>,
+    bcb: Vec<bool>,
+}
+
+impl BwdIn {
+    /// Inputs from explicit words and BCB lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    #[must_use]
+    pub fn new(words: &[Word], bcb: &[bool]) -> Self {
+        assert_eq!(words.len(), bcb.len(), "word and BCB lanes must match");
+        Self {
+            words: words.to_vec(),
+            bcb: bcb.to_vec(),
+        }
+    }
+
+    /// All-idle inputs for a router with `o` backward ports.
+    #[must_use]
+    pub fn idle(o: usize) -> Self {
+        Self {
+            words: vec![Word::Empty; o],
+            bcb: vec![false; o],
+        }
+    }
+
+    /// The word arriving on backward port `b`.
+    #[must_use]
+    pub fn word(&self, b: usize) -> Word {
+        self.words[b]
+    }
+
+    /// Replaces the word on backward port `b` (builder-style).
+    #[must_use]
+    pub fn with(mut self, b: usize, w: Word) -> Self {
+        self.words[b] = w;
+        self
+    }
+
+    /// Asserts the BCB on backward port `b` (builder-style).
+    #[must_use]
+    pub fn with_bcb(mut self, b: usize) -> Self {
+        self.bcb[b] = true;
+        self
+    }
+}
+
+/// The outputs driven by a router during one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickOutput {
+    /// Forward-lane outputs: the word driven out of each backward port,
+    /// toward downstream.
+    pub bwd: Vec<Word>,
+    /// Reverse-lane outputs: the word driven out of each forward port,
+    /// toward upstream.
+    pub fwd: Vec<Word>,
+    /// BCB asserted toward upstream, per forward port.
+    pub bcb: Vec<bool>,
+}
+
+/// A summary of one forward port's connection state, for introspection
+/// and statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortStatus {
+    /// No connection.
+    Idle,
+    /// Consuming header words during pipelined connection setup.
+    Setup,
+    /// Connected; data flowing forward.
+    Forward,
+    /// Connected; data flowing in reverse (toward the source).
+    Reverse,
+    /// Blocked in detailed mode, awaiting the turn.
+    Blocked,
+    /// Discarding residual words after a teardown.
+    Draining,
+}
+
+/// Event counters a router accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Connection requests that arrived at forward ports.
+    pub opens: usize,
+    /// Requests switched through to a backward port.
+    pub grants: usize,
+    /// Requests blocked for lack of a free equivalent backward port.
+    pub blocks: usize,
+    /// Blocked connections torn down via fast path reclamation (BCB).
+    pub fast_reclaims: usize,
+    /// Connection reversals (forward → reverse) completed.
+    pub turns: usize,
+    /// Connections closed by a DROP passing through.
+    pub drops: usize,
+    /// Data words forwarded downstream.
+    pub words_forwarded: usize,
+}
+
+#[derive(Debug, Clone)]
+enum State {
+    Idle,
+    Setup {
+        bwd: usize,
+        remaining: usize,
+    },
+    /// Connected, data flowing forward. `settle` is nonzero right after
+    /// a reverse→forward turn: the upstream's forward data is still in
+    /// flight across the wire pipeline (one round trip of the port's
+    /// variable turn delay), so an undriven input is not yet a
+    /// teardown (paper §5.1, Variable Turn Delay).
+    Forward {
+        bwd: usize,
+        settle: usize,
+    },
+    /// Connected, data flowing in reverse. `settle` covers the wire
+    /// round trip after a forward→reverse turn, during which the
+    /// downstream's hold has not yet arrived.
+    Reverse {
+        bwd: usize,
+        settle: usize,
+    },
+    BlockedDetailed,
+    BlockedReply,
+    ClosingFwd {
+        bwd: usize,
+    },
+    Draining,
+}
+
+#[derive(Debug, Clone)]
+struct Port {
+    state: State,
+    fpipe: VecDeque<Word>,
+    rpipe: VecDeque<Word>,
+    rq: VecDeque<Word>,
+    cksum: StreamChecksum,
+}
+
+impl Port {
+    fn new(dp: usize) -> Self {
+        Self {
+            state: State::Idle,
+            fpipe: VecDeque::with_capacity(dp + 1),
+            rpipe: VecDeque::with_capacity(dp + 1),
+            rq: VecDeque::new(),
+            cksum: StreamChecksum::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = State::Idle;
+        self.fpipe.clear();
+        self.rpipe.clear();
+        self.rq.clear();
+        self.cksum.reset();
+    }
+
+    /// (Re)fills the forward pipeline. The pipe holds `dp - 1` words:
+    /// the final pipeline stage is the output register, whose one-cycle
+    /// propagation to the neighboring component the network model
+    /// accounts for at the transfer boundary, so total router transit is
+    /// exactly `dp` cycles.
+    fn fill_fpipe(&mut self, dp: usize, with: Word) {
+        self.fpipe.clear();
+        self.fpipe.extend(std::iter::repeat_n(with, dp - 1));
+    }
+
+    /// (Re)fills the reverse pipeline; see [`Port::fill_fpipe`].
+    fn fill_rpipe(&mut self, dp: usize, with: Word) {
+        self.rpipe.clear();
+        self.rpipe.extend(std::iter::repeat_n(with, dp - 1));
+    }
+}
+
+/// A cycle-accurate METRO router.
+///
+/// See the [module documentation](self) for the channel model. The
+/// router owns its allocator, random stream, and per-port state; calling
+/// [`Router::tick`] once per clock cycle drives everything.
+#[derive(Debug, Clone)]
+pub struct Router {
+    params: ArchParams,
+    config: RouterConfig,
+    rng: RandomSource,
+    alloc: Allocator,
+    ports: Vec<Port>,
+    stats: RouterStats,
+}
+
+impl Router {
+    /// Creates a router with the given parameters and configuration,
+    /// seeding its shared-randomness stream with `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for validated inputs; returns `Result` for
+    /// forward compatibility with cross-validation of `params` and
+    /// `config`.
+    pub fn new(
+        params: ArchParams,
+        config: RouterConfig,
+        seed: u64,
+    ) -> Result<Self, crate::error::ConfigError> {
+        let dp = params.pipestages();
+        Ok(Self {
+            alloc: Allocator::new(&config, params.backward_ports()),
+            ports: (0..params.forward_ports()).map(|_| Port::new(dp)).collect(),
+            rng: RandomSource::new(seed),
+            params,
+            config,
+            stats: RouterStats::default(),
+        })
+    }
+
+    /// Creates a router with a non-default selection policy (ablation
+    /// experiments; the METRO architecture itself mandates random
+    /// selection).
+    ///
+    /// # Errors
+    ///
+    /// See [`Router::new`].
+    pub fn with_policy(
+        params: ArchParams,
+        config: RouterConfig,
+        seed: u64,
+        policy: SelectionPolicy,
+    ) -> Result<Self, crate::error::ConfigError> {
+        let mut r = Self::new(params, config, seed)?;
+        r.alloc = Allocator::with_policy(&r.config, r.params.backward_ports(), policy);
+        Ok(r)
+    }
+
+    /// The router's architectural parameters.
+    #[must_use]
+    pub fn params(&self) -> &ArchParams {
+        &self.params
+    }
+
+    /// The router's current configuration.
+    #[must_use]
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Applies a new configuration, as a scan operation would
+    /// (paper §5.3: port enables and fast reclamation may change during
+    /// operation). Connections in flight are unaffected except that
+    /// newly disabled backward ports are no longer granted.
+    pub fn apply_config(&mut self, config: RouterConfig) {
+        self.config = config;
+    }
+
+    /// Replaces the router's random stream — used by
+    /// [`CascadeGroup`](crate::CascadeGroup) to share randomness across
+    /// cascaded routers.
+    pub fn set_random_source(&mut self, rng: RandomSource) {
+        self.rng = rng;
+    }
+
+    /// Event counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Resets the event counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = RouterStats::default();
+    }
+
+    /// The IN-USE signal of each backward port (the wired-AND input for
+    /// width cascading, paper §5.1).
+    #[must_use]
+    pub fn in_use_vector(&self) -> Vec<bool> {
+        self.alloc.in_use_vector()
+    }
+
+    /// A summary of forward port `f`'s state.
+    #[must_use]
+    pub fn port_status(&self, f: usize) -> PortStatus {
+        match self.ports[f].state {
+            State::Idle => PortStatus::Idle,
+            State::Setup { .. } => PortStatus::Setup,
+            State::Forward { .. } => PortStatus::Forward,
+            State::Reverse { .. } => PortStatus::Reverse,
+            State::BlockedDetailed | State::BlockedReply => PortStatus::Blocked,
+            State::ClosingFwd { .. } | State::Draining => PortStatus::Draining,
+        }
+    }
+
+    /// The backward port forward port `f` is connected through, if any.
+    #[must_use]
+    pub fn connected_backward_port(&self, f: usize) -> Option<usize> {
+        match self.ports[f].state {
+            State::Setup { bwd, .. }
+            | State::Forward { bwd, .. }
+            | State::Reverse { bwd, .. }
+            | State::ClosingFwd { bwd } => Some(bwd),
+            _ => None,
+        }
+    }
+
+    /// The post-reversal settle window for a connection through
+    /// backward port `b`: one round trip across the attached wire's
+    /// pipeline registers, plus one cycle of turnaround at the far
+    /// component.
+    fn reverse_settle(&self, b: usize) -> usize {
+        2 * (self.config.backward_turn_delay(b) + 1) + 1
+    }
+
+    /// The settle window after a reverse→forward turn on forward port
+    /// `f` (the upstream wire's round trip).
+    fn forward_settle(&self, f: usize) -> usize {
+        2 * (self.config.forward_turn_delay(f) + 1) + 1
+    }
+
+    /// Forcibly shuts down the connection using backward port `b`, as
+    /// the cascade consistency check does when the wired-AND detects
+    /// disagreement (paper §5.1). The owning forward port asserts BCB
+    /// toward the source on the next tick.
+    pub fn force_release(&mut self, b: usize) -> bool {
+        let Some(owner) = self.alloc.owner(b) else {
+            return false;
+        };
+        self.alloc.release(b);
+        if owner < self.ports.len() {
+            self.ports[owner].reset();
+            self.ports[owner].state = State::Draining;
+        }
+        true
+    }
+
+    /// Advances the router one clock cycle.
+    ///
+    /// `fwd_in` carries the forward-lane word arriving on each forward
+    /// port; `bwd_in` carries the reverse-lane word and BCB arriving on
+    /// each backward port. Returns the outputs driven during this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input sizes do not match the router's port counts.
+    pub fn tick(&mut self, fwd_in: &FwdIn, bwd_in: &BwdIn) -> TickOutput {
+        let i = self.params.forward_ports();
+        let o = self.params.backward_ports();
+        assert_eq!(fwd_in.words.len(), i, "forward input size mismatch");
+        assert_eq!(bwd_in.words.len(), o, "backward input size mismatch");
+
+        let mut out = TickOutput {
+            bwd: vec![Word::Empty; o],
+            fwd: vec![Word::Empty; i],
+            bcb: vec![false; i],
+        };
+
+        // Phase 0: BCB arrivals tear down connections immediately.
+        for b in 0..o {
+            if bwd_in.bcb[b] {
+                if let Some(owner) = self.alloc.owner(b) {
+                    self.alloc.release(b);
+                    if owner < i {
+                        self.ports[owner].reset();
+                        self.ports[owner].state = State::Draining;
+                        out.bcb[owner] = true;
+                    }
+                }
+            }
+        }
+
+        // Phase 1: collect new connection requests from idle ports.
+        let digit_bits = self.config.digit_bits();
+        let w = self.params.width();
+        let mut requests: Vec<(usize, usize)> = Vec::new();
+        for f in 0..i {
+            if !self.config.forward_enabled(f) {
+                continue;
+            }
+            if let (State::Idle, Word::Data(v)) = (&self.ports[f].state, fwd_in.word(f)) {
+                let dir = if digit_bits == 0 {
+                    0
+                } else {
+                    (v >> (w - digit_bits)) as usize & ((1 << digit_bits) - 1)
+                };
+                requests.push((f, dir));
+            }
+        }
+        let outcomes = self.alloc.arbitrate(&requests, &self.config, &mut self.rng);
+        let mut granted: Vec<Option<AllocationOutcome>> = vec![None; i];
+        for (&(f, _), outcome) in requests.iter().zip(&outcomes) {
+            granted[f] = Some(*outcome);
+        }
+
+        // Phase 2: advance every forward port one step.
+        for (f, grant) in granted.iter().copied().enumerate() {
+            self.step_port(f, fwd_in.word(f), bwd_in, grant, &mut out);
+        }
+        out
+    }
+
+    fn step_port(
+        &mut self,
+        f: usize,
+        in_w: Word,
+        bwd_in: &BwdIn,
+        open_outcome: Option<AllocationOutcome>,
+        out: &mut TickOutput,
+    ) {
+        let dp = self.params.pipestages();
+        let hw = self.params.header_words();
+        let mask = self.params.word_mask();
+        let state = self.ports[f].state.clone();
+        match state {
+            State::Idle => {
+                let Some(outcome) = open_outcome else {
+                    // No request this cycle (input empty, disabled, or a
+                    // stray control word after teardown) — stay idle.
+                    return;
+                };
+                self.stats.opens += 1;
+                let Word::Data(v) = in_w else { unreachable!() };
+                match outcome {
+                    AllocationOutcome::Granted { bwd } => {
+                        self.stats.grants += 1;
+                        let port = &mut self.ports[f];
+                        port.cksum.reset();
+                        port.cksum.absorb_value(v);
+                        if hw == 0 {
+                            let (_, forwarded) = consume_digit(
+                                v,
+                                self.config.digit_bits(),
+                                self.params.width(),
+                                self.config.swallow(f),
+                            );
+                            port.fill_fpipe(dp, Word::Empty);
+                            let push = match forwarded {
+                                Some(head) => Word::Data(head & mask),
+                                None => Word::Empty,
+                            };
+                            port.fpipe.push_back(push);
+                            let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
+                            if matches!(push, Word::Data(_)) {
+                                self.stats.words_forwarded += 1;
+                            }
+                            port.state = State::Forward { bwd, settle: 0 };
+                            out.bwd[bwd] = popped;
+                            out.fwd[f] = Word::DataIdle;
+                        } else {
+                            // Pipelined setup: this and the next hw-1
+                            // words are consumed, not forwarded.
+                            let port = &mut self.ports[f];
+                            port.fill_fpipe(dp, Word::Empty);
+                            if hw == 1 {
+                                port.state = State::Forward { bwd, settle: 0 };
+                            } else {
+                                port.state = State::Setup {
+                                    bwd,
+                                    remaining: hw - 1,
+                                };
+                            }
+                            out.fwd[f] = Word::DataIdle;
+                        }
+                    }
+                    AllocationOutcome::Blocked => {
+                        self.stats.blocks += 1;
+                        let port = &mut self.ports[f];
+                        port.cksum.reset();
+                        port.cksum.absorb_value(v);
+                        if self.config.fast_reclaim(f) {
+                            self.stats.fast_reclaims += 1;
+                            port.state = State::Draining;
+                            out.bcb[f] = true;
+                        } else {
+                            port.state = State::BlockedDetailed;
+                            out.fwd[f] = Word::DataIdle;
+                        }
+                    }
+                }
+            }
+
+            State::Setup { bwd, remaining } => {
+                out.fwd[f] = Word::DataIdle;
+                match in_w {
+                    Word::Data(v) => {
+                        let port = &mut self.ports[f];
+                        port.cksum.absorb_value(v);
+                        if remaining <= 1 {
+                            port.state = State::Forward { bwd, settle: 0 };
+                        } else {
+                            port.state = State::Setup {
+                                bwd,
+                                remaining: remaining - 1,
+                            };
+                        }
+                    }
+                    Word::Empty | Word::Drop => {
+                        // Source released mid-setup.
+                        self.alloc.release(bwd);
+                        self.ports[f].reset();
+                        self.ports[f].state = State::Draining;
+                        out.fwd[f] = Word::Empty;
+                    }
+                    _ => {
+                        // Corrupt header stream: tear down; the
+                        // source-responsible protocol will retry.
+                        self.alloc.release(bwd);
+                        self.ports[f].reset();
+                        self.ports[f].state = State::Draining;
+                        out.fwd[f] = Word::Empty;
+                    }
+                }
+            }
+
+            State::Forward { bwd, settle } => {
+                out.fwd[f] = Word::DataIdle;
+                let rev_settle = self.reverse_settle(bwd);
+                let port = &mut self.ports[f];
+                let mut closing = false;
+                let mut settle = settle;
+                let push = match in_w {
+                    Word::Empty if settle > 0 => {
+                        // Right after a reverse->forward turn the
+                        // upstream's data is still crossing the wire
+                        // pipeline; an undriven input is not yet a
+                        // teardown (variable turn delay, paper §5.1).
+                        settle -= 1;
+                        Word::DataIdle
+                    }
+                    Word::Empty | Word::Drop => {
+                        closing = true;
+                        Word::Drop
+                    }
+                    Word::Data(v) => {
+                        settle = 0;
+                        port.cksum.absorb_value(v);
+                        self.stats.words_forwarded += 1;
+                        Word::Data(v & mask)
+                    }
+                    other => {
+                        settle = 0;
+                        other
+                    }
+                };
+                port.fpipe.push_back(push);
+                let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
+                out.bwd[bwd] = popped;
+                port.state = if closing {
+                    State::ClosingFwd { bwd }
+                } else {
+                    State::Forward { bwd, settle }
+                };
+                match popped {
+                    Word::Turn => {
+                        // The reversal request has flushed through our
+                        // forward pipeline; reverse the connection and
+                        // queue our status report (paper §4, §5.1).
+                        self.stats.turns += 1;
+                        let cksum = port.cksum.value();
+                        port.fill_rpipe(dp, Word::DataIdle);
+                        port.rq.clear();
+                        port.rq
+                            .push_back(Word::Status(StatusWord::connected(bwd)));
+                        port.rq.push_back(Word::Checksum(cksum));
+                        port.state = State::Reverse {
+                            bwd,
+                            settle: rev_settle,
+                        };
+                    }
+                    Word::Drop => {
+                        // Drop fully propagated downstream; free the path.
+                        self.stats.drops += 1;
+                        self.alloc.release(bwd);
+                        port.reset();
+                        port.state = State::Draining;
+                        out.fwd[f] = Word::Empty;
+                    }
+                    _ => {}
+                }
+            }
+
+            State::Reverse { bwd, settle } => {
+                out.bwd[bwd] = Word::DataIdle;
+                let fwd_settle = self.forward_settle(f);
+                let port = &mut self.ports[f];
+                let mut settle = settle;
+                match bwd_in.word(bwd) {
+                    Word::Empty if settle > 0 => {
+                        // The downstream's hold is still in flight
+                        // across the wire pipeline (variable turn
+                        // delay); not a teardown yet.
+                        settle -= 1;
+                    }
+                    Word::Empty => {
+                        // Downstream released; convert to a drop toward
+                        // the source unless one is already queued.
+                        if !port.rq.contains(&Word::Drop) {
+                            port.rq.push_back(Word::Drop);
+                        }
+                    }
+                    Word::DataIdle => settle = 0,
+                    other => {
+                        settle = 0;
+                        port.rq.push_back(other);
+                    }
+                }
+                port.state = State::Reverse { bwd, settle };
+                let inject = port.rq.pop_front().unwrap_or(Word::DataIdle);
+                port.rpipe.push_back(inject);
+                let popped = port.rpipe.pop_front().unwrap_or(Word::DataIdle);
+                out.fwd[f] = popped;
+                match popped {
+                    Word::Turn => {
+                        // Turned back toward the forward direction.
+                        port.fill_fpipe(dp, Word::DataIdle);
+                        port.state = State::Forward {
+                            bwd,
+                            settle: fwd_settle,
+                        };
+                    }
+                    Word::Drop => {
+                        self.stats.drops += 1;
+                        self.alloc.release(bwd);
+                        port.reset();
+                        port.state = State::Draining;
+                    }
+                    _ => {}
+                }
+            }
+
+            State::BlockedDetailed => {
+                out.fwd[f] = Word::DataIdle;
+                let port = &mut self.ports[f];
+                match in_w {
+                    Word::Turn => {
+                        let cksum = port.cksum.value();
+                        port.fill_rpipe(dp, Word::DataIdle);
+                        port.rq.clear();
+                        port.rq.push_back(Word::Status(StatusWord::blocked()));
+                        port.rq.push_back(Word::Checksum(cksum));
+                        port.rq.push_back(Word::Drop);
+                        port.state = State::BlockedReply;
+                    }
+                    Word::Empty | Word::Drop => {
+                        port.reset();
+                        port.state = State::Draining;
+                        out.fwd[f] = Word::Empty;
+                    }
+                    Word::Data(v) => {
+                        port.cksum.absorb_value(v);
+                    }
+                    _ => {}
+                }
+            }
+
+            State::BlockedReply => {
+                let port = &mut self.ports[f];
+                let inject = port.rq.pop_front().unwrap_or(Word::DataIdle);
+                port.rpipe.push_back(inject);
+                let popped = port.rpipe.pop_front().unwrap_or(Word::DataIdle);
+                out.fwd[f] = popped;
+                if popped == Word::Drop {
+                    port.reset();
+                    port.state = State::Draining;
+                }
+            }
+
+            State::ClosingFwd { bwd } => {
+                // Drain the forward pipeline until the DROP exits.
+                let port = &mut self.ports[f];
+                port.fpipe.push_back(Word::Empty);
+                let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
+                out.bwd[bwd] = popped;
+                if popped == Word::Drop {
+                    self.stats.drops += 1;
+                    self.alloc.release(bwd);
+                    port.reset();
+                    port.state = State::Draining;
+                }
+            }
+
+            State::Draining => {
+                if in_w == Word::Empty {
+                    self.ports[f].reset();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PortMode;
+
+    /// An RN1-like router at dilation 2 (radix 4, 2-bit digits, w = 8),
+    /// swallow enabled so payload comes out clean after one stage.
+    fn router(dp: usize) -> Router {
+        let params = ArchParams::rn1().with_pipestages(dp).unwrap();
+        let config = RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_swallow_all(true)
+            .build()
+            .unwrap();
+        Router::new(params, config, 99).unwrap()
+    }
+
+    fn idle8() -> BwdIn {
+        BwdIn::idle(8)
+    }
+
+    /// Drives a full message through forward port 0 and returns
+    /// (words seen on each backward port, words seen on fwd port 0's
+    /// reverse lane, bcb history).
+    fn drive(
+        r: &mut Router,
+        stream: &[Word],
+        cycles_after: usize,
+        bwd_feed: impl Fn(usize, &TickOutput) -> BwdIn,
+    ) -> (Vec<Vec<Word>>, Vec<Word>) {
+        let o = r.params().backward_ports();
+        let mut bwd_hist = vec![Vec::new(); o];
+        let mut rev_hist = Vec::new();
+        let mut last = TickOutput {
+            bwd: vec![Word::Empty; o],
+            fwd: vec![Word::Empty; r.params().forward_ports()],
+            bcb: vec![false; r.params().forward_ports()],
+        };
+        for cycle in 0..stream.len() + cycles_after {
+            let w = stream.get(cycle).copied().unwrap_or(Word::Empty);
+            let fwd = FwdIn::idle(8).with(0, w);
+            let bwd = bwd_feed(cycle, &last);
+            last = r.tick(&fwd, &bwd);
+            for (b, word) in last.bwd.iter().enumerate() {
+                bwd_hist[b].push(*word);
+            }
+            rev_hist.push(last.fwd[0]);
+        }
+        (bwd_hist, rev_hist)
+    }
+
+    #[test]
+    fn routes_to_requested_direction_group() {
+        let mut r = router(1);
+        // Direction 2 (binary 10) in top bits of the 8-bit head word.
+        let stream = [Word::Data(0b1000_0000), Word::Data(0xAB), Word::Data(0xCD)];
+        let (bwd_hist, _) = drive(&mut r, &stream, 4, |_, _| idle8());
+        // Direction 2 group at dilation 2 = ports 4..6.
+        let active: Vec<usize> = (0..8)
+            .filter(|&b| bwd_hist[b].iter().any(|w| w.is_payload()))
+            .collect();
+        assert_eq!(active.len(), 1);
+        assert!(active[0] == 4 || active[0] == 5);
+    }
+
+    #[test]
+    fn swallow_strips_head_word() {
+        let mut r = router(1);
+        let stream = [Word::Data(0b0100_0000), Word::Data(0x11), Word::Data(0x22)];
+        let (bwd_hist, _) = drive(&mut r, &stream, 4, |_, _| idle8());
+        let data: Vec<u16> = (0..8)
+            .flat_map(|b| bwd_hist[b].iter().filter_map(Word::data))
+            .collect();
+        assert_eq!(data, vec![0x11, 0x22], "head word must be swallowed");
+    }
+
+    #[test]
+    fn without_swallow_forwards_shifted_head() {
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params).with_dilation(2).build().unwrap();
+        let mut r = Router::new(params, config, 1).unwrap();
+        let stream = [Word::Data(0b0111_0100), Word::Data(0x11)];
+        let (bwd_hist, _) = drive(&mut r, &stream, 4, |_, _| idle8());
+        let data: Vec<u16> = (0..8)
+            .flat_map(|b| bwd_hist[b].iter().filter_map(Word::data))
+            .collect();
+        // Head shifted left 2: 0b0111_0100 -> 0b1101_0000.
+        assert_eq!(data, vec![0b1101_0000, 0x11]);
+    }
+
+    #[test]
+    fn dp_delay_matches_pipestages() {
+        for dp in 1..=3 {
+            let mut r = router(dp);
+            let stream = [Word::Data(0), Word::Data(0x55)];
+            let (bwd_hist, _) = drive(&mut r, &stream, 6, |_, _| idle8());
+            let first_active = bwd_hist
+                .iter()
+                .flat_map(|h| h.iter().enumerate())
+                .find(|(_, w)| w.is_payload())
+                .map(|(c, _)| c)
+                .unwrap();
+            // Head word swallowed; 0x55 enters at cycle 1 and exits the
+            // router's output register dp - 1 cycles later (the final
+            // register-to-wire transfer is the dp-th stage).
+            assert_eq!(first_active, dp, "dp = {dp}");
+        }
+    }
+
+    #[test]
+    fn turn_reverses_and_injects_status_then_checksum() {
+        let mut r = router(1);
+        let stream = [
+            Word::Data(0),
+            Word::Data(0x0A),
+            Word::Data(0x0B),
+            Word::Turn,
+        ];
+        let (_, rev_hist) = drive(&mut r, &stream, 10, |_, _| idle8());
+        let significant: Vec<Word> = rev_hist
+            .iter()
+            .copied()
+            .filter(|w| !matches!(w, Word::Empty | Word::DataIdle))
+            .collect();
+        assert!(matches!(significant[0], Word::Status(s) if !s.is_blocked()));
+        let expected = StreamChecksum::over_values([0, 0x0A, 0x0B]);
+        assert_eq!(significant[1], Word::Checksum(expected));
+    }
+
+    #[test]
+    fn reverse_data_flows_back_after_statuses() {
+        let mut r = router(1);
+        let stream = [Word::Data(0), Word::Data(0x0A), Word::Turn];
+        // After the Turn exits downstream, feed reply data in on the
+        // connected backward port.
+        let (bwd_hist, rev_hist) = drive(&mut r, &stream, 12, |_, last| {
+            let mut bwd = idle8();
+            for b in 0..8 {
+                // A healthy downstream always holds its lane with
+                // DATA-IDLE; once the router reverses (DataIdle on its
+                // backward output), the downstream replies with data.
+                bwd = bwd.with(
+                    b,
+                    if last.bwd[b] == Word::DataIdle {
+                        Word::Data(0x3C)
+                    } else {
+                        Word::DataIdle
+                    },
+                );
+            }
+            bwd
+        });
+        let _ = bwd_hist;
+        let replies: Vec<u16> = rev_hist.iter().filter_map(Word::data).collect();
+        assert!(
+            replies.iter().all(|&v| v == 0x3C) && !replies.is_empty(),
+            "reply data must flow to the source: {rev_hist:?}"
+        );
+    }
+
+    #[test]
+    fn blocked_fast_reclaim_asserts_bcb() {
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_fast_reclaim_all(true)
+            .build()
+            .unwrap();
+        let mut r = Router::new(params, config, 7).unwrap();
+        // Saturate direction 0 (ports 0..2) from fwd ports 0 and 1.
+        let open = FwdIn::idle(8)
+            .with(0, Word::Data(0))
+            .with(1, Word::Data(0));
+        r.tick(&open, &idle8());
+        // Third request for direction 0 must block and assert BCB.
+        let open2 = FwdIn::idle(8)
+            .with(2, Word::Data(0))
+            .with(0, Word::Data(0x99).masked(0xFF)) // continuation on port 0
+            .with(1, Word::DataIdle);
+        let out = r.tick(&open2, &idle8());
+        assert!(out.bcb[2], "blocked port must assert BCB upstream");
+        assert_eq!(r.stats().blocks, 1);
+        assert_eq!(r.stats().fast_reclaims, 1);
+    }
+
+    #[test]
+    fn blocked_detailed_replies_status_checksum_drop_on_turn() {
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_fast_reclaim_all(false)
+            .with_swallow_all(true)
+            .build()
+            .unwrap();
+        let mut r = Router::new(params, config, 7).unwrap();
+        // Fill direction 0.
+        let open = FwdIn::idle(8)
+            .with(0, Word::Data(0))
+            .with(1, Word::Data(0));
+        r.tick(&open, &idle8());
+        // Blocked stream on port 2: header, one data word, then turn.
+        let mut seen = Vec::new();
+        let streams = [
+            Word::Data(0),
+            Word::Data(0x42),
+            Word::Turn,
+            Word::DataIdle,
+            Word::DataIdle,
+            Word::DataIdle,
+            Word::DataIdle,
+        ];
+        for w in streams {
+            let fwd = FwdIn::idle(8)
+                .with(2, w)
+                .with(0, Word::DataIdle)
+                .with(1, Word::DataIdle);
+            let out = r.tick(&fwd, &idle8());
+            seen.push(out.fwd[2]);
+        }
+        let significant: Vec<Word> = seen
+            .into_iter()
+            .filter(|w| !matches!(w, Word::Empty | Word::DataIdle))
+            .collect();
+        assert!(matches!(significant[0], Word::Status(s) if s.is_blocked()));
+        let expected = StreamChecksum::over_values([0, 0x42]);
+        assert_eq!(significant[1], Word::Checksum(expected));
+        assert_eq!(significant[2], Word::Drop);
+    }
+
+    #[test]
+    fn drop_releases_the_backward_port() {
+        let mut r = router(1);
+        let stream = [Word::Data(0), Word::Data(1), Word::Drop];
+        drive(&mut r, &stream, 6, |_, _| idle8());
+        assert_eq!(r.in_use_vector(), vec![false; 8]);
+        assert_eq!(r.stats().drops, 1);
+        assert_eq!(r.port_status(0), PortStatus::Idle);
+    }
+
+    #[test]
+    fn bcb_arrival_tears_down_and_propagates() {
+        let mut r = router(1);
+        // Open a connection on port 0 toward direction 0.
+        r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
+        let bwd = r.connected_backward_port(0).unwrap();
+        // Downstream asserts BCB.
+        let out = r.tick(
+            &FwdIn::idle(8).with(0, Word::Data(1)),
+            &idle8().with_bcb(bwd),
+        );
+        assert!(out.bcb[0], "BCB must propagate toward the source");
+        assert!(!r.in_use_vector()[bwd]);
+        assert_eq!(r.port_status(0), PortStatus::Draining);
+        // After the source goes quiet the port returns to idle.
+        r.tick(&FwdIn::idle(8), &idle8());
+        assert_eq!(r.port_status(0), PortStatus::Idle);
+    }
+
+    #[test]
+    fn disabled_forward_port_ignores_traffic() {
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_forward_port_mode(0, PortMode::DisabledDriven)
+            .build()
+            .unwrap();
+        let mut r = Router::new(params, config, 3).unwrap();
+        let out = r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
+        assert!(out.bwd.iter().all(|w| *w == Word::Empty));
+        assert_eq!(r.stats().opens, 0);
+    }
+
+    #[test]
+    fn contending_requests_one_blocks() {
+        let mut r = router(1);
+        // Three simultaneous requests for direction 0 (2 ports).
+        let fwd = FwdIn::idle(8)
+            .with(0, Word::Data(0))
+            .with(1, Word::Data(0))
+            .with(2, Word::Data(0));
+        r.tick(&fwd, &idle8());
+        assert_eq!(r.stats().grants, 2);
+        assert_eq!(r.stats().blocks, 1);
+        let in_use = r.in_use_vector();
+        assert!(in_use[0] && in_use[1]);
+    }
+
+    #[test]
+    fn hw1_consumes_one_header_word_per_stage() {
+        let params = ArchParams::rn1().with_header_words(1).unwrap();
+        let config = RouterConfig::new(&params).with_dilation(2).build().unwrap();
+        let mut r = Router::new(params, config, 5).unwrap();
+        let stream = [Word::Data(0b0100_0000), Word::Data(0x77)];
+        let (bwd_hist, _) = drive(&mut r, &stream, 4, |_, _| idle8());
+        let data: Vec<u16> = (0..8)
+            .flat_map(|b| bwd_hist[b].iter().filter_map(Word::data))
+            .collect();
+        assert_eq!(data, vec![0x77], "header word must be consumed, not forwarded");
+    }
+
+    #[test]
+    fn hw2_consumes_two_words() {
+        let params = ArchParams::rn1().with_header_words(2).unwrap();
+        let config = RouterConfig::new(&params).with_dilation(2).build().unwrap();
+        let mut r = Router::new(params, config, 5).unwrap();
+        let stream = [
+            Word::Data(0b0100_0000),
+            Word::Data(0x00), // setup padding
+            Word::Data(0x77),
+        ];
+        let (bwd_hist, _) = drive(&mut r, &stream, 5, |_, _| idle8());
+        let data: Vec<u16> = (0..8)
+            .flat_map(|b| bwd_hist[b].iter().filter_map(Word::data))
+            .collect();
+        assert_eq!(data, vec![0x77]);
+    }
+
+    #[test]
+    fn force_release_frees_and_drains() {
+        let mut r = router(1);
+        r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
+        let bwd = r.connected_backward_port(0).unwrap();
+        assert!(r.force_release(bwd));
+        assert!(!r.in_use_vector()[bwd]);
+        assert_eq!(r.port_status(0), PortStatus::Draining);
+        assert!(!r.force_release(bwd), "already free");
+    }
+
+    #[test]
+    fn upstream_release_propagates_drop_downstream() {
+        let mut r = router(1);
+        let stream = [Word::Data(0), Word::Data(1)];
+        // After the stream, input goes Empty (upstream vanished).
+        let (bwd_hist, _) = drive(&mut r, &stream, 5, |_, _| idle8());
+        let dropped = bwd_hist
+            .iter()
+            .any(|h| h.contains(&Word::Drop));
+        assert!(dropped, "drop must propagate downstream on upstream release");
+        assert_eq!(r.in_use_vector(), vec![false; 8]);
+    }
+
+    #[test]
+    fn turn_then_turn_back_restores_forward_flow() {
+        let mut r = router(1);
+        // Open, turn, let downstream turn it back, then source data again.
+        // A healthy downstream always holds its reverse lane at DataIdle.
+        let held = |bwd: usize, w: Word| idle8().with(bwd, w);
+        r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
+        let bwd = r.connected_backward_port(0).unwrap();
+        r.tick(&FwdIn::idle(8).with(0, Word::Turn), &held(bwd, Word::DataIdle));
+        // Turn has flushed through; the port reverses.
+        r.tick(
+            &FwdIn::idle(8).with(0, Word::DataIdle),
+            &held(bwd, Word::DataIdle),
+        );
+        assert_eq!(r.port_status(0), PortStatus::Reverse);
+        // Downstream sends a reply word then turns it back forward.
+        r.tick(
+            &FwdIn::idle(8).with(0, Word::DataIdle),
+            &idle8().with(bwd, Word::Data(0x5A)),
+        );
+        r.tick(
+            &FwdIn::idle(8).with(0, Word::DataIdle),
+            &idle8().with(bwd, Word::Turn),
+        );
+        // Let the turn flush through the reverse pipeline and queue.
+        for _ in 0..4 {
+            r.tick(
+                &FwdIn::idle(8).with(0, Word::DataIdle),
+                &idle8().with(bwd, Word::DataIdle),
+            );
+            if r.port_status(0) == PortStatus::Forward {
+                break;
+            }
+        }
+        assert_eq!(r.port_status(0), PortStatus::Forward);
+        // Forward data flows again.
+        let before = r.stats().words_forwarded;
+        let out = r.tick(
+            &FwdIn::idle(8).with(0, Word::Data(0x66)),
+            &held(bwd, Word::DataIdle),
+        );
+        assert!(out.bwd[bwd] == Word::Data(0x66) || r.stats().words_forwarded > before);
+    }
+
+    #[test]
+    fn reverse_tolerates_empty_during_settle_window() {
+        // After a turn, the downstream hold takes one wire round trip to
+        // arrive; Empty during that window must not tear the connection
+        // down (paper §5.1, variable turn delay).
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_swallow_all(true)
+            .with_backward_turn_delay(0, 2)
+            .with_backward_turn_delay(1, 2)
+            .build()
+            .unwrap();
+        let mut r = Router::new(params, config, 3).unwrap();
+        r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
+        let bwd = r.connected_backward_port(0).unwrap();
+        r.tick(&FwdIn::idle(8).with(0, Word::Turn), &idle8());
+        assert_eq!(r.port_status(0), PortStatus::Reverse);
+        // Empty on the backward input for the whole settle window
+        // (2·(vtd+1)+1 = 7 cycles): connection must survive.
+        for _ in 0..7 {
+            r.tick(&FwdIn::idle(8).with(0, Word::DataIdle), &idle8());
+            assert_eq!(r.port_status(0), PortStatus::Reverse);
+        }
+        // After the window, persistent Empty is a teardown.
+        let mut released = false;
+        for _ in 0..6 {
+            r.tick(&FwdIn::idle(8).with(0, Word::DataIdle), &idle8());
+            if !r.in_use_vector()[bwd] {
+                released = true;
+                break;
+            }
+        }
+        assert!(released, "post-settle Empty must tear the connection down");
+    }
+
+    #[test]
+    fn settle_cancels_on_first_real_word() {
+        let params = ArchParams::rn1();
+        let config = RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_swallow_all(true)
+            .with_backward_turn_delay(0, 3)
+            .with_backward_turn_delay(1, 3)
+            .build()
+            .unwrap();
+        let mut r = Router::new(params, config, 3).unwrap();
+        r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
+        let bwd = r.connected_backward_port(0).unwrap();
+        r.tick(&FwdIn::idle(8).with(0, Word::Turn), &idle8());
+        // DataIdle arrives: the hold is established, settle cancels.
+        r.tick(
+            &FwdIn::idle(8).with(0, Word::DataIdle),
+            &idle8().with(bwd, Word::DataIdle),
+        );
+        // Now Empty means teardown immediately (within a few cycles for
+        // the drop to flush through the queue and pipe).
+        let mut released = false;
+        for _ in 0..5 {
+            r.tick(&FwdIn::idle(8).with(0, Word::DataIdle), &idle8());
+            if !r.in_use_vector()[bwd] {
+                released = true;
+                break;
+            }
+        }
+        assert!(released);
+    }
+
+    #[test]
+    fn bcb_during_setup_releases_the_allocation() {
+        let params = ArchParams::rn1().with_header_words(2).unwrap();
+        let config = RouterConfig::new(&params).with_dilation(2).build().unwrap();
+        let mut r = Router::new(params, config, 5).unwrap();
+        r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
+        let bwd = r.connected_backward_port(0).unwrap();
+        assert_eq!(r.port_status(0), PortStatus::Setup);
+        let out = r.tick(
+            &FwdIn::idle(8).with(0, Word::Data(0)),
+            &idle8().with_bcb(bwd),
+        );
+        assert!(out.bcb[0], "BCB propagates even during setup");
+        assert!(!r.in_use_vector()[bwd]);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut r = router(1);
+        r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
+        assert_eq!(r.stats().opens, 1);
+        r.reset_stats();
+        assert_eq!(r.stats(), RouterStats::default());
+    }
+}

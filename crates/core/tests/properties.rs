@@ -1,0 +1,229 @@
+//! Property-based tests over the core invariants of the METRO
+//! architecture: allocation safety, cascade determinism, header
+//! round-tripping, and checksum sensitivity.
+
+use metro_core::{
+    header::{consume_digit, HeaderPlan},
+    Allocator, ArchParams, BwdIn, CascadeGroup, FwdIn, RandomSource, RouterConfig,
+    StreamChecksum, Word,
+};
+use proptest::prelude::*;
+
+fn arch_params() -> impl Strategy<Value = ArchParams> {
+    (1usize..=3, 1usize..=3, 0usize..=2, 1usize..=2).prop_map(|(li, lo, hw, dp)| {
+        let i = 1 << li;
+        let o = 1 << lo;
+        let w = 8;
+        let max_d = o.min(2);
+        ArchParams::new(i, o, w, max_d, hw, dp).expect("generated parameters are valid")
+    })
+}
+
+proptest! {
+    /// The allocator never double-books a backward port, for any request
+    /// pattern.
+    #[test]
+    fn allocator_never_double_books(
+        seed in any::<u64>(),
+        requests in proptest::collection::vec((0usize..8, 0usize..4), 0..64),
+    ) {
+        let p = ArchParams::rn1();
+        let cfg = RouterConfig::new(&p).with_dilation(2).build().unwrap();
+        let mut alloc = Allocator::new(&cfg, 8);
+        let mut rng = RandomSource::new(seed);
+        let outcomes = alloc.arbitrate(&requests, &cfg, &mut rng);
+        let granted: Vec<usize> = outcomes.iter().filter_map(|o| o.port()).collect();
+        let mut unique = granted.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(granted.len(), unique.len(), "double-booked port");
+        // Every grant lands inside its requested direction group.
+        for ((_, dir), out) in requests.iter().zip(&outcomes) {
+            if let Some(b) = out.port() {
+                prop_assert!(cfg.direction_group(*dir).contains(&b));
+            }
+        }
+    }
+
+    /// Granting is monotone: a request is only blocked when its whole
+    /// direction group is busy or disabled.
+    #[test]
+    fn blocked_only_when_group_full(
+        seed in any::<u64>(),
+        dirs in proptest::collection::vec(0usize..4, 1..32),
+    ) {
+        let p = ArchParams::rn1();
+        let cfg = RouterConfig::new(&p).with_dilation(2).build().unwrap();
+        let mut alloc = Allocator::new(&cfg, 8);
+        let mut rng = RandomSource::new(seed);
+        for &dir in &dirs {
+            let before: Vec<bool> = cfg
+                .direction_group(dir)
+                .map(|b| alloc.in_use(b))
+                .collect();
+            let out = alloc.request(dir, &cfg, &mut rng);
+            if out.port().is_none() {
+                prop_assert!(before.iter().all(|&u| u), "blocked with a free port");
+            }
+        }
+    }
+
+    /// Width-cascaded routers remain in lockstep for arbitrary fault-free
+    /// traffic (shared randomness, identical requests).
+    #[test]
+    fn cascade_lockstep(seed in any::<u64>(), cycles in 1usize..60) {
+        let params = ArchParams::metrojr();
+        let config = RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_swallow_all(true)
+            .build()
+            .unwrap();
+        let mut g = CascadeGroup::new(params, config, 3, seed).unwrap();
+        let mut traffic = RandomSource::new(seed ^ 0xDEAD_BEEF);
+        for _ in 0..cycles {
+            let mut fwd = FwdIn::idle(4);
+            for f in 0..4 {
+                fwd = fwd.with(
+                    f,
+                    match traffic.index(4) {
+                        0 => Word::Empty,
+                        1 => Word::Data(traffic.bits(4) as u16),
+                        2 => Word::DataIdle,
+                        _ => Word::Turn,
+                    },
+                );
+            }
+            g.tick_replicated(&fwd, &BwdIn::idle(4));
+            let reference = g.slice(0).in_use_vector();
+            for k in 1..3 {
+                prop_assert_eq!(g.slice(k).in_use_vector(), reference.clone());
+            }
+        }
+        prop_assert!(g.faults().is_empty());
+    }
+
+    /// Header pack/consume round-trips for arbitrary stage structures.
+    #[test]
+    fn header_roundtrip(
+        stage_bits in proptest::collection::vec(1usize..=3, 1..8),
+        dest_seed in any::<u64>(),
+    ) {
+        let w = 8;
+        let plan = HeaderPlan::new(&stage_bits, w, 0);
+        let total: usize = stage_bits.iter().sum();
+        let dest = (dest_seed as usize) & ((1usize << total) - 1);
+        let digits = plan.digits_for(dest);
+        let words = plan.pack(&digits);
+        // Replay the routers' consumption.
+        let mut word_idx = 0;
+        let mut head = words[0];
+        let mut recovered = Vec::new();
+        for (s, &bits) in stage_bits.iter().enumerate() {
+            let (d, next) = consume_digit(head, bits, w, plan.swallow()[s]);
+            recovered.push(d);
+            match next {
+                Some(h) => head = h,
+                None => {
+                    word_idx += 1;
+                    if word_idx < words.len() {
+                        head = words[word_idx];
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(recovered, digits);
+    }
+
+    /// hbits accounting: the packed header always covers the digit bits.
+    #[test]
+    fn header_words_cover_digit_bits(
+        stage_bits in proptest::collection::vec(0usize..=3, 1..10),
+        hw in 0usize..=2,
+    ) {
+        let w = 8;
+        let plan = HeaderPlan::new(&stage_bits, w, hw);
+        let total: usize = stage_bits.iter().sum();
+        if hw == 0 {
+            prop_assert!(plan.header_bits() >= total);
+            // Never more than one word of padding waste per stage
+            // boundary in the worst case.
+            prop_assert!(plan.header_words() <= stage_bits.len().max(1));
+        } else {
+            prop_assert_eq!(plan.header_words(), hw * stage_bits.len());
+        }
+    }
+
+    /// The stream checksum detects any single-word corruption.
+    #[test]
+    fn checksum_detects_any_single_corruption(
+        words in proptest::collection::vec(0u16..256, 1..64),
+        pos_seed in any::<usize>(),
+        delta in 1u16..255,
+    ) {
+        let pos = pos_seed % words.len();
+        let clean = StreamChecksum::over_values(words.iter().copied());
+        let mut corrupt = words.clone();
+        corrupt[pos] = (corrupt[pos] ^ delta) & 0xFF;
+        if corrupt[pos] != words[pos] {
+            let dirty = StreamChecksum::over_values(corrupt.iter().copied());
+            prop_assert_ne!(clean, dirty);
+        }
+    }
+
+    /// A single router delivers exactly the payload it was fed, for any
+    /// message length and parameters — no loss, duplication, or
+    /// reordering (hw = 0, swallow on).
+    #[test]
+    fn router_delivers_payload_intact(
+        params in arch_params(),
+        payload in proptest::collection::vec(0u16..256, 0..32),
+        seed in any::<u64>(),
+        dir_seed in any::<usize>(),
+    ) {
+        let params = match params.header_words() {
+            0 => params,
+            hw => params.with_header_words(hw).unwrap(),
+        };
+        let config = RouterConfig::new(&params)
+            .with_swallow_all(true)
+            .build()
+            .unwrap();
+        let mask = params.word_mask();
+        let digit_bits = config.digit_bits();
+        let dir = dir_seed % config.radix();
+        let hw = params.header_words();
+        let mut router = metro_core::Router::new(params, config, seed).unwrap();
+
+        // Build the stream: header then payload.
+        let mut stream = Vec::new();
+        let head = (dir as u16) << (params.width() - digit_bits.max(1)).min(15);
+        if digit_bits == 0 {
+            stream.push(Word::Data(0));
+        } else {
+            stream.push(Word::Data(head));
+        }
+        for _ in 1..hw.max(1) {
+            stream.push(Word::Data(0)); // setup padding
+        }
+        for &v in &payload {
+            stream.push(Word::Data(v & mask));
+        }
+        stream.push(Word::Drop);
+
+        let i = params.forward_ports();
+        let o = params.backward_ports();
+        let mut delivered = Vec::new();
+        for cycle in 0..stream.len() + params.pipestages() + 4 {
+            let w = stream.get(cycle).copied().unwrap_or(Word::Empty);
+            let fwd = FwdIn::idle(i).with(0, w);
+            let out = router.tick(&fwd, &BwdIn::idle(o));
+            for b in 0..o {
+                if let Word::Data(v) = out.bwd[b] {
+                    delivered.push(v);
+                }
+            }
+        }
+        let expected: Vec<u16> = payload.iter().map(|&v| v & mask).collect();
+        prop_assert_eq!(delivered, expected);
+    }
+}

@@ -1,0 +1,183 @@
+//! Boundary-scan cells and port-pair wire tests.
+//!
+//! "Once a port is disabled, boundary and internal scan tests can be
+//! applied exclusively to the disabled port or ports while the rest of
+//! the router functions normally" (paper §5.1). The boundary register
+//! holds one cell per port data pin; EXTEST drives patterns out of a
+//! disabled backward port and captures them at the attached (also
+//! disabled) forward port, exposing stuck-at and bridge faults on the
+//! wire between them.
+
+/// A boundary-scan register: one cell per data pin of every port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryRegister {
+    cells: Vec<bool>,
+}
+
+impl BoundaryRegister {
+    /// A register of `pins` cells, all low.
+    #[must_use]
+    pub fn new(pins: usize) -> Self {
+        Self {
+            cells: vec![false; pins],
+        }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the register has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell values (the pattern driven during EXTEST).
+    #[must_use]
+    pub fn cells(&self) -> &[bool] {
+        &self.cells
+    }
+
+    /// Loads the register (UpdateDR commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit count differs from the register size.
+    pub fn load(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.cells.len(), "boundary image size");
+        self.cells.copy_from_slice(bits);
+    }
+
+    /// Captures pin values (CaptureDR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pin count differs from the register size.
+    pub fn capture(&mut self, pins: &[bool]) {
+        assert_eq!(pins.len(), self.cells.len(), "pin count");
+        self.cells.copy_from_slice(pins);
+    }
+
+    /// The `w` cells belonging to port `p` (ports packed contiguously).
+    #[must_use]
+    pub fn port_cells(&self, p: usize, w: usize) -> &[bool] {
+        &self.cells[p * w..(p + 1) * w]
+    }
+}
+
+/// The standard wire test vectors: walking one, walking zero, and the
+/// two alternating patterns — sufficient to expose stuck-at faults,
+/// adjacent-pin bridges, and opens on a `w`-bit channel.
+#[must_use]
+pub fn wire_test_vectors(w: usize) -> Vec<Vec<bool>> {
+    let mut v = Vec::with_capacity(2 * w + 2);
+    for k in 0..w {
+        v.push((0..w).map(|j| j == k).collect()); // walking one
+    }
+    for k in 0..w {
+        v.push((0..w).map(|j| j != k).collect()); // walking zero
+    }
+    v.push((0..w).map(|j| j % 2 == 0).collect());
+    v.push((0..w).map(|j| j % 2 == 1).collect());
+    v
+}
+
+/// The result of driving test vectors across one wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTestReport {
+    /// Vectors driven.
+    pub vectors: usize,
+    /// Indices of vectors whose capture mismatched.
+    pub failing: Vec<usize>,
+}
+
+impl WireTestReport {
+    /// Whether the wire passed every vector.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failing.is_empty()
+    }
+}
+
+/// Runs the wire test given a transfer function modeling the physical
+/// wire (`drive -> capture`), e.g. a healthy wire is the identity and a
+/// stuck-at-0 on bit 3 clears that bit.
+pub fn test_wire(w: usize, mut transfer: impl FnMut(&[bool]) -> Vec<bool>) -> WireTestReport {
+    let vectors = wire_test_vectors(w);
+    let mut failing = Vec::new();
+    for (k, v) in vectors.iter().enumerate() {
+        if transfer(v) != *v {
+            failing.push(k);
+        }
+    }
+    WireTestReport {
+        vectors: vectors.len(),
+        failing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_wire_passes() {
+        let report = test_wire(8, |v| v.to_vec());
+        assert!(report.passed());
+        assert_eq!(report.vectors, 18);
+    }
+
+    #[test]
+    fn stuck_at_zero_is_caught() {
+        let report = test_wire(8, |v| {
+            let mut out = v.to_vec();
+            out[3] = false; // stuck-at-0 on bit 3
+            out
+        });
+        assert!(!report.passed());
+        // The walking-one on bit 3 must be among the failures.
+        assert!(report.failing.contains(&3));
+    }
+
+    #[test]
+    fn bridge_fault_is_caught() {
+        let report = test_wire(4, |v| {
+            let mut out = v.to_vec();
+            let bridged = v[1] | v[2]; // OR-bridge between pins 1 and 2
+            out[1] = bridged;
+            out[2] = bridged;
+            out
+        });
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn boundary_register_load_and_port_slicing() {
+        let mut b = BoundaryRegister::new(16);
+        let image: Vec<bool> = (0..16).map(|k| k % 3 == 0).collect();
+        b.load(&image);
+        assert_eq!(b.cells(), &image[..]);
+        assert_eq!(b.port_cells(1, 4), &image[4..8]);
+        assert_eq!(b.len(), 16);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn capture_overwrites_cells() {
+        let mut b = BoundaryRegister::new(4);
+        b.capture(&[true, false, true, true]);
+        assert_eq!(b.cells(), &[true, false, true, true]);
+    }
+
+    #[test]
+    fn vector_set_covers_all_single_bit_positions() {
+        let v = wire_test_vectors(5);
+        assert_eq!(v.len(), 12);
+        for k in 0..5 {
+            assert!(v.iter().any(|vec| vec[k] && vec.iter().filter(|&&b| b).count() == 1));
+        }
+    }
+}

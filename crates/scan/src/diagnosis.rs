@@ -1,0 +1,256 @@
+//! On-line fault localization and masking.
+//!
+//! METRO's reliability story closes the loop between the routing
+//! protocol and the scan subsystem (paper §5.1):
+//!
+//! 1. At every connection reversal, each router injects its **transit
+//!    checksum** — a checksum over the words it received — into the
+//!    return stream. The source, knowing what it sent, can compute the
+//!    *expected* checksum at every stage and localize where corruption
+//!    entered the stream ([`expected_stage_checksums`],
+//!    [`localize_corruption`]).
+//! 2. The suspect region (a link and its two endpoint ports) is
+//!    **disabled** via scan; redundant paths keep the network in
+//!    service ([`MaskPlan`]).
+//! 3. Boundary-scan vectors are applied across the suspect wire while
+//!    the rest of the router carries traffic
+//!    ([`crate::boundary::test_wire`]).
+//! 4. Confirmed-faulty elements stay disabled (masked); healthy ones
+//!    are re-enabled.
+
+use metro_core::header::{consume_digit, HeaderPlan};
+use metro_core::StreamChecksum;
+
+/// The per-stage checksums a clean transmission would report: stage `s`
+/// checksums every data word it *receives* — the (progressively
+/// consumed) header followed by the payload.
+///
+/// Covers both header regimes: `hw = 0` shifts digits out of the head
+/// word per stage (with swallow), `hw >= 1` strips whole words.
+#[must_use]
+pub fn expected_stage_checksums(
+    plan: &HeaderPlan,
+    digits: &[usize],
+    payload: &[u16],
+    w: usize,
+    hw: usize,
+) -> Vec<u16> {
+    let stages = plan.stages();
+    let header = plan.pack(digits);
+    let mut expected = Vec::with_capacity(stages);
+    if hw == 0 {
+        // Reconstruct the header image each stage sees.
+        let mut words = header.clone();
+        let mut head_idx = 0usize;
+        for (s, &bits) in plan.stage_digit_bits().iter().enumerate() {
+            let mut ck = StreamChecksum::new();
+            for &word in &words[head_idx..] {
+                ck.absorb_value(word);
+            }
+            for &v in payload {
+                ck.absorb_value(v);
+            }
+            expected.push(ck.value());
+            // Consume this stage's digit for the next stage's view.
+            let (_, forwarded) = consume_digit(words[head_idx], bits, w, plan.swallow()[s]);
+            match forwarded {
+                Some(h) => words[head_idx] = h,
+                None => head_idx += 1,
+            }
+        }
+    } else {
+        for s in 0..stages {
+            let mut ck = StreamChecksum::new();
+            for &word in &header[s * hw..] {
+                ck.absorb_value(word);
+            }
+            for &v in payload {
+                ck.absorb_value(v);
+            }
+            expected.push(ck.value());
+        }
+    }
+    expected
+}
+
+/// Where corruption entered a path, derived from the transit checksums
+/// the routers reported at turn time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionSite {
+    /// The first stage whose received-stream checksum mismatched. The
+    /// corrupting element lies on the link *into* this stage (or the
+    /// downstream datapath of stage `stage - 1`).
+    pub stage: usize,
+}
+
+/// Compares expected and reported per-stage checksums; `None` when they
+/// all match (corruption occurred after the last router, or nowhere).
+///
+/// Reported checksums arrive nearest-router-first, exactly as the
+/// source NIC's delivery record collects them (`metro-sim`'s
+/// `DeliveryRecord`).
+#[must_use]
+pub fn localize_corruption(expected: &[u16], reported: &[u16]) -> Option<CorruptionSite> {
+    expected
+        .iter()
+        .zip(reported)
+        .position(|(e, r)| e != r)
+        .map(|stage| CorruptionSite { stage })
+}
+
+/// The masking action for a localized fault: which ports to disable so
+/// the faulty element can no longer corrupt traffic (paper §5.1:
+/// "Disabled faults are masked").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaskPlan {
+    /// Stage of the router driving the suspect link (`stage` of the
+    /// corruption site minus one; `None` when the corruption entered on
+    /// the injection boundary).
+    pub upstream_stage: Option<usize>,
+    /// The backward port (on the upstream router) to disable.
+    pub upstream_backward_port: Option<usize>,
+    /// The stage whose forward port must be disabled.
+    pub downstream_stage: usize,
+    /// The forward port (on the downstream router) to disable.
+    pub downstream_forward_port: usize,
+}
+
+/// Builds the mask plan for a corruption site given the path the
+/// message took: `ports_taken[s]` is the backward port stage `s`
+/// switched the connection through (from the STATUS words), and
+/// `fwd_ports[s]` the forward port it entered stage `s` on (from the
+/// topology).
+#[must_use]
+pub fn mask_plan(
+    site: CorruptionSite,
+    ports_taken: &[usize],
+    fwd_ports: &[usize],
+) -> MaskPlan {
+    if site.stage == 0 {
+        MaskPlan {
+            upstream_stage: None,
+            upstream_backward_port: None,
+            downstream_stage: 0,
+            downstream_forward_port: fwd_ports[0],
+        }
+    } else {
+        MaskPlan {
+            upstream_stage: Some(site.stage - 1),
+            upstream_backward_port: Some(ports_taken[site.stage - 1]),
+            downstream_stage: site.stage,
+            downstream_forward_port: fwd_ports[site.stage],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan3() -> HeaderPlan {
+        HeaderPlan::new(&[2, 2, 2], 8, 0)
+    }
+
+    #[test]
+    fn clean_path_reports_no_site() {
+        let plan = plan3();
+        let digits = plan.digits_for(0b11_01_10);
+        let payload = [1u16, 2, 3];
+        let expected = expected_stage_checksums(&plan, &digits, &payload, 8, 0);
+        assert_eq!(localize_corruption(&expected, &expected), None);
+    }
+
+    #[test]
+    fn stage_checksums_differ_per_stage() {
+        // Each stage sees a differently-consumed header, so the
+        // expected values are distinct in general.
+        let plan = plan3();
+        let digits = plan.digits_for(0b01_10_11);
+        let payload = [7u16; 4];
+        let e = expected_stage_checksums(&plan, &digits, &payload, 8, 0);
+        assert_eq!(e.len(), 3);
+        assert_ne!(e[0], e[1]);
+    }
+
+    #[test]
+    fn corruption_at_stage_k_is_localized() {
+        let plan = plan3();
+        let digits = plan.digits_for(5);
+        let payload = [9u16, 8, 7];
+        let expected = expected_stage_checksums(&plan, &digits, &payload, 8, 0);
+        for bad_stage in 0..3 {
+            let mut reported = expected.clone();
+            // Corruption entering at stage k garbles the checksums of
+            // stage k and everything downstream.
+            for r in reported.iter_mut().skip(bad_stage) {
+                *r ^= 0x0101;
+            }
+            assert_eq!(
+                localize_corruption(&expected, &reported),
+                Some(CorruptionSite { stage: bad_stage })
+            );
+        }
+    }
+
+    #[test]
+    fn expected_checksums_match_router_absorption_hw0() {
+        // Cross-check against the actual consumption rules: simulate
+        // what each router receives and checksum it directly.
+        let plan = plan3();
+        let digits = [3usize, 0, 2];
+        let payload = [4u16, 5];
+        let expected = expected_stage_checksums(&plan, &digits, &payload, 8, 0);
+
+        // Stage 0 receives the packed header + payload.
+        let header = plan.pack(&digits);
+        let mut ck0 = StreamChecksum::new();
+        for &h in &header {
+            ck0.absorb_value(h);
+        }
+        for &v in &payload {
+            ck0.absorb_value(v);
+        }
+        assert_eq!(expected[0], ck0.value());
+
+        // Stage 1 receives the once-consumed header.
+        let (_, h1) = consume_digit(header[0], 2, 8, plan.swallow()[0]);
+        let mut ck1 = StreamChecksum::new();
+        ck1.absorb_value(h1.unwrap());
+        for &v in &payload {
+            ck1.absorb_value(v);
+        }
+        assert_eq!(expected[1], ck1.value());
+    }
+
+    #[test]
+    fn expected_checksums_hw_regime() {
+        let plan = HeaderPlan::new(&[2, 2], 8, 1);
+        let digits = [1usize, 2];
+        let payload = [6u16];
+        let e = expected_stage_checksums(&plan, &digits, &payload, 8, 1);
+        // Stage 1 receives only its own header word + payload.
+        let header = plan.pack(&digits);
+        let mut ck1 = StreamChecksum::new();
+        ck1.absorb_value(header[1]);
+        ck1.absorb_value(6);
+        assert_eq!(e[1], ck1.value());
+    }
+
+    #[test]
+    fn mask_plan_names_both_ends_of_the_link() {
+        let site = CorruptionSite { stage: 2 };
+        let plan = mask_plan(site, &[3, 5, 1], &[0, 2, 4]);
+        assert_eq!(plan.upstream_stage, Some(1));
+        assert_eq!(plan.upstream_backward_port, Some(5));
+        assert_eq!(plan.downstream_stage, 2);
+        assert_eq!(plan.downstream_forward_port, 4);
+    }
+
+    #[test]
+    fn injection_boundary_corruption_has_no_upstream_router() {
+        let site = CorruptionSite { stage: 0 };
+        let plan = mask_plan(site, &[3, 5, 1], &[0, 2, 4]);
+        assert_eq!(plan.upstream_stage, None);
+        assert_eq!(plan.downstream_forward_port, 0);
+    }
+}

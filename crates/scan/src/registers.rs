@@ -1,0 +1,280 @@
+//! Instruction decode and the configuration data register.
+//!
+//! All Table 2 options are "configurable under scan control from a TAP"
+//! (paper §5.3). This module defines the exact bit layout of the
+//! configuration register and the codec between it and
+//! [`metro_core::RouterConfig`]:
+//!
+//! ```text
+//! for each forward port f:  [enable][drive][vtd…][fast_reclaim][swallow]
+//! for each backward port b: [enable][drive][vtd…][fast_reclaim]
+//! router-wide:              [dilation select…]
+//! ```
+//!
+//! with `vtd` occupying `ceil(log2(max_vtd))` bits and the dilation
+//! select `log2(max_d)` bits (at least one), matching the Table 2
+//! accounting reproduced by
+//! [`RouterConfig::scan_bits`](metro_core::RouterConfig::scan_bits).
+
+use metro_core::{ArchParams, ConfigError, PortMode, RouterConfig};
+
+/// TAP instructions a METRO component implements. Standard opcodes:
+/// EXTEST all-zeros, BYPASS all-ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Instruction {
+    /// Boundary-scan external test (drive/capture pins): `0b0000`.
+    Extest,
+    /// Device identification register: `0b0001`.
+    IdCode,
+    /// Sample pins without disturbing operation: `0b0010`.
+    SamplePreload,
+    /// METRO configuration register access (Table 2): `0b0100`.
+    Config,
+    /// Per-port internal test on disabled ports: `0b0101`.
+    PortTest,
+    /// Single-bit bypass: `0b1111` (and any undefined opcode).
+    #[default]
+    Bypass,
+}
+
+/// Instruction register width.
+pub const IR_BITS: usize = 4;
+
+impl Instruction {
+    /// The 4-bit opcode.
+    #[must_use]
+    pub fn opcode(self) -> u8 {
+        match self {
+            Self::Extest => 0b0000,
+            Self::IdCode => 0b0001,
+            Self::SamplePreload => 0b0010,
+            Self::Config => 0b0100,
+            Self::PortTest => 0b0101,
+            Self::Bypass => 0b1111,
+        }
+    }
+
+    /// Decodes an opcode; undefined opcodes select BYPASS, as the
+    /// standard requires.
+    #[must_use]
+    pub fn decode(opcode: u8) -> Self {
+        match opcode & 0xF {
+            0b0000 => Self::Extest,
+            0b0001 => Self::IdCode,
+            0b0010 => Self::SamplePreload,
+            0b0100 => Self::Config,
+            0b0101 => Self::PortTest,
+            _ => Self::Bypass,
+        }
+    }
+}
+
+/// Bits used to encode a turn-delay value for the given `max_vtd`.
+#[must_use]
+pub fn vtd_bits(max_vtd: usize) -> usize {
+    if max_vtd <= 1 {
+        1
+    } else {
+        (usize::BITS - (max_vtd - 1).leading_zeros()) as usize
+    }
+}
+
+/// Bits used for the dilation select.
+#[must_use]
+pub fn dilation_bits(max_d: usize) -> usize {
+    metro_core::params::log2_exact(max_d).max(1)
+}
+
+fn push_bits(bits: &mut Vec<bool>, value: usize, n: usize) {
+    for k in (0..n).rev() {
+        bits.push((value >> k) & 1 == 1);
+    }
+}
+
+fn pop_bits(bits: &[bool], cursor: &mut usize, n: usize) -> usize {
+    let mut v = 0;
+    for _ in 0..n {
+        v = (v << 1) | usize::from(bits[*cursor]);
+        *cursor += 1;
+    }
+    v
+}
+
+fn encode_mode(bits: &mut Vec<bool>, mode: PortMode) {
+    match mode {
+        PortMode::Enabled => {
+            bits.push(true);
+            bits.push(true);
+        }
+        PortMode::DisabledDriven => {
+            bits.push(false);
+            bits.push(true);
+        }
+        PortMode::DisabledTristate => {
+            bits.push(false);
+            bits.push(false);
+        }
+    }
+}
+
+fn decode_mode(bits: &[bool], cursor: &mut usize) -> PortMode {
+    let enable = bits[*cursor];
+    let drive = bits[*cursor + 1];
+    *cursor += 2;
+    if enable {
+        PortMode::Enabled
+    } else if drive {
+        PortMode::DisabledDriven
+    } else {
+        PortMode::DisabledTristate
+    }
+}
+
+/// Serializes a router configuration into its scan-register bit image.
+#[must_use]
+pub fn encode_config(config: &RouterConfig, params: &ArchParams) -> Vec<bool> {
+    let vb = vtd_bits(params.max_turn_delay());
+    let mut bits = Vec::with_capacity(config.scan_bits(params));
+    for f in 0..params.forward_ports() {
+        encode_mode(&mut bits, config.forward_mode(f));
+        push_bits(&mut bits, config.forward_turn_delay(f), vb);
+        bits.push(config.fast_reclaim(f));
+        bits.push(config.swallow(f));
+    }
+    for b in 0..params.backward_ports() {
+        encode_mode(&mut bits, config.backward_mode(b));
+        push_bits(&mut bits, config.backward_turn_delay(b), vb);
+        bits.push(config.backward_fast_reclaim(b));
+    }
+    push_bits(
+        &mut bits,
+        metro_core::params::log2_exact(config.dilation()),
+        dilation_bits(params.max_dilation()),
+    );
+    debug_assert_eq!(bits.len(), config.scan_bits(params));
+    bits
+}
+
+/// Deserializes a scan-register bit image into a validated router
+/// configuration.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if the image encodes an invalid setting
+/// (e.g. a turn delay above `max_vtd`).
+pub fn decode_config(bits: &[bool], params: &ArchParams) -> Result<RouterConfig, ConfigError> {
+    let vb = vtd_bits(params.max_turn_delay());
+    let mut cursor = 0usize;
+    let mut builder = RouterConfig::new(params);
+    for f in 0..params.forward_ports() {
+        let mode = decode_mode(bits, &mut cursor);
+        let vtd = pop_bits(bits, &mut cursor, vb);
+        let fast = bits[cursor];
+        let swallow = bits[cursor + 1];
+        cursor += 2;
+        builder = builder
+            .with_forward_port_mode(f, mode)
+            .with_forward_turn_delay(f, vtd)
+            .with_fast_reclaim(f, fast)
+            .with_swallow(f, swallow);
+    }
+    for b in 0..params.backward_ports() {
+        let mode = decode_mode(bits, &mut cursor);
+        let vtd = pop_bits(bits, &mut cursor, vb);
+        let fast = bits[cursor];
+        cursor += 1;
+        builder = builder
+            .with_backward_port_mode(b, mode)
+            .with_backward_turn_delay(b, vtd)
+            .with_backward_fast_reclaim(b, fast);
+    }
+    let dil_log = pop_bits(bits, &mut cursor, dilation_bits(params.max_dilation()));
+    builder.with_dilation(1 << dil_log).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for i in [
+            Instruction::Extest,
+            Instruction::IdCode,
+            Instruction::SamplePreload,
+            Instruction::Config,
+            Instruction::PortTest,
+            Instruction::Bypass,
+        ] {
+            assert_eq!(Instruction::decode(i.opcode()), i);
+        }
+        // Undefined opcodes select bypass.
+        assert_eq!(Instruction::decode(0b1010), Instruction::Bypass);
+    }
+
+    #[test]
+    fn config_image_width_matches_table2_accounting() {
+        let p = ArchParams::rn1();
+        let cfg = RouterConfig::new(&p).build().unwrap();
+        assert_eq!(encode_config(&cfg, &p).len(), cfg.scan_bits(&p));
+    }
+
+    #[test]
+    fn default_config_roundtrips() {
+        let p = ArchParams::rn1();
+        let cfg = RouterConfig::new(&p).build().unwrap();
+        let bits = encode_config(&cfg, &p);
+        assert_eq!(decode_config(&bits, &p).unwrap(), cfg);
+    }
+
+    #[test]
+    fn rich_config_roundtrips() {
+        let p = ArchParams::rn1();
+        let cfg = RouterConfig::new(&p)
+            .with_dilation(1)
+            .with_forward_port_mode(2, PortMode::DisabledTristate)
+            .with_backward_port_mode(5, PortMode::DisabledDriven)
+            .with_forward_turn_delay(0, 5)
+            .with_backward_turn_delay(7, 7)
+            .with_fast_reclaim(3, false)
+            .with_backward_fast_reclaim(1, false)
+            .with_swallow(1, true)
+            .build()
+            .unwrap();
+        let bits = encode_config(&cfg, &p);
+        assert_eq!(decode_config(&bits, &p).unwrap(), cfg);
+    }
+
+    #[test]
+    fn metrojr_config_roundtrips() {
+        let p = ArchParams::metrojr();
+        let cfg = RouterConfig::new(&p)
+            .with_dilation(2)
+            .with_swallow_all(true)
+            .build()
+            .unwrap();
+        let bits = encode_config(&cfg, &p);
+        assert_eq!(decode_config(&bits, &p).unwrap(), cfg);
+    }
+
+    #[test]
+    fn vtd_and_dilation_bit_widths() {
+        assert_eq!(vtd_bits(7), 3);
+        assert_eq!(vtd_bits(1), 1);
+        assert_eq!(vtd_bits(0), 1);
+        assert_eq!(dilation_bits(2), 1);
+        assert_eq!(dilation_bits(4), 2);
+        assert_eq!(dilation_bits(1), 1);
+    }
+
+    #[test]
+    fn flipping_one_bit_changes_the_config() {
+        let p = ArchParams::metrojr();
+        let cfg = RouterConfig::new(&p).build().unwrap();
+        let mut bits = encode_config(&cfg, &p);
+        bits[0] = !bits[0]; // forward port 0 enable
+        let decoded = decode_config(&bits, &p).unwrap();
+        assert_ne!(decoded, cfg);
+        assert!(!decoded.forward_enabled(0));
+    }
+}

@@ -1,0 +1,222 @@
+//! The IEEE 1149.1-1990 TAP controller.
+//!
+//! The standard 16-state state machine, advanced by the TMS value at
+//! each rising TCK edge. METRO components expose `sp >= 1` of these
+//! (see [`MultiTap`](crate::MultiTap)).
+
+/// The sixteen TAP controller states of IEEE 1149.1 Figure 5-1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TapState {
+    TestLogicReset,
+    RunTestIdle,
+    SelectDrScan,
+    CaptureDr,
+    ShiftDr,
+    Exit1Dr,
+    PauseDr,
+    Exit2Dr,
+    UpdateDr,
+    SelectIrScan,
+    CaptureIr,
+    ShiftIr,
+    Exit1Ir,
+    PauseIr,
+    Exit2Ir,
+    UpdateIr,
+}
+
+impl TapState {
+    /// The successor state for a TMS value at a rising TCK edge.
+    #[must_use]
+    pub fn next(self, tms: bool) -> TapState {
+        use TapState::*;
+        match (self, tms) {
+            (TestLogicReset, true) => TestLogicReset,
+            (TestLogicReset, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (RunTestIdle, false) => RunTestIdle,
+            (SelectDrScan, true) => SelectIrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (CaptureDr, true) => Exit1Dr,
+            (CaptureDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (Exit1Dr, true) => UpdateDr,
+            (Exit1Dr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (PauseDr, false) => PauseDr,
+            (Exit2Dr, true) => UpdateDr,
+            (Exit2Dr, false) => ShiftDr,
+            (UpdateDr, true) => SelectDrScan,
+            (UpdateDr, false) => RunTestIdle,
+            (SelectIrScan, true) => TestLogicReset,
+            (SelectIrScan, false) => CaptureIr,
+            (CaptureIr, true) => Exit1Ir,
+            (CaptureIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (Exit1Ir, true) => UpdateIr,
+            (Exit1Ir, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (PauseIr, false) => PauseIr,
+            (Exit2Ir, true) => UpdateIr,
+            (Exit2Ir, false) => ShiftIr,
+            (UpdateIr, true) => SelectDrScan,
+            (UpdateIr, false) => RunTestIdle,
+        }
+    }
+}
+
+/// A TAP controller: the state machine plus TCK edge bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapController {
+    state: TapState,
+}
+
+impl Default for TapController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TapController {
+    /// Powers up in Test-Logic-Reset, as the standard requires.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            state: TapState::TestLogicReset,
+        }
+    }
+
+    /// The current controller state.
+    #[must_use]
+    pub fn state(&self) -> TapState {
+        self.state
+    }
+
+    /// Applies one rising TCK edge with the given TMS; returns the new
+    /// state.
+    pub fn step(&mut self, tms: bool) -> TapState {
+        self.state = self.state.next(tms);
+        self.state
+    }
+
+    /// Drives the standard reset guarantee: five TMS-high clocks reach
+    /// Test-Logic-Reset from any state.
+    pub fn reset(&mut self) {
+        for _ in 0..5 {
+            self.step(true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TapState::*;
+
+    #[test]
+    fn five_tms_ones_reset_from_any_state() {
+        let all = [
+            TestLogicReset,
+            RunTestIdle,
+            SelectDrScan,
+            CaptureDr,
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
+            UpdateIr,
+        ];
+        for start in all {
+            let mut tap = TapController { state: start };
+            tap.reset();
+            assert_eq!(tap.state(), TestLogicReset, "from {start:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_dr_scan_path() {
+        let mut tap = TapController::new();
+        tap.step(false); // RunTestIdle
+        assert_eq!(tap.state(), RunTestIdle);
+        tap.step(true); // SelectDrScan
+        tap.step(false); // CaptureDr
+        assert_eq!(tap.state(), CaptureDr);
+        tap.step(false); // ShiftDr
+        assert_eq!(tap.state(), ShiftDr);
+        tap.step(false); // stay shifting
+        assert_eq!(tap.state(), ShiftDr);
+        tap.step(true); // Exit1Dr
+        tap.step(true); // UpdateDr
+        assert_eq!(tap.state(), UpdateDr);
+        tap.step(false);
+        assert_eq!(tap.state(), RunTestIdle);
+    }
+
+    #[test]
+    fn canonical_ir_scan_path() {
+        let mut tap = TapController::new();
+        tap.step(false);
+        tap.step(true); // SelectDrScan
+        tap.step(true); // SelectIrScan
+        assert_eq!(tap.state(), SelectIrScan);
+        tap.step(false); // CaptureIr
+        tap.step(false); // ShiftIr
+        assert_eq!(tap.state(), ShiftIr);
+        tap.step(true); // Exit1Ir
+        tap.step(false); // PauseIr
+        assert_eq!(tap.state(), PauseIr);
+        tap.step(true); // Exit2Ir
+        tap.step(false); // back to ShiftIr
+        assert_eq!(tap.state(), ShiftIr);
+        tap.step(true);
+        tap.step(true); // UpdateIr
+        assert_eq!(tap.state(), UpdateIr);
+    }
+
+    #[test]
+    fn select_ir_with_tms_high_resets() {
+        let mut tap = TapController::new();
+        tap.step(false); // idle
+        tap.step(true); // SelectDr
+        tap.step(true); // SelectIr
+        tap.step(true); // TestLogicReset
+        assert_eq!(tap.state(), TestLogicReset);
+    }
+
+    #[test]
+    fn every_state_has_two_successors_within_the_16() {
+        use TapState::*;
+        let all = [
+            TestLogicReset,
+            RunTestIdle,
+            SelectDrScan,
+            CaptureDr,
+            ShiftDr,
+            Exit1Dr,
+            PauseDr,
+            Exit2Dr,
+            UpdateDr,
+            SelectIrScan,
+            CaptureIr,
+            ShiftIr,
+            Exit1Ir,
+            PauseIr,
+            Exit2Ir,
+            UpdateIr,
+        ];
+        for s in all {
+            assert!(all.contains(&s.next(false)));
+            assert!(all.contains(&s.next(true)));
+        }
+    }
+}

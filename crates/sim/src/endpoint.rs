@@ -1,0 +1,978 @@
+//! Source-responsible network interfaces.
+//!
+//! "The routers work in conjunction with source-responsible network
+//! interfaces to achieve reliable end-to-end data transmission in the
+//! presence of heavy network congestion and dynamic faults" (paper §1).
+//!
+//! The transmit engine streams `header + payload + checksum + TURN`,
+//! then holds the connection with DATA-IDLE while collecting the reply:
+//! per-router STATUS/checksum words (nearest router first), then the
+//! destination's acknowledgment. Any blocked status, BCB arrival, NACK,
+//! or watchdog expiry triggers a retry; stochastic path selection inside
+//! the network makes the retry overwhelmingly likely to take a different
+//! path (paper §4).
+//!
+//! The receive engines (one per endpoint input port — endpoints "can
+//! handle simultaneous traffic on both network output ports", Figure 3
+//! caption) verify the end-to-end checksum and answer the TURN with an
+//! acknowledgment or, for read-style workloads, a reply burst prefixed
+//! by the acknowledgment and padded with DATA-IDLE to model memory
+//! latency (paper §5.1, DATA-IDLE use 1).
+
+use crate::message::{DeliveryRecord, FailureKind, MessageOutcome, ACK_CORRUPT, ACK_OK};
+use metro_core::{RandomSource, StreamChecksum, Word};
+use std::collections::VecDeque;
+
+/// How a destination responds once a message has fully arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplyPolicy {
+    /// Acknowledge and close: `ACK`, `DROP`.
+    Ack,
+    /// Read-reply: hold the line with DATA-IDLE for `latency` cycles
+    /// (cache/memory access time), then `ACK`, `words` reply data
+    /// words, `DROP`.
+    ReadReply {
+        /// Cycles of DATA-IDLE before the reply (memory latency).
+        latency: usize,
+        /// Number of reply data words.
+        words: usize,
+    },
+    /// Multi-round conversation: acknowledge each received segment and
+    /// hand transmission back (`ACK`, `TURN`); the *source* closes the
+    /// circuit after its final segment. Exercises the paper's "any
+    /// number of data transmission reversals may occur during a single
+    /// connection" (§5.1).
+    Conversation,
+}
+
+/// Configuration of an endpoint's NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointConfig {
+    /// Destination reply behaviour.
+    pub reply: ReplyPolicy,
+    /// Source watchdog: cycles without completion before an attempt is
+    /// aborted and retried.
+    pub timeout: usize,
+    /// Fast connection-open watchdog: if the reverse lane shows no
+    /// activity at all (not even the first-hop router's DATA-IDLE hold)
+    /// this many cycles into an attempt, the entry port leads nowhere —
+    /// a dead first-hop router or wire — and the attempt is abandoned
+    /// immediately rather than waiting out the full `timeout`.
+    pub open_timeout: usize,
+    /// Maximum random backoff (cycles) between attempts.
+    pub retry_backoff_max: usize,
+    /// Give up after this many failed attempts (0 = never).
+    pub max_retries: usize,
+    /// Concurrent outgoing messages (clamped to the endpoint's output
+    /// port count). Figure 3 restricts sources to one entering port at
+    /// a time — the paper's parallelism-limited model — but the
+    /// hardware supports a transmit engine per port.
+    pub max_concurrent: usize,
+    /// Capture each failed attempt's port and delivery record into the
+    /// final `MessageOutcome` for diagnosis (off by default: records
+    /// cost memory under sustained load).
+    pub capture_failure_records: bool,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        Self {
+            reply: ReplyPolicy::Ack,
+            timeout: 600,
+            open_timeout: 32,
+            retry_backoff_max: 3,
+            max_retries: 0,
+            max_concurrent: 1,
+            capture_failure_records: false,
+        }
+    }
+}
+
+/// A message delivered at a destination endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// The payload data words, in order.
+    pub payload: Vec<u16>,
+    /// Completion cycle (when the TURN arrived).
+    pub at: u64,
+}
+
+/// Per-cycle inputs to an endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointIo {
+    /// Reverse-lane word arriving on each output (injection) port.
+    pub out_rev_in: Vec<Word>,
+    /// BCB arriving on each output port.
+    pub out_bcb_in: Vec<bool>,
+    /// Forward-lane word arriving on each input (delivery) port.
+    pub in_fwd_in: Vec<Word>,
+}
+
+impl EndpointIo {
+    /// All-idle inputs for an endpoint with `out` output and `inp`
+    /// input ports.
+    #[must_use]
+    pub fn idle(out: usize, inp: usize) -> Self {
+        Self {
+            out_rev_in: vec![Word::Empty; out],
+            out_bcb_in: vec![false; out],
+            in_fwd_in: vec![Word::Empty; inp],
+        }
+    }
+}
+
+/// Per-cycle outputs of an endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointDrive {
+    /// Forward-lane word driven on each output port.
+    pub out_fwd: Vec<Word>,
+    /// Reverse-lane word driven on each input port (replies).
+    pub in_rev: Vec<Word>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveMessage {
+    dest: usize,
+    stream: Vec<Word>,
+    /// Further stream segments of a multi-round conversation, sent one
+    /// per turn-back from the destination. Retries restart from
+    /// `all_segments`.
+    pending_segments: std::collections::VecDeque<Vec<Word>>,
+    all_segments: Vec<Vec<Word>>,
+    requested_at: u64,
+    first_injection_at: Option<u64>,
+    attempt_started_at: u64,
+    retries: usize,
+    failures: Vec<FailureKind>,
+    record: DeliveryRecord,
+    failure_records: Vec<(usize, DeliveryRecord)>,
+    port: usize,
+    success_at: Option<u64>,
+    /// Whether the reverse lane showed any life this attempt (the
+    /// first-hop router's DATA-IDLE hold counts).
+    saw_reverse_activity: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxState {
+    Idle,
+    Backoff { until: u64 },
+    Sending { idx: usize },
+    Awaiting,
+    Aborting { step: usize },
+}
+
+/// One transmit engine: drives one output port's connection at a time.
+#[derive(Debug, Clone)]
+struct TxEngine {
+    state: TxState,
+    active: Option<ActiveMessage>,
+    /// Earliest cycle at which this engine's next stream may start.
+    /// Streams must be separated by at least one undriven (Empty) cycle
+    /// so the first-hop router can finish draining the previous
+    /// connection — the NIC's output turnaround time.
+    gap_until: u64,
+}
+
+impl TxEngine {
+    fn idle() -> Self {
+        Self {
+            state: TxState::Idle,
+            active: None,
+            gap_until: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum RxState {
+    Idle,
+    Receiving {
+        payload: Vec<u16>,
+        expected: Option<u16>,
+        cksum: StreamChecksum,
+    },
+    Replying {
+        queue: VecDeque<Word>,
+    },
+}
+
+/// A network endpoint: one transmit engine (a processor stalls on its
+/// outstanding message — the Figure 3 "parallelism limited" model) plus
+/// one receive engine per input port.
+#[derive(Debug, Clone)]
+pub struct Endpoint {
+    id: usize,
+    out_ports: usize,
+    config: EndpointConfig,
+    rng: RandomSource,
+    engines: Vec<TxEngine>,
+    queue: VecDeque<(usize, Vec<Vec<Word>>, u64)>,
+    rx: Vec<RxState>,
+    completed: Vec<MessageOutcome>,
+    abandoned: Vec<MessageOutcome>,
+    delivered: Vec<Delivered>,
+    dead: bool,
+}
+
+impl Endpoint {
+    /// Creates endpoint `id` with the given port counts.
+    #[must_use]
+    pub fn new(
+        id: usize,
+        out_ports: usize,
+        in_ports: usize,
+        config: EndpointConfig,
+        seed: u64,
+    ) -> Self {
+        let engines = config.max_concurrent.clamp(1, out_ports);
+        Self {
+            id,
+            out_ports,
+            config,
+            rng: RandomSource::new(seed),
+            engines: (0..engines).map(|_| TxEngine::idle()).collect(),
+            queue: VecDeque::new(),
+            rx: vec![RxState::Idle; in_ports],
+            completed: Vec::new(),
+            abandoned: Vec::new(),
+            delivered: Vec::new(),
+            dead: false,
+        }
+    }
+
+    /// The endpoint's index.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Marks the endpoint dead (it stops driving and responding) — a
+    /// dynamic endpoint fault.
+    pub fn set_dead(&mut self, dead: bool) {
+        self.dead = dead;
+    }
+
+    /// Queues a message for transmission. `stream` is the complete word
+    /// stream (header + payload + checksum + TURN) the NIC will inject;
+    /// the network builder constructs it from the topology's header
+    /// plan.
+    pub fn enqueue(&mut self, dest: usize, _payload: Vec<u16>, stream: Vec<Word>, now: u64) {
+        self.queue.push_back((dest, vec![stream], now));
+    }
+
+    /// Queues a multi-round conversation: `segments[0]` opens the
+    /// circuit (header + payload + checksum + TURN); each further
+    /// segment is sent after the destination hands transmission back
+    /// (payload + checksum + TURN, no header — the circuit is already
+    /// established). The NIC closes the circuit with a DROP after the
+    /// final segment is acknowledged. The destination must run
+    /// [`ReplyPolicy::Conversation`].
+    pub fn enqueue_conversation(&mut self, dest: usize, segments: Vec<Vec<Word>>, now: u64) {
+        assert!(!segments.is_empty(), "a conversation needs at least one segment");
+        self.queue.push_back((dest, segments, now));
+    }
+
+    /// Whether a message is in flight or queued.
+    #[must_use]
+    pub fn is_busy(&self) -> bool {
+        self.engines.iter().any(|e| e.active.is_some()) || !self.queue.is_empty()
+    }
+
+    /// Messages waiting behind the in-flight one.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drains the outcomes of completed transactions.
+    pub fn take_completed(&mut self) -> Vec<MessageOutcome> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Drains the outcomes of abandoned transactions (max retries hit).
+    pub fn take_abandoned(&mut self) -> Vec<MessageOutcome> {
+        std::mem::take(&mut self.abandoned)
+    }
+
+    /// Messages delivered *to* this endpoint.
+    #[must_use]
+    pub fn delivered(&self) -> &[Delivered] {
+        &self.delivered
+    }
+
+    /// Drains the delivered-message log.
+    pub fn take_delivered(&mut self) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Advances the endpoint one clock cycle.
+    pub fn tick(&mut self, now: u64, io: &EndpointIo) -> EndpointDrive {
+        let mut drive = EndpointDrive {
+            out_fwd: vec![Word::Empty; self.out_ports],
+            in_rev: vec![Word::Empty; self.rx.len()],
+        };
+        if self.dead {
+            return drive;
+        }
+        self.tick_tx(now, io, &mut drive);
+        self.tick_rx(now, io, &mut drive);
+        drive
+    }
+
+    fn tick_tx(&mut self, now: u64, io: &EndpointIo, drive: &mut EndpointDrive) {
+        for k in 0..self.engines.len() {
+            self.tick_engine(k, now, io, drive);
+        }
+    }
+
+    /// Output ports not owned by any engine other than `k` — the pool
+    /// engine `k` may start or retry on.
+    fn free_ports(&self, k: usize) -> Vec<usize> {
+        (0..self.out_ports)
+            .filter(|&p| {
+                self.engines
+                    .iter()
+                    .enumerate()
+                    .all(|(j, e)| j == k || e.active.as_ref().map(|m| m.port) != Some(p))
+            })
+            .collect()
+    }
+
+    fn tick_engine(&mut self, k: usize, now: u64, io: &EndpointIo, drive: &mut EndpointDrive) {
+        let mut eng = std::mem::replace(&mut self.engines[k], TxEngine::idle());
+        // Start the next message if idle (and the inter-stream gap has
+        // elapsed).
+        if eng.active.is_none() && now >= eng.gap_until && !self.queue.is_empty() {
+            let free = self.free_ports(k);
+            if !free.is_empty() {
+                let (dest, segments, requested_at) =
+                    self.queue.pop_front().expect("queue checked non-empty");
+                let port = free[self.rng.index(free.len())];
+                eng.active = Some(ActiveMessage {
+                    dest,
+                    stream: segments[0].clone(),
+                    pending_segments: segments[1..].iter().cloned().collect(),
+                    all_segments: segments,
+                    requested_at,
+                    first_injection_at: None,
+                    attempt_started_at: now,
+                    retries: 0,
+                    failures: Vec::new(),
+                    record: DeliveryRecord::default(),
+                    failure_records: Vec::new(),
+                    port,
+                    success_at: None,
+                    saw_reverse_activity: false,
+                });
+                eng.state = TxState::Sending { idx: 0 };
+            }
+        }
+        let Some(mut msg) = eng.active.take() else {
+            self.engines[k] = eng;
+            return;
+        };
+
+        // Watch the reverse lane and BCB of the active port.
+        let rev = io.out_rev_in[msg.port];
+        let bcb = io.out_bcb_in[msg.port];
+        if rev != Word::Empty || bcb {
+            msg.saw_reverse_activity = true;
+        }
+        let mut failure: Option<FailureKind> = None;
+        let mut finished = false;
+
+        match eng.state {
+            TxState::Idle => unreachable!("active message implies non-idle tx"),
+            TxState::Backoff { until } => {
+                if now >= until {
+                    // Restart the attempt clock *now*: the watchdog
+                    // below runs this same tick, and the previous
+                    // attempt's start time would trip it immediately.
+                    msg.attempt_started_at = now;
+                    eng.state = TxState::Sending { idx: 0 };
+                }
+            }
+            TxState::Sending { idx } => {
+                if bcb {
+                    failure = Some(FailureKind::FastReclaimed);
+                } else {
+                    if idx == 0 {
+                        msg.attempt_started_at = now;
+                        if msg.first_injection_at.is_none() {
+                            msg.first_injection_at = Some(now);
+                        }
+                    }
+                    drive.out_fwd[msg.port] = msg.stream[idx];
+                    if idx + 1 < msg.stream.len() {
+                        eng.state = TxState::Sending { idx: idx + 1 };
+                    } else if msg.stream.last() == Some(&Word::Drop)
+                        && msg.success_at.is_some()
+                    {
+                        // The closing DROP of a completed conversation
+                        // has gone out; the transaction is done.
+                        finished = true;
+                    } else {
+                        eng.state = TxState::Awaiting;
+                    }
+                }
+            }
+            TxState::Awaiting => {
+                drive.out_fwd[msg.port] = Word::DataIdle;
+                if bcb {
+                    failure = Some(FailureKind::FastReclaimed);
+                } else {
+                    match rev {
+                        Word::Status(s) => msg.record.statuses.push(s),
+                        Word::Checksum(c) => msg.record.checksums.push(c),
+                        Word::Data(v) => {
+                            if msg.record.ack.is_none() {
+                                msg.record.ack = Some(v);
+                                if v == ACK_OK && msg.pending_segments.is_empty() {
+                                    // Final segment acknowledged.
+                                    msg.success_at = Some(now);
+                                } else if v == ACK_OK {
+                                    // Mid-conversation segment acknowledged;
+                                    // clear the slot for the next round's ack.
+                                    msg.record.ack = None;
+                                }
+                            } else {
+                                msg.record.reply_words.push(v);
+                            }
+                        }
+                        Word::Turn => {
+                            // The destination handed transmission back:
+                            // send the next conversation segment (the
+                            // closing DROP-only segment after the last).
+                            if let Some(seg) = msg.pending_segments.pop_front() {
+                                msg.stream = seg;
+                                msg.attempt_started_at = now;
+                                eng.state = TxState::Sending { idx: 0 };
+                            } else if msg.success_at.is_some() {
+                                msg.stream = vec![Word::Drop];
+                                eng.state = TxState::Sending { idx: 0 };
+                            }
+                        }
+                        Word::Drop | Word::Empty if rev == Word::Drop || msg.success_at.is_some() || !msg.record.statuses.is_empty() => {
+                            // Stream over: classify.
+                            if msg.success_at.is_some() {
+                                finished = true;
+                            } else if let Some(stage) = msg.record.blocked_stage() {
+                                failure = Some(FailureKind::Blocked { stage });
+                            } else if msg.record.ack == Some(ACK_CORRUPT) {
+                                failure = Some(FailureKind::Corrupt);
+                            } else {
+                                failure = Some(FailureKind::NoAck);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            TxState::Aborting { step } => {
+                // Force the connection down: one DROP, then release.
+                drive.out_fwd[msg.port] = if step == 0 { Word::Drop } else { Word::Empty };
+                if step >= 2 {
+                    failure = Some(FailureKind::Timeout);
+                } else {
+                    eng.state = TxState::Aborting { step: step + 1 };
+                }
+            }
+        }
+
+        // Watchdogs: the full completion timeout, and the fast
+        // connection-open check — a live first hop shows DATA-IDLE on
+        // the reverse lane within a handful of cycles.
+        if failure.is_none()
+            && !finished
+            && !matches!(eng.state, TxState::Aborting { .. } | TxState::Backoff { .. })
+        {
+            let elapsed = now.saturating_sub(msg.attempt_started_at);
+            let dead_entry =
+                !msg.saw_reverse_activity && elapsed > self.config.open_timeout as u64;
+            if elapsed > self.config.timeout as u64 || dead_entry {
+                eng.state = TxState::Aborting { step: 0 };
+            }
+        }
+
+        if let Some(kind) = failure {
+            msg.failures.push(kind);
+            msg.retries += 1;
+            if self.config.capture_failure_records {
+                msg.failure_records.push((msg.port, msg.record.clone()));
+            }
+            msg.record.reset();
+            msg.success_at = None;
+            msg.saw_reverse_activity = false;
+            msg.stream = msg.all_segments[0].clone();
+            msg.pending_segments = msg.all_segments[1..].iter().cloned().collect();
+            if self.config.max_retries > 0 && msg.retries >= self.config.max_retries {
+                self.abandoned.push(MessageOutcome {
+                    src: self.id,
+                    dest: msg.dest,
+                    requested_at: msg.requested_at,
+                    first_injection_at: msg.first_injection_at.unwrap_or(msg.requested_at),
+                    completed_at: now,
+                    retries: msg.retries,
+                    failures: msg.failures,
+                    payload_delivered: Vec::new(),
+                    reply_received: Vec::new(),
+                    failure_records: msg.failure_records,
+                });
+                eng.state = TxState::Idle;
+                eng.gap_until = now + 2;
+                self.engines[k] = eng;
+                return;
+            }
+            let backoff = if self.config.retry_backoff_max == 0 {
+                0
+            } else {
+                self.rng.index(self.config.retry_backoff_max + 1)
+            };
+            // Spread retries over the redundant entry ports too (but
+            // never onto a port a sibling engine is using).
+            let free = self.free_ports(k);
+            if !free.is_empty() {
+                msg.port = free[self.rng.index(free.len())];
+            }
+            // +2 guarantees at least one fully undriven cycle reaches
+            // the first-hop router so it can drain the old connection.
+            eng.state = TxState::Backoff {
+                until: now + 2 + backoff as u64,
+            };
+            eng.active = Some(msg);
+            self.engines[k] = eng;
+            return;
+        }
+
+        if finished {
+            self.completed.push(MessageOutcome {
+                src: self.id,
+                dest: msg.dest,
+                requested_at: msg.requested_at,
+                first_injection_at: msg.first_injection_at.unwrap_or(msg.requested_at),
+                completed_at: msg.success_at.unwrap_or(now),
+                retries: msg.retries,
+                failures: msg.failures,
+                payload_delivered: Vec::new(),
+                reply_received: msg.record.reply_words.clone(),
+                failure_records: msg.failure_records,
+            });
+            eng.state = TxState::Idle;
+            eng.gap_until = now + 2;
+            self.engines[k] = eng;
+            return;
+        }
+
+        eng.active = Some(msg);
+        self.engines[k] = eng;
+    }
+
+    fn tick_rx(&mut self, now: u64, io: &EndpointIo, drive: &mut EndpointDrive) {
+        for (p, state) in self.rx.iter_mut().enumerate() {
+            let word = io.in_fwd_in[p];
+            match state {
+                RxState::Idle => match word {
+                    Word::Data(v) => {
+                        // Hold the reverse lane from the very first word:
+                        // the upstream router may reverse on the next
+                        // cycle (zero-payload messages), and an Empty
+                        // here would read as a teardown.
+                        drive.in_rev[p] = Word::DataIdle;
+                        let mut cksum = StreamChecksum::new();
+                        cksum.absorb_value(v);
+                        *state = RxState::Receiving {
+                            payload: vec![v],
+                            expected: None,
+                            cksum,
+                        };
+                    }
+                    Word::Checksum(c) => {
+                        drive.in_rev[p] = Word::DataIdle;
+                        *state = RxState::Receiving {
+                            payload: Vec::new(),
+                            expected: Some(c),
+                            cksum: StreamChecksum::new(),
+                        };
+                    }
+                    _ => {}
+                },
+                RxState::Receiving {
+                    payload,
+                    expected,
+                    cksum,
+                } => {
+                    // Hold the open connection: the upstream router is in
+                    // the forward direction and expects DATA-IDLE (not
+                    // Empty) on the reverse lane of a live circuit.
+                    drive.in_rev[p] = Word::DataIdle;
+                    match word {
+                    Word::Data(v) => {
+                        payload.push(v);
+                        cksum.absorb_value(v);
+                    }
+                    Word::Checksum(c) => *expected = Some(c),
+                    Word::DataIdle => {}
+                    Word::Turn => {
+                        let ok = *expected == Some(cksum.value());
+                        let mut queue = VecDeque::new();
+                        if ok {
+                            self.delivered.push(Delivered {
+                                payload: std::mem::take(payload),
+                                at: now,
+                            });
+                            match self.config.reply {
+                                ReplyPolicy::Ack => {
+                                    queue.push_back(Word::Data(ACK_OK));
+                                    queue.push_back(Word::Drop);
+                                }
+                                ReplyPolicy::ReadReply { latency, words } => {
+                                    for _ in 0..latency {
+                                        queue.push_back(Word::DataIdle);
+                                    }
+                                    queue.push_back(Word::Data(ACK_OK));
+                                    for k in 0..words {
+                                        queue.push_back(Word::Data((k as u16) & 0xFF));
+                                    }
+                                    queue.push_back(Word::Drop);
+                                }
+                                ReplyPolicy::Conversation => {
+                                    // Acknowledge and hand transmission
+                                    // back; the source closes the circuit.
+                                    queue.push_back(Word::Data(ACK_OK));
+                                    queue.push_back(Word::Turn);
+                                }
+                            }
+                        } else {
+                            queue.push_back(Word::Data(ACK_CORRUPT));
+                            queue.push_back(Word::Drop);
+                        }
+                        *state = RxState::Replying { queue };
+                    }
+                    Word::Drop | Word::Empty => {
+                        drive.in_rev[p] = Word::Empty;
+                        *state = RxState::Idle;
+                    }
+                    Word::Status(_) => {}
+                    }
+                }
+                RxState::Replying { queue } => {
+                    if word == Word::Empty {
+                        // Path torn down under us.
+                        *state = RxState::Idle;
+                        continue;
+                    }
+                    let out = queue.pop_front().unwrap_or(Word::Drop);
+                    drive.in_rev[p] = out;
+                    if out == Word::Drop {
+                        *state = RxState::Idle;
+                    } else if out == Word::Turn {
+                        // Receiver again: await the next segment of the
+                        // conversation on the still-open circuit.
+                        *state = RxState::Receiving {
+                            payload: Vec::new(),
+                            expected: None,
+                            cksum: StreamChecksum::new(),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_for(payload: &[u16]) -> Vec<Word> {
+        let mut s = vec![Word::Data(0x00)]; // header word
+        let mut ck = StreamChecksum::new();
+        for &v in payload {
+            s.push(Word::Data(v));
+            ck.absorb_value(v);
+        }
+        s.push(Word::Checksum(ck.value()));
+        s.push(Word::Turn);
+        s
+    }
+
+    #[test]
+    fn tx_streams_words_in_order_then_idles() {
+        let mut e = Endpoint::new(0, 2, 2, EndpointConfig::default(), 7);
+        let payload = vec![1, 2, 3];
+        e.enqueue(5, payload.clone(), stream_for(&payload), 0);
+        let io = EndpointIo::idle(2, 2);
+        let mut sent = Vec::new();
+        for now in 0..8 {
+            let d = e.tick(now, &io);
+            for p in 0..2 {
+                if d.out_fwd[p] != Word::Empty {
+                    sent.push(d.out_fwd[p]);
+                }
+            }
+        }
+        assert_eq!(&sent[..6], &stream_for(&payload)[..]);
+        assert!(sent[6..].iter().all(|w| *w == Word::DataIdle));
+    }
+
+    #[test]
+    fn rx_acks_intact_message_and_records_delivery() {
+        let mut e = Endpoint::new(1, 1, 1, EndpointConfig::default(), 3);
+        let payload = [7u16, 8, 9];
+        let ck = StreamChecksum::over_values(payload);
+        let feed = [
+            Word::Data(7),
+            Word::Data(8),
+            Word::Data(9),
+            Word::Checksum(ck),
+            Word::Turn,
+            Word::DataIdle,
+            Word::DataIdle,
+            Word::DataIdle,
+        ];
+        let mut replies = Vec::new();
+        for (now, w) in feed.iter().enumerate() {
+            let io = EndpointIo {
+                out_rev_in: vec![Word::Empty],
+                out_bcb_in: vec![false],
+                in_fwd_in: vec![*w],
+            };
+            let d = e.tick(now as u64, &io);
+            if !matches!(d.in_rev[0], Word::Empty | Word::DataIdle) {
+                replies.push(d.in_rev[0]);
+            }
+        }
+        assert_eq!(replies, vec![Word::Data(ACK_OK), Word::Drop]);
+        assert_eq!(e.delivered().len(), 1);
+        assert_eq!(e.delivered()[0].payload, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn rx_nacks_corrupt_message() {
+        let mut e = Endpoint::new(1, 1, 1, EndpointConfig::default(), 3);
+        let feed = [
+            Word::Data(7),
+            Word::Data(8),
+            Word::Checksum(0xBAD), // wrong
+            Word::Turn,
+            Word::DataIdle,
+            Word::DataIdle,
+        ];
+        let mut replies = Vec::new();
+        for (now, w) in feed.iter().enumerate() {
+            let io = EndpointIo {
+                out_rev_in: vec![Word::Empty],
+                out_bcb_in: vec![false],
+                in_fwd_in: vec![*w],
+            };
+            let d = e.tick(now as u64, &io);
+            if !matches!(d.in_rev[0], Word::Empty | Word::DataIdle) {
+                replies.push(d.in_rev[0]);
+            }
+        }
+        assert_eq!(replies, vec![Word::Data(ACK_CORRUPT), Word::Drop]);
+        assert!(e.delivered().is_empty());
+    }
+
+    #[test]
+    fn bcb_triggers_retry_on_another_random_port() {
+        let mut e = Endpoint::new(0, 2, 2, EndpointConfig::default(), 11);
+        e.enqueue(5, vec![1], stream_for(&[1]), 0);
+        // First cycle: header goes out.
+        let d = e.tick(0, &EndpointIo::idle(2, 2));
+        let port = d.out_fwd.iter().position(|w| *w != Word::Empty).unwrap();
+        // BCB comes back on that port.
+        let mut io = EndpointIo::idle(2, 2);
+        io.out_bcb_in[port] = true;
+        e.tick(1, &io);
+        assert!(e.is_busy(), "message must be retried, not dropped");
+        // Eventually it starts sending again from word 0.
+        let mut resent = false;
+        for now in 2..12 {
+            let d = e.tick(now, &EndpointIo::idle(2, 2));
+            if d.out_fwd.iter().any(|w| matches!(w, Word::Data(_))) {
+                resent = true;
+                break;
+            }
+        }
+        assert!(resent);
+    }
+
+    #[test]
+    fn successful_ack_completes_with_outcome() {
+        let mut e = Endpoint::new(0, 1, 1, EndpointConfig::default(), 5);
+        e.enqueue(2, vec![4], stream_for(&[4]), 0);
+        // Stream: 4 words (H, 4, CK, TURN) on cycles 0..3.
+        for now in 0..4 {
+            e.tick(now, &EndpointIo::idle(1, 1));
+        }
+        // Reply arrives: status, checksum, ack, drop.
+        let reply = [
+            Word::Status(metro_core::StatusWord::connected(0)),
+            Word::Checksum(0x1234),
+            Word::Data(ACK_OK),
+            Word::Drop,
+        ];
+        for (k, w) in reply.iter().enumerate() {
+            let io = EndpointIo {
+                out_rev_in: vec![*w],
+                out_bcb_in: vec![false],
+                in_fwd_in: vec![Word::Empty],
+            };
+            e.tick(4 + k as u64, &io);
+        }
+        let done = e.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].dest, 2);
+        assert_eq!(done[0].retries, 0);
+        assert_eq!(done[0].completed_at, 6);
+        assert!(!e.is_busy());
+    }
+
+    #[test]
+    fn blocked_status_triggers_retry_with_stage() {
+        let mut e = Endpoint::new(0, 1, 1, EndpointConfig::default(), 5);
+        e.enqueue(2, vec![4], stream_for(&[4]), 0);
+        for now in 0..4 {
+            e.tick(now, &EndpointIo::idle(1, 1));
+        }
+        let reply = [
+            Word::Status(metro_core::StatusWord::connected(1)),
+            Word::Checksum(0),
+            Word::Status(metro_core::StatusWord::blocked()),
+            Word::Checksum(0),
+            Word::Drop,
+        ];
+        for (k, w) in reply.iter().enumerate() {
+            let io = EndpointIo {
+                out_rev_in: vec![*w],
+                out_bcb_in: vec![false],
+                in_fwd_in: vec![Word::Empty],
+            };
+            e.tick(4 + k as u64, &io);
+        }
+        assert!(e.is_busy(), "blocked message must retry");
+        assert!(e.take_completed().is_empty());
+    }
+
+    #[test]
+    fn timeout_aborts_and_retries() {
+        let cfg = EndpointConfig {
+            timeout: 10,
+            ..EndpointConfig::default()
+        };
+        let mut e = Endpoint::new(0, 1, 1, cfg, 5);
+        e.enqueue(2, vec![4], stream_for(&[4]), 0);
+        let mut saw_drop = false;
+        for now in 0..25 {
+            let d = e.tick(now, &EndpointIo::idle(1, 1));
+            if d.out_fwd[0] == Word::Drop {
+                saw_drop = true;
+            }
+        }
+        assert!(saw_drop, "watchdog must force the connection down");
+        assert!(e.is_busy(), "and the message must be retried");
+    }
+
+    #[test]
+    fn max_retries_abandons() {
+        let cfg = EndpointConfig {
+            timeout: 5,
+            max_retries: 2,
+            retry_backoff_max: 0,
+            ..EndpointConfig::default()
+        };
+        let mut e = Endpoint::new(0, 1, 1, cfg, 5);
+        e.enqueue(2, vec![4], stream_for(&[4]), 0);
+        for now in 0..60 {
+            e.tick(now, &EndpointIo::idle(1, 1));
+        }
+        let lost = e.take_abandoned();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].retries, 2);
+        assert!(!e.is_busy());
+    }
+
+    #[test]
+    fn dead_endpoint_is_silent() {
+        let mut e = Endpoint::new(0, 1, 1, EndpointConfig::default(), 5);
+        e.enqueue(2, vec![4], stream_for(&[4]), 0);
+        e.set_dead(true);
+        let d = e.tick(0, &EndpointIo::idle(1, 1));
+        assert!(d.out_fwd.iter().all(|w| *w == Word::Empty));
+    }
+
+    #[test]
+    fn two_engines_transmit_concurrently_on_distinct_ports() {
+        let cfg = EndpointConfig {
+            max_concurrent: 2,
+            ..EndpointConfig::default()
+        };
+        let mut e = Endpoint::new(0, 2, 2, cfg, 9);
+        e.enqueue(3, vec![1], stream_for(&[1]), 0);
+        e.enqueue(5, vec![2], stream_for(&[2]), 0);
+        let d = e.tick(0, &EndpointIo::idle(2, 2));
+        let active: Vec<usize> = (0..2).filter(|&p| d.out_fwd[p] != Word::Empty).collect();
+        assert_eq!(active.len(), 2, "both ports must carry streams: {:?}", d.out_fwd);
+    }
+
+    #[test]
+    fn single_engine_uses_one_port_at_a_time() {
+        let mut e = Endpoint::new(0, 2, 2, EndpointConfig::default(), 9);
+        e.enqueue(3, vec![1], stream_for(&[1]), 0);
+        e.enqueue(5, vec![2], stream_for(&[2]), 0);
+        let d = e.tick(0, &EndpointIo::idle(2, 2));
+        let active = (0..2).filter(|&p| d.out_fwd[p] != Word::Empty).count();
+        assert_eq!(active, 1, "figure 3 restriction: one entering port at a time");
+        assert_eq!(e.queue_len(), 1);
+    }
+
+    #[test]
+    fn read_reply_sends_idle_then_ack_then_words() {
+        let cfg = EndpointConfig {
+            reply: ReplyPolicy::ReadReply {
+                latency: 2,
+                words: 3,
+            },
+            ..EndpointConfig::default()
+        };
+        let mut e = Endpoint::new(1, 1, 1, cfg, 3);
+        let ck = StreamChecksum::over_values([5u16]);
+        let feed = [
+            Word::Data(5),
+            Word::Checksum(ck),
+            Word::Turn,
+            Word::DataIdle,
+            Word::DataIdle,
+            Word::DataIdle,
+            Word::DataIdle,
+            Word::DataIdle,
+            Word::DataIdle,
+            Word::DataIdle,
+        ];
+        let mut replies = Vec::new();
+        for (now, w) in feed.iter().enumerate() {
+            let io = EndpointIo {
+                out_rev_in: vec![Word::Empty],
+                out_bcb_in: vec![false],
+                in_fwd_in: vec![*w],
+            };
+            let d = e.tick(now as u64, &io);
+            if !matches!(d.in_rev[0], Word::Empty | Word::DataIdle) {
+                replies.push(d.in_rev[0]);
+            }
+        }
+        assert_eq!(
+            replies,
+            vec![
+                Word::Data(ACK_OK),
+                Word::Data(0),
+                Word::Data(1),
+                Word::Data(2),
+                Word::Drop
+            ],
+            "memory-latency DATA-IDLE fill is filtered by the collector"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Experiment harnesses: load sweeps (Figure 3) and fault sweeps
+//! (§6.2's robust-degradation claim).
+
+use crate::endpoint::EndpointConfig;
+use crate::network::{NetworkSim, SimConfig};
+use crate::traffic::{LoadGenerator, TrafficPattern};
+use metro_core::RandomSource;
+use metro_topo::fault::FaultSet;
+use metro_topo::multibutterfly::MultibutterflySpec;
+use metro_topo::paths::all_links;
+
+/// Configuration of a measurement run.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Network topology.
+    pub spec: MultibutterflySpec,
+    /// Router/protocol implementation parameters.
+    pub sim: SimConfig,
+    /// Payload words per message (Figure 3: 20 bytes on an 8-bit
+    /// channel → 19 payload words + 1 checksum word).
+    pub payload_words: usize,
+    /// Destination pattern.
+    pub pattern: TrafficPattern,
+    /// Warmup cycles excluded from statistics.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Drain period after measurement so in-flight messages finish.
+    pub drain: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SweepConfig {
+    /// The paper's Figure 3 experiment: the 64-endpoint 3-stage
+    /// radix-4 network, 20-byte random traffic, parallelism-limited
+    /// endpoints.
+    #[must_use]
+    pub fn figure3() -> Self {
+        Self {
+            spec: MultibutterflySpec::figure3(),
+            sim: SimConfig::default(),
+            payload_words: 19,
+            pattern: TrafficPattern::Uniform,
+            warmup: 2_000,
+            measure: 12_000,
+            drain: 3_000,
+            seed: 0xF163,
+        }
+    }
+
+    /// A scaled-down variant for quick tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            spec: MultibutterflySpec::figure1(),
+            sim: SimConfig::default(),
+            payload_words: 19,
+            pattern: TrafficPattern::Uniform,
+            warmup: 500,
+            measure: 3_000,
+            drain: 1_000,
+            seed: 0x511,
+        }
+    }
+}
+
+/// One measured point of a latency-versus-load curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load (fraction of injection capacity).
+    pub offered: f64,
+    /// Accepted throughput (delivered payload words / cycle /
+    /// endpoint, normalized to capacity).
+    pub accepted: f64,
+    /// Mean total latency (request → acknowledgment), cycles.
+    pub mean_latency: f64,
+    /// Median total latency.
+    pub p50_latency: u64,
+    /// 95th-percentile total latency.
+    pub p95_latency: u64,
+    /// Mean network latency (injection → acknowledgment).
+    pub mean_network_latency: f64,
+    /// Mean retries per delivered message.
+    pub retries_per_message: f64,
+    /// Messages delivered in the measurement window.
+    pub delivered: usize,
+}
+
+/// One measured point of a fault-degradation curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweepPoint {
+    /// Routers killed.
+    pub dead_routers: usize,
+    /// Links killed.
+    pub dead_links: usize,
+    /// Mean total latency, cycles.
+    pub mean_latency: f64,
+    /// 95th-percentile total latency.
+    pub p95_latency: u64,
+    /// Mean retries per delivered message.
+    pub retries_per_message: f64,
+    /// Accepted throughput (payload words / cycle / endpoint).
+    pub accepted: f64,
+    /// Messages delivered.
+    pub delivered: usize,
+    /// Messages abandoned.
+    pub abandoned: usize,
+}
+
+/// Measures the unloaded round-trip latency of the configured network:
+/// a single message between distant endpoints with nothing else in
+/// flight (the Figure 3 caption's 28-cycle reference point).
+#[must_use]
+pub fn unloaded_latency(cfg: &SweepConfig) -> u64 {
+    let mut sim = NetworkSim::new(&cfg.spec, &cfg.sim).expect("valid spec");
+    let payload: Vec<u16> = (0..cfg.payload_words).map(|k| k as u16).collect();
+    let n = sim.topology().endpoints();
+    let outcome = sim
+        .send_and_wait(0, n - 1, &payload, 10_000)
+        .expect("unloaded message must deliver");
+    outcome.network_latency()
+}
+
+/// Runs one load point: Bernoulli arrivals at `load` on every endpoint,
+/// parallelism-limited sources (one outstanding message each).
+#[must_use]
+pub fn run_load_point(cfg: &SweepConfig, load: f64) -> LoadPoint {
+    let mut sim = NetworkSim::new(&cfg.spec, &cfg.sim).expect("valid spec");
+    let n = sim.topology().endpoints();
+    let stream_words = sim.stream_for(0, &vec![0; cfg.payload_words]).len();
+    let mut pattern_rng = RandomSource::new(cfg.seed ^ 0xABCD);
+    let mut generators: Vec<LoadGenerator> = (0..n)
+        .map(|e| LoadGenerator::new(load, stream_words, cfg.seed.wrapping_add(e as u64 * 7919)))
+        .collect();
+    let payload: Vec<u16> = (0..cfg.payload_words).map(|k| k as u16).collect();
+
+    let total = cfg.warmup + cfg.measure;
+    for cycle in 0..total {
+        if cycle == cfg.warmup {
+            sim.reset_stats();
+        }
+        for (e, gen) in generators.iter_mut().enumerate() {
+            if gen.arrival() {
+                let dest = cfg.pattern.destination(e, n, &mut pattern_rng);
+                sim.send(e, dest, &payload);
+            }
+        }
+        sim.tick();
+    }
+    // Drain: stop offering, let in-flight messages finish counting.
+    for _ in 0..cfg.drain {
+        if sim.is_quiescent() {
+            break;
+        }
+        sim.tick();
+    }
+
+    let stats = sim.stats_mut();
+    let delivered = stats.delivered;
+    LoadPoint {
+        offered: load,
+        // Fraction of injection capacity actually used: each message
+        // occupies `stream_words` cycles of its source's channel.
+        accepted: delivered as f64 * stream_words as f64 / cfg.measure as f64 / n as f64,
+        mean_latency: stats.total_latency.mean(),
+        p50_latency: stats.total_latency.percentile(50.0),
+        p95_latency: stats.total_latency.percentile(95.0),
+        mean_network_latency: stats.network_latency.mean(),
+        retries_per_message: stats.retries_per_message(),
+        delivered,
+    }
+}
+
+/// Runs a full latency-versus-load sweep (Figure 3).
+#[must_use]
+pub fn load_sweep(cfg: &SweepConfig, loads: &[f64]) -> Vec<LoadPoint> {
+    loads.iter().map(|&l| run_load_point(cfg, l)).collect()
+}
+
+/// Runs one fault point: kills `dead_routers` random non-final-stage
+/// routers and `dead_links` random links, then measures at `load`.
+#[must_use]
+pub fn run_fault_point(
+    cfg: &SweepConfig,
+    load: f64,
+    dead_routers: usize,
+    dead_links: usize,
+) -> FaultSweepPoint {
+    let mut sim = NetworkSim::new(&cfg.spec, &cfg.sim).expect("valid spec");
+    let n = sim.topology().endpoints();
+    let stream_words = sim.stream_for(0, &vec![0; cfg.payload_words]).len();
+    let mut fault_rng = RandomSource::new(cfg.seed ^ 0xFA017);
+    let mut faults = FaultSet::new();
+    // Restrict router kills to the dilated (multipath) stages: killing
+    // a final-stage dilation-1 router in Figure 3's topology removes a
+    // destination's only delivery group — the paper's networks place
+    // dilation-1 parts there precisely because whole-router loss is
+    // then survivable only via the *other* endpoint input; we model
+    // endpoint-isolating faults separately in the analysis crate.
+    let dilated: Vec<usize> = (0..sim.topology().stages() - 1)
+        .map(|s| sim.topology().routers_in_stage(s))
+        .collect();
+    faults.kill_random_routers(&dilated, dead_routers, &mut fault_rng);
+    // Likewise, restrict link kills to the multipath region: a
+    // delivery wire is one of only `endpoint_ports` inputs to its
+    // destination, so killing both is structural isolation (covered by
+    // metro-topo's analysis), not the graceful-degradation regime this
+    // sweep measures.
+    let last_stage = sim.topology().stages() - 1;
+    let links: Vec<_> = all_links(sim.topology())
+        .into_iter()
+        .filter(|l| l.stage < last_stage)
+        .collect();
+    faults.kill_random_links(&links, dead_links, &mut fault_rng);
+    sim.apply_faults(faults);
+
+    let mut pattern_rng = RandomSource::new(cfg.seed ^ 0xABCD);
+    let mut generators: Vec<LoadGenerator> = (0..n)
+        .map(|e| LoadGenerator::new(load, stream_words, cfg.seed.wrapping_add(e as u64 * 104729)))
+        .collect();
+    let payload: Vec<u16> = (0..cfg.payload_words).map(|k| k as u16).collect();
+    let total = cfg.warmup + cfg.measure;
+    for cycle in 0..total {
+        if cycle == cfg.warmup {
+            sim.reset_stats();
+        }
+        for (e, gen) in generators.iter_mut().enumerate() {
+            if gen.arrival() {
+                let dest = cfg.pattern.destination(e, n, &mut pattern_rng);
+                sim.send(e, dest, &payload);
+            }
+        }
+        sim.tick();
+    }
+    for _ in 0..cfg.drain {
+        if sim.is_quiescent() {
+            break;
+        }
+        sim.tick();
+    }
+    let endpoints = n;
+    let measure = cfg.measure;
+    let payload_words = cfg.payload_words;
+    let stats = sim.stats_mut();
+    FaultSweepPoint {
+        dead_routers,
+        dead_links,
+        mean_latency: stats.total_latency.mean(),
+        p95_latency: stats.total_latency.percentile(95.0),
+        retries_per_message: stats.retries_per_message(),
+        accepted: stats.delivered as f64 * payload_words as f64
+            / measure as f64
+            / endpoints as f64,
+        delivered: stats.delivered,
+        abandoned: stats.abandoned,
+    }
+}
+
+/// Runs a fault-degradation sweep at fixed load.
+#[must_use]
+pub fn fault_sweep(
+    cfg: &SweepConfig,
+    load: f64,
+    router_kills: &[usize],
+) -> Vec<FaultSweepPoint> {
+    router_kills
+        .iter()
+        .map(|&k| run_fault_point(cfg, load, k, 0))
+        .collect()
+}
+
+/// Convenience: the default endpoint configuration used by sweeps.
+#[must_use]
+pub fn default_endpoint_config() -> EndpointConfig {
+    EndpointConfig::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SweepConfig {
+        SweepConfig {
+            warmup: 200,
+            measure: 1_500,
+            drain: 800,
+            ..SweepConfig::small()
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let cfg = quick();
+        let low = run_load_point(&cfg, 0.05);
+        let high = run_load_point(&cfg, 0.7);
+        assert!(low.delivered > 0 && high.delivered > 0);
+        assert!(
+            high.mean_latency > low.mean_latency,
+            "latency must rise with load: {} vs {}",
+            low.mean_latency,
+            high.mean_latency
+        );
+    }
+
+    #[test]
+    fn low_load_latency_near_unloaded() {
+        let cfg = quick();
+        let base = unloaded_latency(&cfg) as f64;
+        let low = run_load_point(&cfg, 0.02);
+        assert!(
+            low.mean_latency < base * 2.0,
+            "low-load latency {} should be near unloaded {base}",
+            low.mean_latency
+        );
+    }
+
+    #[test]
+    fn fault_point_still_delivers() {
+        let cfg = quick();
+        let p = run_fault_point(&cfg, 0.2, 2, 2);
+        assert!(p.delivered > 0, "network with faults must keep delivering");
+        assert_eq!(p.abandoned, 0, "no message may be lost");
+    }
+
+    #[test]
+    fn faults_degrade_gracefully_without_loss() {
+        // Note: retries/delivered-message can even *drop* under faults —
+        // sources stalled behind dead entry ports thin the offered load
+        // and with it the contention blocking. The invariants are
+        // losslessness and bounded degradation.
+        let cfg = quick();
+        let clean = run_fault_point(&cfg, 0.3, 0, 0);
+        let faulty = run_fault_point(&cfg, 0.3, 3, 4);
+        assert_eq!(clean.abandoned, 0);
+        assert_eq!(faulty.abandoned, 0, "faults must not lose messages");
+        assert!(faulty.delivered > 0);
+        assert!(
+            faulty.mean_latency < clean.mean_latency * 10.0,
+            "degradation not graceful: {} vs {}",
+            clean.mean_latency,
+            faulty.mean_latency
+        );
+    }
+
+    #[test]
+    fn figure3_unloaded_is_about_28_cycles() {
+        let cfg = SweepConfig::figure3();
+        let lat = unloaded_latency(&cfg);
+        assert!(
+            (24..36).contains(&(lat as usize)),
+            "figure 3 unloaded latency {lat} should be near the paper's 28"
+        );
+    }
+}

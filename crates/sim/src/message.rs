@@ -1,0 +1,144 @@
+//! Messages and delivery records.
+
+use metro_core::StatusWord;
+
+/// The acknowledgment code a destination returns for an intact message.
+pub const ACK_OK: u16 = 0x5A;
+/// The acknowledgment code for a message whose end-to-end checksum
+/// failed (the source must retry).
+pub const ACK_CORRUPT: u16 = 0x66;
+
+/// Why a transmission attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// A router reported the connection blocked (detailed reclamation),
+    /// at the given 0-indexed stage.
+    Blocked {
+        /// The stage at which blocking occurred.
+        stage: usize,
+    },
+    /// Fast path reclamation: a BCB reached the source.
+    FastReclaimed,
+    /// The destination NACKed (end-to-end checksum mismatch).
+    Corrupt,
+    /// The reply stream ended without an acknowledgment.
+    NoAck,
+    /// The source watchdog expired with no reply at all.
+    Timeout,
+}
+
+/// The result of one complete message transaction (possibly after
+/// several attempts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageOutcome {
+    /// Source endpoint.
+    pub src: usize,
+    /// Destination endpoint.
+    pub dest: usize,
+    /// Cycle at which the message was requested (queued at the NIC).
+    pub requested_at: u64,
+    /// Cycle at which the first word of the first attempt entered the
+    /// network.
+    pub first_injection_at: u64,
+    /// Cycle at which the acknowledgment was received.
+    pub completed_at: u64,
+    /// Number of failed attempts before success.
+    pub retries: usize,
+    /// Failures encountered along the way, in order.
+    pub failures: Vec<FailureKind>,
+    /// The payload as the destination delivered it (for loopback-style
+    /// verification in tests; empty when not captured).
+    pub payload_delivered: Vec<u16>,
+    /// Reply payload received by the source (read-reply workloads).
+    pub reply_received: Vec<u16>,
+    /// Per-failed-attempt diagnostics, captured only when
+    /// `EndpointConfig::capture_failure_records` is set: the source
+    /// output port used and the delivery record (statuses + transit
+    /// checksums) the attempt collected — the raw material for
+    /// checksum-based fault localization (`metro-scan::diagnosis`).
+    pub failure_records: Vec<(usize, DeliveryRecord)>,
+}
+
+impl MessageOutcome {
+    /// Total latency: request to acknowledgment, in cycles — the metric
+    /// of the paper's Figure 3 ("from message injection to
+    /// acknowledgment receipt", including any stall awaiting the NIC).
+    #[must_use]
+    pub fn total_latency(&self) -> u64 {
+        self.completed_at - self.requested_at
+    }
+
+    /// Network latency: first word injected to acknowledgment, in
+    /// cycles (excludes NIC queueing).
+    #[must_use]
+    pub fn network_latency(&self) -> u64 {
+        self.completed_at - self.first_injection_at
+    }
+}
+
+/// A record of one *attempt*'s reply as collected by the source: the
+/// per-router status and transit checksum words, in path order
+/// (nearest router first).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Status words, nearest router first.
+    pub statuses: Vec<StatusWord>,
+    /// Transit checksums, paired with `statuses`.
+    pub checksums: Vec<u16>,
+    /// Acknowledgment code received, if any.
+    pub ack: Option<u16>,
+    /// Reply data words (for read replies).
+    pub reply_words: Vec<u16>,
+}
+
+impl DeliveryRecord {
+    /// Whether any router reported the connection blocked, and at which
+    /// position along the path.
+    #[must_use]
+    pub fn blocked_stage(&self) -> Option<usize> {
+        self.statuses.iter().position(StatusWord::is_blocked)
+    }
+
+    /// Clears the record for the next attempt.
+    pub fn reset(&mut self) {
+        self.statuses.clear();
+        self.checksums.clear();
+        self.ack = None;
+        self.reply_words.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metro_core::StatusWord;
+
+    #[test]
+    fn latencies_subtract_correctly() {
+        let o = MessageOutcome {
+            src: 0,
+            dest: 1,
+            requested_at: 10,
+            first_injection_at: 14,
+            completed_at: 50,
+            retries: 1,
+            failures: vec![FailureKind::FastReclaimed],
+            payload_delivered: vec![],
+            reply_received: vec![],
+            failure_records: vec![],
+        };
+        assert_eq!(o.total_latency(), 40);
+        assert_eq!(o.network_latency(), 36);
+    }
+
+    #[test]
+    fn blocked_stage_finds_first_blocked_status() {
+        let mut r = DeliveryRecord::default();
+        r.statuses.push(StatusWord::connected(1));
+        r.statuses.push(StatusWord::blocked());
+        assert_eq!(r.blocked_stage(), Some(1));
+        r.reset();
+        assert_eq!(r.blocked_stage(), None);
+        assert!(r.statuses.is_empty());
+    }
+}

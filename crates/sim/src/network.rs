@@ -1,0 +1,969 @@
+//! The assembled, tickable network.
+//!
+//! [`NetworkSim`] instantiates one [`metro_core::Router`] per topology
+//! position, one [`crate::wire::Wire`] per port-level link, and
+//! one [`crate::endpoint::Endpoint`] per network endpoint, and
+//! advances everything synchronously from a central clock — pipelined
+//! circuit switching exactly as the paper's §3 describes.
+//!
+//! Components are Moore machines with respect to the data lanes (their
+//! outputs depend on registered state), so the per-cycle order —
+//! endpoints, routers, then wires — is free of combinational races; the
+//! BCB, which *is* combinational in hardware, gains at most one cycle of
+//! latency, which only makes fast reclamation marginally slower than
+//! silicon (conservative).
+
+use crate::endpoint::{Endpoint, EndpointConfig, EndpointIo};
+use crate::message::MessageOutcome;
+use crate::stats::NetworkStats;
+use crate::wire::Wire;
+use metro_core::header::HeaderPlan;
+use metro_core::{
+    ArchParams, BwdIn, FwdIn, RandomSource, Router, RouterConfig, SelectionPolicy,
+    StreamChecksum, TickOutput, Word,
+};
+use metro_topo::fault::FaultSet;
+use metro_topo::graph::{LinkId, LinkTarget};
+use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec};
+
+/// Simulator configuration: the implementation parameters shared by
+/// every router in the network plus protocol knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Channel width `w` in bits.
+    pub width: usize,
+    /// Header words consumed per router, `hw` (0 = RN1-style bit
+    /// consumption with swallow).
+    pub header_words: usize,
+    /// Data pipestages inside each router, `dp`.
+    pub pipestages: usize,
+    /// Pipeline delay of every inter-component wire (the uniform
+    /// variable-turn-delay setting; 0 = single pipeline stage per
+    /// routing stage, the RN1/Figure 3 operating point).
+    pub wire_delay: usize,
+    /// Per-boundary wire delays overriding `wire_delay`: entry 0 is the
+    /// injection boundary (endpoints → stage 0), entry `s + 1` the
+    /// boundary out of stage `s` (the last entry is the delivery
+    /// boundary). "It is generally not possible or desirable to make
+    /// all the connections between routers equally long … closer
+    /// routers should be able to take advantage" (paper §5.1, Variable
+    /// Turn Delay). Must have `stages + 1` entries when present.
+    pub stage_wire_delays: Option<Vec<usize>>,
+    /// Whether forward ports use fast path reclamation (BCB) on
+    /// blocking; `false` holds blocked connections for a detailed
+    /// turn-time reply (paper §5.1).
+    pub fast_reclaim: bool,
+    /// Backward-port selection policy (the architecture mandates
+    /// random; others are for ablation).
+    pub selection: SelectionPolicy,
+    /// Endpoint NIC configuration.
+    pub endpoint: EndpointConfig,
+    /// Master seed: router randomness, endpoint port choice, backoff.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    /// The Figure 3 operating point: 8-bit channels, `hw = 0`,
+    /// `dp = 1`, single pipeline stage per routing stage, fast
+    /// reclamation on.
+    fn default() -> Self {
+        Self {
+            width: 8,
+            header_words: 0,
+            pipestages: 1,
+            wire_delay: 0,
+            stage_wire_delays: None,
+            fast_reclaim: true,
+            selection: SelectionPolicy::Random,
+            endpoint: EndpointConfig::default(),
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A complete METRO network under simulation.
+#[derive(Debug, Clone)]
+pub struct NetworkSim {
+    topo: Multibutterfly,
+    config: SimConfig,
+    plan: HeaderPlan,
+    routers: Vec<Vec<Router>>,
+    endpoints: Vec<Endpoint>,
+    inj_wires: Vec<Vec<Wire>>,
+    stage_wires: Vec<Vec<Vec<Wire>>>,
+    fwd_in: Vec<Vec<Vec<Word>>>,
+    rev_in: Vec<Vec<Vec<Word>>>,
+    bcb_in: Vec<Vec<Vec<bool>>>,
+    ep_out_rev: Vec<Vec<Word>>,
+    ep_out_bcb: Vec<Vec<bool>>,
+    ep_in_fwd: Vec<Vec<Word>>,
+    faults: FaultSet,
+    now: u64,
+    outcomes: Vec<MessageOutcome>,
+    stats: NetworkStats,
+    stats_from: u64,
+    trace: Option<crate::trace::TraceLog>,
+}
+
+impl NetworkSim {
+    /// Builds a simulation of the network `spec` with implementation
+    /// parameters `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology validation errors; router parameter errors
+    /// surface as [`metro_core::ParamError`] converted to a topology
+    /// boundary error message via panic-free construction.
+    pub fn new(
+        spec: &MultibutterflySpec,
+        config: &SimConfig,
+    ) -> Result<Self, Box<dyn std::error::Error>> {
+        let topo = Multibutterfly::build(spec)?;
+        if let Some(d) = &config.stage_wire_delays {
+            assert_eq!(
+                d.len(),
+                topo.stages() + 1,
+                "stage_wire_delays must cover every boundary (stages + 1)"
+            );
+        }
+        let boundary_delay = |b: usize| -> usize {
+            config
+                .stage_wire_delays
+                .as_ref()
+                .map_or(config.wire_delay, |d| d[b])
+        };
+        let plan = topo.header_plan(config.width, config.header_words);
+        let master = RandomSource::new(config.seed);
+
+        let mut routers = Vec::with_capacity(topo.stages());
+        for s in 0..topo.stages() {
+            let st = topo.stage_spec(s);
+            let params = ArchParams::new(
+                st.forward_ports,
+                st.backward_ports,
+                config.width,
+                st.dilation,
+                config.header_words,
+                config.pipestages,
+            )?
+            .with_max_turn_delay(boundary_delay(s).max(boundary_delay(s + 1)).max(7))?;
+            // Program every port's variable turn delay with the wire's
+            // pipeline depth (paper §5.1) — the routers use it to size
+            // the post-reversal settle window.
+            let mut builder = RouterConfig::new(&params)
+                .with_dilation(st.dilation)
+                .with_swallow_all(config.header_words == 0 && plan.swallow()[s])
+                .with_fast_reclaim_all(config.fast_reclaim);
+            for f in 0..st.forward_ports {
+                builder = builder.with_forward_turn_delay(f, boundary_delay(s));
+            }
+            for b in 0..st.backward_ports {
+                builder = builder.with_backward_turn_delay(b, boundary_delay(s + 1));
+            }
+            let router_config = builder.build()?;
+            let mut stage = Vec::with_capacity(topo.routers_in_stage(s));
+            for r in 0..topo.routers_in_stage(s) {
+                let mut seed_src = master.derive((s as u64) << 32 | r as u64);
+                let seed = seed_src.bits(64);
+                stage.push(Router::with_policy(
+                    params,
+                    router_config.clone(),
+                    seed,
+                    config.selection,
+                )?);
+            }
+            routers.push(stage);
+        }
+
+        let ep = topo.endpoint_ports();
+        let endpoints = (0..topo.endpoints())
+            .map(|e| {
+                let mut seed_src = master.derive(0xEE00_0000 + e as u64);
+                Endpoint::new(e, ep, ep, config.endpoint, seed_src.bits(64))
+            })
+            .collect();
+
+        let inj_wires = (0..topo.endpoints())
+            .map(|_| (0..ep).map(|_| Wire::new(boundary_delay(0))).collect())
+            .collect();
+        let stage_wires = (0..topo.stages())
+            .map(|s| {
+                (0..topo.routers_in_stage(s))
+                    .map(|_| {
+                        (0..topo.stage_spec(s).backward_ports)
+                            .map(|_| Wire::new(boundary_delay(s + 1)))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let fwd_in = (0..topo.stages())
+            .map(|s| {
+                vec![vec![Word::Empty; topo.stage_spec(s).forward_ports]; topo.routers_in_stage(s)]
+            })
+            .collect();
+        let rev_in = (0..topo.stages())
+            .map(|s| {
+                vec![vec![Word::Empty; topo.stage_spec(s).backward_ports]; topo.routers_in_stage(s)]
+            })
+            .collect();
+        let bcb_in = (0..topo.stages())
+            .map(|s| {
+                vec![vec![false; topo.stage_spec(s).backward_ports]; topo.routers_in_stage(s)]
+            })
+            .collect();
+
+        Ok(Self {
+            ep_out_rev: vec![vec![Word::Empty; ep]; topo.endpoints()],
+            ep_out_bcb: vec![vec![false; ep]; topo.endpoints()],
+            ep_in_fwd: vec![vec![Word::Empty; ep]; topo.endpoints()],
+            topo,
+            config: config.clone(),
+            plan,
+            routers,
+            endpoints,
+            inj_wires,
+            stage_wires,
+            fwd_in,
+            rev_in,
+            bcb_in,
+            faults: FaultSet::new(),
+            now: 0,
+            outcomes: Vec::new(),
+            stats: NetworkStats::new(),
+            stats_from: 0,
+            trace: None,
+        })
+    }
+
+    /// Enables cycle-level event tracing, retaining at most `capacity`
+    /// records (0 = unbounded). See [`crate::trace::TraceLog`].
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(crate::trace::TraceLog::new(capacity));
+    }
+
+    /// The trace log, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&crate::trace::TraceLog> {
+        self.trace.as_ref()
+    }
+
+    /// Mutable trace access (for clearing between phases).
+    pub fn trace_mut(&mut self) -> Option<&mut crate::trace::TraceLog> {
+        self.trace.as_mut()
+    }
+
+    /// The topology under simulation.
+    #[must_use]
+    pub fn topology(&self) -> &Multibutterfly {
+        &self.topo
+    }
+
+    /// The simulator configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The current clock cycle.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The header plan messages in this network use.
+    #[must_use]
+    pub fn header_plan(&self) -> &HeaderPlan {
+        &self.plan
+    }
+
+    /// Builds the complete word stream for a message: header + payload
+    /// (masked to `w` bits) + end-to-end checksum + TURN.
+    #[must_use]
+    pub fn stream_for(&self, dest: usize, payload: &[u16]) -> Vec<Word> {
+        let mask = if self.config.width >= 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.config.width) - 1
+        };
+        let digits = self.topo.route_digits(dest);
+        let mut stream: Vec<Word> = self
+            .plan
+            .pack(&digits)
+            .into_iter()
+            .map(Word::Data)
+            .collect();
+        let mut ck = StreamChecksum::new();
+        for &v in payload {
+            let v = v & mask;
+            ck.absorb_value(v);
+            stream.push(Word::Data(v));
+        }
+        stream.push(Word::Checksum(ck.value()));
+        stream.push(Word::Turn);
+        stream
+    }
+
+    /// Builds a continuation segment (no header — the circuit is
+    /// already established): payload + checksum + TURN.
+    #[must_use]
+    pub fn segment_for(&self, payload: &[u16]) -> Vec<Word> {
+        let mask = if self.config.width >= 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.config.width) - 1
+        };
+        let mut ck = StreamChecksum::new();
+        let mut stream = Vec::with_capacity(payload.len() + 2);
+        for &v in payload {
+            let v = v & mask;
+            ck.absorb_value(v);
+            stream.push(Word::Data(v));
+        }
+        stream.push(Word::Checksum(ck.value()));
+        stream.push(Word::Turn);
+        stream
+    }
+
+    /// Queues a multi-round conversation from `src` to `dest`: each
+    /// entry of `payloads` travels as one segment over a *single*
+    /// circuit, with the connection reversing between segments (the
+    /// paper's "any number of data transmission reversals", §5.1).
+    /// The destination endpoints must be configured with
+    /// [`crate::endpoint::ReplyPolicy::Conversation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payloads` is empty or an endpoint is out of range.
+    pub fn send_conversation(&mut self, src: usize, dest: usize, payloads: &[&[u16]]) {
+        assert!(!payloads.is_empty(), "a conversation needs segments");
+        assert!(src < self.topo.endpoints() && dest < self.topo.endpoints());
+        let mut segments = Vec::with_capacity(payloads.len());
+        segments.push(self.stream_for(dest, payloads[0]));
+        for p in &payloads[1..] {
+            segments.push(self.segment_for(p));
+        }
+        self.endpoints[src].enqueue_conversation(dest, segments, self.now);
+    }
+
+    /// Queues a message from `src` to `dest` with the given payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dest` is out of range.
+    pub fn send(&mut self, src: usize, dest: usize, payload: &[u16]) {
+        assert!(src < self.topo.endpoints() && dest < self.topo.endpoints());
+        let stream = self.stream_for(dest, payload);
+        self.endpoints[src].enqueue(dest, payload.to_vec(), stream, self.now);
+    }
+
+    /// Sends one message and runs the clock until it completes (or
+    /// `max_cycles` elapse). Returns the outcome with
+    /// `payload_delivered` filled in from the destination's log.
+    pub fn send_and_wait(
+        &mut self,
+        src: usize,
+        dest: usize,
+        payload: &[u16],
+        max_cycles: u64,
+    ) -> Option<MessageOutcome> {
+        self.send(src, dest, payload);
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            self.tick();
+            if let Some(pos) = self
+                .outcomes
+                .iter()
+                .position(|o| o.src == src && o.dest == dest)
+            {
+                let mut outcome = self.outcomes.remove(pos);
+                if let Some(d) = self.endpoints[dest].take_delivered().into_iter().next_back() {
+                    outcome.payload_delivered = d.payload;
+                }
+                return Some(outcome);
+            }
+        }
+        None
+    }
+
+    /// Advances the whole network one clock cycle.
+    pub fn tick(&mut self) {
+        let stages = self.topo.stages();
+        let ep = self.topo.endpoint_ports();
+
+        // 1. Endpoints compute their outputs from last cycle's inputs.
+        let mut ep_drive = Vec::with_capacity(self.endpoints.len());
+        for e in 0..self.endpoints.len() {
+            let io = EndpointIo {
+                out_rev_in: self.ep_out_rev[e].clone(),
+                out_bcb_in: self.ep_out_bcb[e].clone(),
+                in_fwd_in: self.ep_in_fwd[e].clone(),
+            };
+            ep_drive.push(self.endpoints[e].tick(self.now, &io));
+        }
+
+        // 2. Routers compute their outputs.
+        let mut router_out: Vec<Vec<TickOutput>> = Vec::with_capacity(stages);
+        for s in 0..stages {
+            let st = self.topo.stage_spec(s);
+            let mut stage_out = Vec::with_capacity(self.routers[s].len());
+            for r in 0..self.routers[s].len() {
+                if self.faults.router_dead(s, r) {
+                    stage_out.push(TickOutput {
+                        bwd: vec![Word::Empty; st.backward_ports],
+                        fwd: vec![Word::Empty; st.forward_ports],
+                        bcb: vec![false; st.forward_ports],
+                    });
+                    continue;
+                }
+                let fwd = FwdIn::data(&self.fwd_in[s][r]);
+                let bwd = BwdIn::new(&self.rev_in[s][r], &self.bcb_in[s][r]);
+                stage_out.push(self.routers[s][r].tick(&fwd, &bwd));
+            }
+            router_out.push(stage_out);
+        }
+
+        // 3. Wires advance; next-cycle input buffers are rebuilt.
+        for (e, drive) in ep_drive.iter().enumerate() {
+            for p in 0..ep {
+                let (r0, f0) = self.topo.injection(e, p);
+                let (fwd_o, rev_o, bcb_o) = self.inj_wires[e][p].advance(
+                    drive.out_fwd[p],
+                    router_out[0][r0].fwd[f0],
+                    router_out[0][r0].bcb[f0],
+                );
+                self.fwd_in[0][r0][f0] = fwd_o;
+                self.ep_out_rev[e][p] = rev_o;
+                self.ep_out_bcb[e][p] = bcb_o;
+            }
+        }
+        for s in 0..stages {
+            let st = self.topo.stage_spec(s);
+            for r in 0..self.routers[s].len() {
+                for b in 0..st.backward_ports {
+                    let fault = self.faults.link_fault(LinkId::new(s, r, b));
+                    self.stage_wires[s][r][b].set_fault(fault);
+                    match self.topo.link(s, r, b) {
+                        LinkTarget::Router { router, port } => {
+                            let (fwd_o, rev_o, bcb_o) = self.stage_wires[s][r][b].advance(
+                                router_out[s][r].bwd[b],
+                                router_out[s + 1][router].fwd[port],
+                                router_out[s + 1][router].bcb[port],
+                            );
+                            self.fwd_in[s + 1][router][port] = fwd_o;
+                            self.rev_in[s][r][b] = rev_o;
+                            self.bcb_in[s][r][b] = bcb_o;
+                        }
+                        LinkTarget::Endpoint { endpoint, port } => {
+                            let (fwd_o, rev_o, _) = self.stage_wires[s][r][b].advance(
+                                router_out[s][r].bwd[b],
+                                ep_drive[endpoint].in_rev[port],
+                                false,
+                            );
+                            self.ep_in_fwd[endpoint][port] = fwd_o;
+                            self.rev_in[s][r][b] = rev_o;
+                            self.bcb_in[s][r][b] = false;
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Trace, then harvest completed transactions.
+        if let Some(trace) = &mut self.trace {
+            let snapshot: Vec<Vec<metro_core::router::RouterStats>> = self
+                .routers
+                .iter()
+                .map(|stage| stage.iter().map(|r| r.stats()).collect())
+                .collect();
+            trace.snapshot_routers(self.now, &snapshot);
+        }
+        self.now += 1;
+        for e in 0..self.endpoints.len() {
+            for o in self.endpoints[e].take_completed() {
+                if let Some(trace) = &mut self.trace {
+                    trace.record_completion(self.now, o.src, o.dest, o.retries);
+                }
+                if o.requested_at >= self.stats_from {
+                    let payload = o.payload_delivered.len().max(
+                        self.payload_words_hint(&o),
+                    );
+                    self.stats.record(&o, payload);
+                }
+                self.outcomes.push(o);
+            }
+            for o in self.endpoints[e].take_abandoned() {
+                self.stats.record_abandoned(&o);
+                self.outcomes.push(o);
+            }
+        }
+    }
+
+    fn payload_words_hint(&self, _o: &MessageOutcome) -> usize {
+        // Message payload length is uniform within an experiment run;
+        // the experiment layer passes exact sizes. Network-level stats
+        // count messages; word accounting happens in `experiment`.
+        0
+    }
+
+    /// Runs the clock for `cycles` cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Drains all completed (and abandoned) outcomes harvested so far.
+    pub fn drain_outcomes(&mut self) -> Vec<MessageOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Whether every endpoint is idle (no queued or in-flight
+    /// messages).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.endpoints.iter().all(|e| !e.is_busy())
+    }
+
+    /// Whether the fabric itself holds **zero** state: every router
+    /// port idle with no backward port allocated, every wire quiet.
+    /// This is the paper's §2 "stateless network" property — "no
+    /// messages ever exist solely in the network", so a gang-scheduled
+    /// machine can context-switch without snapshotting network state.
+    #[must_use]
+    pub fn fabric_idle(&self) -> bool {
+        let routers_idle = self.routers.iter().enumerate().all(|(s, stage)| {
+            stage.iter().enumerate().all(|(r, router)| {
+                let ports_idle = (0..self.topo.stage_spec(s).forward_ports)
+                    .all(|f| router.port_status(f) == metro_core::PortStatus::Idle);
+                let _ = r;
+                ports_idle && router.in_use_vector().iter().all(|&u| !u)
+            })
+        });
+        let wires_quiet = self
+            .inj_wires
+            .iter()
+            .flatten()
+            .chain(self.stage_wires.iter().flatten().flatten())
+            .all(crate::wire::Wire::is_quiet);
+        routers_idle && wires_quiet
+    }
+
+    /// Direct access to an endpoint (for workload injection and
+    /// delivery inspection).
+    pub fn endpoint_mut(&mut self, e: usize) -> &mut Endpoint {
+        &mut self.endpoints[e]
+    }
+
+    /// Direct access to a router (for scan operations and fault
+    /// experiments).
+    pub fn router_mut(&mut self, stage: usize, index: usize) -> &mut Router {
+        &mut self.routers[stage][index]
+    }
+
+    /// Shared access to a router.
+    #[must_use]
+    pub fn router(&self, stage: usize, index: usize) -> &Router {
+        &self.routers[stage][index]
+    }
+
+    /// Applies a fault set: dead routers stop switching, faulty links
+    /// die or corrupt, dead endpoints fall silent. Takes effect from
+    /// the next tick (dynamic fault injection).
+    pub fn apply_faults(&mut self, faults: FaultSet) {
+        for e in 0..self.endpoints.len() {
+            self.endpoints[e].set_dead(faults.endpoint_dead(e));
+        }
+        self.faults = faults;
+    }
+
+    /// The active fault set.
+    #[must_use]
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Statistics accumulated since the last [`NetworkSim::reset_stats`].
+    #[must_use]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Mutable statistics access (percentile queries sort lazily).
+    pub fn stats_mut(&mut self) -> &mut NetworkStats {
+        &mut self.stats
+    }
+
+    /// Clears statistics; only messages *requested* from now on are
+    /// counted (warmup exclusion).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetworkStats::new();
+        self.stats_from = self.now;
+    }
+
+    /// Sums a per-router statistic over every router in the network.
+    #[must_use]
+    pub fn router_stat_total(&self, f: impl Fn(&metro_core::router::RouterStats) -> usize) -> usize {
+        self.routers
+            .iter()
+            .flatten()
+            .map(|r| f(&r.stats()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ACK_OK;
+
+    fn fig1_sim() -> NetworkSim {
+        NetworkSim::new(&MultibutterflySpec::figure1(), &SimConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn single_message_delivers_intact() {
+        let mut sim = fig1_sim();
+        let payload: Vec<u16> = (0..19).map(|k| (k * 7 + 1) as u16 & 0xFF).collect();
+        let outcome = sim.send_and_wait(3, 12, &payload, 400).expect("delivery");
+        assert_eq!(outcome.payload_delivered, payload);
+        assert_eq!(outcome.retries, 0);
+        assert!(outcome.failures.is_empty());
+    }
+
+    #[test]
+    fn every_endpoint_pair_communicates() {
+        let mut sim = fig1_sim();
+        for src in 0..16 {
+            let dest = (src + 7) % 16;
+            let payload = [src as u16, dest as u16];
+            let o = sim
+                .send_and_wait(src, dest, &payload, 400)
+                .unwrap_or_else(|| panic!("{src} -> {dest} failed"));
+            assert_eq!(o.payload_delivered, payload);
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_is_stable_and_small() {
+        let mut sim = fig1_sim();
+        let payload = [1u16; 19];
+        let a = sim.send_and_wait(0, 9, &payload, 400).unwrap();
+        let b = sim.send_and_wait(0, 9, &payload, 400).unwrap();
+        assert_eq!(a.network_latency(), b.network_latency());
+        // Figure 3's deeper network measures 28 cycles; this 3-stage,
+        // 16-endpoint network with 19-word payloads should be in the
+        // same regime (stream ~22 words + ~6 cycles turnaround).
+        assert!(
+            (25..40).contains(&(a.network_latency() as usize)),
+            "unloaded latency {} out of expected range",
+            a.network_latency()
+        );
+    }
+
+    #[test]
+    fn ack_code_round_trips() {
+        let mut sim = fig1_sim();
+        sim.send(2, 11, &[9, 9, 9]);
+        sim.run(300);
+        let outs = sim.drain_outcomes();
+        assert_eq!(outs.len(), 1);
+        // The record captured ACK_OK (success path).
+        assert!(outs[0].failures.is_empty());
+        let _ = ACK_OK;
+    }
+
+    #[test]
+    fn concurrent_messages_all_deliver() {
+        let mut sim = fig1_sim();
+        for src in 0..16 {
+            sim.send(src, (src + 5) % 16, &[src as u16; 8]);
+        }
+        let mut cycles = 0;
+        while !sim.is_quiescent() && cycles < 5000 {
+            sim.tick();
+            cycles += 1;
+        }
+        let outs = sim.drain_outcomes();
+        assert_eq!(outs.len(), 16, "all 16 messages must complete");
+        for o in &outs {
+            assert!(o.total_latency() < 2000);
+        }
+    }
+
+    #[test]
+    fn contention_causes_retries_but_no_loss() {
+        let mut sim = fig1_sim();
+        // Everyone hammers endpoint 0: heavy contention at the last
+        // stages; stochastic retry must eventually deliver all.
+        for src in 1..16 {
+            sim.send(src, 0, &[src as u16; 4]);
+        }
+        let mut cycles = 0;
+        while !sim.is_quiescent() && cycles < 20_000 {
+            sim.tick();
+            cycles += 1;
+        }
+        let outs = sim.drain_outcomes();
+        assert_eq!(outs.len(), 15);
+        let total_retries: usize = outs.iter().map(|o| o.retries).sum();
+        assert!(total_retries > 0, "hotspot must cause blocking/retry");
+    }
+
+    #[test]
+    fn dead_router_is_routed_around() {
+        let mut sim = fig1_sim();
+        let mut faults = FaultSet::new();
+        faults.kill_router(1, 2);
+        sim.apply_faults(faults);
+        for src in 0..16 {
+            let o = sim.send_and_wait(src, (src + 3) % 16, &[7, 7], 3000);
+            assert!(o.is_some(), "src {src} failed around dead router");
+        }
+    }
+
+    #[test]
+    fn corrupting_link_is_detected_and_avoided() {
+        let mut sim = fig1_sim();
+        // Corrupt one of endpoint 4's route's stage-0 links.
+        let digits = sim.topology().route_digits(9);
+        let (r0, _) = sim.topology().injection(4, 0);
+        let st0 = sim.topology().stage_spec(0);
+        let mut faults = FaultSet::new();
+        faults.break_link(
+            LinkId::new(0, r0, digits[0] * st0.dilation),
+            metro_topo::fault::FaultKind::CorruptData { xor: 0x04 },
+        );
+        sim.apply_faults(faults);
+        let o = sim.send_and_wait(4, 9, &[1, 2, 3, 4], 4000).expect("delivered");
+        assert_eq!(o.payload_delivered, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn detailed_reclamation_reports_blocked_stage() {
+        let config = SimConfig {
+            fast_reclaim: false,
+            ..SimConfig::default()
+        };
+        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
+        for src in 1..16 {
+            sim.send(src, 0, &[1, 2]);
+        }
+        let mut cycles = 0;
+        while !sim.is_quiescent() && cycles < 30_000 {
+            sim.tick();
+            cycles += 1;
+        }
+        let outs = sim.drain_outcomes();
+        assert_eq!(outs.len(), 15);
+        let blocked = outs
+            .iter()
+            .flat_map(|o| &o.failures)
+            .filter(|f| matches!(f, crate::message::FailureKind::Blocked { .. }))
+            .count();
+        assert!(blocked > 0, "detailed mode must report Blocked failures");
+    }
+
+    #[test]
+    fn figure3_network_simulates() {
+        let mut sim =
+            NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default()).unwrap();
+        let payload: Vec<u16> = (0..19).map(|k| k as u16).collect();
+        let o = sim.send_and_wait(0, 63, &payload, 500).expect("delivery");
+        assert_eq!(o.payload_delivered, payload);
+        // Paper: "The unloaded message latency is 28 clock cycles from
+        // message injection to acknowledgment receipt."
+        assert!(
+            (24..36).contains(&(o.network_latency() as usize)),
+            "figure 3 unloaded latency {} should be near 28",
+            o.network_latency()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_wire_delays_deliver_with_expected_latency() {
+        // Short wires near the endpoints, a long middle boundary — the
+        // §5.1 variable-turn-delay scenario.
+        let config = SimConfig {
+            stage_wire_delays: Some(vec![0, 3, 1, 0]),
+            ..SimConfig::default()
+        };
+        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
+        let o = sim.send_and_wait(0, 9, &[4; 10], 2_000).expect("delivery");
+        assert_eq!(o.payload_delivered, vec![4; 10]);
+        // Baseline with all-zero wires for comparison.
+        let mut base =
+            NetworkSim::new(&MultibutterflySpec::figure1(), &SimConfig::default()).unwrap();
+        let b = base.send_and_wait(0, 9, &[4; 10], 2_000).unwrap();
+        // Extra round-trip cost ≈ 2 × (3 + 1) = 8 cycles.
+        let delta = o.network_latency() as i64 - b.network_latency() as i64;
+        assert!(
+            (6..=12).contains(&delta),
+            "expected ~8 extra cycles, got {delta}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "stages + 1")]
+    fn wrong_boundary_count_is_rejected() {
+        let config = SimConfig {
+            stage_wire_delays: Some(vec![0, 1]),
+            ..SimConfig::default()
+        };
+        let _ = NetworkSim::new(&MultibutterflySpec::figure1(), &config);
+    }
+
+    #[test]
+    fn extra_stage_randomizer_network_delivers() {
+        let mut sim = NetworkSim::new(
+            &MultibutterflySpec::figure3_extra_stage(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        // The radix-1 front stage consumes no digits; the header plan
+        // still packs 6 bits into one byte.
+        assert_eq!(sim.header_plan().header_words(), 1);
+        for dest in [0, 21, 63] {
+            let payload = [dest as u16, 0xAA];
+            let o = sim.send_and_wait(5, dest, &payload, 2_000);
+            match o {
+                Some(o) => assert_eq!(o.payload_delivered, payload, "dest {dest}"),
+                None => panic!("dest {dest} failed"),
+            }
+        }
+        // The extra stage adds one hop to the unloaded path.
+        let base = {
+            let mut b =
+                NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default()).unwrap();
+            b.send_and_wait(5, 60, &[1; 19], 2_000).unwrap().network_latency()
+        };
+        let extra = sim.send_and_wait(5, 60, &[1; 19], 2_000).unwrap().network_latency();
+        assert!((1..=4).contains(&(extra as i64 - base as i64)), "one extra hop, got {base} -> {extra}");
+    }
+
+    #[test]
+    fn conversation_reverses_the_circuit_multiple_times() {
+        use crate::endpoint::{EndpointConfig, ReplyPolicy};
+        let config = SimConfig {
+            endpoint: EndpointConfig {
+                reply: ReplyPolicy::Conversation,
+                ..EndpointConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
+        let segments: [&[u16]; 3] = [&[1, 2, 3], &[4, 5], &[6, 7, 8, 9]];
+        sim.send_conversation(2, 13, &segments);
+        let mut cycles = 0;
+        while !sim.is_quiescent() && cycles < 3_000 {
+            sim.tick();
+            cycles += 1;
+        }
+        let outs = sim.drain_outcomes();
+        assert_eq!(outs.len(), 1, "conversation must complete");
+        assert_eq!(outs[0].retries, 0);
+        // Every segment arrived intact, in order, at the destination.
+        let delivered = sim.endpoint_mut(13).take_delivered();
+        assert_eq!(delivered.len(), 3);
+        for (d, seg) in delivered.iter().zip(segments.iter()) {
+            assert_eq!(&d.payload[..], *seg);
+        }
+        // One grant per stage for the whole conversation (a single
+        // circuit), but three forward reversals per stage (one per
+        // segment's TURN).
+        let grants = sim.router_stat_total(|s| s.grants);
+        let turns = sim.router_stat_total(|s| s.turns);
+        assert_eq!(grants, 3, "one circuit");
+        assert_eq!(turns, 9, "three reversals per router");
+    }
+
+    #[test]
+    fn conversation_under_congestion_retries_whole_exchange() {
+        use crate::endpoint::{EndpointConfig, ReplyPolicy};
+        let config = SimConfig {
+            endpoint: EndpointConfig {
+                reply: ReplyPolicy::Conversation,
+                ..EndpointConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
+        for src in 0..8 {
+            let a: &[u16] = &[src as u16];
+            let b: &[u16] = &[src as u16 + 100];
+            sim.send_conversation(src, 15, &[a, b]);
+        }
+        let mut cycles = 0;
+        while !sim.is_quiescent() && cycles < 60_000 {
+            sim.tick();
+            cycles += 1;
+        }
+        let outs = sim.drain_outcomes();
+        assert_eq!(outs.len(), 8, "all conversations must complete");
+        // 8 sources × 2 segments each delivered.
+        assert_eq!(sim.endpoint_mut(15).take_delivered().len(), 16);
+    }
+
+    #[test]
+    fn trace_records_the_connection_lifecycle() {
+        let mut sim = fig1_sim();
+        sim.enable_trace(0);
+        sim.send_and_wait(0, 9, &[1, 2, 3], 400).expect("delivery");
+        let trace = sim.trace().unwrap();
+        use crate::trace::TraceEvent;
+        let grants = trace.of_kind(|e| matches!(e, TraceEvent::Granted { .. }));
+        let turns = trace.of_kind(|e| matches!(e, TraceEvent::Turned { .. }));
+        let drops = trace.of_kind(|e| matches!(e, TraceEvent::Dropped { .. }));
+        let done = trace.of_kind(|e| matches!(e, TraceEvent::Completed { .. }));
+        assert_eq!(grants.len(), 3, "one grant per stage");
+        assert_eq!(turns.len(), 3, "one reversal per stage");
+        assert_eq!(drops.len(), 3, "one release per stage");
+        assert_eq!(done.len(), 1);
+        // Lifecycle ordering: grants strictly before turns before drops.
+        assert!(grants.iter().map(|r| r.at).max() < turns.iter().map(|r| r.at).min());
+        assert!(turns.iter().map(|r| r.at).max() < drops.iter().map(|r| r.at).min());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = fig1_sim();
+            for src in 0..16 {
+                sim.send(src, (src + 9) % 16, &[3; 6]);
+            }
+            sim.run(600);
+            let mut outs = sim.drain_outcomes();
+            outs.sort_by_key(|o| (o.src, o.completed_at));
+            outs.iter()
+                .map(|o| (o.src, o.dest, o.completed_at, o.retries))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pipelined_setup_hw1_works_end_to_end() {
+        let config = SimConfig {
+            header_words: 1,
+            ..SimConfig::default()
+        };
+        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
+        let o = sim.send_and_wait(1, 14, &[5, 6, 7], 500).expect("delivery");
+        assert_eq!(o.payload_delivered, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn deeper_pipelines_still_deliver() {
+        let config = SimConfig {
+            pipestages: 2,
+            wire_delay: 1,
+            ..SimConfig::default()
+        };
+        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
+        let o = sim.send_and_wait(6, 2, &[8; 10], 800).expect("delivery");
+        assert_eq!(o.payload_delivered, vec![8; 10]);
+        // Latency grows with the extra pipeline depth.
+        assert!(o.network_latency() > 30);
+    }
+}

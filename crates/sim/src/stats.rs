@@ -1,0 +1,248 @@
+//! Latency, throughput, and retry statistics.
+
+use crate::message::{FailureKind, MessageOutcome};
+
+/// An online collector of latency samples with percentile queries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 with no samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// The `p`-th percentile (0–100, nearest-rank), or 0 with no
+    /// samples.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    /// Buckets the samples into a histogram of the given bucket width:
+    /// `(bucket_start, count)` pairs covering min..=max, empty buckets
+    /// included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width == 0`.
+    #[must_use]
+    pub fn histogram(&self, bucket_width: u64) -> Vec<(u64, usize)> {
+        assert!(bucket_width > 0, "bucket width must be nonzero");
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.min() / bucket_width * bucket_width;
+        let hi = self.max();
+        let buckets = ((hi - lo) / bucket_width + 1) as usize;
+        let mut hist = vec![0usize; buckets];
+        for &s in &self.samples {
+            hist[((s - lo) / bucket_width) as usize] += 1;
+        }
+        hist.into_iter()
+            .enumerate()
+            .map(|(k, c)| (lo + k as u64 * bucket_width, c))
+            .collect()
+    }
+
+    /// Minimum sample, or 0.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Maximum sample, or 0.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Aggregate statistics over a simulation window.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    /// Total-latency samples (request → acknowledgment), the Figure 3
+    /// metric.
+    pub total_latency: LatencyStats,
+    /// Network-latency samples (first injection → acknowledgment).
+    pub network_latency: LatencyStats,
+    /// Messages delivered.
+    pub delivered: usize,
+    /// Messages abandoned (max-retry exhaustion).
+    pub abandoned: usize,
+    /// Total retries across delivered messages.
+    pub retries: usize,
+    /// Failed attempts by kind: `(blocked, fast_reclaimed, corrupt,
+    /// no_ack, timeout)`.
+    pub failure_counts: [usize; 5],
+    /// Payload words carried by delivered messages.
+    pub payload_words: usize,
+    /// Blocked-attempt counts per stage (detailed-reclamation mode
+    /// reports the exact stage in the turn-time STATUS reply; fast
+    /// reclamation counts under `failure_counts` only).
+    pub blocked_by_stage: Vec<usize>,
+}
+
+impl NetworkStats {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one completed outcome in. `payload_words` is the payload
+    /// size of the message (for throughput accounting).
+    pub fn record(&mut self, outcome: &MessageOutcome, payload_words: usize) {
+        self.total_latency.record(outcome.total_latency());
+        self.network_latency.record(outcome.network_latency());
+        self.delivered += 1;
+        self.retries += outcome.retries;
+        self.payload_words += payload_words;
+        for f in &outcome.failures {
+            if let FailureKind::Blocked { stage } = f {
+                if self.blocked_by_stage.len() <= *stage {
+                    self.blocked_by_stage.resize(stage + 1, 0);
+                }
+                self.blocked_by_stage[*stage] += 1;
+            }
+            let slot = match f {
+                FailureKind::Blocked { .. } => 0,
+                FailureKind::FastReclaimed => 1,
+                FailureKind::Corrupt => 2,
+                FailureKind::NoAck => 3,
+                FailureKind::Timeout => 4,
+            };
+            self.failure_counts[slot] += 1;
+        }
+    }
+
+    /// Records an abandoned message.
+    pub fn record_abandoned(&mut self, outcome: &MessageOutcome) {
+        self.abandoned += 1;
+        self.retries += outcome.retries;
+    }
+
+    /// Mean retries per delivered message.
+    #[must_use]
+    pub fn retries_per_message(&self) -> f64 {
+        if self.delivered == 0 {
+            return 0.0;
+        }
+        self.retries as f64 / self.delivered as f64
+    }
+
+    /// Delivered payload words per cycle per endpoint — the accepted
+    /// throughput.
+    #[must_use]
+    pub fn accepted_words_per_cycle(&self, cycles: u64, endpoints: usize) -> f64 {
+        if cycles == 0 || endpoints == 0 {
+            return 0.0;
+        }
+        self.payload_words as f64 / cycles as f64 / endpoints as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut s = LatencyStats::new();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            s.record(v);
+        }
+        assert_eq!(s.percentile(50.0), 50);
+        assert_eq!(s.percentile(95.0), 100);
+        assert_eq!(s.percentile(100.0), 100);
+        assert_eq!(s.min(), 10);
+        assert_eq!(s.max(), 100);
+        assert!((s.mean() - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_the_range() {
+        let mut s = LatencyStats::new();
+        for v in [10, 11, 25, 26, 26, 40] {
+            s.record(v);
+        }
+        let h = s.histogram(10);
+        assert_eq!(h, vec![(10, 2), (20, 3), (30, 0), (40, 1)]);
+        assert_eq!(h.iter().map(|(_, c)| c).sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn histogram_of_empty_is_empty() {
+        assert!(LatencyStats::new().histogram(5).is_empty());
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn network_stats_fold_outcomes() {
+        use crate::message::MessageOutcome;
+        let mut n = NetworkStats::new();
+        let o = MessageOutcome {
+            src: 0,
+            dest: 1,
+            requested_at: 0,
+            first_injection_at: 2,
+            completed_at: 30,
+            retries: 2,
+            failures: vec![
+                FailureKind::FastReclaimed,
+                FailureKind::Blocked { stage: 1 },
+            ],
+            payload_delivered: vec![],
+            reply_received: vec![],
+            failure_records: vec![],
+        };
+        n.record(&o, 20);
+        assert_eq!(n.delivered, 1);
+        assert_eq!(n.retries, 2);
+        assert_eq!(n.failure_counts[0], 1);
+        assert_eq!(n.failure_counts[1], 1);
+        assert_eq!(n.blocked_by_stage, vec![0, 1]);
+        assert_eq!(n.payload_words, 20);
+        assert_eq!(n.retries_per_message(), 2.0);
+        assert!((n.accepted_words_per_cycle(100, 2) - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Cycle-level event tracing.
+//!
+//! A [`TraceLog`] records the connection-level events of a simulation —
+//! opens, grants, blocks, turns, drops, BCB teardowns, retries,
+//! deliveries — with their cycle stamps. Traces make protocol debugging
+//! tractable (every event names its router or endpoint) and feed the
+//! occupancy statistics the experiment harnesses report.
+//!
+//! Tracing is pull-based: the simulator's components already count
+//! events ([`metro_core::router::RouterStats`]); the trace
+//! log adds *when* and *where*. [`TraceLog::snapshot_routers`] diffs
+//! router counters between cycles, producing events without touching
+//! the router hot path.
+
+use metro_core::router::RouterStats;
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A router granted a connection (`grants` counter advanced).
+    Granted {
+        /// Stage of the router.
+        stage: usize,
+        /// Router index within the stage.
+        router: usize,
+    },
+    /// A router blocked a connection.
+    Blocked {
+        /// Stage of the router.
+        stage: usize,
+        /// Router index within the stage.
+        router: usize,
+    },
+    /// A router reversed a connection (TURN passed through).
+    Turned {
+        /// Stage of the router.
+        stage: usize,
+        /// Router index within the stage.
+        router: usize,
+    },
+    /// A router released a connection (DROP completed).
+    Dropped {
+        /// Stage of the router.
+        stage: usize,
+        /// Router index within the stage.
+        router: usize,
+    },
+    /// A source endpoint completed a message.
+    Completed {
+        /// Source endpoint.
+        src: usize,
+        /// Destination endpoint.
+        dest: usize,
+        /// Retries the message needed.
+        retries: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Granted { stage, router } => write!(f, "grant   r{stage}.{router}"),
+            Self::Blocked { stage, router } => write!(f, "block   r{stage}.{router}"),
+            Self::Turned { stage, router } => write!(f, "turn    r{stage}.{router}"),
+            Self::Dropped { stage, router } => write!(f, "drop    r{stage}.{router}"),
+            Self::Completed { src, dest, retries } => {
+                write!(f, "done    {src} -> {dest} ({retries} retries)")
+            }
+        }
+    }
+}
+
+/// A stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Clock cycle the event was observed at.
+    pub at: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// An event log built by diffing per-router counters each cycle.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    records: Vec<TraceRecord>,
+    last: Vec<Vec<RouterStats>>,
+    capacity: usize,
+}
+
+impl TraceLog {
+    /// Creates a log retaining at most `capacity` records (0 =
+    /// unbounded).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: Vec::new(),
+            last: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Clears the log (the counter snapshot is kept, so diffing
+    /// continues seamlessly).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    fn push(&mut self, at: u64, event: TraceEvent) {
+        if self.capacity > 0 && self.records.len() >= self.capacity {
+            self.records.remove(0);
+        }
+        self.records.push(TraceRecord { at, event });
+    }
+
+    /// Diffs the current router counters against the previous snapshot,
+    /// emitting one event per counter increment. `stats[s][r]` are the
+    /// counters of router `r` in stage `s` at cycle `now`.
+    pub fn snapshot_routers(&mut self, now: u64, stats: &[Vec<RouterStats>]) {
+        if self.last.len() != stats.len() {
+            self.last = stats.to_vec();
+            return;
+        }
+        for (s, stage) in stats.iter().enumerate() {
+            for (r, cur) in stage.iter().enumerate() {
+                let prev = self.last[s][r];
+                for _ in prev.grants..cur.grants {
+                    self.push(now, TraceEvent::Granted { stage: s, router: r });
+                }
+                for _ in prev.blocks..cur.blocks {
+                    self.push(now, TraceEvent::Blocked { stage: s, router: r });
+                }
+                for _ in prev.turns..cur.turns {
+                    self.push(now, TraceEvent::Turned { stage: s, router: r });
+                }
+                for _ in prev.drops..cur.drops {
+                    self.push(now, TraceEvent::Dropped { stage: s, router: r });
+                }
+            }
+        }
+        self.last = stats.to_vec();
+    }
+
+    /// Records a message completion.
+    pub fn record_completion(&mut self, at: u64, src: usize, dest: usize, retries: usize) {
+        self.push(at, TraceEvent::Completed { src, dest, retries });
+    }
+
+    /// Events of one kind, in order.
+    pub fn of_kind(&self, pred: impl Fn(&TraceEvent) -> bool) -> Vec<TraceRecord> {
+        self.records
+            .iter()
+            .copied()
+            .filter(|r| pred(&r.event))
+            .collect()
+    }
+
+    /// Renders the log as one line per event.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "[{:>8}] {}", r.at, r.event);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(grants: usize, blocks: usize) -> RouterStats {
+        RouterStats {
+            grants,
+            blocks,
+            ..RouterStats::default()
+        }
+    }
+
+    #[test]
+    fn diffing_emits_one_event_per_increment() {
+        let mut log = TraceLog::new(0);
+        log.snapshot_routers(0, &[vec![stats(0, 0)]]);
+        log.snapshot_routers(1, &[vec![stats(2, 1)]]);
+        assert_eq!(log.len(), 3);
+        let grants = log.of_kind(|e| matches!(e, TraceEvent::Granted { .. }));
+        assert_eq!(grants.len(), 2);
+        assert_eq!(grants[0].at, 1);
+    }
+
+    #[test]
+    fn first_snapshot_only_initializes() {
+        let mut log = TraceLog::new(0);
+        log.snapshot_routers(5, &[vec![stats(7, 7)]]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounds_the_log() {
+        let mut log = TraceLog::new(2);
+        log.record_completion(1, 0, 1, 0);
+        log.record_completion(2, 0, 2, 0);
+        log.record_completion(3, 0, 3, 0);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].at, 2, "oldest evicted first");
+    }
+
+    #[test]
+    fn render_stamps_every_line() {
+        let mut log = TraceLog::new(0);
+        log.record_completion(42, 3, 9, 1);
+        let s = log.render();
+        assert!(s.contains("42"));
+        assert!(s.contains("3 -> 9"));
+        assert_eq!(s.lines().count(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_the_snapshot() {
+        let mut log = TraceLog::new(0);
+        log.snapshot_routers(0, &[vec![stats(0, 0)]]);
+        log.snapshot_routers(1, &[vec![stats(1, 0)]]);
+        log.clear();
+        assert!(log.is_empty());
+        log.snapshot_routers(2, &[vec![stats(2, 0)]]);
+        assert_eq!(log.len(), 1, "diff continues from the kept snapshot");
+    }
+}

@@ -1,0 +1,185 @@
+//! Workload patterns and load control.
+//!
+//! Figure 3 uses "randomly distributed, 20-byte message traffic"; the
+//! additional patterns here (hotspot, transpose, bit-reversal) are the
+//! standard adversaries for multistage networks and drive the ablation
+//! benches.
+
+use metro_core::RandomSource;
+
+/// How destinations are chosen for generated messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// Uniformly random destinations (excluding self) — the Figure 3
+    /// workload.
+    Uniform,
+    /// A fraction (percent) of traffic targets one hot endpoint; the
+    /// rest is uniform.
+    Hotspot {
+        /// The hot destination.
+        target: usize,
+        /// Percent of messages aimed at it (0–100).
+        percent: usize,
+    },
+    /// Destination = source with high and low halves of the index
+    /// swapped (matrix transpose).
+    Transpose,
+    /// Destination = bit-reversed source index.
+    BitReversal,
+    /// A fixed permutation: destination = `perm[src]`.
+    Permutation(Vec<usize>),
+}
+
+impl TrafficPattern {
+    /// Chooses a destination for a message from `src` among
+    /// `endpoints`, using `rng` for the stochastic patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints < 2` (no valid non-self destination) for
+    /// the stochastic patterns.
+    pub fn destination(&self, src: usize, endpoints: usize, rng: &mut RandomSource) -> usize {
+        match self {
+            Self::Uniform => {
+                assert!(endpoints >= 2, "uniform traffic needs at least 2 endpoints");
+                let mut d = rng.index(endpoints - 1);
+                if d >= src {
+                    d += 1;
+                }
+                d
+            }
+            Self::Hotspot { target, percent } => {
+                if rng.index(100) < *percent && *target != src {
+                    *target
+                } else {
+                    Self::Uniform.destination(src, endpoints, rng)
+                }
+            }
+            Self::Transpose => {
+                let bits = endpoints.trailing_zeros() as usize;
+                let half = bits / 2;
+                let low = src & ((1 << half) - 1);
+                let high = src >> (bits - half);
+                let mid = (src >> half) & ((1 << (bits - 2 * half)) - 1);
+                (low << (bits - half)) | (mid << half) | high
+            }
+            Self::BitReversal => {
+                let bits = endpoints.trailing_zeros() as usize;
+                let mut v = src;
+                let mut out = 0;
+                for _ in 0..bits {
+                    out = (out << 1) | (v & 1);
+                    v >>= 1;
+                }
+                out
+            }
+            Self::Permutation(p) => p[src],
+        }
+    }
+}
+
+/// Bernoulli message arrivals at a configured offered load.
+///
+/// Offered load is expressed as the fraction of each source's injection
+/// capacity: a source at load 1.0 would stream messages back to back.
+/// With messages of `stream_words` words (header + payload + checksum +
+/// TURN), the per-cycle arrival probability is `load / stream_words`.
+#[derive(Debug, Clone)]
+pub struct LoadGenerator {
+    threshold: u64,
+    rng: RandomSource,
+}
+
+impl LoadGenerator {
+    /// Creates a generator for the given offered load (0.0–1.0+) and
+    /// message stream length.
+    #[must_use]
+    pub fn new(load: f64, stream_words: usize, seed: u64) -> Self {
+        let p = (load / stream_words.max(1) as f64).clamp(0.0, 1.0);
+        Self {
+            threshold: (p * (u32::MAX as f64 + 1.0)) as u64,
+            rng: RandomSource::new(seed),
+        }
+    }
+
+    /// Whether a new message arrives this cycle.
+    pub fn arrival(&mut self) -> bool {
+        self.rng.bits(32) < self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_never_self_targets_and_covers_all() {
+        let mut rng = RandomSource::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let d = TrafficPattern::Uniform.destination(5, 16, &mut rng);
+            assert_ne!(d, 5);
+            assert!(d < 16);
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 15);
+    }
+
+    #[test]
+    fn hotspot_concentrates() {
+        let mut rng = RandomSource::new(2);
+        let pattern = TrafficPattern::Hotspot {
+            target: 3,
+            percent: 50,
+        };
+        let hits = (0..4000)
+            .filter(|_| pattern.destination(9, 16, &mut rng) == 3)
+            .count();
+        assert!(hits > 1600 && hits < 2400, "got {hits} / 4000");
+    }
+
+    #[test]
+    fn transpose_is_an_involution_for_even_bits() {
+        let mut rng = RandomSource::new(0);
+        for src in 0..16 {
+            let d = TrafficPattern::Transpose.destination(src, 16, &mut rng);
+            let back = TrafficPattern::Transpose.destination(d, 16, &mut rng);
+            assert_eq!(back, src);
+        }
+    }
+
+    #[test]
+    fn bit_reversal_matches_manual() {
+        let mut rng = RandomSource::new(0);
+        assert_eq!(
+            TrafficPattern::BitReversal.destination(0b0001, 16, &mut rng),
+            0b1000
+        );
+        assert_eq!(
+            TrafficPattern::BitReversal.destination(0b1101, 16, &mut rng),
+            0b1011
+        );
+    }
+
+    #[test]
+    fn permutation_applies_directly() {
+        let mut rng = RandomSource::new(0);
+        let p = TrafficPattern::Permutation(vec![2, 0, 1]);
+        assert_eq!(p.destination(0, 3, &mut rng), 2);
+        assert_eq!(p.destination(2, 3, &mut rng), 1);
+    }
+
+    #[test]
+    fn load_generator_rate_is_calibrated() {
+        let mut g = LoadGenerator::new(0.5, 25, 7);
+        let arrivals = (0..100_000).filter(|_| g.arrival()).count();
+        // Expected p = 0.02 -> ~2000 arrivals.
+        assert!((1700..2300).contains(&arrivals), "got {arrivals}");
+    }
+
+    #[test]
+    fn zero_load_never_arrives() {
+        let mut g = LoadGenerator::new(0.0, 25, 7);
+        assert!((0..10_000).filter(|_| g.arrival()).count() == 0);
+    }
+}

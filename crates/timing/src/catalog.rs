@@ -1,0 +1,370 @@
+//! The Table 3 implementation catalog.
+//!
+//! Every row of the paper's Table 3 — METROJR-ORBIT and its cascades,
+//! the 0.8µ standard-cell projections, and the 0.8µ full-custom
+//! projections — with the published `t_clk`, `t_io`, `t_stg`, `t_bit`,
+//! stage counts, and `t_20,32` values. The `expected_*` fields are the
+//! printed numbers; the methods compute them from the Table 4 model so
+//! tests can assert the reproduction is exact.
+
+use crate::equations::{stages_32_node_2stage, stages_32_node_4stage, LatencyModel, T_WIRE_NS};
+
+/// One row of Table 3: a METRO implementation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImplementationSpec {
+    /// Row label, e.g. `"METROJR-ORBIT"`.
+    pub name: &'static str,
+    /// Implementation technology, e.g. `"1.2µ Gate Array"`.
+    pub technology: &'static str,
+    /// Clock period, ns.
+    pub t_clk_ns: f64,
+    /// I/O delay, ns.
+    pub t_io_ns: f64,
+    /// Channel width per slice, bits.
+    pub width: usize,
+    /// Width-cascade factor.
+    pub cascade: usize,
+    /// Internal pipestages `dp`.
+    pub pipestages: usize,
+    /// Header words per router `hw`.
+    pub header_words: usize,
+    /// Network stages (4-stage METROJR-style or 2-stage METRO-8 style).
+    pub stages: usize,
+    /// The paper's printed `t_stg` cell, ns.
+    pub expected_t_stg_ns: f64,
+    /// The paper's printed `t_20,32` cell, ns.
+    pub expected_t20_32_ns: f64,
+}
+
+impl ImplementationSpec {
+    /// The Table 4 model for this row.
+    #[must_use]
+    pub fn model(&self) -> LatencyModel {
+        LatencyModel {
+            t_clk_ns: self.t_clk_ns,
+            t_io_ns: self.t_io_ns,
+            t_wire_ns: T_WIRE_NS,
+            width: self.width,
+            cascade: self.cascade,
+            pipestages: self.pipestages,
+            header_words: self.header_words,
+            stage_digit_bits: match self.stages {
+                4 => stages_32_node_4stage(),
+                2 => stages_32_node_2stage(),
+                other => panic!("Table 3 has no {other}-stage configuration"),
+            },
+        }
+    }
+
+    /// Computed `t_stg`, ns.
+    #[must_use]
+    pub fn t_stg_ns(&self) -> f64 {
+        self.model().t_stg_ns()
+    }
+
+    /// Computed `t_bit` (ns per bit).
+    #[must_use]
+    pub fn t_bit_ns(&self) -> f64 {
+        self.model().t_bit_ns()
+    }
+
+    /// Computed `t_20,32`, ns.
+    #[must_use]
+    pub fn t20_32_ns(&self) -> f64 {
+        self.model().t20_32_ns()
+    }
+
+    /// Bits moved per clock across the (cascaded) channel.
+    #[must_use]
+    pub fn bits_per_clock(&self) -> usize {
+        self.width * self.cascade
+    }
+}
+
+/// All rows of Table 3, in the paper's order.
+#[must_use]
+pub fn table3() -> Vec<ImplementationSpec> {
+    vec![
+        ImplementationSpec {
+            name: "METROJR-ORBIT",
+            technology: "1.2µ Gate Array",
+            t_clk_ns: 25.0,
+            t_io_ns: 10.0,
+            width: 4,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 50.0,
+            expected_t20_32_ns: 1250.0,
+        },
+        ImplementationSpec {
+            name: "METROJR-ORBIT 2-cascade",
+            technology: "1.2µ Gate Array",
+            t_clk_ns: 25.0,
+            t_io_ns: 10.0,
+            width: 4,
+            cascade: 2,
+            pipestages: 1,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 50.0,
+            expected_t20_32_ns: 750.0,
+        },
+        ImplementationSpec {
+            name: "METROJR-ORBIT 4-cascade",
+            technology: "1.2µ Gate Array",
+            t_clk_ns: 25.0,
+            t_io_ns: 10.0,
+            width: 4,
+            cascade: 4,
+            pipestages: 1,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 50.0,
+            expected_t20_32_ns: 500.0,
+        },
+        ImplementationSpec {
+            name: "METROJR w=8",
+            technology: "1.2µ Gate Array",
+            t_clk_ns: 25.0,
+            t_io_ns: 10.0,
+            width: 8,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 50.0,
+            expected_t20_32_ns: 725.0,
+        },
+        ImplementationSpec {
+            name: "METROJR",
+            technology: "0.8µ Std. Cell",
+            t_clk_ns: 10.0,
+            t_io_ns: 5.0,
+            width: 4,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 20.0,
+            expected_t20_32_ns: 500.0,
+        },
+        ImplementationSpec {
+            name: "METROJR 2-cascade",
+            technology: "0.8µ Std. Cell",
+            t_clk_ns: 10.0,
+            t_io_ns: 5.0,
+            width: 4,
+            cascade: 2,
+            pipestages: 1,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 20.0,
+            expected_t20_32_ns: 300.0,
+        },
+        ImplementationSpec {
+            name: "METROJR 4-cascade",
+            technology: "0.8µ Std. Cell",
+            t_clk_ns: 10.0,
+            t_io_ns: 5.0,
+            width: 4,
+            cascade: 4,
+            pipestages: 1,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 20.0,
+            expected_t20_32_ns: 200.0,
+        },
+        ImplementationSpec {
+            name: "METRO i=o=8 w=4",
+            technology: "0.8µ Std. Cell",
+            t_clk_ns: 10.0,
+            t_io_ns: 5.0,
+            width: 4,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 0,
+            stages: 2,
+            expected_t_stg_ns: 20.0,
+            expected_t20_32_ns: 460.0,
+        },
+        ImplementationSpec {
+            name: "METROJR",
+            technology: "0.8µ Full Custom",
+            t_clk_ns: 5.0,
+            t_io_ns: 3.0,
+            width: 4,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 15.0,
+            expected_t20_32_ns: 270.0,
+        },
+        ImplementationSpec {
+            name: "METRO i=o=8 w=4",
+            technology: "0.8µ Full Custom",
+            t_clk_ns: 5.0,
+            t_io_ns: 3.0,
+            width: 4,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 0,
+            stages: 2,
+            expected_t_stg_ns: 15.0,
+            expected_t20_32_ns: 240.0,
+        },
+        ImplementationSpec {
+            name: "METROJR dp=2",
+            technology: "0.8µ Full Custom",
+            t_clk_ns: 2.0,
+            t_io_ns: 3.0,
+            width: 4,
+            cascade: 1,
+            pipestages: 2,
+            header_words: 0,
+            stages: 4,
+            expected_t_stg_ns: 10.0,
+            expected_t20_32_ns: 124.0,
+        },
+        ImplementationSpec {
+            name: "METROJR hw=1",
+            technology: "0.8µ Full Custom",
+            t_clk_ns: 2.0,
+            t_io_ns: 3.0,
+            width: 4,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 1,
+            stages: 4,
+            expected_t_stg_ns: 8.0,
+            expected_t20_32_ns: 120.0,
+        },
+        ImplementationSpec {
+            name: "METROJR hw=1 2-cascade",
+            technology: "0.8µ Full Custom",
+            t_clk_ns: 2.0,
+            t_io_ns: 3.0,
+            width: 4,
+            cascade: 2,
+            pipestages: 1,
+            header_words: 1,
+            stages: 4,
+            expected_t_stg_ns: 8.0,
+            expected_t20_32_ns: 80.0,
+        },
+        ImplementationSpec {
+            name: "METROJR hw=1 w=8",
+            technology: "0.8µ Full Custom",
+            t_clk_ns: 2.0,
+            t_io_ns: 3.0,
+            width: 8,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 1,
+            stages: 4,
+            expected_t_stg_ns: 8.0,
+            expected_t20_32_ns: 80.0,
+        },
+        ImplementationSpec {
+            name: "METRO i=o=8 hw=2 w=4",
+            technology: "0.8µ Full Custom",
+            t_clk_ns: 2.0,
+            t_io_ns: 3.0,
+            width: 4,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 2,
+            stages: 2,
+            expected_t_stg_ns: 8.0,
+            expected_t20_32_ns: 104.0,
+        },
+        ImplementationSpec {
+            name: "METRO i=o=8 hw=2 w=4 4-cascade",
+            technology: "0.8µ Full Custom",
+            t_clk_ns: 2.0,
+            t_io_ns: 3.0,
+            width: 4,
+            cascade: 4,
+            pipestages: 1,
+            header_words: 2,
+            stages: 2,
+            expected_t_stg_ns: 8.0,
+            expected_t20_32_ns: 44.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_t20_32_cell_matches_the_paper() {
+        for row in table3() {
+            assert_eq!(
+                row.t20_32_ns(),
+                row.expected_t20_32_ns,
+                "{} ({})",
+                row.name,
+                row.technology
+            );
+        }
+    }
+
+    #[test]
+    fn every_t_stg_cell_matches_the_paper() {
+        for row in table3() {
+            assert_eq!(
+                row.t_stg_ns(),
+                row.expected_t_stg_ns,
+                "{} ({})",
+                row.name,
+                row.technology
+            );
+        }
+    }
+
+    #[test]
+    fn table_has_all_sixteen_rows() {
+        assert_eq!(table3().len(), 16);
+    }
+
+    #[test]
+    fn cascading_multiplies_channel_bits() {
+        let rows = table3();
+        assert_eq!(rows[0].bits_per_clock(), 4);
+        assert_eq!(rows[1].bits_per_clock(), 8);
+        assert_eq!(rows[2].bits_per_clock(), 16);
+    }
+
+    #[test]
+    fn cascading_narrows_the_gap_but_header_overhead_grows() {
+        // hbits grows with cascade: a 2-cascade does not quite halve
+        // the serialization term.
+        let rows = table3();
+        let base = &rows[0];
+        let c2 = &rows[1];
+        assert!(c2.t20_32_ns() > base.t20_32_ns() / 2.0);
+        assert_eq!(c2.model().header_bits(), 2 * base.model().header_bits());
+    }
+
+    #[test]
+    fn faster_technology_strictly_helps() {
+        let rows = table3();
+        // METROJR in the three technologies: 1250 > 500 > 270.
+        let orbit = rows[0].t20_32_ns();
+        let std_cell = rows[4].t20_32_ns();
+        let custom = rows[8].t20_32_ns();
+        assert!(orbit > std_cell && std_cell > custom);
+    }
+
+    #[test]
+    fn pipelined_setup_beats_plain_at_same_clock() {
+        let rows = table3();
+        // dp=2 (124 ns) vs hw=1 (120 ns) at the same 2 ns clock:
+        // connection-setup pipelining wins.
+        assert!(rows[11].t20_32_ns() < rows[10].t20_32_ns());
+    }
+}

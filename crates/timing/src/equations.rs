@@ -1,0 +1,233 @@
+//! The latency equations of Table 4.
+//!
+//! | quantity | definition |
+//! |----------|------------|
+//! | `t_wire` | assumed wire delay (3 ns in the paper) |
+//! | `vtd` | `ceil((t_io + t_wire) / t_clk)` — interconnect delay in clock cycles |
+//! | `t_on_chip` | `t_clk · dp` — time data traverses the chip |
+//! | `t_stg` | `t_on_chip + vtd · t_clk` — chip-to-chip latency in the network |
+//! | `hbits` | routing bits: `hw·w·c·stages` when `hw > 0`, else `ceil((Σ log2 r_s)/w)·w·c` |
+//! | `t_20,32` | `stages · t_stg + (20·8 + hbits) · t_bit` |
+//!
+//! with `t_bit = t_clk / (w·c)` — one clock moves `w·c` bits across a
+//! (possibly cascaded) channel.
+
+/// The wire delay the paper assumes in Table 4, in nanoseconds.
+pub const T_WIRE_NS: f64 = 3.0;
+
+/// Message size of the `t_20,32` figure of merit: 20 bytes ("a 4-word
+/// cache-line including checksum").
+pub const MESSAGE_BITS: usize = 20 * 8;
+
+/// The Table 4 latency model for one METRO implementation point.
+///
+/// # Examples
+///
+/// ```
+/// use metro_timing::LatencyModel;
+///
+/// // METROJR-ORBIT: 25 ns clock, 10 ns i/o, w = 4, dp = 1, hw = 0,
+/// // 4-stage 32-node network with stage radices [2, 2, 2, 4].
+/// let m = LatencyModel {
+///     t_clk_ns: 25.0,
+///     t_io_ns: 10.0,
+///     t_wire_ns: 3.0,
+///     width: 4,
+///     cascade: 1,
+///     pipestages: 1,
+///     header_words: 0,
+///     stage_digit_bits: vec![1, 1, 1, 2],
+/// };
+/// assert_eq!(m.vtd(), 1);
+/// assert_eq!(m.t_stg_ns(), 50.0);
+/// assert_eq!(m.t20_32_ns(), 1250.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Clock period, ns.
+    pub t_clk_ns: f64,
+    /// I/O (pad + driver) delay, ns.
+    pub t_io_ns: f64,
+    /// Wire delay, ns (the paper assumes 3).
+    pub t_wire_ns: f64,
+    /// Channel width per router slice, bits.
+    pub width: usize,
+    /// Width-cascade factor `c` (1 = no cascading).
+    pub cascade: usize,
+    /// Internal data pipestages, `dp`.
+    pub pipestages: usize,
+    /// Header words consumed per router, `hw`.
+    pub header_words: usize,
+    /// `log2(radix)` of each network stage, injection side first.
+    pub stage_digit_bits: Vec<usize>,
+}
+
+impl LatencyModel {
+    /// Network stages the model spans.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.stage_digit_bits.len()
+    }
+
+    /// Interconnect delay in clock cycles:
+    /// `vtd = ceil((t_io + t_wire) / t_clk)`.
+    #[must_use]
+    pub fn vtd(&self) -> usize {
+        ((self.t_io_ns + self.t_wire_ns) / self.t_clk_ns).ceil() as usize
+    }
+
+    /// Time for data to traverse the chip: `t_clk · dp`, ns.
+    #[must_use]
+    pub fn t_on_chip_ns(&self) -> f64 {
+        self.t_clk_ns * self.pipestages as f64
+    }
+
+    /// Chip-to-chip latency in the network:
+    /// `t_stg = t_on_chip + vtd · t_clk`, ns.
+    #[must_use]
+    pub fn t_stg_ns(&self) -> f64 {
+        self.t_on_chip_ns() + self.vtd() as f64 * self.t_clk_ns
+    }
+
+    /// Per-bit transfer time: `t_clk / (w · c)`, ns.
+    #[must_use]
+    pub fn t_bit_ns(&self) -> f64 {
+        self.t_clk_ns / (self.width * self.cascade) as f64
+    }
+
+    /// Routing bits required (`hbits` of Table 4).
+    #[must_use]
+    pub fn header_bits(&self) -> usize {
+        if self.header_words > 0 {
+            self.header_words * self.width * self.cascade * self.stages()
+        } else {
+            let digit_bits: usize = self.stage_digit_bits.iter().sum();
+            digit_bits.div_ceil(self.width) * self.width * self.cascade
+        }
+    }
+
+    /// The `t_20,32` figure of merit: latency to deliver a 20-byte
+    /// message across the 32-node multibutterfly, ns:
+    /// `stages · t_stg + (160 + hbits) · t_bit`.
+    #[must_use]
+    pub fn t20_32_ns(&self) -> f64 {
+        self.stages() as f64 * self.t_stg_ns()
+            + (MESSAGE_BITS + self.header_bits()) as f64 * self.t_bit_ns()
+    }
+
+    /// Generalized delivery time for a message of `bytes` bytes across
+    /// `stages` (already fixed by the model), ns.
+    #[must_use]
+    pub fn delivery_ns(&self, bytes: usize) -> f64 {
+        self.stages() as f64 * self.t_stg_ns()
+            + (bytes * 8 + self.header_bits()) as f64 * self.t_bit_ns()
+    }
+}
+
+/// The stage digit widths of the 32-node, Figure 1-style multibutterfly
+/// used throughout Table 3 for 4-stage METROJR-family rows: three
+/// radix-2 dilated stages and a radix-4 dilation-1 delivery stage.
+#[must_use]
+pub fn stages_32_node_4stage() -> Vec<usize> {
+    vec![1, 1, 1, 2]
+}
+
+/// The stage digit widths of the 2-stage 32-node network used for the
+/// `METRO i = o = 8` rows: a radix-8 stage followed by a radix-4
+/// dilated stage.
+#[must_use]
+pub fn stages_32_node_2stage() -> Vec<usize> {
+    vec![3, 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orbit() -> LatencyModel {
+        LatencyModel {
+            t_clk_ns: 25.0,
+            t_io_ns: 10.0,
+            t_wire_ns: T_WIRE_NS,
+            width: 4,
+            cascade: 1,
+            pipestages: 1,
+            header_words: 0,
+            stage_digit_bits: stages_32_node_4stage(),
+        }
+    }
+
+    #[test]
+    fn vtd_rounds_up() {
+        let m = orbit();
+        assert_eq!(m.vtd(), 1); // (10+3)/25 -> 1
+        let fast = LatencyModel {
+            t_clk_ns: 5.0,
+            t_io_ns: 3.0,
+            ..orbit()
+        };
+        assert_eq!(fast.vtd(), 2); // (3+3)/5 -> 2
+        let faster = LatencyModel {
+            t_clk_ns: 2.0,
+            t_io_ns: 3.0,
+            ..orbit()
+        };
+        assert_eq!(faster.vtd(), 3); // 6/2 -> 3
+    }
+
+    #[test]
+    fn t_stg_matches_table3_column() {
+        assert_eq!(orbit().t_stg_ns(), 50.0);
+        let std_cell = LatencyModel {
+            t_clk_ns: 10.0,
+            t_io_ns: 5.0,
+            ..orbit()
+        };
+        assert_eq!(std_cell.t_stg_ns(), 20.0);
+        let custom = LatencyModel {
+            t_clk_ns: 5.0,
+            t_io_ns: 3.0,
+            ..orbit()
+        };
+        assert_eq!(custom.t_stg_ns(), 15.0);
+    }
+
+    #[test]
+    fn hbits_hw0_rounds_to_whole_words() {
+        // 5 digit bits on a 4-bit channel -> 8 bits.
+        assert_eq!(orbit().header_bits(), 8);
+        // Cascading replicates the header across slices.
+        let c2 = LatencyModel {
+            cascade: 2,
+            ..orbit()
+        };
+        assert_eq!(c2.header_bits(), 16);
+    }
+
+    #[test]
+    fn hbits_hw_positive_is_linear() {
+        let hw1 = LatencyModel {
+            header_words: 1,
+            ..orbit()
+        };
+        assert_eq!(hw1.header_bits(), 4 * 4);
+        let hw2_w4_s2 = LatencyModel {
+            header_words: 2,
+            stage_digit_bits: stages_32_node_2stage(),
+            ..orbit()
+        };
+        assert_eq!(hw2_w4_s2.header_bits(), (2 * 4) * 2);
+    }
+
+    #[test]
+    fn t20_32_reproduces_the_orbit_cell() {
+        assert_eq!(orbit().t20_32_ns(), 1250.0);
+    }
+
+    #[test]
+    fn delivery_scales_with_message_size() {
+        let m = orbit();
+        assert!(m.delivery_ns(40) > m.t20_32_ns());
+        assert_eq!(m.delivery_ns(20), m.t20_32_ns());
+    }
+}

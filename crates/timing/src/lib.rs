@@ -1,0 +1,33 @@
+//! # metro-timing — the analytic latency model of Tables 3–5
+//!
+//! The paper's single-router performance claims are *architecture ×
+//! technology*: cycle counts determined by the METRO parameters and
+//! nanoseconds-per-cycle determined by the implementation technology.
+//! Table 4 gives the closed-form model; Table 3 applies it to a family
+//! of METRO implementations; Table 5 applies the same `t_20,32` figure
+//! of merit to contemporary routers from published datasheet numbers.
+//!
+//! This crate reproduces all three tables exactly:
+//!
+//! ```
+//! use metro_timing::catalog;
+//!
+//! let rows = catalog::table3();
+//! let orbit = &rows[0];
+//! assert_eq!(orbit.name, "METROJR-ORBIT");
+//! assert_eq!(orbit.t20_32_ns().round() as u64, 1250); // the printed cell
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod contemporary;
+pub mod equations;
+pub mod report;
+pub mod sweeps;
+
+pub use catalog::ImplementationSpec;
+pub use contemporary::ContemporaryRouter;
+pub use equations::LatencyModel;

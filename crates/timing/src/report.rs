@@ -1,0 +1,88 @@
+//! ASCII table formatting for the regeneration binaries.
+
+use crate::catalog::ImplementationSpec;
+use crate::contemporary::ContemporaryRouter;
+use std::fmt::Write as _;
+
+/// Renders Table 3 in the paper's column layout.
+#[must_use]
+pub fn render_table3(rows: &[ImplementationSpec]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:<18} {:>6} {:>6} {:>6} {:>12} {:>6} {:>9}",
+        "Architecture Instance", "Technology", "t_clk", "t_io", "t_stg", "t_bit", "stages", "t_20,32"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(104));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<32} {:<18} {:>4} ns {:>4} ns {:>4} ns {:>5} ns/{:<2} b {:>6} {:>6} ns",
+            r.name,
+            r.technology,
+            r.t_clk_ns,
+            r.t_io_ns,
+            r.t_stg_ns(),
+            r.t_clk_ns,
+            r.bits_per_clock(),
+            r.stages,
+            r.t20_32_ns()
+        );
+    }
+    out
+}
+
+/// Renders Table 5 in the paper's column layout.
+#[must_use]
+pub fn render_table5(rows: &[ContemporaryRouter]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>22} {:>12} {:>22} {:>10}",
+        "Router", "Latency (ns)", "t_bit", "t_20,32 (ns)", "Reference"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(90));
+    for r in rows {
+        let (lo, hi) = r.estimate_t20_32_ns();
+        let lat = if r.latency_ns.0 == r.latency_ns.1 {
+            format!("{}", r.latency_ns.0)
+        } else {
+            format!("{} -> {}", r.latency_ns.0, r.latency_ns.1)
+        };
+        let t2032 = if (lo - hi).abs() < f64::EPSILON {
+            format!("{lo:.0}")
+        } else {
+            format!("{lo:.0} -> {hi:.0}")
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>22} {:>6} ns/{:<2}b {:>22} {:>10}",
+            r.name, lat, r.t_bit.0, r.t_bit.1, t2032, r.reference
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::table3;
+    use crate::contemporary::table5;
+
+    #[test]
+    fn table3_renders_every_row() {
+        let s = render_table3(&table3());
+        assert_eq!(s.lines().count(), 2 + 16);
+        assert!(s.contains("METROJR-ORBIT"));
+        assert!(s.contains("1250 ns"));
+        assert!(s.contains("44 ns"));
+    }
+
+    #[test]
+    fn table5_renders_every_row() {
+        let s = render_table5(&table5());
+        assert_eq!(s.lines().count(), 2 + 7);
+        assert!(s.contains("GIGAswitch"));
+        assert!(s.contains("J-Machine"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests over the Table 4 latency model: monotonicity,
+//! unit identities, and the header-bit accounting.
+
+use metro_timing::equations::{LatencyModel, T_WIRE_NS};
+use proptest::prelude::*;
+
+fn models() -> impl Strategy<Value = LatencyModel> {
+    (
+        1u32..=50,  // t_clk (ns, integer for exactness)
+        0u32..=20,  // t_io
+        2usize..=4, // log-free width choices: 4, 8, 16 via *4
+        1usize..=4, // cascade
+        1usize..=3, // dp
+        0usize..=2, // hw
+        proptest::collection::vec(1usize..=3, 1..6),
+    )
+        .prop_map(|(t_clk, t_io, wq, cascade, dp, hw, digits)| LatencyModel {
+            t_clk_ns: f64::from(t_clk),
+            t_io_ns: f64::from(t_io),
+            t_wire_ns: T_WIRE_NS,
+            width: wq * 4,
+            cascade,
+            pipestages: dp,
+            header_words: hw,
+            stage_digit_bits: digits,
+        })
+}
+
+proptest! {
+    /// Delivery latency is strictly increasing in message size.
+    #[test]
+    fn latency_monotone_in_bytes(m in models(), a in 1usize..512, b in 1usize..512) {
+        prop_assume!(a < b);
+        prop_assert!(m.delivery_ns(a) < m.delivery_ns(b));
+    }
+
+    /// A faster clock never hurts (all terms scale with t_clk).
+    #[test]
+    fn latency_monotone_in_clock(m in models()) {
+        let faster = LatencyModel { t_clk_ns: m.t_clk_ns / 2.0, ..m.clone() };
+        // vtd may *increase* with a faster clock (more cycles to cover
+        // the same wire time), but never enough to lose: t_stg in ns
+        // cannot more than marginally exceed the slower clock's.
+        prop_assert!(faster.t20_32_ns() <= m.t20_32_ns() + m.t_clk_ns);
+    }
+
+    /// vtd covers the wire: vtd · t_clk >= t_io + t_wire, minimally.
+    #[test]
+    fn vtd_is_the_minimal_cover(m in models()) {
+        let vtd = m.vtd() as f64;
+        prop_assert!(vtd * m.t_clk_ns >= m.t_io_ns + m.t_wire_ns);
+        if vtd >= 1.0 {
+            prop_assert!((vtd - 1.0) * m.t_clk_ns < m.t_io_ns + m.t_wire_ns);
+        }
+    }
+
+    /// Header bits are a whole number of (cascaded) words, and cover
+    /// the digit bits in the hw = 0 regime.
+    #[test]
+    fn hbits_accounting(m in models()) {
+        let hbits = m.header_bits();
+        prop_assert_eq!(hbits % (m.width * m.cascade), 0);
+        if m.header_words == 0 {
+            let digit_sum: usize = m.stage_digit_bits.iter().sum();
+            prop_assert!(hbits >= digit_sum * m.cascade);
+            prop_assert!(hbits < (digit_sum + m.width) * m.cascade);
+        } else {
+            prop_assert_eq!(hbits, m.header_words * m.width * m.cascade * m.stages());
+        }
+    }
+
+    /// Cascading never makes delivery slower, and the stage term is
+    /// unaffected by it.
+    #[test]
+    fn cascading_is_monotone(m in models(), bytes in 1usize..256) {
+        let wider = LatencyModel { cascade: m.cascade * 2, ..m.clone() };
+        prop_assert!(wider.delivery_ns(bytes) <= m.delivery_ns(bytes));
+        prop_assert_eq!(wider.t_stg_ns(), m.t_stg_ns());
+    }
+
+    /// The t_20,32 decomposition: stage term + serialization term.
+    #[test]
+    fn t2032_decomposes(m in models()) {
+        let stage = m.stages() as f64 * m.t_stg_ns();
+        let serial = (160 + m.header_bits()) as f64 * m.t_bit_ns();
+        prop_assert!((m.t20_32_ns() - (stage + serial)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! Graphviz DOT export of multibutterfly networks.
+//!
+//! Renders the port-level structure — endpoints, per-stage routers,
+//! every wire — for visual inspection of wirings and fault sets. Faulty
+//! elements are drawn dashed/red so a diagnosis session can literally
+//! see what it concluded.
+
+use crate::fault::FaultSet;
+use crate::graph::{LinkId, LinkTarget};
+use crate::multibutterfly::Multibutterfly;
+use std::fmt::Write as _;
+
+/// Renders the network as a Graphviz digraph (left-to-right ranks:
+/// sources, stages, destinations). Pass an empty [`FaultSet`] for a
+/// healthy drawing.
+#[must_use]
+pub fn to_dot(net: &Multibutterfly, faults: &FaultSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph metro {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+
+    // Source endpoints.
+    let _ = writeln!(out, "  subgraph cluster_src {{ label=\"sources\";");
+    for e in 0..net.endpoints() {
+        let _ = writeln!(out, "    src{e} [label=\"ep {e}\", shape=ellipse];");
+    }
+    let _ = writeln!(out, "  }}");
+
+    // Stages.
+    for s in 0..net.stages() {
+        let st = net.stage_spec(s);
+        let _ = writeln!(
+            out,
+            "  subgraph cluster_s{s} {{ label=\"stage {s} ({}x{} d{})\";",
+            st.forward_ports,
+            st.radix(),
+            st.dilation
+        );
+        for r in 0..net.routers_in_stage(s) {
+            let style = if faults.router_dead(s, r) {
+                ", style=filled, fillcolor=\"#ffcccc\", color=red"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    r{s}_{r} [label=\"r{s}.{r}\"{style}];");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+
+    // Destination endpoints.
+    let _ = writeln!(out, "  subgraph cluster_dst {{ label=\"destinations\";");
+    for e in 0..net.endpoints() {
+        let style = if faults.endpoint_dead(e) {
+            ", style=filled, fillcolor=\"#ffcccc\", color=red"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    dst{e} [label=\"ep {e}\", shape=ellipse{style}];");
+    }
+    let _ = writeln!(out, "  }}");
+
+    // Injection wires.
+    for e in 0..net.endpoints() {
+        for p in 0..net.endpoint_ports() {
+            let (r, f) = net.injection(e, p);
+            let _ = writeln!(out, "  src{e} -> r0_{r} [headlabel=\"{f}\", fontsize=8];");
+        }
+    }
+    // Inter-stage and delivery wires.
+    for s in 0..net.stages() {
+        for r in 0..net.routers_in_stage(s) {
+            for b in 0..net.stage_spec(s).backward_ports {
+                let style = match faults.link_fault(LinkId::new(s, r, b)) {
+                    Some(crate::fault::FaultKind::Dead) => " [style=dotted, color=red]",
+                    Some(_) => " [style=dashed, color=red]",
+                    None => "",
+                };
+                match net.link(s, r, b) {
+                    LinkTarget::Router { router, .. } => {
+                        let _ = writeln!(out, "  r{s}_{r} -> r{}_{router}{style};", s + 1);
+                    }
+                    LinkTarget::Endpoint { endpoint, .. } => {
+                        let _ = writeln!(out, "  r{s}_{r} -> dst{endpoint}{style};");
+                    }
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+    use crate::multibutterfly::MultibutterflySpec;
+
+    #[test]
+    fn healthy_figure1_renders_every_element() {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let dot = to_dot(&net, &FaultSet::new());
+        assert!(dot.starts_with("digraph metro {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 16 sources + 16 destinations + 24 routers.
+        assert_eq!(dot.matches("shape=ellipse").count(), 32);
+        for s in 0..3 {
+            for r in 0..8 {
+                assert!(dot.contains(&format!("r{s}_{r} ")), "router r{s}.{r}");
+            }
+        }
+        // 32 injection wires + 96 router-output wires.
+        assert_eq!(dot.matches(" -> ").count(), 32 + 96);
+        assert!(!dot.contains("color=red"));
+    }
+
+    #[test]
+    fn faults_are_highlighted() {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let mut faults = FaultSet::new();
+        faults.kill_router(1, 2);
+        faults.break_link(
+            crate::graph::LinkId::new(0, 0, 0),
+            FaultKind::CorruptData { xor: 1 },
+        );
+        faults.kill_endpoint(5);
+        let dot = to_dot(&net, &faults);
+        assert!(dot.contains("r1_2 [label=\"r1.2\", style=filled"));
+        assert_eq!(dot.matches("style=dashed, color=red").count(), 1);
+        assert!(dot.contains("dst5 [label=\"ep 5\", shape=ellipse, style=filled"));
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let net = Multibutterfly::build(&MultibutterflySpec::small8()).unwrap();
+        let f = FaultSet::new();
+        assert_eq!(to_dot(&net, &f), to_dot(&net, &f));
+    }
+}

@@ -1,0 +1,301 @@
+//! Fat-tree topologies.
+//!
+//! Fat-trees (\[17\], \[14\]) are the second network class the paper names
+//! as buildable from METRO routers, with construction details in
+//! DeHon's "Practical Schemes for Fat-Tree Network Construction" \[7\].
+//! This module models the *structure*: per-level channel capacities, the
+//! decomposition of each tree node into fixed-size METRO routers, and
+//! the up/down multipath counts between leaves. Cycle-level simulation
+//! in this reproduction targets the multibutterfly networks the paper's
+//! Figure 3 evaluates; the fat-tree model supports the structural
+//! comparisons and router-budget arithmetic of \[7\].
+//!
+//! The model: a complete `arity`-ary tree with processors at the
+//! leaves. The channel between a node at depth `d+1` and its parent at
+//! depth `d` has `capacity(d+1)` wires; capacities grow toward the root
+//! by `growth` (capped by full bandwidth), the classic "fattening".
+
+use core::fmt;
+
+/// Specification of a fat-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FatTreeSpec {
+    /// Children per internal node.
+    pub arity: usize,
+    /// Tree depth: leaves sit at depth `levels`, the root at depth 0.
+    pub levels: usize,
+    /// Wires from each leaf processor into its first routing node.
+    pub leaf_capacity: usize,
+    /// Capacity growth factor per level toward the root (2 = doubling).
+    pub growth: usize,
+}
+
+impl FatTreeSpec {
+    /// A binary fat-tree with doubling capacities — the Leiserson
+    /// universal-network shape.
+    #[must_use]
+    pub fn binary(levels: usize, leaf_capacity: usize) -> Self {
+        Self {
+            arity: 2,
+            levels,
+            leaf_capacity,
+            growth: 2,
+        }
+    }
+}
+
+/// An error from [`FatTree::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FatTreeError {
+    /// Arity must be at least 2.
+    ArityTooSmall,
+    /// The tree must have at least one level.
+    NoLevels,
+    /// Leaf capacity must be nonzero.
+    NoLeafCapacity,
+    /// Growth must be at least 1.
+    NoGrowth,
+}
+
+impl fmt::Display for FatTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityTooSmall => write!(f, "fat-tree arity must be at least 2"),
+            Self::NoLevels => write!(f, "fat-tree must have at least one level"),
+            Self::NoLeafCapacity => write!(f, "leaf capacity must be nonzero"),
+            Self::NoGrowth => write!(f, "capacity growth must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for FatTreeError {}
+
+/// A constructed fat-tree structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FatTree {
+    spec: FatTreeSpec,
+    /// `capacity[d]` — wires between a node at depth `d` and its parent
+    /// (index 0 unused; the root has no parent).
+    capacity: Vec<usize>,
+}
+
+impl FatTree {
+    /// Builds the fat-tree described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FatTreeError`] for degenerate specifications.
+    pub fn build(spec: &FatTreeSpec) -> Result<Self, FatTreeError> {
+        if spec.arity < 2 {
+            return Err(FatTreeError::ArityTooSmall);
+        }
+        if spec.levels == 0 {
+            return Err(FatTreeError::NoLevels);
+        }
+        if spec.leaf_capacity == 0 {
+            return Err(FatTreeError::NoLeafCapacity);
+        }
+        if spec.growth == 0 {
+            return Err(FatTreeError::NoGrowth);
+        }
+        // capacity[d]: wires from depth-d node up to its parent.
+        // At the leaf boundary (depth = levels) it is leaf_capacity;
+        // going up it grows by `growth` but is capped at full
+        // bandwidth (arity × child capacity) — beyond that the extra
+        // wires could never be used.
+        let mut capacity = vec![0usize; spec.levels + 1];
+        capacity[spec.levels] = spec.leaf_capacity;
+        for d in (1..spec.levels).rev() {
+            let below = capacity[d + 1];
+            capacity[d] = (below * spec.growth).min(below * spec.arity);
+        }
+        Ok(Self {
+            spec: *spec,
+            capacity,
+        })
+    }
+
+    /// The specification.
+    #[must_use]
+    pub fn spec(&self) -> &FatTreeSpec {
+        &self.spec
+    }
+
+    /// Number of leaf processors, `arity^levels`.
+    #[must_use]
+    pub fn leaves(&self) -> usize {
+        self.spec.arity.pow(self.spec.levels as u32)
+    }
+
+    /// Wires between a depth-`d` node and its parent (`1 <= d <= levels`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `d == 0` (the root has no parent) or `d > levels`.
+    #[must_use]
+    pub fn capacity(&self, d: usize) -> usize {
+        assert!(d >= 1 && d <= self.spec.levels, "depth {d} has no up channel");
+        self.capacity[d]
+    }
+
+    /// Bisection bandwidth in wires: the root's total downward capacity
+    /// divided between two halves (binary intuition; for general arity,
+    /// the capacity of the root's child channels on one side).
+    #[must_use]
+    pub fn bisection(&self) -> usize {
+        (self.spec.arity / 2) * self.capacity(1)
+    }
+
+    /// Depth of the least common ancestor of leaves `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either leaf index is out of range.
+    #[must_use]
+    pub fn lca_depth(&self, a: usize, b: usize) -> usize {
+        let n = self.leaves();
+        assert!(a < n && b < n, "leaf index out of range");
+        let mut a = a;
+        let mut b = b;
+        let mut depth = self.spec.levels;
+        while a != b {
+            a /= self.spec.arity;
+            b /= self.spec.arity;
+            depth -= 1;
+        }
+        depth
+    }
+
+    /// Number of distinct wire-level up/down paths between leaves `a`
+    /// and `b` (full-crossbar switching inside each tree node): the
+    /// product of channel capacities up to the LCA and back down.
+    #[must_use]
+    pub fn path_count(&self, a: usize, b: usize) -> usize {
+        if a == b {
+            return 1;
+        }
+        let lca = self.lca_depth(a, b);
+        let mut paths = 1usize;
+        for d in (lca + 1..=self.spec.levels).rev() {
+            paths *= self.capacity(d); // up hop
+            paths *= self.capacity(d); // matching down hop
+        }
+        paths
+    }
+
+    /// Number of `i_ports × o_ports` METRO routers required to implement
+    /// the switching of one node at depth `d` as a full concentrator
+    /// between its down-side wires (children + local) and up-side wires,
+    /// per the budget arithmetic of \[7\]: `ceil(down/i) · ceil(up/o)`
+    /// router positions for the up path plus the mirror for the down
+    /// path.
+    #[must_use]
+    pub fn routers_per_node(&self, d: usize, i_ports: usize, o_ports: usize) -> usize {
+        assert!(d >= 1 && d < self.spec.levels, "internal nodes only");
+        let down = self.spec.arity * self.capacity(d + 1);
+        let up = self.capacity(d);
+        let up_routers = down.div_ceil(i_ports) * up.div_ceil(o_ports);
+        let down_routers = up.div_ceil(i_ports) * down.div_ceil(o_ports);
+        up_routers + down_routers
+    }
+
+    /// Total router budget for the whole tree with `i_ports × o_ports`
+    /// parts (internal nodes only; leaves connect directly).
+    #[must_use]
+    pub fn total_routers(&self, i_ports: usize, o_ports: usize) -> usize {
+        (1..self.spec.levels)
+            .map(|d| self.spec.arity.pow(d as u32) * self.routers_per_node(d, i_ports, o_ports))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_doubling_capacities() {
+        let t = FatTree::build(&FatTreeSpec::binary(4, 2)).unwrap();
+        assert_eq!(t.leaves(), 16);
+        assert_eq!(t.capacity(4), 2);
+        assert_eq!(t.capacity(3), 4);
+        assert_eq!(t.capacity(2), 8);
+        assert_eq!(t.capacity(1), 16);
+        assert_eq!(t.bisection(), 16);
+    }
+
+    #[test]
+    fn growth_is_capped_at_full_bandwidth() {
+        let spec = FatTreeSpec {
+            arity: 2,
+            levels: 3,
+            leaf_capacity: 1,
+            growth: 8, // absurd growth, must cap at arity
+        };
+        let t = FatTree::build(&spec).unwrap();
+        assert_eq!(t.capacity(3), 1);
+        assert_eq!(t.capacity(2), 2);
+        assert_eq!(t.capacity(1), 4);
+    }
+
+    #[test]
+    fn lca_depth_matches_tree_structure() {
+        let t = FatTree::build(&FatTreeSpec::binary(3, 1)).unwrap();
+        assert_eq!(t.lca_depth(0, 1), 2); // siblings
+        assert_eq!(t.lca_depth(0, 2), 1);
+        assert_eq!(t.lca_depth(0, 7), 0); // opposite halves -> root
+        assert_eq!(t.lca_depth(3, 3), 3); // same leaf
+    }
+
+    #[test]
+    fn path_count_grows_with_lca_height() {
+        let t = FatTree::build(&FatTreeSpec::binary(3, 2)).unwrap();
+        // Siblings: up then down through capacity(3) = 2: 2*2 = 4.
+        assert_eq!(t.path_count(0, 1), 4);
+        // Cousins via depth 1: (2*2) * (4*4) = 64.
+        assert_eq!(t.path_count(0, 2), 64);
+        // Across the root: (2*2)*(4*4)*(8*8) = 4096.
+        assert_eq!(t.path_count(0, 7), 4096);
+        assert_eq!(t.path_count(5, 5), 1);
+    }
+
+    #[test]
+    fn path_count_is_symmetric() {
+        let t = FatTree::build(&FatTreeSpec::binary(3, 2)).unwrap();
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(t.path_count(a, b), t.path_count(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn router_budget_is_positive_and_scales() {
+        let t = FatTree::build(&FatTreeSpec::binary(4, 2)).unwrap();
+        let small = t.total_routers(4, 4);
+        let large = t.total_routers(8, 8);
+        assert!(small > 0 && large > 0);
+        assert!(large <= small, "bigger parts need no more routers");
+    }
+
+    #[test]
+    fn rejects_degenerate_specs() {
+        assert_eq!(
+            FatTree::build(&FatTreeSpec { arity: 1, levels: 2, leaf_capacity: 1, growth: 2 }),
+            Err(FatTreeError::ArityTooSmall)
+        );
+        assert_eq!(
+            FatTree::build(&FatTreeSpec { arity: 2, levels: 0, leaf_capacity: 1, growth: 2 }),
+            Err(FatTreeError::NoLevels)
+        );
+        assert_eq!(
+            FatTree::build(&FatTreeSpec { arity: 2, levels: 2, leaf_capacity: 0, growth: 2 }),
+            Err(FatTreeError::NoLeafCapacity)
+        );
+        assert_eq!(
+            FatTree::build(&FatTreeSpec { arity: 2, levels: 2, leaf_capacity: 1, growth: 0 }),
+            Err(FatTreeError::NoGrowth)
+        );
+    }
+}

@@ -1,0 +1,298 @@
+//! Path enumeration and counting.
+//!
+//! "Dilated routing components give rise to multiple independent paths
+//! through the network. The multiple paths in the network increase
+//! available bandwidth, decrease congestion, and provide tolerance to
+//! link and router faults" (paper §2). These routines quantify that
+//! multipath structure: how many wire-level paths connect an endpoint
+//! pair, which routers they traverse, and how the counts degrade under a
+//! [`FaultSet`].
+
+use crate::fault::FaultSet;
+use crate::graph::{LinkId, LinkTarget};
+use crate::multibutterfly::Multibutterfly;
+use std::collections::BTreeMap;
+
+/// Counts the wire-level paths from endpoint `src` to endpoint `dest`
+/// that survive `faults`.
+///
+/// A path uses one source output port, one wire per stage boundary in
+/// the correct logical direction, and one destination input port; dead
+/// routers, dead links, and corrupting links are all excluded (a
+/// corrupting link cannot carry a successful transmission).
+#[must_use]
+pub fn count_paths(
+    net: &Multibutterfly,
+    src: usize,
+    dest: usize,
+    faults: &FaultSet,
+) -> usize {
+    if faults.endpoint_dead(src) || faults.endpoint_dead(dest) {
+        return 0;
+    }
+    let digits = net.route_digits(dest);
+    // Multiplicity of wire-paths arriving at each live stage-0 router.
+    let mut mult: BTreeMap<usize, usize> = BTreeMap::new();
+    for p in 0..net.endpoint_ports() {
+        let (r, _) = net.injection(src, p);
+        if !faults.router_dead(0, r) {
+            *mult.entry(r).or_insert(0) += 1;
+        }
+    }
+    for (s, &j) in digits.iter().enumerate().take(net.stages()) {
+        let st = net.stage_spec(s);
+        let mut next: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut delivered = 0usize;
+        for (&r, &m) in &mult {
+            for c in 0..st.dilation {
+                let b = j * st.dilation + c;
+                let link = LinkId::new(s, r, b);
+                if faults.link_fault(link).is_some() {
+                    continue;
+                }
+                match net.link(s, r, b) {
+                    LinkTarget::Router { router, .. } => {
+                        if !faults.router_dead(s + 1, router) {
+                            *next.entry(router).or_insert(0) += m;
+                        }
+                    }
+                    LinkTarget::Endpoint { endpoint, .. } => {
+                        if endpoint == dest {
+                            delivered += m;
+                        }
+                    }
+                }
+            }
+        }
+        if s + 1 == net.stages() {
+            return delivered;
+        }
+        mult = next;
+        if mult.is_empty() {
+            return 0;
+        }
+    }
+    0
+}
+
+/// One concrete path: the router visited at each stage (the source
+/// output port and per-stage backward port are implicit in the wires).
+pub type RouterPath = Vec<usize>;
+
+/// Enumerates up to `limit` distinct router-level paths from `src` to
+/// `dest` surviving `faults`.
+#[must_use]
+pub fn enumerate_paths(
+    net: &Multibutterfly,
+    src: usize,
+    dest: usize,
+    faults: &FaultSet,
+    limit: usize,
+) -> Vec<RouterPath> {
+    let digits = net.route_digits(dest);
+    let mut results = Vec::new();
+    let mut entry_routers: Vec<usize> = (0..net.endpoint_ports())
+        .map(|p| net.injection(src, p).0)
+        .collect();
+    entry_routers.sort_unstable();
+    entry_routers.dedup();
+    for r in entry_routers {
+        if faults.router_dead(0, r) {
+            continue;
+        }
+        extend(net, faults, &digits, dest, 0, r, &mut vec![r], &mut results, limit);
+        if results.len() >= limit {
+            break;
+        }
+    }
+    results
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    net: &Multibutterfly,
+    faults: &FaultSet,
+    digits: &[usize],
+    dest: usize,
+    s: usize,
+    r: usize,
+    prefix: &mut Vec<usize>,
+    results: &mut Vec<RouterPath>,
+    limit: usize,
+) {
+    if results.len() >= limit {
+        return;
+    }
+    let st = net.stage_spec(s);
+    let j = digits[s];
+    let mut next_routers: Vec<usize> = Vec::new();
+    for c in 0..st.dilation {
+        let b = j * st.dilation + c;
+        if faults.link_fault(LinkId::new(s, r, b)).is_some() {
+            continue;
+        }
+        match net.link(s, r, b) {
+            LinkTarget::Router { router, .. } => {
+                if !faults.router_dead(s + 1, router) && !next_routers.contains(&router) {
+                    next_routers.push(router);
+                }
+            }
+            LinkTarget::Endpoint { endpoint, .. } => {
+                if endpoint == dest && results.len() < limit {
+                    results.push(prefix.clone());
+                }
+            }
+        }
+    }
+    for router in next_routers {
+        prefix.push(router);
+        extend(net, faults, digits, dest, s + 1, router, prefix, results, limit);
+        prefix.pop();
+    }
+}
+
+/// The minimum wire-level path count over every ordered endpoint pair —
+/// the network's weakest connectivity.
+#[must_use]
+pub fn min_path_count(net: &Multibutterfly, faults: &FaultSet) -> usize {
+    let mut min = usize::MAX;
+    for src in 0..net.endpoints() {
+        for dest in 0..net.endpoints() {
+            min = min.min(count_paths(net, src, dest, faults));
+            if min == 0 {
+                return 0;
+            }
+        }
+    }
+    min
+}
+
+/// All link identifiers of the network (useful for random fault
+/// sampling).
+#[must_use]
+pub fn all_links(net: &Multibutterfly) -> Vec<LinkId> {
+    let mut links = Vec::new();
+    for s in 0..net.stages() {
+        let st = net.stage_spec(s);
+        for r in 0..net.routers_in_stage(s) {
+            for b in 0..st.backward_ports {
+                links.push(LinkId::new(s, r, b));
+            }
+        }
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multibutterfly::MultibutterflySpec;
+
+    #[test]
+    fn fault_free_figure1_has_many_paths() {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let faults = FaultSet::new();
+        // Paper Figure 1 caption: "there are many paths between each
+        // pair of network endpoints" — endpoints 6 and 16 are shown.
+        // (The paper numbers endpoints 1-16; we use 0-15.)
+        let paths = count_paths(&net, 5, 15, &faults);
+        assert!(paths >= 8, "expected ≥8 wire paths, found {paths}");
+        assert!(min_path_count(&net, &faults) >= 8);
+    }
+
+    #[test]
+    fn path_multiplicity_is_dilation_product() {
+        // Fault-free: 2 entry ports × 2 × 2 (dilation-2 stages) × 1
+        // (dilation-1 final) = 8 wire paths, every pair.
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let faults = FaultSet::new();
+        for src in 0..16 {
+            for dest in 0..16 {
+                assert_eq!(count_paths(&net, src, dest, &faults), 8, "{src}->{dest}");
+            }
+        }
+    }
+
+    #[test]
+    fn enumerated_paths_follow_route_digits() {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let faults = FaultSet::new();
+        let paths = enumerate_paths(&net, 3, 12, &faults, 64);
+        assert!(!paths.is_empty());
+        for p in &paths {
+            assert_eq!(p.len(), net.stages());
+            // Last-stage router must deliver to destination 12.
+            let last = *p.last().unwrap();
+            let st = net.stage_spec(net.stages() - 1);
+            let j = net.route_digits(12)[net.stages() - 1];
+            let hits_dest = (0..st.dilation).any(|c| {
+                matches!(
+                    net.link(net.stages() - 1, last, j * st.dilation + c),
+                    LinkTarget::Endpoint { endpoint: 12, .. }
+                )
+            });
+            assert!(hits_dest);
+        }
+    }
+
+    #[test]
+    fn dead_router_reduces_but_does_not_disconnect() {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let mut faults = FaultSet::new();
+        faults.kill_router(1, 0);
+        let min = min_path_count(&net, &faults);
+        assert!(min >= 1, "a single mid-stage router loss must not disconnect");
+        assert!(min < 8, "but it must cost some paths somewhere");
+    }
+
+    #[test]
+    fn dead_link_excluded_from_paths() {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let faults = FaultSet::new();
+        let baseline = count_paths(&net, 0, 15, &faults);
+        let digits = net.route_digits(15);
+        // Kill one injection-stage link on the route.
+        let (r, _) = net.injection(0, 0);
+        let mut f2 = FaultSet::new();
+        f2.break_link(
+            LinkId::new(0, r, digits[0] * net.stage_spec(0).dilation),
+            crate::fault::FaultKind::Dead,
+        );
+        let reduced = count_paths(&net, 0, 15, &f2);
+        assert!(reduced < baseline);
+        assert!(reduced > 0);
+    }
+
+    #[test]
+    fn dead_endpoint_has_no_paths() {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let mut faults = FaultSet::new();
+        faults.kill_endpoint(7);
+        assert_eq!(count_paths(&net, 7, 3, &faults), 0);
+        assert_eq!(count_paths(&net, 3, 7, &faults), 0);
+        assert!(count_paths(&net, 3, 8, &faults) > 0);
+    }
+
+    #[test]
+    fn corrupting_link_counts_as_unusable() {
+        let net = Multibutterfly::build(&MultibutterflySpec::small8()).unwrap();
+        let all = all_links(&net);
+        let mut faults = FaultSet::new();
+        faults.break_link(all[0], crate::fault::FaultKind::CorruptData { xor: 1 });
+        // Some pair's count must drop relative to fault-free.
+        let clean = FaultSet::new();
+        let dropped = (0..8).any(|src| {
+            (0..8).any(|dest| {
+                count_paths(&net, src, dest, &faults) < count_paths(&net, src, dest, &clean)
+            })
+        });
+        assert!(dropped);
+    }
+
+    #[test]
+    fn all_links_counts_every_backward_port() {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        // 8 routers × 4 ports × 3 stages = 96 links.
+        assert_eq!(all_links(&net).len(), 96);
+    }
+}

@@ -1,0 +1,118 @@
+//! Fully automated fault localization with `metro::doctor`: inject a
+//! corrupting link, run traffic with failure-record capture, and let
+//! the doctor name the faulty link from nothing but the reply streams
+//! the source saw — then mask it and verify the fleet runs clean.
+//!
+//! ```sh
+//! cargo run --example auto_doctor
+//! ```
+
+use metro::core::PortMode;
+use metro::doctor::{diagnose, Finding};
+use metro::sim::endpoint::EndpointConfig;
+use metro::sim::{NetworkSim, SimConfig};
+use metro::topo::fault::{FaultKind, FaultSet};
+use metro::topo::graph::{LinkId, LinkTarget};
+use metro::topo::MultibutterflySpec;
+
+fn main() {
+    let config = SimConfig {
+        endpoint: EndpointConfig {
+            capture_failure_records: true,
+            ..EndpointConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).expect("valid network");
+    let plan = sim.header_plan().clone();
+
+    // A stage-0 link develops a silent data-corrupting fault.
+    let src = 4;
+    let dest = 9;
+    let digits = sim.topology().route_digits(dest);
+    let (entry, _) = sim.topology().injection(src, 0);
+    let st0 = sim.topology().stage_spec(0);
+    let victim = LinkId::new(0, entry, digits[0] * st0.dilation);
+    let mut faults = FaultSet::new();
+    faults.break_link(victim, FaultKind::CorruptData { xor: 0x05 });
+    sim.apply_faults(faults);
+    println!("injected corrupting fault on {victim} (invisible to the fabric)");
+
+    // Normal traffic; the end-to-end checksums NACK corrupted attempts
+    // and retries deliver — but the failure records accumulate evidence.
+    let payload = [0x11u16, 0x22, 0x33, 0x44];
+    let mut finding = None;
+    let mut transactions = 0;
+    while finding.is_none() && transactions < 50 {
+        transactions += 1;
+        let Some(outcome) = sim.send_and_wait(src, dest, &payload, 20_000) else {
+            continue;
+        };
+        assert_eq!(outcome.payload_delivered, payload, "never silently corrupt");
+        for (port, record) in &outcome.failure_records {
+            if record.checksums.len() == sim.topology().stages() {
+                finding =
+                    diagnose(sim.topology(), &plan, src, dest, *port, &payload, record);
+            }
+        }
+    }
+    let finding = finding.expect("evidence must surface");
+    println!("after {transactions} transactions the doctor concludes: {finding:?}");
+    let Finding::Link(link) = finding else {
+        panic!("expected a link finding");
+    };
+    assert_eq!(link, victim, "the doctor named the exact injected fault");
+
+    // Mask: disable the driving backward port and the fed forward port
+    // (a scan master would push these through the TAPs; see the
+    // fault_masking example for the bit-serial version).
+    let LinkTarget::Router {
+        router: down_router,
+        port: down_port,
+    } = sim.topology().link(link.stage, link.router, link.port)
+    else {
+        panic!("inter-stage link");
+    };
+    let up = sim.router(link.stage, link.router);
+    let up_cfg = rebuild_with(up.config(), |b| {
+        b.with_backward_port_mode(link.port, PortMode::DisabledDriven)
+    });
+    sim.router_mut(link.stage, link.router).apply_config(up_cfg);
+    let down = sim.router(link.stage + 1, down_router);
+    let down_cfg = rebuild_with(down.config(), |b| {
+        b.with_forward_port_mode(down_port, PortMode::DisabledDriven)
+    });
+    sim.router_mut(link.stage + 1, down_router).apply_config(down_cfg);
+    println!("masked both ends of {link}");
+
+    // Clean from here on: no retries across a batch of transactions.
+    let mut retries = 0;
+    for _ in 0..10 {
+        let o = sim.send_and_wait(src, dest, &payload, 20_000).expect("delivers");
+        retries += o.retries;
+    }
+    println!("10 post-mask transactions: {retries} retries");
+    assert_eq!(retries, 0);
+}
+
+/// Rebuilds a config preserving dilation/swallow/reclamation, applying
+/// one extra builder step.
+fn rebuild_with(
+    live: &metro::core::RouterConfig,
+    extra: impl FnOnce(metro::core::ConfigBuilder) -> metro::core::ConfigBuilder,
+) -> metro::core::RouterConfig {
+    // The builder needs the params; recover i from the live config by
+    // probing — simpler: rebuild from the standard Figure 1 part.
+    let params = metro::core::ArchParams::new(4, 4, 8, 2, 0, 1).unwrap();
+    let mut b = metro::core::RouterConfig::new(&params).with_dilation(live.dilation());
+    for f in 0..4 {
+        b = b
+            .with_swallow(f, live.swallow(f))
+            .with_fast_reclaim(f, live.fast_reclaim(f))
+            .with_forward_port_mode(f, live.forward_mode(f));
+    }
+    for p in 0..4 {
+        b = b.with_backward_port_mode(p, live.backward_mode(p));
+    }
+    extra(b).build().expect("valid mask config")
+}

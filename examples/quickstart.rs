@@ -1,0 +1,49 @@
+//! Quickstart: build the paper's Figure 1 network, send a message, and
+//! inspect the outcome.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use metro_sim::{NetworkSim, SimConfig};
+use metro_topo::MultibutterflySpec;
+
+fn main() {
+    // The 16-endpoint multipath network of Figure 1: three stages of
+    // 4-port routers, dilation 2/2/1, two network ports per endpoint.
+    let spec = MultibutterflySpec::figure1();
+    let config = SimConfig::default(); // 8-bit channels, hw = 0, dp = 1
+    let mut sim = NetworkSim::new(&spec, &config).expect("valid network");
+
+    println!(
+        "network: {} endpoints, {} routers in {} stages",
+        sim.topology().endpoints(),
+        sim.topology().total_routers(),
+        sim.topology().stages()
+    );
+
+    // A 16-byte payload from endpoint 3 to endpoint 12.
+    let payload: Vec<u16> = (0..16).map(|k| (k * 11 + 3) & 0xFF).collect();
+    let outcome = sim
+        .send_and_wait(3, 12, &payload, 1_000)
+        .expect("message delivers");
+
+    println!("delivered: {:?}", outcome.payload_delivered);
+    assert_eq!(outcome.payload_delivered, payload);
+    println!(
+        "network latency: {} cycles, retries: {}",
+        outcome.network_latency(),
+        outcome.retries
+    );
+
+    // The self-routing stream the NIC injected: header word(s), payload,
+    // end-to-end checksum, TURN.
+    let stream = sim.stream_for(12, &payload);
+    println!(
+        "stream: {} words ({} header + {} payload + checksum + TURN)",
+        stream.len(),
+        sim.header_plan().header_words(),
+        payload.len()
+    );
+    println!("first words: {:?}", &stream[..3.min(stream.len())]);
+}

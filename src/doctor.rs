@@ -1,0 +1,243 @@
+//! Automated on-line fault localization — the full §5.1 loop, wired
+//! across the crates.
+//!
+//! A failed attempt's delivery record carries, per stage, the STATUS
+//! word (which backward port the connection took) and the router's
+//! transit checksum. Combined with the topology, the statuses
+//! reconstruct the exact router path; combined with the expected
+//! per-stage checksums, the transit checksums localize where corruption
+//! entered. The result names a concrete [`LinkId`] (or the injection
+//! wire), ready for scan-driven masking.
+
+use metro_core::header::HeaderPlan;
+use metro_scan::diagnosis::{expected_stage_checksums, localize_corruption};
+use metro_sim::message::DeliveryRecord;
+use metro_topo::graph::{LinkId, LinkTarget};
+use metro_topo::multibutterfly::Multibutterfly;
+
+/// What the diagnosis concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Finding {
+    /// Corruption entered on the wire from the source endpoint into
+    /// stage 0.
+    InjectionWire {
+        /// Source endpoint.
+        endpoint: usize,
+        /// Source output port.
+        port: usize,
+    },
+    /// Corruption entered on (or at the ports of) this inter-stage or
+    /// delivery link.
+    Link(LinkId),
+    /// Every reported transit checksum matched: the corruption (if any)
+    /// entered downstream of the last router — on the delivery wire.
+    DeliveryWire(LinkId),
+}
+
+/// Reconstructs the router path an attempt took from its STATUS words:
+/// `routers[s]` is the router index at stage `s`.
+///
+/// Returns `None` if the record does not cover every stage (e.g. the
+/// attempt blocked midway).
+#[must_use]
+pub fn path_from_record(
+    net: &Multibutterfly,
+    src: usize,
+    out_port: usize,
+    record: &DeliveryRecord,
+) -> Option<Vec<usize>> {
+    if record.statuses.len() < net.stages() {
+        return None;
+    }
+    let mut routers = Vec::with_capacity(net.stages());
+    let (mut router, _) = net.injection(src, out_port);
+    routers.push(router);
+    for s in 0..net.stages() - 1 {
+        let taken = record.statuses[s].port()?;
+        match net.link(s, router, taken) {
+            LinkTarget::Router { router: next, .. } => {
+                router = next;
+                routers.push(next);
+            }
+            LinkTarget::Endpoint { .. } => return None,
+        }
+    }
+    Some(routers)
+}
+
+/// Localizes a corruption fault from one failed attempt.
+///
+/// `plan` is the network's header plan, `payload` the payload words the
+/// attempt carried (masked to channel width), `out_port` the source
+/// output port the attempt used.
+///
+/// Returns `None` when the record is unusable (incomplete path or no
+/// checksums).
+#[must_use]
+pub fn diagnose(
+    net: &Multibutterfly,
+    plan: &HeaderPlan,
+    src: usize,
+    dest: usize,
+    out_port: usize,
+    payload: &[u16],
+    record: &DeliveryRecord,
+) -> Option<Finding> {
+    let routers = path_from_record(net, src, out_port, record)?;
+    if record.checksums.len() < net.stages() {
+        return None;
+    }
+    let digits = net.route_digits(dest);
+    let expected = expected_stage_checksums(
+        plan,
+        &digits,
+        payload,
+        plan_width(plan),
+        plan_hw(plan, net.stages()),
+    );
+    match localize_corruption(&expected, &record.checksums) {
+        Some(site) if site.stage == 0 => Some(Finding::InjectionWire {
+            endpoint: src,
+            port: out_port,
+        }),
+        Some(site) => {
+            let up_stage = site.stage - 1;
+            let up_router = routers[up_stage];
+            let taken = record.statuses[up_stage].port()?;
+            Some(Finding::Link(LinkId::new(up_stage, up_router, taken)))
+        }
+        None => {
+            // All transit checksums clean: the fault sits past the last
+            // router, on the delivery wire the last status names.
+            let last = net.stages() - 1;
+            let taken = record.statuses[last].port()?;
+            Some(Finding::DeliveryWire(LinkId::new(last, routers[last], taken)))
+        }
+    }
+}
+
+// The header plan doesn't expose w/hw directly; recover them from its
+// shape. (Width is bits per word; the plan's header_bits/header_words
+// ratio gives it. hw is header_words / stages when positive.)
+fn plan_width(plan: &HeaderPlan) -> usize {
+    if plan.header_words() == 0 {
+        8
+    } else {
+        plan.header_bits() / plan.header_words()
+    }
+}
+
+fn plan_hw(plan: &HeaderPlan, stages: usize) -> usize {
+    // In the hw > 0 regime the plan has exactly hw words per stage and
+    // no swallow flags set; in the hw = 0 regime the final stage always
+    // swallows.
+    if plan.swallow().iter().any(|&s| s) {
+        0
+    } else {
+        plan.header_words().checked_div(stages).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metro_core::StatusWord;
+    use metro_topo::multibutterfly::MultibutterflySpec;
+
+    fn fixture() -> (Multibutterfly, HeaderPlan) {
+        let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
+        let plan = net.header_plan(8, 0);
+        (net, plan)
+    }
+
+    /// Builds the record a clean attempt along the canonical path would
+    /// produce, then corrupts checksums from `bad_stage` on.
+    fn record_for(
+        net: &Multibutterfly,
+        plan: &HeaderPlan,
+        src: usize,
+        dest: usize,
+        payload: &[u16],
+        bad_stage: Option<usize>,
+    ) -> (usize, DeliveryRecord) {
+        let digits = net.route_digits(dest);
+        let out_port = 0;
+        let mut record = DeliveryRecord::default();
+        // Walk the first dilated copy at every stage.
+        let (mut router, _) = net.injection(src, out_port);
+        for (s, &digit) in digits.iter().enumerate().take(net.stages()) {
+            let st = net.stage_spec(s);
+            let taken = digit * st.dilation;
+            record.statuses.push(StatusWord::connected(taken));
+            if let LinkTarget::Router { router: next, .. } = net.link(s, router, taken) {
+                router = next;
+            }
+        }
+        let mut checksums = expected_stage_checksums(plan, &digits, payload, 8, 0);
+        if let Some(bad) = bad_stage {
+            for c in checksums.iter_mut().skip(bad) {
+                *c ^= 0x0101;
+            }
+        }
+        record.checksums = checksums;
+        (out_port, record)
+    }
+
+    #[test]
+    fn clean_record_blames_the_delivery_wire() {
+        let (net, plan) = fixture();
+        let payload = [1u16, 2, 3];
+        let (port, record) = record_for(&net, &plan, 2, 13, &payload, None);
+        let f = diagnose(&net, &plan, 2, 13, port, &payload, &record).unwrap();
+        assert!(matches!(f, Finding::DeliveryWire(l) if l.stage == 2));
+    }
+
+    #[test]
+    fn corruption_at_stage_zero_blames_the_injection_wire() {
+        let (net, plan) = fixture();
+        let payload = [7u16];
+        let (port, record) = record_for(&net, &plan, 4, 11, &payload, Some(0));
+        let f = diagnose(&net, &plan, 4, 11, port, &payload, &record).unwrap();
+        assert_eq!(
+            f,
+            Finding::InjectionWire {
+                endpoint: 4,
+                port: 0
+            }
+        );
+    }
+
+    #[test]
+    fn mid_path_corruption_names_the_exact_link() {
+        let (net, plan) = fixture();
+        let payload = [9u16, 9];
+        let (port, record) = record_for(&net, &plan, 0, 15, &payload, Some(2));
+        let f = diagnose(&net, &plan, 0, 15, port, &payload, &record).unwrap();
+        let Finding::Link(link) = f else {
+            panic!("expected a link finding, got {f:?}");
+        };
+        assert_eq!(link.stage, 1);
+        // The named link must be the one the record's stage-1 status took.
+        let digits = net.route_digits(15);
+        assert_eq!(link.port, digits[1] * net.stage_spec(1).dilation);
+    }
+
+    #[test]
+    fn incomplete_record_yields_none() {
+        let (net, plan) = fixture();
+        let mut record = DeliveryRecord::default();
+        record.statuses.push(StatusWord::connected(0)); // only one stage
+        assert_eq!(diagnose(&net, &plan, 0, 9, 0, &[1], &record), None);
+    }
+
+    #[test]
+    fn blocked_path_yields_none() {
+        let (net, plan) = fixture();
+        let mut record = DeliveryRecord::default();
+        record.statuses.push(StatusWord::connected(0));
+        record.statuses.push(StatusWord::blocked());
+        record.statuses.push(StatusWord::blocked());
+        record.checksums = vec![0, 0, 0];
+        assert_eq!(diagnose(&net, &plan, 0, 9, 0, &[1], &record), None);
+    }
+}

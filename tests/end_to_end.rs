@@ -1,0 +1,139 @@
+//! Cross-crate integration: messages across simulated METRO networks,
+//! exercising core + topo + sim together.
+
+use metro::sim::{NetworkSim, SimConfig};
+use metro::topo::multibutterfly::{MultibutterflySpec, StageSpec, WiringStyle};
+
+#[test]
+fn figure1_all_pairs_deliver_intact() {
+    let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &SimConfig::default()).unwrap();
+    for src in 0..16 {
+        for offset in [1, 5, 9, 15] {
+            let dest = (src + offset) % 16;
+            let payload = [src as u16, dest as u16, 0xAB];
+            let o = sim
+                .send_and_wait(src, dest, &payload, 1_000)
+                .unwrap_or_else(|| panic!("{src} -> {dest} failed"));
+            assert_eq!(o.payload_delivered, payload, "{src} -> {dest}");
+        }
+    }
+}
+
+#[test]
+fn figure3_all_distances_deliver() {
+    let mut sim = NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default()).unwrap();
+    for dest in [1, 7, 31, 63] {
+        let payload: Vec<u16> = (0..19).map(|k| k as u16).collect();
+        let o = sim.send_and_wait(0, dest, &payload, 1_000).unwrap();
+        assert_eq!(o.payload_delivered, payload);
+    }
+}
+
+#[test]
+fn message_lengths_from_one_word_to_sixty() {
+    // "(Unlimited) Variable Length Message Support" (paper §1).
+    let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &SimConfig::default()).unwrap();
+    for len in [1usize, 2, 5, 19, 40, 60] {
+        let payload: Vec<u16> = (0..len).map(|k| (k * 3) as u16 & 0xFF).collect();
+        let o = sim
+            .send_and_wait(2, 13, &payload, 2_000)
+            .unwrap_or_else(|| panic!("length {len} failed"));
+        assert_eq!(o.payload_delivered, payload, "length {len}");
+    }
+}
+
+#[test]
+fn saturating_hotspot_traffic_is_lossless() {
+    let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &SimConfig::default()).unwrap();
+    for round in 0..3 {
+        for src in 0..16 {
+            if src != 0 {
+                sim.send(src, 0, &[round as u16, src as u16]);
+            }
+        }
+    }
+    let mut cycles = 0;
+    while !sim.is_quiescent() && cycles < 60_000 {
+        sim.tick();
+        cycles += 1;
+    }
+    let outs = sim.drain_outcomes();
+    assert_eq!(outs.len(), 45, "all hotspot messages must complete");
+    assert!(outs.iter().all(|o| o.failures.iter().all(|f| !matches!(
+        f,
+        metro::sim::message::FailureKind::Timeout
+    ))));
+}
+
+#[test]
+fn five_stage_network_with_multi_word_headers() {
+    // A deeper network than any in the paper: 5 stages of radix-2
+    // dilation-2 routers, 32 endpoints, on a 4-bit channel — the 5
+    // route digits need two header words, so the swallow option fires
+    // mid-path (after stage 3) as well as at delivery.
+    let spec = MultibutterflySpec {
+        endpoints: 32,
+        endpoint_ports: 2,
+        stages: vec![StageSpec::new(4, 4, 2); 5],
+        wiring: WiringStyle::Randomized,
+        seed: 5,
+    };
+    let config = SimConfig {
+        width: 4,
+        ..SimConfig::default()
+    };
+    let mut sim = NetworkSim::new(&spec, &config).unwrap();
+    assert_eq!(sim.header_plan().header_words(), 2);
+    assert_eq!(
+        sim.header_plan().swallow(),
+        &[false, false, false, true, true]
+    );
+    for dest in [1, 16, 31] {
+        let payload: Vec<u16> = (0..10).map(|k| k as u16 & 0xF).collect();
+        let o = sim.send_and_wait(0, dest, &payload, 2_000).unwrap();
+        assert_eq!(o.payload_delivered, payload, "dest {dest}");
+    }
+}
+
+#[test]
+fn paper_32_node_network_simulates() {
+    // The 32-node network Table 3's t_20,32 is defined over: four
+    // stages, radices 2/2/2/4, two ports per endpoint (Figure 1 style).
+    let spec = MultibutterflySpec {
+        endpoints: 32,
+        endpoint_ports: 2,
+        stages: vec![
+            StageSpec::new(4, 4, 2),
+            StageSpec::new(4, 4, 2),
+            StageSpec::new(4, 4, 2),
+            StageSpec::new(4, 4, 1),
+        ],
+        wiring: WiringStyle::Randomized,
+        seed: 32,
+    };
+    let config = SimConfig {
+        width: 4, // METROJR-ORBIT width
+        ..SimConfig::default()
+    };
+    let mut sim = NetworkSim::new(&spec, &config).unwrap();
+    // 20-byte message on a 4-bit channel = 40 payload nibbles.
+    let payload: Vec<u16> = (0..40).map(|k| (k & 0xF) as u16).collect();
+    let o = sim.send_and_wait(0, 31, &payload, 2_000).expect("delivery");
+    assert_eq!(o.payload_delivered, payload);
+    // Cycle count sanity: stream ≈ 2 header + 40 + 2 control, 4 stages.
+    assert!(
+        (45..75).contains(&(o.network_latency() as usize)),
+        "32-node latency {} cycles",
+        o.network_latency()
+    );
+}
+
+#[test]
+fn wiring_styles_have_same_functional_behaviour() {
+    for style in [WiringStyle::Deterministic, WiringStyle::Randomized] {
+        let spec = MultibutterflySpec::figure1().with_wiring(style);
+        let mut sim = NetworkSim::new(&spec, &SimConfig::default()).unwrap();
+        let o = sim.send_and_wait(7, 2, &[1, 2, 3], 1_000).unwrap();
+        assert_eq!(o.payload_delivered, vec![1, 2, 3], "{style:?}");
+    }
+}

@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use metro_core::{
-    Allocator, ArchParams, BwdIn, FwdIn, RandomSource, Router, RouterConfig, StreamChecksum,
-    Word,
+    Allocator, ArchParams, BwdIn, FwdIn, RandomSource, Router, RouterConfig, StreamChecksum, Word,
 };
 use metro_scan::ScanDevice;
 use std::hint::black_box;
@@ -68,10 +67,7 @@ fn bench_router(c: &mut Criterion) {
 
     g.bench_function("scan_write_config", |b| {
         let params = ArchParams::metrojr();
-        let config = RouterConfig::new(&params)
-            .with_dilation(1)
-            .build()
-            .unwrap();
+        let config = RouterConfig::new(&params).with_dilation(1).build().unwrap();
         b.iter(|| {
             let mut dev = ScanDevice::new(params);
             dev.write_config(black_box(&config));

@@ -30,8 +30,8 @@ fn main() {
     );
 
     let loads = [
-        0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70,
-        0.80, 0.90,
+        0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.80,
+        0.90,
     ];
     let points = load_sweep(&cfg, &loads);
     print!("{}", render_load_points(&points));
@@ -47,10 +47,7 @@ fn main() {
 
     // Shape checks the paper's curve exhibits.
     let low = &points[0];
-    let sat = points
-        .iter()
-        .map(|p| p.accepted)
-        .fold(f64::MIN, f64::max);
+    let sat = points.iter().map(|p| p.accepted).fold(f64::MIN, f64::max);
     println!("\nshape summary:");
     println!(
         "  low-load latency {:.1} cycles ({:.2}x unloaded)",

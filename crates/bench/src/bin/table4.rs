@@ -15,10 +15,16 @@ fn main() {
         header_words: 0,
         stage_digit_bits: stages_32_node_4stage(),
     };
-    println!("t_wire     = {} ns                      (assumed wire delay)", m.t_wire_ns);
+    println!(
+        "t_wire     = {} ns                      (assumed wire delay)",
+        m.t_wire_ns
+    );
     println!(
         "vtd        = ceil((t_io + t_wire)/t_clk) = ceil(({} + {})/{}) = {} cycles",
-        m.t_io_ns, m.t_wire_ns, m.t_clk_ns, m.vtd()
+        m.t_io_ns,
+        m.t_wire_ns,
+        m.t_clk_ns,
+        m.vtd()
     );
     println!(
         "t_on_chip  = t_clk * dp = {} * {} = {} ns",

@@ -73,9 +73,19 @@ pub fn ascii_curve(points: &[LoadPoint], height: usize) -> String {
         let threshold = max * (row as f64 + 0.5) / height as f64;
         let line: String = points
             .iter()
-            .map(|p| if p.mean_latency >= threshold { '█' } else { ' ' })
+            .map(|p| {
+                if p.mean_latency >= threshold {
+                    '█'
+                } else {
+                    ' '
+                }
+            })
             .collect();
-        out.push_str(&format!("{:>8.0} |{}\n", max * (row as f64 + 1.0) / height as f64, line));
+        out.push_str(&format!(
+            "{:>8.0} |{}\n",
+            max * (row as f64 + 1.0) / height as f64,
+            line
+        ));
     }
     out.push_str(&format!("         +{}\n", "-".repeat(points.len())));
     out.push_str(&format!(

@@ -85,6 +85,9 @@ pub struct Allocator {
     owner: Vec<Option<usize>>,
     policy: SelectionPolicy,
     rr_next: Vec<usize>,
+    /// Arbitration-order scratch, reused across ticks so the hot path
+    /// never touches the heap.
+    arb_order: Vec<usize>,
 }
 
 impl Allocator {
@@ -95,6 +98,7 @@ impl Allocator {
             owner: vec![None; o],
             policy: SelectionPolicy::Random,
             rr_next: vec![0; config.radix()],
+            arb_order: Vec::new(),
         }
     }
 
@@ -166,22 +170,32 @@ impl Allocator {
         config: &RouterConfig,
         rng: &mut RandomSource,
     ) -> AllocationOutcome {
+        // The direction group is a contiguous port range; walking it
+        // twice (count, then select the k-th candidate) keeps the hot
+        // path allocation-free while drawing exactly one random index
+        // per grant — the same stream consumption as the historical
+        // candidate-vector implementation.
         let group = config.direction_group(dir);
-        let candidates: Vec<usize> = group
+        let count = group
+            .clone()
             .filter(|&b| self.owner[b].is_none() && config.backward_enabled(b))
-            .collect();
-        if candidates.is_empty() {
+            .count();
+        if count == 0 {
             return AllocationOutcome::Blocked;
         }
-        let chosen = match self.policy {
-            SelectionPolicy::Random => candidates[rng.index(candidates.len())],
+        let k = match self.policy {
+            SelectionPolicy::Random => rng.index(count),
             SelectionPolicy::RoundRobin => {
-                let k = self.rr_next[dir] % candidates.len();
+                let k = self.rr_next[dir] % count;
                 self.rr_next[dir] = self.rr_next[dir].wrapping_add(1);
-                candidates[k]
+                k
             }
-            SelectionPolicy::Fixed => candidates[0],
+            SelectionPolicy::Fixed => 0,
         };
+        let chosen = group
+            .filter(|&b| self.owner[b].is_none() && config.backward_enabled(b))
+            .nth(k)
+            .expect("k < candidate count");
         self.owner[chosen] = Some(fwd);
         AllocationOutcome::Granted { bwd: chosen }
     }
@@ -195,17 +209,36 @@ impl Allocator {
         config: &RouterConfig,
         rng: &mut RandomSource,
     ) -> Vec<AllocationOutcome> {
-        let mut order: Vec<usize> = (0..requests.len()).collect();
+        let mut outcomes = Vec::with_capacity(requests.len());
+        self.arbitrate_into(requests, config, rng, &mut outcomes);
+        outcomes
+    }
+
+    /// [`Allocator::arbitrate`] into a caller-provided buffer: `outcomes`
+    /// is cleared and refilled with one outcome per request (original
+    /// request order). Steady-state allocation-free — the arbitration
+    /// order lives in a scratch buffer reused across calls.
+    pub fn arbitrate_into(
+        &mut self,
+        requests: &[(usize, usize)],
+        config: &RouterConfig,
+        rng: &mut RandomSource,
+        outcomes: &mut Vec<AllocationOutcome>,
+    ) {
+        let mut order = std::mem::take(&mut self.arb_order);
+        order.clear();
+        order.extend(0..requests.len());
         // Fisher-Yates from the shared stream: cascade-deterministic.
         for k in (1..order.len()).rev() {
             order.swap(k, rng.index(k + 1));
         }
-        let mut outcomes = vec![AllocationOutcome::Blocked; requests.len()];
-        for idx in order {
+        outcomes.clear();
+        outcomes.resize(requests.len(), AllocationOutcome::Blocked);
+        for &idx in &order {
             let (fwd, dir) = requests[idx];
             outcomes[idx] = self.request_for(fwd, dir, config, rng);
         }
-        outcomes
+        self.arb_order = order;
     }
 
     /// Releases backward port `b` (connection closed or torn down).
@@ -230,7 +263,10 @@ mod tests {
 
     fn setup(dilation: usize) -> (RouterConfig, Allocator, RandomSource) {
         let p = ArchParams::rn1();
-        let cfg = RouterConfig::new(&p).with_dilation(dilation).build().unwrap();
+        let cfg = RouterConfig::new(&p)
+            .with_dilation(dilation)
+            .build()
+            .unwrap();
         let alloc = Allocator::new(&cfg, p.backward_ports());
         (cfg, alloc, RandomSource::new(77))
     }

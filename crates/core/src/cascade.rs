@@ -163,9 +163,7 @@ impl CascadeGroup {
         let o = self.params.backward_ports();
         let vectors: Vec<Vec<bool>> = self.slices.iter().map(Router::in_use_vector).collect();
         for b in 0..o {
-            let asserting: Vec<usize> = (0..self.slices.len())
-                .filter(|&k| vectors[k][b])
-                .collect();
+            let asserting: Vec<usize> = (0..self.slices.len()).filter(|&k| vectors[k][b]).collect();
             if !asserting.is_empty() && asserting.len() != self.slices.len() {
                 // Disagreement: necessarily an error — contain it by
                 // shutting the connection down on every slice.
@@ -237,11 +235,7 @@ mod tests {
         g.tick_replicated(&fwd, &BwdIn::idle(4));
         let reference = g.slice(0).in_use_vector();
         for k in 1..4 {
-            assert_eq!(
-                g.slice(k).in_use_vector(),
-                reference,
-                "slice {k} diverged"
-            );
+            assert_eq!(g.slice(k).in_use_vector(), reference, "slice {k} diverged");
         }
         assert!(g.faults().is_empty());
         // Both requests landed in direction-1 ports (2..4).
@@ -262,10 +256,7 @@ mod tests {
                 }
             }
             g.tick_replicated(&fwd, &BwdIn::idle(4));
-            assert_eq!(
-                g.slice(0).in_use_vector(),
-                g.slice(1).in_use_vector()
-            );
+            assert_eq!(g.slice(0).in_use_vector(), g.slice(1).in_use_vector());
         }
         assert!(g.faults().is_empty());
     }

@@ -441,7 +441,10 @@ mod tests {
 
     #[test]
     fn dilation_one_gives_full_radix() {
-        let cfg = RouterConfig::new(&params()).with_dilation(1).build().unwrap();
+        let cfg = RouterConfig::new(&params())
+            .with_dilation(1)
+            .build()
+            .unwrap();
         assert_eq!(cfg.radix(), 8);
         assert_eq!(cfg.digit_bits(), 3);
         assert_eq!(cfg.direction_group(5), 5..6);
@@ -449,7 +452,10 @@ mod tests {
 
     #[test]
     fn direction_groups_partition_ports() {
-        let cfg = RouterConfig::new(&params()).with_dilation(2).build().unwrap();
+        let cfg = RouterConfig::new(&params())
+            .with_dilation(2)
+            .build()
+            .unwrap();
         let mut seen = [false; 8];
         for dir in 0..cfg.radix() {
             for b in cfg.direction_group(dir) {

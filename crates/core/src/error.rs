@@ -65,7 +65,10 @@ impl fmt::Display for ParamError {
                 write!(f, "maximum dilation {max_d} is not a nonzero power of two")
             }
             Self::MaxDilationExceedsPorts { max_d, o } => {
-                write!(f, "maximum dilation {max_d} exceeds backward port count {o}")
+                write!(
+                    f,
+                    "maximum dilation {max_d} exceeds backward port count {o}"
+                )
             }
             Self::WidthTooNarrow { w, o } => {
                 write!(f, "channel width {w} cannot address {o} backward ports")

@@ -249,7 +249,12 @@ impl RouteHeader {
 /// `(digit, forwarded_head)` where `forwarded_head` is `None` when the
 /// word is swallowed.
 #[must_use]
-pub fn consume_digit(head: u16, digit_bits: usize, w: usize, swallow: bool) -> (usize, Option<u16>) {
+pub fn consume_digit(
+    head: u16,
+    digit_bits: usize,
+    w: usize,
+    swallow: bool,
+) -> (usize, Option<u16>) {
     let digit = (head >> (w - digit_bits)) as usize & ((1 << digit_bits) - 1);
     let mask = if w == 16 { u16::MAX } else { (1u16 << w) - 1 };
     let shifted = (head << digit_bits) & mask;

@@ -182,7 +182,7 @@ pub struct RouterStats {
     pub words_forwarded: usize,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum State {
     Idle,
     Setup {
@@ -258,6 +258,15 @@ impl Port {
     }
 }
 
+/// Per-tick scratch buffers, reused across calls so the steady-state
+/// tick path never allocates.
+#[derive(Debug, Clone, Default)]
+struct TickScratch {
+    requests: Vec<(usize, usize)>,
+    outcomes: Vec<AllocationOutcome>,
+    granted: Vec<Option<AllocationOutcome>>,
+}
+
 /// A cycle-accurate METRO router.
 ///
 /// See the [module documentation](self) for the channel model. The
@@ -271,6 +280,7 @@ pub struct Router {
     alloc: Allocator,
     ports: Vec<Port>,
     stats: RouterStats,
+    scratch: TickScratch,
 }
 
 impl Router {
@@ -295,6 +305,7 @@ impl Router {
             params,
             config,
             stats: RouterStats::default(),
+            scratch: TickScratch::default(),
         })
     }
 
@@ -428,24 +439,68 @@ impl Router {
     pub fn tick(&mut self, fwd_in: &FwdIn, bwd_in: &BwdIn) -> TickOutput {
         let i = self.params.forward_ports();
         let o = self.params.backward_ports();
-        assert_eq!(fwd_in.words.len(), i, "forward input size mismatch");
-        assert_eq!(bwd_in.words.len(), o, "backward input size mismatch");
-
         let mut out = TickOutput {
             bwd: vec![Word::Empty; o],
             fwd: vec![Word::Empty; i],
             bcb: vec![false; i],
         };
+        self.tick_into(
+            &fwd_in.words,
+            &bwd_in.words,
+            &bwd_in.bcb,
+            &mut out.bwd,
+            &mut out.fwd,
+            &mut out.bcb,
+        );
+        out
+    }
+
+    /// Advances the router one clock cycle, reading inputs from and
+    /// writing outputs into caller-provided slices — the zero-allocation
+    /// tick API the flat channel fabric drives.
+    ///
+    /// `fwd_in[f]` is the forward-lane word arriving on forward port
+    /// `f`; `rev_in[b]`/`bcb_in[b]` are the reverse-lane word and BCB
+    /// arriving on backward port `b`. `out_bwd[b]` receives the word
+    /// driven downstream out of backward port `b`; `out_fwd[f]` and
+    /// `out_bcb[f]` receive the reverse-lane word and BCB driven
+    /// upstream out of forward port `f`. Output slices are fully
+    /// overwritten. Semantically identical to [`Router::tick`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length does not match the router's port
+    /// counts.
+    pub fn tick_into(
+        &mut self,
+        fwd_in: &[Word],
+        rev_in: &[Word],
+        bcb_in: &[bool],
+        out_bwd: &mut [Word],
+        out_fwd: &mut [Word],
+        out_bcb: &mut [bool],
+    ) {
+        let i = self.params.forward_ports();
+        let o = self.params.backward_ports();
+        assert_eq!(fwd_in.len(), i, "forward input size mismatch");
+        assert_eq!(rev_in.len(), o, "backward input size mismatch");
+        assert_eq!(bcb_in.len(), o, "BCB input size mismatch");
+        assert_eq!(out_bwd.len(), o, "backward output size mismatch");
+        assert_eq!(out_fwd.len(), i, "forward output size mismatch");
+        assert_eq!(out_bcb.len(), i, "BCB output size mismatch");
+        out_bwd.fill(Word::Empty);
+        out_fwd.fill(Word::Empty);
+        out_bcb.fill(false);
 
         // Phase 0: BCB arrivals tear down connections immediately.
-        for b in 0..o {
-            if bwd_in.bcb[b] {
+        for (b, &bcb) in bcb_in.iter().enumerate() {
+            if bcb {
                 if let Some(owner) = self.alloc.owner(b) {
                     self.alloc.release(b);
                     if owner < i {
                         self.ports[owner].reset();
                         self.ports[owner].state = State::Draining;
-                        out.bcb[owner] = true;
+                        out_bcb[owner] = true;
                     }
                 }
             }
@@ -454,12 +509,15 @@ impl Router {
         // Phase 1: collect new connection requests from idle ports.
         let digit_bits = self.config.digit_bits();
         let w = self.params.width();
-        let mut requests: Vec<(usize, usize)> = Vec::new();
-        for f in 0..i {
+        let mut requests = std::mem::take(&mut self.scratch.requests);
+        let mut outcomes = std::mem::take(&mut self.scratch.outcomes);
+        let mut granted = std::mem::take(&mut self.scratch.granted);
+        requests.clear();
+        for (f, &word) in fwd_in.iter().enumerate() {
             if !self.config.forward_enabled(f) {
                 continue;
             }
-            if let (State::Idle, Word::Data(v)) = (&self.ports[f].state, fwd_in.word(f)) {
+            if let (State::Idle, Word::Data(v)) = (&self.ports[f].state, word) {
                 let dir = if digit_bits == 0 {
                     0
                 } else {
@@ -468,31 +526,38 @@ impl Router {
                 requests.push((f, dir));
             }
         }
-        let outcomes = self.alloc.arbitrate(&requests, &self.config, &mut self.rng);
-        let mut granted: Vec<Option<AllocationOutcome>> = vec![None; i];
+        self.alloc
+            .arbitrate_into(&requests, &self.config, &mut self.rng, &mut outcomes);
+        granted.clear();
+        granted.resize(i, None);
         for (&(f, _), outcome) in requests.iter().zip(&outcomes) {
             granted[f] = Some(*outcome);
         }
 
         // Phase 2: advance every forward port one step.
         for (f, grant) in granted.iter().copied().enumerate() {
-            self.step_port(f, fwd_in.word(f), bwd_in, grant, &mut out);
+            self.step_port(f, fwd_in[f], rev_in, grant, out_bwd, out_fwd, out_bcb);
         }
-        out
+        self.scratch.requests = requests;
+        self.scratch.outcomes = outcomes;
+        self.scratch.granted = granted;
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn step_port(
         &mut self,
         f: usize,
         in_w: Word,
-        bwd_in: &BwdIn,
+        rev_in: &[Word],
         open_outcome: Option<AllocationOutcome>,
-        out: &mut TickOutput,
+        out_bwd: &mut [Word],
+        out_fwd: &mut [Word],
+        out_bcb: &mut [bool],
     ) {
         let dp = self.params.pipestages();
         let hw = self.params.header_words();
         let mask = self.params.word_mask();
-        let state = self.ports[f].state.clone();
+        let state = self.ports[f].state;
         match state {
             State::Idle => {
                 let Some(outcome) = open_outcome else {
@@ -526,8 +591,8 @@ impl Router {
                                 self.stats.words_forwarded += 1;
                             }
                             port.state = State::Forward { bwd, settle: 0 };
-                            out.bwd[bwd] = popped;
-                            out.fwd[f] = Word::DataIdle;
+                            out_bwd[bwd] = popped;
+                            out_fwd[f] = Word::DataIdle;
                         } else {
                             // Pipelined setup: this and the next hw-1
                             // words are consumed, not forwarded.
@@ -541,7 +606,7 @@ impl Router {
                                     remaining: hw - 1,
                                 };
                             }
-                            out.fwd[f] = Word::DataIdle;
+                            out_fwd[f] = Word::DataIdle;
                         }
                     }
                     AllocationOutcome::Blocked => {
@@ -552,17 +617,17 @@ impl Router {
                         if self.config.fast_reclaim(f) {
                             self.stats.fast_reclaims += 1;
                             port.state = State::Draining;
-                            out.bcb[f] = true;
+                            out_bcb[f] = true;
                         } else {
                             port.state = State::BlockedDetailed;
-                            out.fwd[f] = Word::DataIdle;
+                            out_fwd[f] = Word::DataIdle;
                         }
                     }
                 }
             }
 
             State::Setup { bwd, remaining } => {
-                out.fwd[f] = Word::DataIdle;
+                out_fwd[f] = Word::DataIdle;
                 match in_w {
                     Word::Data(v) => {
                         let port = &mut self.ports[f];
@@ -581,7 +646,7 @@ impl Router {
                         self.alloc.release(bwd);
                         self.ports[f].reset();
                         self.ports[f].state = State::Draining;
-                        out.fwd[f] = Word::Empty;
+                        out_fwd[f] = Word::Empty;
                     }
                     _ => {
                         // Corrupt header stream: tear down; the
@@ -589,13 +654,13 @@ impl Router {
                         self.alloc.release(bwd);
                         self.ports[f].reset();
                         self.ports[f].state = State::Draining;
-                        out.fwd[f] = Word::Empty;
+                        out_fwd[f] = Word::Empty;
                     }
                 }
             }
 
             State::Forward { bwd, settle } => {
-                out.fwd[f] = Word::DataIdle;
+                out_fwd[f] = Word::DataIdle;
                 let rev_settle = self.reverse_settle(bwd);
                 let port = &mut self.ports[f];
                 let mut closing = false;
@@ -626,7 +691,7 @@ impl Router {
                 };
                 port.fpipe.push_back(push);
                 let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
-                out.bwd[bwd] = popped;
+                out_bwd[bwd] = popped;
                 port.state = if closing {
                     State::ClosingFwd { bwd }
                 } else {
@@ -641,8 +706,7 @@ impl Router {
                         let cksum = port.cksum.value();
                         port.fill_rpipe(dp, Word::DataIdle);
                         port.rq.clear();
-                        port.rq
-                            .push_back(Word::Status(StatusWord::connected(bwd)));
+                        port.rq.push_back(Word::Status(StatusWord::connected(bwd)));
                         port.rq.push_back(Word::Checksum(cksum));
                         port.state = State::Reverse {
                             bwd,
@@ -655,18 +719,18 @@ impl Router {
                         self.alloc.release(bwd);
                         port.reset();
                         port.state = State::Draining;
-                        out.fwd[f] = Word::Empty;
+                        out_fwd[f] = Word::Empty;
                     }
                     _ => {}
                 }
             }
 
             State::Reverse { bwd, settle } => {
-                out.bwd[bwd] = Word::DataIdle;
+                out_bwd[bwd] = Word::DataIdle;
                 let fwd_settle = self.forward_settle(f);
                 let port = &mut self.ports[f];
                 let mut settle = settle;
-                match bwd_in.word(bwd) {
+                match rev_in[bwd] {
                     Word::Empty if settle > 0 => {
                         // The downstream's hold is still in flight
                         // across the wire pipeline (variable turn
@@ -690,7 +754,7 @@ impl Router {
                 let inject = port.rq.pop_front().unwrap_or(Word::DataIdle);
                 port.rpipe.push_back(inject);
                 let popped = port.rpipe.pop_front().unwrap_or(Word::DataIdle);
-                out.fwd[f] = popped;
+                out_fwd[f] = popped;
                 match popped {
                     Word::Turn => {
                         // Turned back toward the forward direction.
@@ -711,7 +775,7 @@ impl Router {
             }
 
             State::BlockedDetailed => {
-                out.fwd[f] = Word::DataIdle;
+                out_fwd[f] = Word::DataIdle;
                 let port = &mut self.ports[f];
                 match in_w {
                     Word::Turn => {
@@ -726,7 +790,7 @@ impl Router {
                     Word::Empty | Word::Drop => {
                         port.reset();
                         port.state = State::Draining;
-                        out.fwd[f] = Word::Empty;
+                        out_fwd[f] = Word::Empty;
                     }
                     Word::Data(v) => {
                         port.cksum.absorb_value(v);
@@ -740,7 +804,7 @@ impl Router {
                 let inject = port.rq.pop_front().unwrap_or(Word::DataIdle);
                 port.rpipe.push_back(inject);
                 let popped = port.rpipe.pop_front().unwrap_or(Word::DataIdle);
-                out.fwd[f] = popped;
+                out_fwd[f] = popped;
                 if popped == Word::Drop {
                     port.reset();
                     port.state = State::Draining;
@@ -752,7 +816,7 @@ impl Router {
                 let port = &mut self.ports[f];
                 port.fpipe.push_back(Word::Empty);
                 let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
-                out.bwd[bwd] = popped;
+                out_bwd[bwd] = popped;
                 if popped == Word::Drop {
                     self.stats.drops += 1;
                     self.alloc.release(bwd);
@@ -940,9 +1004,7 @@ mod tests {
             .unwrap();
         let mut r = Router::new(params, config, 7).unwrap();
         // Saturate direction 0 (ports 0..2) from fwd ports 0 and 1.
-        let open = FwdIn::idle(8)
-            .with(0, Word::Data(0))
-            .with(1, Word::Data(0));
+        let open = FwdIn::idle(8).with(0, Word::Data(0)).with(1, Word::Data(0));
         r.tick(&open, &idle8());
         // Third request for direction 0 must block and assert BCB.
         let open2 = FwdIn::idle(8)
@@ -966,9 +1028,7 @@ mod tests {
             .unwrap();
         let mut r = Router::new(params, config, 7).unwrap();
         // Fill direction 0.
-        let open = FwdIn::idle(8)
-            .with(0, Word::Data(0))
-            .with(1, Word::Data(0));
+        let open = FwdIn::idle(8).with(0, Word::Data(0)).with(1, Word::Data(0));
         r.tick(&open, &idle8());
         // Blocked stream on port 2: header, one data word, then turn.
         let mut seen = Vec::new();
@@ -1067,7 +1127,11 @@ mod tests {
         let data: Vec<u16> = (0..8)
             .flat_map(|b| bwd_hist[b].iter().filter_map(Word::data))
             .collect();
-        assert_eq!(data, vec![0x77], "header word must be consumed, not forwarded");
+        assert_eq!(
+            data,
+            vec![0x77],
+            "header word must be consumed, not forwarded"
+        );
     }
 
     #[test]
@@ -1104,10 +1168,11 @@ mod tests {
         let stream = [Word::Data(0), Word::Data(1)];
         // After the stream, input goes Empty (upstream vanished).
         let (bwd_hist, _) = drive(&mut r, &stream, 5, |_, _| idle8());
-        let dropped = bwd_hist
-            .iter()
-            .any(|h| h.contains(&Word::Drop));
-        assert!(dropped, "drop must propagate downstream on upstream release");
+        let dropped = bwd_hist.iter().any(|h| h.contains(&Word::Drop));
+        assert!(
+            dropped,
+            "drop must propagate downstream on upstream release"
+        );
         assert_eq!(r.in_use_vector(), vec![false; 8]);
     }
 
@@ -1119,7 +1184,10 @@ mod tests {
         let held = |bwd: usize, w: Word| idle8().with(bwd, w);
         r.tick(&FwdIn::idle(8).with(0, Word::Data(0)), &idle8());
         let bwd = r.connected_backward_port(0).unwrap();
-        r.tick(&FwdIn::idle(8).with(0, Word::Turn), &held(bwd, Word::DataIdle));
+        r.tick(
+            &FwdIn::idle(8).with(0, Word::Turn),
+            &held(bwd, Word::DataIdle),
+        );
         // Turn has flushed through; the port reverses.
         r.tick(
             &FwdIn::idle(8).with(0, Word::DataIdle),

@@ -76,11 +76,7 @@ impl Chain {
         let b_out = self.b.tick(&b_fwd, &b_bwd);
         self.a_out = a_out;
         self.b_out = b_out;
-        (
-            self.a_out.fwd[0],
-            self.a_out.bcb[0],
-            self.b_out.bwd.clone(),
-        )
+        (self.a_out.fwd[0], self.a_out.bcb[0], self.b_out.bwd.clone())
     }
 }
 
@@ -118,7 +114,10 @@ fn stream_crosses_both_routers_and_statuses_return_in_path_order() {
         .into_iter()
         .filter(|w| matches!(w, Word::Status(_) | Word::Checksum(_)))
         .collect();
-    assert!(significant.len() >= 4, "two status/checksum pairs: {significant:?}");
+    assert!(
+        significant.len() >= 4,
+        "two status/checksum pairs: {significant:?}"
+    );
     assert!(matches!(significant[0], Word::Status(s) if !s.is_blocked()));
     assert!(matches!(significant[1], Word::Checksum(_)));
     assert!(matches!(significant[2], Word::Status(s) if !s.is_blocked()));
@@ -161,11 +160,7 @@ fn blocked_at_downstream_asserts_bcb_through_to_source() {
 #[test]
 fn blocked_detailed_reply_reports_a_ok_then_b_blocked() {
     let mut chain = Chain::new(false, Some(2));
-    let script = [
-        Word::Data(header()),
-        Word::Data(0x44),
-        Word::Turn,
-    ];
+    let script = [Word::Data(header()), Word::Data(0x44), Word::Turn];
     let mut to_source = Vec::new();
     for cycle in 0..20 {
         let w = script.get(cycle).copied().unwrap_or(Word::DataIdle);
@@ -205,18 +200,17 @@ fn reply_data_flows_source_ward_after_both_statuses() {
             reply_data.push(v);
         }
     }
-    assert!(!reply_data.is_empty(), "destination data must reach the source");
+    assert!(
+        !reply_data.is_empty(),
+        "destination data must reach the source"
+    );
     assert!(reply_data.iter().all(|&v| v == 0x7E));
 }
 
 #[test]
 fn drop_releases_both_routers() {
     let mut chain = Chain::new(true, None);
-    let script = [
-        Word::Data(header()),
-        Word::Data(0x66),
-        Word::Drop,
-    ];
+    let script = [Word::Data(header()), Word::Data(0x66), Word::Drop];
     for cycle in 0..12 {
         let w = script.get(cycle).copied().unwrap_or(Word::Empty);
         chain.tick(w, Word::DataIdle);
@@ -233,11 +227,7 @@ fn back_to_back_messages_reuse_the_chain() {
     let mut chain = Chain::new(true, None);
     for round in 0..3 {
         let payload = 0x10 + round;
-        let script = [
-            Word::Data(header()),
-            Word::Data(payload),
-            Word::Drop,
-        ];
+        let script = [Word::Data(header()), Word::Data(payload), Word::Drop];
         let mut delivered = Vec::new();
         for cycle in 0..12 {
             let w = script.get(cycle).copied().unwrap_or(Word::Empty);
@@ -329,6 +319,10 @@ mod cascaded_chain {
         }
         assert!(stage_a.faults().is_empty());
         assert!(stage_b.faults().is_empty());
-        assert_eq!(delivered, vec![0xAB, 0x3C], "wide payload intact across stages");
+        assert_eq!(
+            delivered,
+            vec![0xAB, 0x3C],
+            "wide payload intact across stages"
+        );
     }
 }

@@ -4,8 +4,8 @@
 
 use metro_core::{
     header::{consume_digit, HeaderPlan},
-    Allocator, ArchParams, BwdIn, CascadeGroup, FwdIn, RandomSource, RouterConfig,
-    StreamChecksum, Word,
+    Allocator, ArchParams, BwdIn, CascadeGroup, FwdIn, RandomSource, RouterConfig, StreamChecksum,
+    Word,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,265 @@
+//! A small, dependency-free benchmarking shim.
+//!
+//! This workspace builds in offline environments where the real
+//! [`criterion`](https://crates.io/crates/criterion) crate cannot be
+//! downloaded, so this crate vendors the *subset* of its API the
+//! workspace's benches use: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Differences from the real crate, by design: no statistical
+//! analysis, no plots, no saved baselines. Each benchmark is warmed
+//! up briefly, then timed over enough iterations to fill a fixed
+//! measurement window, and the mean time per iteration is printed.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const WARM_UP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(700);
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is
+    /// fixed by its measurement window.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores throughput
+    /// annotations.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<F, I>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus a parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An identifier combining `function_name` and `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark label (strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures inside one benchmark.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, calling it repeatedly until the measurement
+    /// window is filled.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up window elapses, measuring
+        // roughly how long one iteration takes.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32);
+        let batch = match per_iter {
+            Some(d) if d > Duration::ZERO => {
+                (MEASURE.as_nanos() / d.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+            }
+            _ => 1 << 20,
+        };
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = batch;
+    }
+}
+
+fn run_one<F>(label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("bench {label:<48} (no iterations)");
+        return;
+    }
+    let nanos = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    let (scaled, unit) = if nanos >= 1_000_000.0 {
+        (nanos / 1_000_000.0, "ms")
+    } else if nanos >= 1_000.0 {
+        (nanos / 1_000.0, "µs")
+    } else {
+        (nanos, "ns")
+    };
+    println!(
+        "bench {label:<48} {scaled:>10.3} {unit}/iter ({} iters)",
+        b.iters_done
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        let id = BenchmarkId::new("latency", 64);
+        assert_eq!(id.into_benchmark_id(), "latency/64");
+    }
+
+    #[test]
+    fn group_runs_benchmarks_to_completion() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("noop", |b| {
+                ran = true;
+                b.iter(|| 1 + 1);
+            });
+            g.finish();
+        }
+        assert!(ran);
+    }
+}

@@ -177,7 +177,9 @@ mod tests {
         let v = wire_test_vectors(5);
         assert_eq!(v.len(), 12);
         for k in 0..5 {
-            assert!(v.iter().any(|vec| vec[k] && vec.iter().filter(|&&b| b).count() == 1));
+            assert!(v
+                .iter()
+                .any(|vec| vec[k] && vec.iter().filter(|&&b| b).count() == 1));
         }
     }
 }

@@ -30,7 +30,10 @@ impl ScanChain {
     /// Panics on an empty chain.
     #[must_use]
     pub fn new(devices: Vec<ScanDevice>) -> Self {
-        assert!(!devices.is_empty(), "a scan chain needs at least one device");
+        assert!(
+            !devices.is_empty(),
+            "a scan chain needs at least one device"
+        );
         Self { devices }
     }
 
@@ -86,8 +89,8 @@ impl ScanChain {
         self.clock(true, false); // Select-IR
         self.clock(false, false); // -> Capture-IR
         self.clock(false, false); // leave Capture-IR, -> Shift-IR
-        // The bit stream: the LAST device's opcode leaves the master
-        // first (it has the longest path to travel), LSB first.
+                                  // The bit stream: the LAST device's opcode leaves the master
+                                  // first (it has the longest path to travel), LSB first.
         let total = instructions.len() * IR_BITS;
         let mut sent = 0;
         for inst in instructions.iter().rev() {
@@ -105,7 +108,13 @@ impl ScanChain {
     /// `instruction`, everyone else BYPASS.
     pub fn select(&mut self, target: usize, instruction: Instruction) {
         let instructions: Vec<Instruction> = (0..self.devices.len())
-            .map(|k| if k == target { instruction } else { Instruction::Bypass })
+            .map(|k| {
+                if k == target {
+                    instruction
+                } else {
+                    Instruction::Bypass
+                }
+            })
             .collect();
         self.load_instructions(&instructions);
     }
@@ -139,10 +148,10 @@ impl ScanChain {
         // padding so the last image bit reaches the target.
         let downstream = self.devices.len() - 1 - target;
         let _ = downstream; // bypass bits sit *after* the target's TDO
-        // Bits that must pass through the target's register: the image,
-        // preceded by padding equal to the bypass bits *before* the
-        // target (their single-bit registers delay the stream by one
-        // cycle each).
+                            // Bits that must pass through the target's register: the image,
+                            // preceded by padding equal to the bypass bits *before* the
+                            // target (their single-bit registers delay the stream by one
+                            // cycle each).
         let upstream = target;
         let mut stream = vec![false; 0];
         stream.extend_from_slice(&image);
@@ -167,7 +176,11 @@ mod tests {
     #[test]
     fn broadcast_instruction_reaches_every_device() {
         let mut c = chain(3);
-        c.load_instructions(&[Instruction::Config, Instruction::IdCode, Instruction::Bypass]);
+        c.load_instructions(&[
+            Instruction::Config,
+            Instruction::IdCode,
+            Instruction::Bypass,
+        ]);
         assert_eq!(c.device(0).instruction(), Instruction::Config);
         assert_eq!(c.device(1).instruction(), Instruction::IdCode);
         assert_eq!(c.device(2).instruction(), Instruction::Bypass);
@@ -178,7 +191,11 @@ mod tests {
         let mut c = chain(4);
         c.select(2, Instruction::Config);
         for k in 0..4 {
-            let expect = if k == 2 { Instruction::Config } else { Instruction::Bypass };
+            let expect = if k == 2 {
+                Instruction::Config
+            } else {
+                Instruction::Bypass
+            };
             assert_eq!(c.device(k).instruction(), expect, "device {k}");
         }
     }

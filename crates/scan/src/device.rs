@@ -152,27 +152,25 @@ impl ScanDevice {
                 tdo = self.dr_shift.pop_front().unwrap_or(false);
                 self.dr_shift.push_back(tdi);
             }
-            TapState::UpdateDr => {
-                match self.instruction {
-                    Instruction::Config => {
-                        let bits: Vec<bool> = self.dr_shift.iter().copied().collect();
-                        match decode_config(&bits, &self.params) {
-                            Ok(cfg) => {
-                                self.config = cfg;
-                                self.last_update_error = None;
-                            }
-                            Err(e) => self.last_update_error = Some(e),
+            TapState::UpdateDr => match self.instruction {
+                Instruction::Config => {
+                    let bits: Vec<bool> = self.dr_shift.iter().copied().collect();
+                    match decode_config(&bits, &self.params) {
+                        Ok(cfg) => {
+                            self.config = cfg;
+                            self.last_update_error = None;
                         }
+                        Err(e) => self.last_update_error = Some(e),
                     }
-                    Instruction::Extest | Instruction::PortTest => {
-                        let bits: Vec<bool> = self.dr_shift.iter().copied().collect();
-                        if bits.len() == self.boundary.len() {
-                            self.boundary.load(&bits);
-                        }
-                    }
-                    _ => {}
                 }
-            }
+                Instruction::Extest | Instruction::PortTest => {
+                    let bits: Vec<bool> = self.dr_shift.iter().copied().collect();
+                    if bits.len() == self.boundary.len() {
+                        self.boundary.load(&bits);
+                    }
+                }
+                _ => {}
+            },
             _ => {}
         }
         if state == TapState::TestLogicReset {

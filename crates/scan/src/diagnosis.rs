@@ -121,11 +121,7 @@ pub struct MaskPlan {
 /// `fwd_ports[s]` the forward port it entered stage `s` on (from the
 /// topology).
 #[must_use]
-pub fn mask_plan(
-    site: CorruptionSite,
-    ports_taken: &[usize],
-    fwd_ports: &[usize],
-) -> MaskPlan {
+pub fn mask_plan(site: CorruptionSite, ports_taken: &[usize], fwd_ports: &[usize]) -> MaskPlan {
     if site.stage == 0 {
         MaskPlan {
             upstream_stage: None,

@@ -30,33 +30,31 @@ fn arb_config(params: ArchParams) -> impl Strategy<Value = RouterConfig> {
         proptest::collection::vec(any::<bool>(), i),
         0u32..=metro_core::params::log2_exact(params.max_dilation()) as u32,
     )
-        .prop_map(
-            move |(fm, bm, fv, bv, fr, br, sw, dil_log)| {
-                let mut b = RouterConfig::new(&params).with_dilation(1 << dil_log);
-                for (f, m) in fm.into_iter().enumerate() {
-                    b = b.with_forward_port_mode(f, m);
-                }
-                for (p, m) in bm.into_iter().enumerate() {
-                    b = b.with_backward_port_mode(p, m);
-                }
-                for (f, v) in fv.into_iter().enumerate() {
-                    b = b.with_forward_turn_delay(f, v);
-                }
-                for (p, v) in bv.into_iter().enumerate() {
-                    b = b.with_backward_turn_delay(p, v);
-                }
-                for (f, r) in fr.into_iter().enumerate() {
-                    b = b.with_fast_reclaim(f, r);
-                }
-                for (p, r) in br.into_iter().enumerate() {
-                    b = b.with_backward_fast_reclaim(p, r);
-                }
-                for (f, w) in sw.into_iter().enumerate() {
-                    b = b.with_swallow(f, w);
-                }
-                b.build().expect("generated config is valid")
-            },
-        )
+        .prop_map(move |(fm, bm, fv, bv, fr, br, sw, dil_log)| {
+            let mut b = RouterConfig::new(&params).with_dilation(1 << dil_log);
+            for (f, m) in fm.into_iter().enumerate() {
+                b = b.with_forward_port_mode(f, m);
+            }
+            for (p, m) in bm.into_iter().enumerate() {
+                b = b.with_backward_port_mode(p, m);
+            }
+            for (f, v) in fv.into_iter().enumerate() {
+                b = b.with_forward_turn_delay(f, v);
+            }
+            for (p, v) in bv.into_iter().enumerate() {
+                b = b.with_backward_turn_delay(p, v);
+            }
+            for (f, r) in fr.into_iter().enumerate() {
+                b = b.with_fast_reclaim(f, r);
+            }
+            for (p, r) in br.into_iter().enumerate() {
+                b = b.with_backward_fast_reclaim(p, r);
+            }
+            for (f, w) in sw.into_iter().enumerate() {
+                b = b.with_swallow(f, w);
+            }
+            b.build().expect("generated config is valid")
+        })
 }
 
 proptest! {

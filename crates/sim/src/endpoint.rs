@@ -133,6 +133,7 @@ pub struct EndpointDrive {
 #[derive(Debug, Clone)]
 struct ActiveMessage {
     dest: usize,
+    payload_words: usize,
     stream: Vec<Word>,
     /// Further stream segments of a multi-round conversation, sent one
     /// per turn-back from the destination. Retries restart from
@@ -197,6 +198,15 @@ enum RxState {
     },
 }
 
+/// A message waiting for a free transmit engine.
+#[derive(Debug, Clone)]
+struct QueuedMessage {
+    dest: usize,
+    payload_words: usize,
+    segments: Vec<Vec<Word>>,
+    requested_at: u64,
+}
+
 /// A network endpoint: one transmit engine (a processor stalls on its
 /// outstanding message — the Figure 3 "parallelism limited" model) plus
 /// one receive engine per input port.
@@ -207,7 +217,7 @@ pub struct Endpoint {
     config: EndpointConfig,
     rng: RandomSource,
     engines: Vec<TxEngine>,
-    queue: VecDeque<(usize, Vec<Vec<Word>>, u64)>,
+    queue: VecDeque<QueuedMessage>,
     rx: Vec<RxState>,
     completed: Vec<MessageOutcome>,
     abandoned: Vec<MessageOutcome>,
@@ -257,8 +267,13 @@ impl Endpoint {
     /// stream (header + payload + checksum + TURN) the NIC will inject;
     /// the network builder constructs it from the topology's header
     /// plan.
-    pub fn enqueue(&mut self, dest: usize, _payload: Vec<u16>, stream: Vec<Word>, now: u64) {
-        self.queue.push_back((dest, vec![stream], now));
+    pub fn enqueue(&mut self, dest: usize, payload: Vec<u16>, stream: Vec<Word>, now: u64) {
+        self.queue.push_back(QueuedMessage {
+            dest,
+            payload_words: payload.len(),
+            segments: vec![stream],
+            requested_at: now,
+        });
     }
 
     /// Queues a multi-round conversation: `segments[0]` opens the
@@ -267,10 +282,26 @@ impl Endpoint {
     /// (payload + checksum + TURN, no header — the circuit is already
     /// established). The NIC closes the circuit with a DROP after the
     /// final segment is acknowledged. The destination must run
-    /// [`ReplyPolicy::Conversation`].
-    pub fn enqueue_conversation(&mut self, dest: usize, segments: Vec<Vec<Word>>, now: u64) {
-        assert!(!segments.is_empty(), "a conversation needs at least one segment");
-        self.queue.push_back((dest, segments, now));
+    /// [`ReplyPolicy::Conversation`]. `payload_words` is the total
+    /// number of payload data words across all segments, recorded in
+    /// the final [`MessageOutcome`].
+    pub fn enqueue_conversation(
+        &mut self,
+        dest: usize,
+        segments: Vec<Vec<Word>>,
+        payload_words: usize,
+        now: u64,
+    ) {
+        assert!(
+            !segments.is_empty(),
+            "a conversation needs at least one segment"
+        );
+        self.queue.push_back(QueuedMessage {
+            dest,
+            payload_words,
+            segments,
+            requested_at: now,
+        });
     }
 
     /// Whether a message is in flight or queued.
@@ -307,50 +338,110 @@ impl Endpoint {
     }
 
     /// Advances the endpoint one clock cycle.
+    ///
+    /// Compatibility wrapper over [`Endpoint::tick_into`] that allocates
+    /// a fresh [`EndpointDrive`] per call.
     pub fn tick(&mut self, now: u64, io: &EndpointIo) -> EndpointDrive {
         let mut drive = EndpointDrive {
             out_fwd: vec![Word::Empty; self.out_ports],
             in_rev: vec![Word::Empty; self.rx.len()],
         };
-        if self.dead {
-            return drive;
-        }
-        self.tick_tx(now, io, &mut drive);
-        self.tick_rx(now, io, &mut drive);
+        self.tick_into(
+            now,
+            &io.out_rev_in,
+            &io.out_bcb_in,
+            &io.in_fwd_in,
+            &mut drive.out_fwd,
+            &mut drive.in_rev,
+        );
         drive
     }
 
-    fn tick_tx(&mut self, now: u64, io: &EndpointIo, drive: &mut EndpointDrive) {
-        for k in 0..self.engines.len() {
-            self.tick_engine(k, now, io, drive);
+    /// Advances the endpoint one clock cycle, reading inputs from and
+    /// writing outputs to caller-provided slices. The steady-state path
+    /// performs no heap allocation.
+    ///
+    /// `out_rev_in`/`out_bcb_in` are the reverse-lane word and BCB
+    /// arriving on each output (injection) port; `in_fwd_in` is the
+    /// forward-lane word arriving on each input (delivery) port.
+    /// `out_fwd` and `in_rev` are overwritten in full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length disagrees with the port counts.
+    pub fn tick_into(
+        &mut self,
+        now: u64,
+        out_rev_in: &[Word],
+        out_bcb_in: &[bool],
+        in_fwd_in: &[Word],
+        out_fwd: &mut [Word],
+        in_rev: &mut [Word],
+    ) {
+        assert_eq!(out_rev_in.len(), self.out_ports);
+        assert_eq!(out_bcb_in.len(), self.out_ports);
+        assert_eq!(in_fwd_in.len(), self.rx.len());
+        assert_eq!(out_fwd.len(), self.out_ports);
+        assert_eq!(in_rev.len(), self.rx.len());
+        out_fwd.fill(Word::Empty);
+        in_rev.fill(Word::Empty);
+        if self.dead {
+            return;
         }
+        for k in 0..self.engines.len() {
+            self.tick_engine(k, now, out_rev_in, out_bcb_in, out_fwd);
+        }
+        self.tick_rx(now, in_fwd_in, in_rev);
     }
 
-    /// Output ports not owned by any engine other than `k` — the pool
-    /// engine `k` may start or retry on.
-    fn free_ports(&self, k: usize) -> Vec<usize> {
+    /// Whether output port `p` is owned by no engine other than `k`.
+    fn port_free_for(&self, k: usize, p: usize) -> bool {
+        self.engines
+            .iter()
+            .enumerate()
+            .all(|(j, e)| j == k || e.active.as_ref().map(|m| m.port) != Some(p))
+    }
+
+    /// Number of output ports engine `k` may start or retry on.
+    fn count_free_ports(&self, k: usize) -> usize {
         (0..self.out_ports)
-            .filter(|&p| {
-                self.engines
-                    .iter()
-                    .enumerate()
-                    .all(|(j, e)| j == k || e.active.as_ref().map(|m| m.port) != Some(p))
-            })
-            .collect()
+            .filter(|&p| self.port_free_for(k, p))
+            .count()
     }
 
-    fn tick_engine(&mut self, k: usize, now: u64, io: &EndpointIo, drive: &mut EndpointDrive) {
+    /// The `n`-th (in port order) free output port for engine `k`.
+    fn nth_free_port(&self, k: usize, n: usize) -> usize {
+        (0..self.out_ports)
+            .filter(|&p| self.port_free_for(k, p))
+            .nth(n)
+            .expect("n < count_free_ports")
+    }
+
+    fn tick_engine(
+        &mut self,
+        k: usize,
+        now: u64,
+        out_rev_in: &[Word],
+        out_bcb_in: &[bool],
+        out_fwd: &mut [Word],
+    ) {
         let mut eng = std::mem::replace(&mut self.engines[k], TxEngine::idle());
         // Start the next message if idle (and the inter-stream gap has
         // elapsed).
         if eng.active.is_none() && now >= eng.gap_until && !self.queue.is_empty() {
-            let free = self.free_ports(k);
-            if !free.is_empty() {
-                let (dest, segments, requested_at) =
-                    self.queue.pop_front().expect("queue checked non-empty");
-                let port = free[self.rng.index(free.len())];
+            let nfree = self.count_free_ports(k);
+            if nfree > 0 {
+                let QueuedMessage {
+                    dest,
+                    payload_words,
+                    segments,
+                    requested_at,
+                } = self.queue.pop_front().expect("queue checked non-empty");
+                let n = self.rng.index(nfree);
+                let port = self.nth_free_port(k, n);
                 eng.active = Some(ActiveMessage {
                     dest,
+                    payload_words,
                     stream: segments[0].clone(),
                     pending_segments: segments[1..].iter().cloned().collect(),
                     all_segments: segments,
@@ -374,8 +465,8 @@ impl Endpoint {
         };
 
         // Watch the reverse lane and BCB of the active port.
-        let rev = io.out_rev_in[msg.port];
-        let bcb = io.out_bcb_in[msg.port];
+        let rev = out_rev_in[msg.port];
+        let bcb = out_bcb_in[msg.port];
         if rev != Word::Empty || bcb {
             msg.saw_reverse_activity = true;
         }
@@ -403,12 +494,10 @@ impl Endpoint {
                             msg.first_injection_at = Some(now);
                         }
                     }
-                    drive.out_fwd[msg.port] = msg.stream[idx];
+                    out_fwd[msg.port] = msg.stream[idx];
                     if idx + 1 < msg.stream.len() {
                         eng.state = TxState::Sending { idx: idx + 1 };
-                    } else if msg.stream.last() == Some(&Word::Drop)
-                        && msg.success_at.is_some()
-                    {
+                    } else if msg.stream.last() == Some(&Word::Drop) && msg.success_at.is_some() {
                         // The closing DROP of a completed conversation
                         // has gone out; the transaction is done.
                         finished = true;
@@ -418,7 +507,7 @@ impl Endpoint {
                 }
             }
             TxState::Awaiting => {
-                drive.out_fwd[msg.port] = Word::DataIdle;
+                out_fwd[msg.port] = Word::DataIdle;
                 if bcb {
                     failure = Some(FailureKind::FastReclaimed);
                 } else {
@@ -453,7 +542,11 @@ impl Endpoint {
                                 eng.state = TxState::Sending { idx: 0 };
                             }
                         }
-                        Word::Drop | Word::Empty if rev == Word::Drop || msg.success_at.is_some() || !msg.record.statuses.is_empty() => {
+                        Word::Drop | Word::Empty
+                            if rev == Word::Drop
+                                || msg.success_at.is_some()
+                                || !msg.record.statuses.is_empty() =>
+                        {
                             // Stream over: classify.
                             if msg.success_at.is_some() {
                                 finished = true;
@@ -471,7 +564,7 @@ impl Endpoint {
             }
             TxState::Aborting { step } => {
                 // Force the connection down: one DROP, then release.
-                drive.out_fwd[msg.port] = if step == 0 { Word::Drop } else { Word::Empty };
+                out_fwd[msg.port] = if step == 0 { Word::Drop } else { Word::Empty };
                 if step >= 2 {
                     failure = Some(FailureKind::Timeout);
                 } else {
@@ -485,11 +578,13 @@ impl Endpoint {
         // the reverse lane within a handful of cycles.
         if failure.is_none()
             && !finished
-            && !matches!(eng.state, TxState::Aborting { .. } | TxState::Backoff { .. })
+            && !matches!(
+                eng.state,
+                TxState::Aborting { .. } | TxState::Backoff { .. }
+            )
         {
             let elapsed = now.saturating_sub(msg.attempt_started_at);
-            let dead_entry =
-                !msg.saw_reverse_activity && elapsed > self.config.open_timeout as u64;
+            let dead_entry = !msg.saw_reverse_activity && elapsed > self.config.open_timeout as u64;
             if elapsed > self.config.timeout as u64 || dead_entry {
                 eng.state = TxState::Aborting { step: 0 };
             }
@@ -515,6 +610,7 @@ impl Endpoint {
                     completed_at: now,
                     retries: msg.retries,
                     failures: msg.failures,
+                    payload_words: msg.payload_words,
                     payload_delivered: Vec::new(),
                     reply_received: Vec::new(),
                     failure_records: msg.failure_records,
@@ -531,9 +627,10 @@ impl Endpoint {
             };
             // Spread retries over the redundant entry ports too (but
             // never onto a port a sibling engine is using).
-            let free = self.free_ports(k);
-            if !free.is_empty() {
-                msg.port = free[self.rng.index(free.len())];
+            let nfree = self.count_free_ports(k);
+            if nfree > 0 {
+                let n = self.rng.index(nfree);
+                msg.port = self.nth_free_port(k, n);
             }
             // +2 guarantees at least one fully undriven cycle reaches
             // the first-hop router so it can drain the old connection.
@@ -554,6 +651,7 @@ impl Endpoint {
                 completed_at: msg.success_at.unwrap_or(now),
                 retries: msg.retries,
                 failures: msg.failures,
+                payload_words: msg.payload_words,
                 payload_delivered: Vec::new(),
                 reply_received: msg.record.reply_words.clone(),
                 failure_records: msg.failure_records,
@@ -568,9 +666,9 @@ impl Endpoint {
         self.engines[k] = eng;
     }
 
-    fn tick_rx(&mut self, now: u64, io: &EndpointIo, drive: &mut EndpointDrive) {
+    fn tick_rx(&mut self, now: u64, in_fwd_in: &[Word], in_rev: &mut [Word]) {
         for (p, state) in self.rx.iter_mut().enumerate() {
-            let word = io.in_fwd_in[p];
+            let word = in_fwd_in[p];
             match state {
                 RxState::Idle => match word {
                     Word::Data(v) => {
@@ -578,7 +676,7 @@ impl Endpoint {
                         // the upstream router may reverse on the next
                         // cycle (zero-payload messages), and an Empty
                         // here would read as a teardown.
-                        drive.in_rev[p] = Word::DataIdle;
+                        in_rev[p] = Word::DataIdle;
                         let mut cksum = StreamChecksum::new();
                         cksum.absorb_value(v);
                         *state = RxState::Receiving {
@@ -588,7 +686,7 @@ impl Endpoint {
                         };
                     }
                     Word::Checksum(c) => {
-                        drive.in_rev[p] = Word::DataIdle;
+                        in_rev[p] = Word::DataIdle;
                         *state = RxState::Receiving {
                             payload: Vec::new(),
                             expected: Some(c),
@@ -605,55 +703,55 @@ impl Endpoint {
                     // Hold the open connection: the upstream router is in
                     // the forward direction and expects DATA-IDLE (not
                     // Empty) on the reverse lane of a live circuit.
-                    drive.in_rev[p] = Word::DataIdle;
+                    in_rev[p] = Word::DataIdle;
                     match word {
-                    Word::Data(v) => {
-                        payload.push(v);
-                        cksum.absorb_value(v);
-                    }
-                    Word::Checksum(c) => *expected = Some(c),
-                    Word::DataIdle => {}
-                    Word::Turn => {
-                        let ok = *expected == Some(cksum.value());
-                        let mut queue = VecDeque::new();
-                        if ok {
-                            self.delivered.push(Delivered {
-                                payload: std::mem::take(payload),
-                                at: now,
-                            });
-                            match self.config.reply {
-                                ReplyPolicy::Ack => {
-                                    queue.push_back(Word::Data(ACK_OK));
-                                    queue.push_back(Word::Drop);
-                                }
-                                ReplyPolicy::ReadReply { latency, words } => {
-                                    for _ in 0..latency {
-                                        queue.push_back(Word::DataIdle);
-                                    }
-                                    queue.push_back(Word::Data(ACK_OK));
-                                    for k in 0..words {
-                                        queue.push_back(Word::Data((k as u16) & 0xFF));
-                                    }
-                                    queue.push_back(Word::Drop);
-                                }
-                                ReplyPolicy::Conversation => {
-                                    // Acknowledge and hand transmission
-                                    // back; the source closes the circuit.
-                                    queue.push_back(Word::Data(ACK_OK));
-                                    queue.push_back(Word::Turn);
-                                }
-                            }
-                        } else {
-                            queue.push_back(Word::Data(ACK_CORRUPT));
-                            queue.push_back(Word::Drop);
+                        Word::Data(v) => {
+                            payload.push(v);
+                            cksum.absorb_value(v);
                         }
-                        *state = RxState::Replying { queue };
-                    }
-                    Word::Drop | Word::Empty => {
-                        drive.in_rev[p] = Word::Empty;
-                        *state = RxState::Idle;
-                    }
-                    Word::Status(_) => {}
+                        Word::Checksum(c) => *expected = Some(c),
+                        Word::DataIdle => {}
+                        Word::Turn => {
+                            let ok = *expected == Some(cksum.value());
+                            let mut queue = VecDeque::new();
+                            if ok {
+                                self.delivered.push(Delivered {
+                                    payload: std::mem::take(payload),
+                                    at: now,
+                                });
+                                match self.config.reply {
+                                    ReplyPolicy::Ack => {
+                                        queue.push_back(Word::Data(ACK_OK));
+                                        queue.push_back(Word::Drop);
+                                    }
+                                    ReplyPolicy::ReadReply { latency, words } => {
+                                        for _ in 0..latency {
+                                            queue.push_back(Word::DataIdle);
+                                        }
+                                        queue.push_back(Word::Data(ACK_OK));
+                                        for k in 0..words {
+                                            queue.push_back(Word::Data((k as u16) & 0xFF));
+                                        }
+                                        queue.push_back(Word::Drop);
+                                    }
+                                    ReplyPolicy::Conversation => {
+                                        // Acknowledge and hand transmission
+                                        // back; the source closes the circuit.
+                                        queue.push_back(Word::Data(ACK_OK));
+                                        queue.push_back(Word::Turn);
+                                    }
+                                }
+                            } else {
+                                queue.push_back(Word::Data(ACK_CORRUPT));
+                                queue.push_back(Word::Drop);
+                            }
+                            *state = RxState::Replying { queue };
+                        }
+                        Word::Drop | Word::Empty => {
+                            in_rev[p] = Word::Empty;
+                            *state = RxState::Idle;
+                        }
+                        Word::Status(_) => {}
                     }
                 }
                 RxState::Replying { queue } => {
@@ -663,7 +761,7 @@ impl Endpoint {
                         continue;
                     }
                     let out = queue.pop_front().unwrap_or(Word::Drop);
-                    drive.in_rev[p] = out;
+                    in_rev[p] = out;
                     if out == Word::Drop {
                         *state = RxState::Idle;
                     } else if out == Word::Turn {
@@ -914,7 +1012,12 @@ mod tests {
         e.enqueue(5, vec![2], stream_for(&[2]), 0);
         let d = e.tick(0, &EndpointIo::idle(2, 2));
         let active: Vec<usize> = (0..2).filter(|&p| d.out_fwd[p] != Word::Empty).collect();
-        assert_eq!(active.len(), 2, "both ports must carry streams: {:?}", d.out_fwd);
+        assert_eq!(
+            active.len(),
+            2,
+            "both ports must carry streams: {:?}",
+            d.out_fwd
+        );
     }
 
     #[test]
@@ -924,7 +1027,10 @@ mod tests {
         e.enqueue(5, vec![2], stream_for(&[2]), 0);
         let d = e.tick(0, &EndpointIo::idle(2, 2));
         let active = (0..2).filter(|&p| d.out_fwd[p] != Word::Empty).count();
-        assert_eq!(active, 1, "figure 3 restriction: one entering port at a time");
+        assert_eq!(
+            active, 1,
+            "figure 3 restriction: one entering port at a time"
+        );
         assert_eq!(e.queue_len(), 1);
     }
 

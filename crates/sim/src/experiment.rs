@@ -249,9 +249,7 @@ pub fn run_fault_point(
         mean_latency: stats.total_latency.mean(),
         p95_latency: stats.total_latency.percentile(95.0),
         retries_per_message: stats.retries_per_message(),
-        accepted: stats.delivered as f64 * payload_words as f64
-            / measure as f64
-            / endpoints as f64,
+        accepted: stats.delivered as f64 * payload_words as f64 / measure as f64 / endpoints as f64,
         delivered: stats.delivered,
         abandoned: stats.abandoned,
     }
@@ -259,11 +257,7 @@ pub fn run_fault_point(
 
 /// Runs a fault-degradation sweep at fixed load.
 #[must_use]
-pub fn fault_sweep(
-    cfg: &SweepConfig,
-    load: f64,
-    router_kills: &[usize],
-) -> Vec<FaultSweepPoint> {
+pub fn fault_sweep(cfg: &SweepConfig, load: f64, router_kills: &[usize]) -> Vec<FaultSweepPoint> {
     router_kills
         .iter()
         .map(|&k| run_fault_point(cfg, load, k, 0))

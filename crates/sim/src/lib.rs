@@ -47,7 +47,7 @@ pub mod wire;
 pub use endpoint::{EndpointConfig, ReplyPolicy};
 pub use experiment::{FaultSweepPoint, LoadPoint, SweepConfig};
 pub use message::{DeliveryRecord, FailureKind, MessageOutcome};
-pub use network::{NetworkSim, SimConfig};
+pub use network::{EngineKind, NetworkSim, SimConfig};
 pub use stats::{LatencyStats, NetworkStats};
 pub use trace::{TraceEvent, TraceLog, TraceRecord};
 pub use traffic::TrafficPattern;

@@ -46,6 +46,11 @@ pub struct MessageOutcome {
     pub retries: usize,
     /// Failures encountered along the way, in order.
     pub failures: Vec<FailureKind>,
+    /// Number of payload data words the source transmitted (summed over
+    /// all segments of a conversation). Unlike `payload_delivered`,
+    /// this is always recorded, so throughput accounting does not
+    /// depend on destination-side capture.
+    pub payload_words: usize,
     /// The payload as the destination delivered it (for loopback-style
     /// verification in tests; empty when not captured).
     pub payload_delivered: Vec<u16>,
@@ -123,6 +128,7 @@ mod tests {
             completed_at: 50,
             retries: 1,
             failures: vec![FailureKind::FastReclaimed],
+            payload_words: 0,
             payload_delivered: vec![],
             reply_received: vec![],
             failure_records: vec![],

@@ -18,13 +18,29 @@ use crate::message::MessageOutcome;
 use crate::stats::NetworkStats;
 use crate::wire::Wire;
 use metro_core::header::HeaderPlan;
+use metro_core::router::RouterStats;
 use metro_core::{
-    ArchParams, BwdIn, FwdIn, RandomSource, Router, RouterConfig, SelectionPolicy,
-    StreamChecksum, TickOutput, Word,
+    ArchParams, BwdIn, FwdIn, RandomSource, Router, RouterConfig, SelectionPolicy, StreamChecksum,
+    TickOutput, Word,
 };
 use metro_topo::fault::FaultSet;
+use metro_topo::flatlinks::{FlatLinks, FlatTarget};
 use metro_topo::graph::{LinkId, LinkTarget};
 use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec};
+
+/// Which tick engine drives the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Flat double-buffered channel arenas walked with precomputed slot
+    /// indices ([`metro_topo::flatlinks`]); the steady-state tick path
+    /// performs no heap allocation. The default.
+    #[default]
+    Flat,
+    /// The original nested-`Vec` engine, rebuilt buffers each tick.
+    /// Retained as the golden reference for equivalence testing and
+    /// before/after benchmarking.
+    Reference,
+}
 
 /// Simulator configuration: the implementation parameters shared by
 /// every router in the network plus protocol knobs.
@@ -60,6 +76,10 @@ pub struct SimConfig {
     pub endpoint: EndpointConfig,
     /// Master seed: router randomness, endpoint port choice, backoff.
     pub seed: u64,
+    /// Which tick engine drives the fabric. Both engines are
+    /// cycle-for-cycle equivalent (see the golden-equivalence tests);
+    /// [`EngineKind::Flat`] is simply faster.
+    pub engine: EngineKind,
 }
 
 impl Default for SimConfig {
@@ -77,8 +97,113 @@ impl Default for SimConfig {
             selection: SelectionPolicy::Random,
             endpoint: EndpointConfig::default(),
             seed: 0xC0FFEE,
+            engine: EngineKind::default(),
         }
     }
+}
+
+/// One copy of every registered channel value in the network, indexed
+/// by the flat slot scheme of [`FlatLinks`]. The flat engine keeps two
+/// of these — `cur` (read by components this cycle) and `next` (written
+/// by wires for the coming cycle) — and swaps them once per tick.
+#[derive(Debug, Clone)]
+struct ChannelArena {
+    /// Forward-lane word arriving at each router forward port (fslot).
+    fwd_in: Vec<Word>,
+    /// Reverse-lane word arriving at each router backward port (bslot).
+    rev_in: Vec<Word>,
+    /// BCB arriving at each router backward port (bslot).
+    bcb_in: Vec<bool>,
+    /// Reverse-lane word arriving at each endpoint output port
+    /// (ep slot).
+    ep_out_rev: Vec<Word>,
+    /// BCB arriving at each endpoint output port (ep slot).
+    ep_out_bcb: Vec<bool>,
+    /// Forward-lane word arriving at each endpoint input port (ep slot).
+    ep_in_fwd: Vec<Word>,
+}
+
+impl ChannelArena {
+    fn idle(links: &FlatLinks) -> Self {
+        Self {
+            fwd_in: vec![Word::Empty; links.n_fwd_slots()],
+            rev_in: vec![Word::Empty; links.n_bwd_slots()],
+            bcb_in: vec![false; links.n_bwd_slots()],
+            ep_out_rev: vec![Word::Empty; links.n_ep_slots()],
+            ep_out_bcb: vec![false; links.n_ep_slots()],
+            ep_in_fwd: vec![Word::Empty; links.n_ep_slots()],
+        }
+    }
+}
+
+/// Component outputs computed during the current tick, before the wires
+/// consume them. Preallocated once; every slot is overwritten each
+/// cycle.
+#[derive(Debug, Clone)]
+struct DriveBus {
+    /// Forward-lane word each router drives out of a backward port
+    /// (bslot).
+    out_bwd: Vec<Word>,
+    /// Reverse-lane word each router drives out of a forward port
+    /// (fslot).
+    out_fwd: Vec<Word>,
+    /// BCB each router drives out of a forward port (fslot).
+    out_bcb: Vec<bool>,
+    /// Forward-lane word each endpoint drives into the network
+    /// (ep slot).
+    ep_out_fwd: Vec<Word>,
+    /// Reverse-lane reply each endpoint drives at its input side
+    /// (ep slot).
+    ep_in_rev: Vec<Word>,
+}
+
+impl DriveBus {
+    fn idle(links: &FlatLinks) -> Self {
+        Self {
+            out_bwd: vec![Word::Empty; links.n_bwd_slots()],
+            out_fwd: vec![Word::Empty; links.n_fwd_slots()],
+            out_bcb: vec![false; links.n_fwd_slots()],
+            ep_out_fwd: vec![Word::Empty; links.n_ep_slots()],
+            ep_in_rev: vec![Word::Empty; links.n_ep_slots()],
+        }
+    }
+}
+
+/// The allocation-free tick engine: flat arenas + precomputed slots.
+#[derive(Debug, Clone)]
+struct FlatEngine {
+    links: FlatLinks,
+    cur: ChannelArena,
+    next: ChannelArena,
+    bus: DriveBus,
+    /// Injection wires, one per endpoint slot.
+    inj_wires: Vec<Wire>,
+    /// Inter-stage / delivery wires, one per backward slot.
+    stage_wires: Vec<Wire>,
+    /// Dead-router flags, flat router numbering; synced from the fault
+    /// set in [`NetworkSim::apply_faults`] so the tick path never
+    /// queries the fault set.
+    router_dead: Vec<bool>,
+}
+
+/// The original engine: nested `Vec` buffers rebuilt each tick, with
+/// per-tick topology and fault lookups.
+#[derive(Debug, Clone)]
+struct ReferenceEngine {
+    inj_wires: Vec<Vec<Wire>>,
+    stage_wires: Vec<Vec<Vec<Wire>>>,
+    fwd_in: Vec<Vec<Vec<Word>>>,
+    rev_in: Vec<Vec<Vec<Word>>>,
+    bcb_in: Vec<Vec<Vec<bool>>>,
+    ep_out_rev: Vec<Vec<Word>>,
+    ep_out_bcb: Vec<Vec<bool>>,
+    ep_in_fwd: Vec<Vec<Word>>,
+}
+
+#[derive(Debug, Clone)]
+enum EngineState {
+    Flat(Box<FlatEngine>),
+    Reference(Box<ReferenceEngine>),
 }
 
 /// A complete METRO network under simulation.
@@ -89,20 +214,18 @@ pub struct NetworkSim {
     plan: HeaderPlan,
     routers: Vec<Vec<Router>>,
     endpoints: Vec<Endpoint>,
-    inj_wires: Vec<Vec<Wire>>,
-    stage_wires: Vec<Vec<Vec<Wire>>>,
-    fwd_in: Vec<Vec<Vec<Word>>>,
-    rev_in: Vec<Vec<Vec<Word>>>,
-    bcb_in: Vec<Vec<Vec<bool>>>,
-    ep_out_rev: Vec<Vec<Word>>,
-    ep_out_bcb: Vec<Vec<bool>>,
-    ep_in_fwd: Vec<Vec<Word>>,
+    engine: EngineState,
     faults: FaultSet,
     now: u64,
     outcomes: Vec<MessageOutcome>,
     stats: NetworkStats,
     stats_from: u64,
     trace: Option<crate::trace::TraceLog>,
+    /// Snapshot the router counters into the trace only every this many
+    /// cycles (1 = every cycle).
+    trace_every: u64,
+    /// Reusable buffer for the trace's router-counter snapshot.
+    snap_buf: Vec<Vec<RouterStats>>,
 }
 
 impl NetworkSim {
@@ -183,57 +306,89 @@ impl NetworkSim {
             })
             .collect();
 
-        let inj_wires = (0..topo.endpoints())
-            .map(|_| (0..ep).map(|_| Wire::new(boundary_delay(0))).collect())
-            .collect();
-        let stage_wires = (0..topo.stages())
-            .map(|s| {
-                (0..topo.routers_in_stage(s))
-                    .map(|_| {
-                        (0..topo.stage_spec(s).backward_ports)
-                            .map(|_| Wire::new(boundary_delay(s + 1)))
+        let engine = match config.engine {
+            EngineKind::Flat => {
+                let links = FlatLinks::build(&topo);
+                let inj_wires = (0..links.n_ep_slots())
+                    .map(|_| Wire::new(boundary_delay(0)))
+                    .collect();
+                let stage_wires = (0..topo.stages())
+                    .flat_map(|s| {
+                        let n = topo.routers_in_stage(s) * topo.stage_spec(s).backward_ports;
+                        std::iter::repeat_n(boundary_delay(s + 1), n)
+                    })
+                    .map(Wire::new)
+                    .collect();
+                EngineState::Flat(Box::new(FlatEngine {
+                    cur: ChannelArena::idle(&links),
+                    next: ChannelArena::idle(&links),
+                    bus: DriveBus::idle(&links),
+                    inj_wires,
+                    stage_wires,
+                    router_dead: vec![false; links.n_routers()],
+                    links,
+                }))
+            }
+            EngineKind::Reference => EngineState::Reference(Box::new(ReferenceEngine {
+                inj_wires: (0..topo.endpoints())
+                    .map(|_| (0..ep).map(|_| Wire::new(boundary_delay(0))).collect())
+                    .collect(),
+                stage_wires: (0..topo.stages())
+                    .map(|s| {
+                        (0..topo.routers_in_stage(s))
+                            .map(|_| {
+                                (0..topo.stage_spec(s).backward_ports)
+                                    .map(|_| Wire::new(boundary_delay(s + 1)))
+                                    .collect()
+                            })
                             .collect()
                     })
-                    .collect()
-            })
-            .collect();
-
-        let fwd_in = (0..topo.stages())
-            .map(|s| {
-                vec![vec![Word::Empty; topo.stage_spec(s).forward_ports]; topo.routers_in_stage(s)]
-            })
-            .collect();
-        let rev_in = (0..topo.stages())
-            .map(|s| {
-                vec![vec![Word::Empty; topo.stage_spec(s).backward_ports]; topo.routers_in_stage(s)]
-            })
-            .collect();
-        let bcb_in = (0..topo.stages())
-            .map(|s| {
-                vec![vec![false; topo.stage_spec(s).backward_ports]; topo.routers_in_stage(s)]
-            })
-            .collect();
+                    .collect(),
+                fwd_in: (0..topo.stages())
+                    .map(|s| {
+                        vec![
+                            vec![Word::Empty; topo.stage_spec(s).forward_ports];
+                            topo.routers_in_stage(s)
+                        ]
+                    })
+                    .collect(),
+                rev_in: (0..topo.stages())
+                    .map(|s| {
+                        vec![
+                            vec![Word::Empty; topo.stage_spec(s).backward_ports];
+                            topo.routers_in_stage(s)
+                        ]
+                    })
+                    .collect(),
+                bcb_in: (0..topo.stages())
+                    .map(|s| {
+                        vec![
+                            vec![false; topo.stage_spec(s).backward_ports];
+                            topo.routers_in_stage(s)
+                        ]
+                    })
+                    .collect(),
+                ep_out_rev: vec![vec![Word::Empty; ep]; topo.endpoints()],
+                ep_out_bcb: vec![vec![false; ep]; topo.endpoints()],
+                ep_in_fwd: vec![vec![Word::Empty; ep]; topo.endpoints()],
+            })),
+        };
 
         Ok(Self {
-            ep_out_rev: vec![vec![Word::Empty; ep]; topo.endpoints()],
-            ep_out_bcb: vec![vec![false; ep]; topo.endpoints()],
-            ep_in_fwd: vec![vec![Word::Empty; ep]; topo.endpoints()],
             topo,
             config: config.clone(),
             plan,
             routers,
             endpoints,
-            inj_wires,
-            stage_wires,
-            fwd_in,
-            rev_in,
-            bcb_in,
+            engine,
             faults: FaultSet::new(),
             now: 0,
             outcomes: Vec::new(),
             stats: NetworkStats::new(),
             stats_from: 0,
             trace: None,
+            trace_every: 1,
+            snap_buf: Vec::new(),
         })
     }
 
@@ -241,6 +396,15 @@ impl NetworkSim {
     /// records (0 = unbounded). See [`crate::trace::TraceLog`].
     pub fn enable_trace(&mut self, capacity: usize) {
         self.trace = Some(crate::trace::TraceLog::new(capacity));
+    }
+
+    /// Snapshots the router counters into the trace only every `every`
+    /// cycles (default 1 = every cycle). Counter increments between
+    /// snapshots are still observed — the trace diffs cumulative
+    /// counters — but their cycle stamps coarsen to the snapshot grid,
+    /// trading stamp resolution for a cheaper hot path under tracing.
+    pub fn set_trace_interval(&mut self, every: u64) {
+        self.trace_every = every.max(1);
     }
 
     /// The trace log, if tracing is enabled.
@@ -344,7 +508,8 @@ impl NetworkSim {
         for p in &payloads[1..] {
             segments.push(self.segment_for(p));
         }
-        self.endpoints[src].enqueue_conversation(dest, segments, self.now);
+        let payload_words = payloads.iter().map(|p| p.len()).sum();
+        self.endpoints[src].enqueue_conversation(dest, segments, payload_words, self.now);
     }
 
     /// Queues a message from `src` to `dest` with the given payload.
@@ -378,7 +543,11 @@ impl NetworkSim {
                 .position(|o| o.src == src && o.dest == dest)
             {
                 let mut outcome = self.outcomes.remove(pos);
-                if let Some(d) = self.endpoints[dest].take_delivered().into_iter().next_back() {
+                if let Some(d) = self.endpoints[dest]
+                    .take_delivered()
+                    .into_iter()
+                    .next_back()
+                {
                     outcome.payload_delivered = d.payload;
                 }
                 return Some(outcome);
@@ -389,6 +558,109 @@ impl NetworkSim {
 
     /// Advances the whole network one clock cycle.
     pub fn tick(&mut self) {
+        match self.engine {
+            EngineState::Flat(_) => self.tick_flat(),
+            EngineState::Reference(_) => self.tick_reference(),
+        }
+        self.after_tick();
+    }
+
+    /// The flat engine's cycle: endpoints and routers read registered
+    /// inputs from the `cur` arena and drive the bus; wires consume the
+    /// bus and write every slot of the `next` arena; the arenas swap.
+    /// The swap is sound because every linked slot is written every
+    /// cycle (unlinked slots stay `Empty` in both buffers), and nothing
+    /// here allocates.
+    fn tick_flat(&mut self) {
+        let EngineState::Flat(eng) = &mut self.engine else {
+            unreachable!("tick_flat requires the flat engine");
+        };
+        let FlatEngine {
+            links,
+            cur,
+            next,
+            bus,
+            inj_wires,
+            stage_wires,
+            router_dead,
+        } = &mut **eng;
+        let ep = links.ep_ports();
+
+        // 1. Endpoints compute their outputs from last cycle's inputs.
+        for (e, endpoint) in self.endpoints.iter_mut().enumerate() {
+            let lo = e * ep;
+            let hi = lo + ep;
+            endpoint.tick_into(
+                self.now,
+                &cur.ep_out_rev[lo..hi],
+                &cur.ep_out_bcb[lo..hi],
+                &cur.ep_in_fwd[lo..hi],
+                &mut bus.ep_out_fwd[lo..hi],
+                &mut bus.ep_in_rev[lo..hi],
+            );
+        }
+
+        // 2. Routers compute their outputs.
+        for (s, stage) in self.routers.iter_mut().enumerate() {
+            let nf = links.forward_ports(s);
+            let nb = links.backward_ports(s);
+            for (r, router) in stage.iter_mut().enumerate() {
+                let f0 = links.fslot(s, r, 0);
+                let b0 = links.bslot(s, r, 0);
+                if router_dead[links.router_index(s, r)] {
+                    bus.out_bwd[b0..b0 + nb].fill(Word::Empty);
+                    bus.out_fwd[f0..f0 + nf].fill(Word::Empty);
+                    bus.out_bcb[f0..f0 + nf].fill(false);
+                    continue;
+                }
+                router.tick_into(
+                    &cur.fwd_in[f0..f0 + nf],
+                    &cur.rev_in[b0..b0 + nb],
+                    &cur.bcb_in[b0..b0 + nb],
+                    &mut bus.out_bwd[b0..b0 + nb],
+                    &mut bus.out_fwd[f0..f0 + nf],
+                    &mut bus.out_bcb[f0..f0 + nf],
+                );
+            }
+        }
+
+        // 3. Wires advance, writing every slot of the next arena.
+        for (i, wire) in inj_wires.iter_mut().enumerate() {
+            let t = links.inj_target(i);
+            let (fwd_o, rev_o, bcb_o) =
+                wire.advance(bus.ep_out_fwd[i], bus.out_fwd[t], bus.out_bcb[t]);
+            next.fwd_in[t] = fwd_o;
+            next.ep_out_rev[i] = rev_o;
+            next.ep_out_bcb[i] = bcb_o;
+        }
+        for (j, wire) in stage_wires.iter_mut().enumerate() {
+            match links.bwd_target(j) {
+                FlatTarget::Fwd(t) => {
+                    let t = t as usize;
+                    let (fwd_o, rev_o, bcb_o) =
+                        wire.advance(bus.out_bwd[j], bus.out_fwd[t], bus.out_bcb[t]);
+                    next.fwd_in[t] = fwd_o;
+                    next.rev_in[j] = rev_o;
+                    next.bcb_in[j] = bcb_o;
+                }
+                FlatTarget::Endpoint(i) => {
+                    let i = i as usize;
+                    let (fwd_o, rev_o, _) = wire.advance(bus.out_bwd[j], bus.ep_in_rev[i], false);
+                    next.ep_in_fwd[i] = fwd_o;
+                    next.rev_in[j] = rev_o;
+                    next.bcb_in[j] = false;
+                }
+            }
+        }
+        std::mem::swap(cur, next);
+    }
+
+    /// The original engine's cycle, kept verbatim: per-tick buffer
+    /// allocation, topology lookups, and fault-set queries.
+    fn tick_reference(&mut self) {
+        let EngineState::Reference(eng) = &mut self.engine else {
+            unreachable!("tick_reference requires the reference engine");
+        };
         let stages = self.topo.stages();
         let ep = self.topo.endpoint_ports();
 
@@ -396,9 +668,9 @@ impl NetworkSim {
         let mut ep_drive = Vec::with_capacity(self.endpoints.len());
         for e in 0..self.endpoints.len() {
             let io = EndpointIo {
-                out_rev_in: self.ep_out_rev[e].clone(),
-                out_bcb_in: self.ep_out_bcb[e].clone(),
-                in_fwd_in: self.ep_in_fwd[e].clone(),
+                out_rev_in: eng.ep_out_rev[e].clone(),
+                out_bcb_in: eng.ep_out_bcb[e].clone(),
+                in_fwd_in: eng.ep_in_fwd[e].clone(),
             };
             ep_drive.push(self.endpoints[e].tick(self.now, &io));
         }
@@ -417,8 +689,8 @@ impl NetworkSim {
                     });
                     continue;
                 }
-                let fwd = FwdIn::data(&self.fwd_in[s][r]);
-                let bwd = BwdIn::new(&self.rev_in[s][r], &self.bcb_in[s][r]);
+                let fwd = FwdIn::data(&eng.fwd_in[s][r]);
+                let bwd = BwdIn::new(&eng.rev_in[s][r], &eng.bcb_in[s][r]);
                 stage_out.push(self.routers[s][r].tick(&fwd, &bwd));
             }
             router_out.push(stage_out);
@@ -428,14 +700,14 @@ impl NetworkSim {
         for (e, drive) in ep_drive.iter().enumerate() {
             for p in 0..ep {
                 let (r0, f0) = self.topo.injection(e, p);
-                let (fwd_o, rev_o, bcb_o) = self.inj_wires[e][p].advance(
+                let (fwd_o, rev_o, bcb_o) = eng.inj_wires[e][p].advance(
                     drive.out_fwd[p],
                     router_out[0][r0].fwd[f0],
                     router_out[0][r0].bcb[f0],
                 );
-                self.fwd_in[0][r0][f0] = fwd_o;
-                self.ep_out_rev[e][p] = rev_o;
-                self.ep_out_bcb[e][p] = bcb_o;
+                eng.fwd_in[0][r0][f0] = fwd_o;
+                eng.ep_out_rev[e][p] = rev_o;
+                eng.ep_out_bcb[e][p] = bcb_o;
             }
         }
         for s in 0..stages {
@@ -443,41 +715,53 @@ impl NetworkSim {
             for r in 0..self.routers[s].len() {
                 for b in 0..st.backward_ports {
                     let fault = self.faults.link_fault(LinkId::new(s, r, b));
-                    self.stage_wires[s][r][b].set_fault(fault);
+                    eng.stage_wires[s][r][b].set_fault(fault);
                     match self.topo.link(s, r, b) {
                         LinkTarget::Router { router, port } => {
-                            let (fwd_o, rev_o, bcb_o) = self.stage_wires[s][r][b].advance(
+                            let (fwd_o, rev_o, bcb_o) = eng.stage_wires[s][r][b].advance(
                                 router_out[s][r].bwd[b],
                                 router_out[s + 1][router].fwd[port],
                                 router_out[s + 1][router].bcb[port],
                             );
-                            self.fwd_in[s + 1][router][port] = fwd_o;
-                            self.rev_in[s][r][b] = rev_o;
-                            self.bcb_in[s][r][b] = bcb_o;
+                            eng.fwd_in[s + 1][router][port] = fwd_o;
+                            eng.rev_in[s][r][b] = rev_o;
+                            eng.bcb_in[s][r][b] = bcb_o;
                         }
                         LinkTarget::Endpoint { endpoint, port } => {
-                            let (fwd_o, rev_o, _) = self.stage_wires[s][r][b].advance(
+                            let (fwd_o, rev_o, _) = eng.stage_wires[s][r][b].advance(
                                 router_out[s][r].bwd[b],
                                 ep_drive[endpoint].in_rev[port],
                                 false,
                             );
-                            self.ep_in_fwd[endpoint][port] = fwd_o;
-                            self.rev_in[s][r][b] = rev_o;
-                            self.bcb_in[s][r][b] = false;
+                            eng.ep_in_fwd[endpoint][port] = fwd_o;
+                            eng.rev_in[s][r][b] = rev_o;
+                            eng.bcb_in[s][r][b] = false;
                         }
                     }
                 }
             }
         }
+    }
 
-        // 4. Trace, then harvest completed transactions.
+    /// Trace, then harvest completed transactions (shared by both
+    /// engines).
+    fn after_tick(&mut self) {
         if let Some(trace) = &mut self.trace {
-            let snapshot: Vec<Vec<metro_core::router::RouterStats>> = self
-                .routers
-                .iter()
-                .map(|stage| stage.iter().map(|r| r.stats()).collect())
-                .collect();
-            trace.snapshot_routers(self.now, &snapshot);
+            if self.trace_every <= 1 || self.now.is_multiple_of(self.trace_every) {
+                if self.snap_buf.len() != self.routers.len() {
+                    self.snap_buf = self
+                        .routers
+                        .iter()
+                        .map(|stage| vec![RouterStats::default(); stage.len()])
+                        .collect();
+                }
+                for (dst, stage) in self.snap_buf.iter_mut().zip(&self.routers) {
+                    for (d, r) in dst.iter_mut().zip(stage) {
+                        *d = r.stats();
+                    }
+                }
+                trace.snapshot_routers(self.now, &self.snap_buf);
+            }
         }
         self.now += 1;
         for e in 0..self.endpoints.len() {
@@ -486,9 +770,7 @@ impl NetworkSim {
                     trace.record_completion(self.now, o.src, o.dest, o.retries);
                 }
                 if o.requested_at >= self.stats_from {
-                    let payload = o.payload_delivered.len().max(
-                        self.payload_words_hint(&o),
-                    );
+                    let payload = o.payload_delivered.len().max(self.payload_words_hint(&o));
                     self.stats.record(&o, payload);
                 }
                 self.outcomes.push(o);
@@ -500,11 +782,11 @@ impl NetworkSim {
         }
     }
 
-    fn payload_words_hint(&self, _o: &MessageOutcome) -> usize {
-        // Message payload length is uniform within an experiment run;
-        // the experiment layer passes exact sizes. Network-level stats
-        // count messages; word accounting happens in `experiment`.
-        0
+    fn payload_words_hint(&self, o: &MessageOutcome) -> usize {
+        // The NIC records the transmitted payload length in the
+        // outcome, so throughput accounting holds even when the
+        // destination-side capture (`payload_delivered`) is skipped.
+        o.payload_words
     }
 
     /// Runs the clock for `cycles` cycles.
@@ -541,12 +823,19 @@ impl NetworkSim {
                 ports_idle && router.in_use_vector().iter().all(|&u| !u)
             })
         });
-        let wires_quiet = self
-            .inj_wires
-            .iter()
-            .flatten()
-            .chain(self.stage_wires.iter().flatten().flatten())
-            .all(crate::wire::Wire::is_quiet);
+        let wires_quiet = match &self.engine {
+            EngineState::Flat(eng) => eng
+                .inj_wires
+                .iter()
+                .chain(eng.stage_wires.iter())
+                .all(Wire::is_quiet),
+            EngineState::Reference(eng) => eng
+                .inj_wires
+                .iter()
+                .flatten()
+                .chain(eng.stage_wires.iter().flatten().flatten())
+                .all(Wire::is_quiet),
+        };
         routers_idle && wires_quiet
     }
 
@@ -576,6 +865,19 @@ impl NetworkSim {
             self.endpoints[e].set_dead(faults.endpoint_dead(e));
         }
         self.faults = faults;
+        // The flat engine resolves the fault set into its flat tables
+        // here, once, instead of querying it every tick.
+        if let EngineState::Flat(eng) = &mut self.engine {
+            for s in 0..self.topo.stages() {
+                for r in 0..self.topo.routers_in_stage(s) {
+                    eng.router_dead[eng.links.router_index(s, r)] = self.faults.router_dead(s, r);
+                    for b in 0..self.topo.stage_spec(s).backward_ports {
+                        eng.stage_wires[eng.links.bslot(s, r, b)]
+                            .set_fault(self.faults.link_fault(LinkId::new(s, r, b)));
+                    }
+                }
+            }
+        }
     }
 
     /// The active fault set.
@@ -604,12 +906,11 @@ impl NetworkSim {
 
     /// Sums a per-router statistic over every router in the network.
     #[must_use]
-    pub fn router_stat_total(&self, f: impl Fn(&metro_core::router::RouterStats) -> usize) -> usize {
-        self.routers
-            .iter()
-            .flatten()
-            .map(|r| f(&r.stats()))
-            .sum()
+    pub fn router_stat_total(
+        &self,
+        f: impl Fn(&metro_core::router::RouterStats) -> usize,
+    ) -> usize {
+        self.routers.iter().flatten().map(|r| f(&r.stats())).sum()
     }
 }
 
@@ -736,7 +1037,9 @@ mod tests {
             metro_topo::fault::FaultKind::CorruptData { xor: 0x04 },
         );
         sim.apply_faults(faults);
-        let o = sim.send_and_wait(4, 9, &[1, 2, 3, 4], 4000).expect("delivered");
+        let o = sim
+            .send_and_wait(4, 9, &[1, 2, 3, 4], 4000)
+            .expect("delivered");
         assert_eq!(o.payload_delivered, vec![1, 2, 3, 4]);
     }
 
@@ -836,10 +1139,18 @@ mod tests {
         let base = {
             let mut b =
                 NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default()).unwrap();
-            b.send_and_wait(5, 60, &[1; 19], 2_000).unwrap().network_latency()
+            b.send_and_wait(5, 60, &[1; 19], 2_000)
+                .unwrap()
+                .network_latency()
         };
-        let extra = sim.send_and_wait(5, 60, &[1; 19], 2_000).unwrap().network_latency();
-        assert!((1..=4).contains(&(extra as i64 - base as i64)), "one extra hop, got {base} -> {extra}");
+        let extra = sim
+            .send_and_wait(5, 60, &[1; 19], 2_000)
+            .unwrap()
+            .network_latency();
+        assert!(
+            (1..=4).contains(&(extra as i64 - base as i64)),
+            "one extra hop, got {base} -> {extra}"
+        );
     }
 
     #[test]

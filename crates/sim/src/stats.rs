@@ -231,6 +231,7 @@ mod tests {
                 FailureKind::FastReclaimed,
                 FailureKind::Blocked { stage: 1 },
             ],
+            payload_words: 20,
             payload_delivered: vec![],
             reply_received: vec![],
             failure_records: vec![],

@@ -143,20 +143,52 @@ impl TraceLog {
             for (r, cur) in stage.iter().enumerate() {
                 let prev = self.last[s][r];
                 for _ in prev.grants..cur.grants {
-                    self.push(now, TraceEvent::Granted { stage: s, router: r });
+                    self.push(
+                        now,
+                        TraceEvent::Granted {
+                            stage: s,
+                            router: r,
+                        },
+                    );
                 }
                 for _ in prev.blocks..cur.blocks {
-                    self.push(now, TraceEvent::Blocked { stage: s, router: r });
+                    self.push(
+                        now,
+                        TraceEvent::Blocked {
+                            stage: s,
+                            router: r,
+                        },
+                    );
                 }
                 for _ in prev.turns..cur.turns {
-                    self.push(now, TraceEvent::Turned { stage: s, router: r });
+                    self.push(
+                        now,
+                        TraceEvent::Turned {
+                            stage: s,
+                            router: r,
+                        },
+                    );
                 }
                 for _ in prev.drops..cur.drops {
-                    self.push(now, TraceEvent::Dropped { stage: s, router: r });
+                    self.push(
+                        now,
+                        TraceEvent::Dropped {
+                            stage: s,
+                            router: r,
+                        },
+                    );
                 }
             }
         }
-        self.last = stats.to_vec();
+        // Refresh the snapshot in place (`RouterStats` is `Copy`); the
+        // per-snapshot clone this replaces dominated traced-run cost.
+        for (last, stage) in self.last.iter_mut().zip(stats) {
+            if last.len() == stage.len() {
+                last.copy_from_slice(stage);
+            } else {
+                stage.clone_into(last);
+            }
+        }
     }
 
     /// Records a message completion.

@@ -196,7 +196,10 @@ mod tests {
     #[test]
     fn intermittent_fault_strikes_periodically() {
         let mut w = Wire::new(0);
-        w.set_fault(Some(FaultKind::Intermittent { xor: 0x01, period: 3 }));
+        w.set_fault(Some(FaultKind::Intermittent {
+            xor: 0x01,
+            period: 3,
+        }));
         let mut corrupted = 0;
         for k in 0..9u16 {
             let (f, _, _) = w.advance(Word::Data(k), Word::Empty, false);

@@ -11,7 +11,14 @@ pub fn render_table3(rows: &[ImplementationSpec]) -> String {
     let _ = writeln!(
         out,
         "{:<32} {:<18} {:>6} {:>6} {:>6} {:>12} {:>6} {:>9}",
-        "Architecture Instance", "Technology", "t_clk", "t_io", "t_stg", "t_bit", "stages", "t_20,32"
+        "Architecture Instance",
+        "Technology",
+        "t_clk",
+        "t_io",
+        "t_stg",
+        "t_bit",
+        "stages",
+        "t_20,32"
     );
     let _ = writeln!(out, "{}", "-".repeat(104));
     for r in rows {

@@ -63,7 +63,10 @@ pub fn serialization_fraction(rows: &[ImplementationSpec]) -> Vec<(String, f64)>
             let m = r.model();
             let stage = m.stages() as f64 * m.t_stg_ns();
             let total = m.t20_32_ns();
-            (format!("{} [{}]", r.name, r.technology), 1.0 - stage / total)
+            (
+                format!("{} [{}]", r.name, r.technology),
+                1.0 - stage / total,
+            )
         })
         .collect()
 }

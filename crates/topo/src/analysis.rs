@@ -68,12 +68,7 @@ pub fn single_router_tolerance(net: &Multibutterfly) -> Vec<bool> {
 /// routers sampled by `samples` random trials leaves the network
 /// connected — a Monte-Carlo estimate of fault tolerance margin.
 #[must_use]
-pub fn random_fault_margin(
-    net: &Multibutterfly,
-    limit: usize,
-    samples: usize,
-    seed: u64,
-) -> usize {
+pub fn random_fault_margin(net: &Multibutterfly, limit: usize, samples: usize, seed: u64) -> usize {
     let routers: Vec<usize> = (0..net.stages()).map(|s| net.routers_in_stage(s)).collect();
     let mut rng = metro_core::RandomSource::new(seed);
     let mut margin = 0;
@@ -156,8 +151,14 @@ mod tests {
         let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
         let tolerance = single_router_tolerance(&net);
         assert_eq!(tolerance.len(), 3);
-        assert!(tolerance[2], "final stage single-router loss must be tolerated");
-        assert!(tolerance[0] && tolerance[1], "early stages too (dilation 2)");
+        assert!(
+            tolerance[2],
+            "final stage single-router loss must be tolerated"
+        );
+        assert!(
+            tolerance[0] && tolerance[1],
+            "early stages too (dilation 2)"
+        );
     }
 
     #[test]
@@ -173,7 +174,10 @@ mod tests {
     fn two_random_router_faults_usually_survive_figure1() {
         let net = Multibutterfly::build(&MultibutterflySpec::figure1()).unwrap();
         let margin = random_fault_margin(&net, 2, 20, 99);
-        assert!(margin >= 1, "single random faults must always be survivable");
+        assert!(
+            margin >= 1,
+            "single random faults must always be survivable"
+        );
     }
 
     #[test]

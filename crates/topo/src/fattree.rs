@@ -135,7 +135,10 @@ impl FatTree {
     /// Panics for `d == 0` (the root has no parent) or `d > levels`.
     #[must_use]
     pub fn capacity(&self, d: usize) -> usize {
-        assert!(d >= 1 && d <= self.spec.levels, "depth {d} has no up channel");
+        assert!(
+            d >= 1 && d <= self.spec.levels,
+            "depth {d} has no up channel"
+        );
         self.capacity[d]
     }
 
@@ -282,19 +285,39 @@ mod tests {
     #[test]
     fn rejects_degenerate_specs() {
         assert_eq!(
-            FatTree::build(&FatTreeSpec { arity: 1, levels: 2, leaf_capacity: 1, growth: 2 }),
+            FatTree::build(&FatTreeSpec {
+                arity: 1,
+                levels: 2,
+                leaf_capacity: 1,
+                growth: 2
+            }),
             Err(FatTreeError::ArityTooSmall)
         );
         assert_eq!(
-            FatTree::build(&FatTreeSpec { arity: 2, levels: 0, leaf_capacity: 1, growth: 2 }),
+            FatTree::build(&FatTreeSpec {
+                arity: 2,
+                levels: 0,
+                leaf_capacity: 1,
+                growth: 2
+            }),
             Err(FatTreeError::NoLevels)
         );
         assert_eq!(
-            FatTree::build(&FatTreeSpec { arity: 2, levels: 2, leaf_capacity: 0, growth: 2 }),
+            FatTree::build(&FatTreeSpec {
+                arity: 2,
+                levels: 2,
+                leaf_capacity: 0,
+                growth: 2
+            }),
             Err(FatTreeError::NoLeafCapacity)
         );
         assert_eq!(
-            FatTree::build(&FatTreeSpec { arity: 2, levels: 2, leaf_capacity: 1, growth: 0 }),
+            FatTree::build(&FatTreeSpec {
+                arity: 2,
+                levels: 2,
+                leaf_capacity: 1,
+                growth: 0
+            }),
             Err(FatTreeError::NoGrowth)
         );
     }

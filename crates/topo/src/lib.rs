@@ -10,6 +10,7 @@
 //! * [`fattree`] — fat-tree construction and capacity/path analysis.
 //! * [`paths`] — path enumeration and counting between endpoints.
 //! * [`fault`] — static and dynamic fault sets (routers, links, ports).
+//! * [`flatlinks`] — dense channel-slot indexing for simulator hot paths.
 //! * [`analysis`] — connectivity and fault-tolerance analysis.
 //!
 //! ```
@@ -26,14 +27,16 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analysis;
-pub mod fattree;
 pub mod dot;
+pub mod fattree;
 pub mod fault;
+pub mod flatlinks;
 pub mod graph;
 pub mod multibutterfly;
 pub mod paths;
 pub mod wiring;
 
 pub use fault::{FaultKind, FaultSet};
+pub use flatlinks::{FlatLinks, FlatTarget};
 pub use graph::{LinkTarget, RouterId};
 pub use multibutterfly::{Multibutterfly, MultibutterflySpec, StageSpec, WiringStyle};

@@ -402,8 +402,10 @@ impl Multibutterfly {
                 ]
             })
             .collect();
-        let mut injections = vec![vec![(usize::MAX, usize::MAX); spec.endpoint_ports]; spec.endpoints];
-        let mut deliveries = vec![vec![(usize::MAX, usize::MAX); spec.endpoint_ports]; spec.endpoints];
+        let mut injections =
+            vec![vec![(usize::MAX, usize::MAX); spec.endpoint_ports]; spec.endpoints];
+        let mut deliveries =
+            vec![vec![(usize::MAX, usize::MAX); spec.endpoint_ports]; spec.endpoints];
 
         // --- injection boundary: endpoints -> stage 0 ---
         {
@@ -429,7 +431,10 @@ impl Multibutterfly {
                     let router = slot / st.forward_ports;
                     let port = slot % st.forward_ports;
                     injections[e][p] = (router, port);
-                    feeders[0][router][port] = Feeder::Endpoint { endpoint: e, port: p };
+                    feeders[0][router][port] = Feeder::Endpoint {
+                        endpoint: e,
+                        port: p,
+                    };
                 }
             }
         }
@@ -449,12 +454,9 @@ impl Multibutterfly {
                         let down_rpg = routers_per_stage[s + 1] / down_groups;
                         let down_group = g * radix + j;
                         let assignment = match spec.wiring {
-                            WiringStyle::Deterministic => wiring::deterministic(
-                                rpg,
-                                st.dilation,
-                                down_rpg,
-                                nst.forward_ports,
-                            ),
+                            WiringStyle::Deterministic => {
+                                wiring::deterministic(rpg, st.dilation, down_rpg, nst.forward_ports)
+                            }
                             WiringStyle::Randomized => wiring::randomized(
                                 rpg,
                                 st.dilation,
@@ -678,7 +680,10 @@ mod tests {
                     let (r, b) = net.delivery(e, p);
                     assert_eq!(
                         net.link(net.stages() - 1, r, b),
-                        LinkTarget::Endpoint { endpoint: e, port: p }
+                        LinkTarget::Endpoint {
+                            endpoint: e,
+                            port: p
+                        }
                     );
                 }
             }
@@ -807,7 +812,8 @@ mod tests {
         spec.stages[0].dilation = 3;
         assert!(matches!(
             Multibutterfly::build(&spec),
-            Err(TopologyError::DilationMismatch { stage: 0 }) | Err(TopologyError::NotPowerOfTwo { stage: 0 })
+            Err(TopologyError::DilationMismatch { stage: 0 })
+                | Err(TopologyError::NotPowerOfTwo { stage: 0 })
         ));
     }
 

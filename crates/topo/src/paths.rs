@@ -21,12 +21,7 @@ use std::collections::BTreeMap;
 /// routers, dead links, and corrupting links are all excluded (a
 /// corrupting link cannot carry a successful transmission).
 #[must_use]
-pub fn count_paths(
-    net: &Multibutterfly,
-    src: usize,
-    dest: usize,
-    faults: &FaultSet,
-) -> usize {
+pub fn count_paths(net: &Multibutterfly, src: usize, dest: usize, faults: &FaultSet) -> usize {
     if faults.endpoint_dead(src) || faults.endpoint_dead(dest) {
         return 0;
     }
@@ -100,7 +95,17 @@ pub fn enumerate_paths(
         if faults.router_dead(0, r) {
             continue;
         }
-        extend(net, faults, &digits, dest, 0, r, &mut vec![r], &mut results, limit);
+        extend(
+            net,
+            faults,
+            &digits,
+            dest,
+            0,
+            r,
+            &mut vec![r],
+            &mut results,
+            limit,
+        );
         if results.len() >= limit {
             break;
         }
@@ -146,7 +151,17 @@ fn extend(
     }
     for router in next_routers {
         prefix.push(router);
-        extend(net, faults, digits, dest, s + 1, router, prefix, results, limit);
+        extend(
+            net,
+            faults,
+            digits,
+            dest,
+            s + 1,
+            router,
+            prefix,
+            results,
+            limit,
+        );
         prefix.pop();
     }
 }
@@ -241,7 +256,10 @@ mod tests {
         let mut faults = FaultSet::new();
         faults.kill_router(1, 0);
         let min = min_path_count(&net, &faults);
-        assert!(min >= 1, "a single mid-stage router loss must not disconnect");
+        assert!(
+            min >= 1,
+            "a single mid-stage router loss must not disconnect"
+        );
         assert!(min < 8, "but it must cost some paths somewhere");
     }
 

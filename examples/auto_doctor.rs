@@ -51,8 +51,7 @@ fn main() {
         assert_eq!(outcome.payload_delivered, payload, "never silently corrupt");
         for (port, record) in &outcome.failure_records {
             if record.checksums.len() == sim.topology().stages() {
-                finding =
-                    diagnose(sim.topology(), &plan, src, dest, *port, &payload, record);
+                finding = diagnose(sim.topology(), &plan, src, dest, *port, &payload, record);
             }
         }
     }
@@ -82,13 +81,16 @@ fn main() {
     let down_cfg = rebuild_with(down.config(), |b| {
         b.with_forward_port_mode(down_port, PortMode::DisabledDriven)
     });
-    sim.router_mut(link.stage + 1, down_router).apply_config(down_cfg);
+    sim.router_mut(link.stage + 1, down_router)
+        .apply_config(down_cfg);
     println!("masked both ends of {link}");
 
     // Clean from here on: no retries across a batch of transactions.
     let mut retries = 0;
     for _ in 0..10 {
-        let o = sim.send_and_wait(src, dest, &payload, 20_000).expect("delivers");
+        let o = sim
+            .send_and_wait(src, dest, &payload, 20_000)
+            .expect("delivers");
         retries += o.retries;
     }
     println!("10 post-mask transactions: {retries} retries");

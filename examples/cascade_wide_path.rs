@@ -47,7 +47,10 @@ fn main() {
             "shared randomness keeps slices in lockstep"
         );
     }
-    let out_port = reference.iter().position(|&u| u).expect("a port is allocated");
+    let out_port = reference
+        .iter()
+        .position(|&u| u)
+        .expect("a port is allocated");
 
     // Stream the wide payload; reassemble what exits the slices.
     for v in values {
@@ -61,7 +64,9 @@ fn main() {
         }
     }
     // One more tick flushes the last word through the dp = 1 pipeline.
-    let fwd: Vec<FwdIn> = (0..4).map(|_| FwdIn::idle(4).with(0, Word::DataIdle)).collect();
+    let fwd: Vec<FwdIn> = (0..4)
+        .map(|_| FwdIn::idle(4).with(0, Word::DataIdle))
+        .collect();
     let outs = cascade.tick(&fwd, &idle);
     let exit: Vec<Word> = outs.iter().map(|o| o.bwd[out_port]).collect();
     if let Some(joined) = join_words(&exit, 4) {
@@ -75,9 +80,17 @@ fn main() {
     // catches the disagreement and shuts the connection down on every
     // slice — fault containment.
     println!("\ninjecting corrupted header on slice 2:");
-    let mut cascade = CascadeGroup::new(params,
-        RouterConfig::new(&params).with_dilation(2).with_swallow_all(true).build().unwrap(),
-        4, 0xCAFE).expect("cascade");
+    let mut cascade = CascadeGroup::new(
+        params,
+        RouterConfig::new(&params)
+            .with_dilation(2)
+            .with_swallow_all(true)
+            .build()
+            .unwrap(),
+        4,
+        0xCAFE,
+    )
+    .expect("cascade");
     let mut open: Vec<FwdIn> = (0..4)
         .map(|_| FwdIn::idle(4).with(0, header_nibble))
         .collect();

@@ -32,7 +32,10 @@ fn main() {
         &[0xCA, 0xFE],
         &[0x01, 0x02, 0x03, 0x04, 0x05, 0x06],
     ];
-    println!("conversation: node 7 -> node 42, {} segments over one circuit", blocks.len());
+    println!(
+        "conversation: node 7 -> node 42, {} segments over one circuit",
+        blocks.len()
+    );
     sim.send_conversation(7, 42, &blocks);
 
     let mut cycles = 0;
@@ -72,7 +75,5 @@ fn main() {
         cycles += 1;
     }
     let grants3 = separate.router_stat_total(|s| s.grants);
-    println!(
-        "as three separate messages the routers granted {grants3} connections (3 circuits)"
-    );
+    println!("as three separate messages the routers granted {grants3} connections (3 circuits)");
 }

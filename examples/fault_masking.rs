@@ -29,7 +29,11 @@ fn main() {
 
     // Healthy round trip first.
     let clean = sim.send_and_wait(4, 9, &payload, 2_000).expect("delivers");
-    println!("healthy transaction: {} cycles, {} retries", clean.network_latency(), clean.retries);
+    println!(
+        "healthy transaction: {} cycles, {} retries",
+        clean.network_latency(),
+        clean.retries
+    );
 
     // A link on endpoint 4's route develops a data-corrupting fault.
     let digits = sim.topology().route_digits(9);
@@ -43,7 +47,9 @@ fn main() {
 
     // Traffic still gets through — the destination NACKs corrupted
     // attempts and random path selection steers retries around.
-    let outcome = sim.send_and_wait(4, 9, &payload, 5_000).expect("delivers despite fault");
+    let outcome = sim
+        .send_and_wait(4, 9, &payload, 5_000)
+        .expect("delivers despite fault");
     println!(
         "transaction under fault: {} cycles, {} retries, failures: {:?}",
         outcome.network_latency(),
@@ -63,8 +69,14 @@ fn main() {
     }
     let site = localize_corruption(&expected, &reported).expect("mismatch found");
     assert_eq!(site, CorruptionSite { stage: 1 });
-    println!("\ndiagnosis: corruption enters at the input of stage {} — the suspect is", site.stage);
-    println!("the wire out of stage {} (or its end ports)", site.stage - 1);
+    println!(
+        "\ndiagnosis: corruption enters at the input of stage {} — the suspect is",
+        site.stage
+    );
+    println!(
+        "the wire out of stage {} (or its end ports)",
+        site.stage - 1
+    );
 
     // Masking through the scan subsystem: disable the backward port
     // driving the bad link and the forward port it feeds, serially,
@@ -72,7 +84,9 @@ fn main() {
     let LinkTarget::Router {
         router: down_router,
         port: down_port,
-    } = sim.topology().link(0, entry_router, digits[0] * st0.dilation)
+    } = sim
+        .topology()
+        .link(0, entry_router, digits[0] * st0.dilation)
     else {
         unreachable!("stage-0 links feed stage 1")
     };
@@ -89,7 +103,8 @@ fn main() {
         .build()
         .unwrap();
     up_dev.write_config(&masked_up);
-    sim.router_mut(0, entry_router).apply_config(up_dev.config().clone());
+    sim.router_mut(0, entry_router)
+        .apply_config(up_dev.config().clone());
 
     // Downstream router: disable the fed forward port.
     let down_params = *sim.router(1, down_router).params();
@@ -102,7 +117,8 @@ fn main() {
         .build()
         .unwrap();
     down_dev.write_config(&masked_down);
-    sim.router_mut(1, down_router).apply_config(down_dev.config().clone());
+    sim.router_mut(1, down_router)
+        .apply_config(down_dev.config().clone());
     println!(
         "\nmasked: disabled backward port {} of r0.{entry_router} and forward port {down_port} of r1.{down_router}",
         digits[0] * st0.dilation
@@ -116,6 +132,8 @@ fn main() {
         let o = sim.send_and_wait(4, 9, &payload, 5_000).expect("delivers");
         total_retries += o.retries;
     }
-    println!("10 transactions after masking: {total_retries} total retries (fault no longer reachable)");
+    println!(
+        "10 transactions after masking: {total_retries} total retries (fault no longer reachable)"
+    );
     assert_eq!(total_retries, 0, "masked fault must not cost retries");
 }

@@ -111,7 +111,11 @@ pub fn diagnose(
             // router, on the delivery wire the last status names.
             let last = net.stages() - 1;
             let taken = record.statuses[last].port()?;
-            Some(Finding::DeliveryWire(LinkId::new(last, routers[last], taken)))
+            Some(Finding::DeliveryWire(LinkId::new(
+                last,
+                routers[last],
+                taken,
+            )))
         }
     }
 }

@@ -201,7 +201,9 @@ mod tests {
         assert!(!sim.router(1, router).config().forward_enabled(port));
         // Traffic still flows around the masked link.
         for src in 0..16 {
-            assert!(sim.send_and_wait(src, (src + 5) % 16, &[9], 20_000).is_some());
+            assert!(sim
+                .send_and_wait(src, (src + 5) % 16, &[9], 20_000)
+                .is_some());
         }
     }
 

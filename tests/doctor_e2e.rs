@@ -43,15 +43,8 @@ fn doctor_localizes_a_real_corrupting_link() {
         assert_eq!(outcome.payload_delivered, payload, "no silent corruption");
         for (port, record) in &outcome.failure_records {
             if record.checksums.len() == sim.topology().stages() {
-                if let Some(f) = diagnose(
-                    sim.topology(),
-                    &plan,
-                    src,
-                    dest,
-                    *port,
-                    &payload,
-                    record,
-                ) {
+                if let Some(f) = diagnose(sim.topology(), &plan, src, dest, *port, &payload, record)
+                {
                     finding = Some(f);
                 }
             }
@@ -74,7 +67,9 @@ fn doctor_localizes_a_real_corrupting_link() {
 
     // The named link's endpooints are exactly what a mask plan would
     // disable; verify the topology agrees the link exists.
-    let LinkTarget::Router { .. } = sim.topology().link(victim.stage, victim.router, victim.port)
+    let LinkTarget::Router { .. } = sim
+        .topology()
+        .link(victim.stage, victim.router, victim.port)
     else {
         panic!("victim must be an inter-stage link");
     };

@@ -59,10 +59,10 @@ fn saturating_hotspot_traffic_is_lossless() {
     }
     let outs = sim.drain_outcomes();
     assert_eq!(outs.len(), 45, "all hotspot messages must complete");
-    assert!(outs.iter().all(|o| o.failures.iter().all(|f| !matches!(
-        f,
-        metro::sim::message::FailureKind::Timeout
-    ))));
+    assert!(outs.iter().all(|o| o
+        .failures
+        .iter()
+        .all(|f| !matches!(f, metro::sim::message::FailureKind::Timeout))));
 }
 
 #[test]

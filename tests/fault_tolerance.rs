@@ -30,7 +30,12 @@ fn dynamic_router_death_mid_traffic_loses_nothing() {
     let outs = sim.drain_outcomes();
     assert_eq!(outs.len(), 16, "every message must still complete");
     for o in &outs {
-        assert!(o.total_latency() < 30_000, "{}->{} took too long", o.src, o.dest);
+        assert!(
+            o.total_latency() < 30_000,
+            "{}->{} took too long",
+            o.src,
+            o.dest
+        );
     }
 }
 
@@ -69,7 +74,9 @@ fn corrupting_link_yields_nack_then_clean_retry() {
         );
     }
     sim.apply_faults(faults);
-    let o = sim.send_and_wait(1, 10, &[7, 7, 7, 7], 20_000).expect("delivers");
+    let o = sim
+        .send_and_wait(1, 10, &[7, 7, 7, 7], 20_000)
+        .expect("delivers");
     assert_eq!(o.payload_delivered, vec![7, 7, 7, 7]);
     // Either it got lucky through the clean copies, or it NACKed and
     // retried; both are correct. What is forbidden is silent corruption:
@@ -144,7 +151,9 @@ fn dead_destination_times_out_but_does_not_wedge_network() {
     sim.apply_faults(faults);
     sim.send(0, 9, &[1]);
     // A healthy transaction alongside must proceed normally.
-    let healthy = sim.send_and_wait(3, 12, &[2, 2], 20_000).expect("healthy pair works");
+    let healthy = sim
+        .send_and_wait(3, 12, &[2, 2], 20_000)
+        .expect("healthy pair works");
     assert_eq!(healthy.payload_delivered, vec![2, 2]);
     // The doomed message is eventually abandoned, not wedged.
     let mut cycles = 0;
@@ -153,7 +162,10 @@ fn dead_destination_times_out_but_does_not_wedge_network() {
         cycles += 1;
     }
     let outs = sim.drain_outcomes();
-    let doomed = outs.iter().find(|o| o.dest == 9).expect("abandonment recorded");
+    let doomed = outs
+        .iter()
+        .find(|o| o.dest == 9)
+        .expect("abandonment recorded");
     assert!(doomed.retries >= 3);
 }
 
@@ -172,10 +184,7 @@ fn ack_corruption_gives_at_least_once_delivery() {
     let mut faults = FaultSet::new();
     for p in 0..2 {
         let (r, b) = sim.topology().delivery(9, p);
-        faults.break_link(
-            LinkId::new(2, r, b),
-            FaultKind::CorruptData { xor: 0x3F },
-        );
+        faults.break_link(LinkId::new(2, r, b), FaultKind::CorruptData { xor: 0x3F });
     }
     sim.apply_faults(faults);
     sim.send(0, 9, &[1, 2, 3]);
@@ -190,7 +199,11 @@ fn ack_corruption_gives_at_least_once_delivery() {
     // zero or more times. What must never happen is a *wrong* payload
     // being delivered.
     for d in sim.endpoint_mut(9).take_delivered() {
-        assert_eq!(d.payload, vec![1, 2, 3], "corrupted payloads are never consumed");
+        assert_eq!(
+            d.payload,
+            vec![1, 2, 3],
+            "corrupted payloads are never consumed"
+        );
     }
 }
 
@@ -218,7 +231,11 @@ fn conversation_survives_a_dynamic_router_death() {
         cycles += 1;
     }
     let outs = sim.drain_outcomes();
-    assert_eq!(outs.len(), 1, "conversation must complete despite the death");
+    assert_eq!(
+        outs.len(),
+        1,
+        "conversation must complete despite the death"
+    );
     // The destination saw the three segments in order as the final
     // (complete) exchange; earlier aborted attempts may have delivered
     // a prefix again (at-least-once).
@@ -248,7 +265,10 @@ fn intermittent_fault_is_ridden_through_with_occasional_retries() {
     let mut faults = FaultSet::new();
     faults.break_link(
         LinkId::new(0, entry, digits[0] * st0.dilation),
-        FaultKind::Intermittent { xor: 0x40, period: 8 },
+        FaultKind::Intermittent {
+            xor: 0x40,
+            period: 8,
+        },
     );
     sim.apply_faults(faults);
     let payload: Vec<u16> = (0..12).map(|k| k as u16).collect();
@@ -258,6 +278,12 @@ fn intermittent_fault_is_ridden_through_with_occasional_retries() {
         assert_eq!(o.payload_delivered, payload, "never silently corrupt");
         total_retries += o.retries;
     }
-    assert!(total_retries > 0, "a 1-in-8 corruptor must cost some retries");
-    assert!(total_retries < 40, "but most attempts succeed ({total_retries})");
+    assert!(
+        total_retries > 0,
+        "a 1-in-8 corruptor must cost some retries"
+    );
+    assert!(
+        total_retries < 40,
+        "but most attempts succeed ({total_retries})"
+    );
 }

@@ -71,7 +71,10 @@ fn figure3_curve_shape_low_flat_then_knee() {
     assert!(low.mean_latency < base * 1.5, "low {}", low.mean_latency);
     // Latency rises monotonically with load and blows past the knee.
     assert!(mid.mean_latency > low.mean_latency);
-    assert!(high.mean_latency > mid.mean_latency * 2.0, "no congestion knee");
+    assert!(
+        high.mean_latency > mid.mean_latency * 2.0,
+        "no congestion knee"
+    );
     // Accepted throughput tracks offered load before saturation (the
     // short measurement window truncates in-flight completions, so the
     // mid-load point reads a little low; the full-window fig3 binary
@@ -105,7 +108,10 @@ fn section62_robust_degradation() {
     let faulty = run_fault_point(&cfg, 0.3, 3, 0);
     assert_eq!(clean.abandoned, 0);
     assert_eq!(faulty.abandoned, 0, "faults must not lose messages");
-    assert!(faulty.delivered > clean.delivered / 2, "throughput collapse");
+    assert!(
+        faulty.delivered > clean.delivered / 2,
+        "throughput collapse"
+    );
     assert!(
         faulty.mean_latency < clean.mean_latency * 6.0,
         "degradation not graceful: {} vs {}",
@@ -139,7 +145,10 @@ fn stateless_network_claim() {
     }
     // A few more ticks flush the last wires.
     sim.run(8);
-    assert!(sim.fabric_idle(), "a quiescent network must hold zero state");
+    assert!(
+        sim.fabric_idle(),
+        "a quiescent network must hold zero state"
+    );
     // Nothing was lost across the drain.
     assert_eq!(sim.drain_outcomes().len(), 64);
 }

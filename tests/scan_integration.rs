@@ -97,7 +97,8 @@ fn full_localize_disable_test_mask_loop() {
     for f in 0..params.forward_ports() {
         rebuilt = rebuilt.with_swallow(f, live.swallow(f));
     }
-    sim.router_mut(up_stage, 0).apply_config(rebuilt.build().unwrap());
+    sim.router_mut(up_stage, 0)
+        .apply_config(rebuilt.build().unwrap());
     assert!(!sim.router(up_stage, 0).config().backward_enabled(up_port));
 
     // The network still functions with the masked port.

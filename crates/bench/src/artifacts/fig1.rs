@@ -1,0 +1,137 @@
+//! Figure 1: the 16×16 multipath network built from 4×2 dilation-2
+//! routers and 4×4 dilation-1 routers, its path multiplicity, and the
+//! fault-tolerance property its caption and §5.1 claim.
+
+use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
+use metro_topo::analysis::{path_profile, single_router_tolerance};
+use metro_topo::dot::to_dot;
+use metro_topo::fault::FaultSet;
+use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec};
+use metro_topo::paths::{count_paths, enumerate_paths};
+use std::fmt::Write as _;
+
+/// Registry entry.
+#[must_use]
+pub fn artifact() -> Artifact {
+    Artifact {
+        name: "fig1",
+        description: "Figure 1 — 16×16 multipath network structure and path counts",
+        quick_profile: "identical to full (exhaustive analysis is already fast)",
+        full_profile: "full path profile + exhaustive single-router-loss check; writes fig1.dot",
+        run,
+    }
+}
+
+fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
+    let spec = MultibutterflySpec::figure1();
+    let net = Multibutterfly::build(&spec).map_err(|e| format!("figure 1 network: {e:?}"))?;
+
+    let mut out = String::new();
+    let faults = FaultSet::new();
+    let dot = to_dot(&net, &faults);
+    let dot_path = ctx
+        .results
+        .write_text("fig1.dot", &dot)
+        .map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "wrote {} (render with `dot -Tsvg`)",
+        dot_path.display()
+    );
+
+    let _ = writeln!(out, "\n=== Figure 1: 16x16 multipath network ===\n");
+    let _ = writeln!(out, "endpoints:        {}", net.endpoints());
+    let _ = writeln!(out, "ports/endpoint:   {}", net.endpoint_ports());
+    let mut stage_rows = Vec::new();
+    for s in 0..net.stages() {
+        let st = net.stage_spec(s);
+        let _ = writeln!(
+            out,
+            "stage {s}: {:>2} routers of {}x{} (inputs x radix), dilation {}",
+            net.routers_in_stage(s),
+            st.forward_ports,
+            st.radix(),
+            st.dilation
+        );
+        stage_rows.push(Json::obj([
+            ("routers", Json::from(net.routers_in_stage(s))),
+            ("inputs", Json::from(st.forward_ports)),
+            ("radix", Json::from(st.radix())),
+            ("dilation", Json::from(st.dilation)),
+        ]));
+    }
+
+    // The caption highlights endpoints 6 -> 16 (1-indexed); 5 -> 15 here.
+    let highlighted = count_paths(&net, 5, 15, &faults);
+    let _ = writeln!(
+        out,
+        "\nwire-level paths endpoint 6 -> endpoint 16 (paper numbering): {highlighted}"
+    );
+    let routes = enumerate_paths(&net, 5, 15, &faults, 32);
+    let _ = writeln!(out, "router-level routes ({}):", routes.len());
+    for r in &routes {
+        let hops: Vec<String> = r
+            .iter()
+            .enumerate()
+            .map(|(s, idx)| format!("r{s}.{idx}"))
+            .collect();
+        let _ = writeln!(out, "  {}", hops.join(" -> "));
+    }
+
+    let profile = path_profile(&net, &faults);
+    let _ = writeln!(
+        out,
+        "\npath profile over all pairs: min {} / max {} (total {})",
+        profile.min_paths, profile.max_paths, profile.total_paths
+    );
+
+    // §5.1: the dilation-1 final stage tolerates any single router loss.
+    let tolerance = single_router_tolerance(&net);
+    let _ = writeln!(out, "\nsingle-router-loss tolerance by stage:");
+    for (s, ok) in tolerance.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  stage {s}: {}",
+            if *ok {
+                "every single-router loss leaves all endpoints connected"
+            } else {
+                "some single-router loss isolates an endpoint"
+            }
+        );
+    }
+
+    let _ = writeln!(out, "\npaper claim check:");
+    let _ = writeln!(
+        out,
+        "  'many paths between each pair of network endpoints'     -> min {} paths",
+        profile.min_paths
+    );
+    let _ = writeln!(
+        out,
+        "  'tolerate the complete loss of any router in the final\n   stage without isolating any endpoints'                 -> {}",
+        if tolerance[2] { "holds" } else { "VIOLATED" }
+    );
+
+    let json = Json::obj([
+        ("artifact", Json::from("fig1")),
+        ("endpoints", Json::from(net.endpoints())),
+        ("endpoint_ports", Json::from(net.endpoint_ports())),
+        ("stages", Json::Arr(stage_rows)),
+        ("paths_pair_6_to_16", Json::from(highlighted)),
+        ("router_routes_pair_6_to_16", Json::from(routes.len())),
+        ("min_paths", Json::from(profile.min_paths)),
+        ("max_paths", Json::from(profile.max_paths)),
+        ("total_paths", Json::from(profile.total_paths)),
+        (
+            "final_stage_tolerates_any_single_router_loss",
+            Json::from(tolerance[2]),
+        ),
+    ]);
+    let pairs = net.endpoints() * net.endpoints();
+    Ok(ArtifactOutput {
+        human: out,
+        json,
+        points: pairs,
+        params: Json::obj([("spec", Json::from("figure1"))]),
+    })
+}

@@ -1,0 +1,72 @@
+//! The 19 paper artifacts, as registry entries.
+//!
+//! Each module moves one historical binary's logic behind a
+//! [`metro_harness::Artifact`]: the run function builds the human
+//! report into a string, returns the machine-readable JSON document,
+//! and reports its point count and parameters for the results
+//! manifest. The binaries in `src/bin/` are thin shims over these
+//! entries; the `metro` binary fronts them all.
+//!
+//! Simulation artifacts honour `RunCtx::quick` by shortening their
+//! measurement windows (the same `--quick` the binaries always had)
+//! and `RunCtx::jobs` by running independent sweep points on the
+//! shared worker pool ([`metro_harness::par_map`]).
+
+use metro_harness::Registry;
+
+pub mod ablation_concurrency;
+pub mod ablation_dilation;
+pub mod ablation_pipelining;
+pub mod ablation_reclaim;
+pub mod ablation_selection;
+pub mod cascade_sim;
+pub mod fattree_budget;
+pub mod fault_sweep;
+pub mod fig1;
+pub mod fig3;
+pub mod message_sizes;
+pub mod occupancy;
+pub mod scaling;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod tick_bench;
+pub mod traffic_patterns;
+
+/// Builds the registry of every paper artifact, in the order the
+/// paper presents them (figures, tables, robustness, ablations,
+/// workload/scale studies, engine benchmark).
+#[must_use]
+pub fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.register(fig1::artifact());
+    r.register(fig3::artifact());
+    r.register(table2::artifact());
+    r.register(table3::artifact());
+    r.register(table4::artifact());
+    r.register(table5::artifact());
+    r.register(fault_sweep::artifact());
+    r.register(ablation_selection::artifact());
+    r.register(ablation_reclaim::artifact());
+    r.register(ablation_dilation::artifact());
+    r.register(ablation_pipelining::artifact());
+    r.register(ablation_concurrency::artifact());
+    r.register(traffic_patterns::artifact());
+    r.register(scaling::artifact());
+    r.register(cascade_sim::artifact());
+    r.register(occupancy::artifact());
+    r.register(fattree_budget::artifact());
+    r.register(message_sizes::artifact());
+    r.register(tick_bench::artifact());
+    r
+}
+
+/// Applies a quick profile to a sweep configuration: the shortened
+/// warmup/measure/drain windows the historical `--quick` flags used
+/// (the exact windows vary slightly per artifact, hence parameters).
+pub(crate) fn quicken(cfg: &mut metro_sim::experiment::SweepConfig, measure: u64, drain: u64) {
+    cfg.warmup = 500;
+    cfg.measure = measure;
+    cfg.drain = drain;
+}

@@ -1,0 +1,153 @@
+//! Router occupancy analysis: how evenly the stochastic selection
+//! spreads connections over the fabric, under uniform and hotspot
+//! traffic — §4's "random selection … frees the source from knowing the
+//! actual details of the redundant paths", made visible.
+
+use metro_core::RandomSource;
+use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
+use metro_sim::traffic::{LoadGenerator, TrafficPattern};
+use metro_sim::{NetworkSim, SimConfig};
+use metro_topo::multibutterfly::MultibutterflySpec;
+use std::fmt::Write as _;
+
+fn simulate(pattern: &TrafficPattern, cycles: u64) -> NetworkSim {
+    let mut sim = NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default())
+        .expect("figure 3 spec is valid");
+    let n = sim.topology().endpoints();
+    let stream_words = sim.stream_for(0, &[0; 19]).len();
+    let mut pattern_rng = RandomSource::new(0xACC);
+    let mut gens: Vec<LoadGenerator> = (0..n)
+        .map(|e| LoadGenerator::new(0.3, stream_words, 0x0CC + e as u64))
+        .collect();
+    let payload: Vec<u16> = (0..19).map(|k| k as u16).collect();
+    for _ in 0..cycles {
+        for (e, g) in gens.iter_mut().enumerate() {
+            if g.arrival() {
+                let dest = pattern.destination(e, n, &mut pattern_rng);
+                sim.send(e, dest, &payload);
+            }
+        }
+        sim.tick();
+    }
+    sim
+}
+
+fn report(out: &mut String, rows: &mut Vec<Json>, label: &str, sim: &NetworkSim) {
+    let _ = writeln!(out, "{label}:");
+    for s in 0..sim.topology().stages() {
+        let grants: Vec<usize> = (0..sim.topology().routers_in_stage(s))
+            .map(|r| sim.router(s, r).stats().grants)
+            .collect();
+        let total: usize = grants.iter().sum();
+        let min = grants.iter().min().copied().unwrap_or(0);
+        let max = grants.iter().max().copied().unwrap_or(0);
+        let mean = total as f64 / grants.len() as f64;
+        let blocks: usize = (0..grants.len())
+            .map(|r| sim.router(s, r).stats().blocks)
+            .sum();
+        let imbalance = if min > 0 {
+            max as f64 / min as f64
+        } else {
+            f64::INFINITY
+        };
+        let _ = writeln!(
+            out,
+            "  stage {s}: grants/router min {min:>5} mean {mean:>8.1} max {max:>5}  (imbalance {imbalance:.2}x, {blocks} blocks)",
+        );
+        rows.push(Json::obj([
+            ("workload", Json::from(label)),
+            ("stage", Json::from(s)),
+            ("grants_min", Json::from(min)),
+            ("grants_mean", Json::from(mean)),
+            ("grants_max", Json::from(max)),
+            // Infinite imbalance (a starved router) renders as null.
+            ("imbalance", Json::from(imbalance)),
+            ("blocks", Json::from(blocks)),
+        ]));
+    }
+    let _ = writeln!(out);
+}
+
+/// Registry entry.
+#[must_use]
+pub fn artifact() -> Artifact {
+    Artifact {
+        name: "occupancy",
+        description: "per-router load balance, uniform vs hotspot traffic",
+        quick_profile: "2 workloads × 3k cycles at load 0.3",
+        full_profile: "2 workloads × 8k cycles at load 0.3",
+        run,
+    }
+}
+
+fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
+    let cycles = if ctx.quick { 3_000 } else { 8_000 };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Router occupancy under load 0.3, {cycles} cycles ===\n"
+    );
+
+    let workloads: [(&str, TrafficPattern); 2] = [
+        ("uniform random traffic", TrafficPattern::Uniform),
+        (
+            "30% hotspot on endpoint 0",
+            TrafficPattern::Hotspot {
+                target: 0,
+                percent: 30,
+            },
+        ),
+    ];
+    let sims = par_map(ctx.jobs, &workloads, |_, (_, pattern)| {
+        simulate(pattern, cycles)
+    });
+
+    let mut rows = Vec::new();
+    for ((label, _), sim) in workloads.iter().zip(&sims) {
+        report(&mut out, &mut rows, label, sim);
+    }
+
+    let _ = writeln!(
+        out,
+        "reading: under uniform traffic the stochastic selection keeps the"
+    );
+    let _ = writeln!(
+        out,
+        "grant imbalance within ~1.5x at every stage with zero coordination."
+    );
+    let _ = writeln!(
+        out,
+        "The hotspot leaves stage 0 balanced (retries spread over all entry"
+    );
+    let _ = writeln!(
+        out,
+        "paths) but skews the later stages by an order of magnitude: the"
+    );
+    let _ = writeln!(
+        out,
+        "victim's destination subtree — rooted where the groups first"
+    );
+    let _ = writeln!(
+        out,
+        "single out endpoint 0 — absorbs the whole concentration, and the"
+    );
+    let _ = writeln!(
+        out,
+        "blocks pile up at stage 0 where circuits fail to form."
+    );
+
+    let points = rows.len();
+    let json = Json::obj([
+        ("artifact", Json::from("occupancy")),
+        ("topology", Json::from("figure3")),
+        ("cycles", Json::from(cycles)),
+        ("load", Json::from(0.3)),
+        ("points", Json::Arr(rows)),
+    ]);
+    Ok(ArtifactOutput {
+        human: out,
+        json,
+        points,
+        params: Json::obj([("cycles", Json::from(cycles))]),
+    })
+}

@@ -1,0 +1,89 @@
+//! Regenerates Table 2: the configuration options, their instance
+//! counts, bit budgets, and the resulting scan-register width for
+//! representative METRO parts.
+
+use metro_core::{ArchParams, RouterConfig};
+use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
+use metro_scan::registers::{dilation_bits, encode_config, vtd_bits};
+use std::fmt::Write as _;
+
+/// Registry entry.
+#[must_use]
+pub fn artifact() -> Artifact {
+    Artifact {
+        name: "table2",
+        description: "Table 2: configuration options and scan-register widths",
+        quick_profile: "identical to full (pure arithmetic)",
+        full_profile: "3 concrete parts, encoded config checked against scan_bits",
+        run,
+    }
+}
+
+fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Table 2: METRO configuration parameters ===\n");
+    let _ = writeln!(
+        out,
+        "{:<24} {:<12} {:<26}",
+        "Option", "Instances", "Bits per instance"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(64));
+    for (option, instances, bits) in [
+        ("Port On/Off", "i + o", "1/port"),
+        ("Off Port Drive Output", "i + o", "1/port"),
+        ("Turn Delay", "i + o", "ceil(log2(max_vtd))/port"),
+        ("Fast Reclaim", "i + o", "1/port"),
+        ("Swallow", "i", "1/forward port (hw = 0 only)"),
+        ("Dilation (d)", "1", "log2(max_d)/router"),
+    ] {
+        let _ = writeln!(out, "{option:<24} {instances:<12} {bits:<26}");
+    }
+
+    let _ = writeln!(out, "\nscan-register widths for concrete parts:");
+    let mut rows = Vec::new();
+    for (name, params) in [
+        ("METROJR (i=o=w=4)", ArchParams::metrojr()),
+        ("RN1-class (i=o=w=8)", ArchParams::rn1()),
+        ("METRO-8 (i=o=8, w=4)", ArchParams::metro8()),
+    ] {
+        let cfg = RouterConfig::new(&params)
+            .build()
+            .map_err(|e| format!("router config for {name}: {e}"))?;
+        let image = encode_config(&cfg, &params);
+        let vtd = vtd_bits(params.max_turn_delay());
+        let dil = dilation_bits(params.max_dilation());
+        let _ = writeln!(
+            out,
+            "  {:<22} vtd bits {} | dilation bits {} | total config register: {} bits",
+            name,
+            vtd,
+            dil,
+            image.len()
+        );
+        if image.len() != cfg.scan_bits(&params) {
+            return Err(format!(
+                "{name}: encoded image is {} bits but scan_bits reports {}",
+                image.len(),
+                cfg.scan_bits(&params)
+            ));
+        }
+        rows.push(Json::obj([
+            ("part", Json::from(name)),
+            ("vtd_bits", Json::from(vtd)),
+            ("dilation_bits", Json::from(dil)),
+            ("config_register_bits", Json::from(image.len())),
+        ]));
+    }
+
+    let points = rows.len();
+    let json = Json::obj([
+        ("artifact", Json::from("table2")),
+        ("points", Json::Arr(rows)),
+    ]);
+    Ok(ArtifactOutput {
+        human: out,
+        json,
+        points,
+        params: Json::obj([("parts", Json::from(3u64))]),
+    })
+}

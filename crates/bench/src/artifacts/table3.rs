@@ -1,0 +1,72 @@
+//! Regenerates Table 3: METRO implementation examples — `t_clk`,
+//! `t_io`, `t_stg`, `t_bit`, stages, and the `t_20,32` figure of merit,
+//! computed from the Table 4 equations and checked against the paper's
+//! printed cells.
+
+use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
+use metro_timing::catalog::table3;
+use metro_timing::report::{render_table3, table3_json};
+use std::fmt::Write as _;
+
+/// Registry entry.
+#[must_use]
+pub fn artifact() -> Artifact {
+    Artifact {
+        name: "table3",
+        description: "Table 3: implementation examples vs the paper's cells",
+        quick_profile: "identical to full (closed-form model)",
+        full_profile: "all 16 catalog rows, exact-reproduction check",
+        run,
+    }
+}
+
+fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
+    let rows = table3();
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Table 3: METRO implementation examples ===\n");
+    let _ = write!(out, "{}", render_table3(&rows));
+
+    let _ = writeln!(out, "\nreproduction check (computed vs paper):");
+    let mut exact = 0usize;
+    for r in &rows {
+        let ok = (r.t20_32_ns() - r.expected_t20_32_ns).abs() < 1e-9
+            && (r.t_stg_ns() - r.expected_t_stg_ns).abs() < 1e-9;
+        if ok {
+            exact += 1;
+        }
+        let _ = writeln!(
+            out,
+            "  {:<34} t_stg {:>5} ns (paper {:>5}) | t_20,32 {:>6} ns (paper {:>6}) {}",
+            format!("{} [{}]", r.name, r.technology),
+            r.t_stg_ns(),
+            r.expected_t_stg_ns,
+            r.t20_32_ns(),
+            r.expected_t20_32_ns,
+            if ok { "EXACT" } else { "MISMATCH" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n{exact}/{} rows reproduce the paper exactly",
+        rows.len()
+    );
+    if exact != rows.len() {
+        return Err(format!(
+            "only {exact}/{} Table 3 rows reproduce the paper",
+            rows.len()
+        ));
+    }
+
+    let points = rows.len();
+    let json = Json::obj([
+        ("artifact", Json::from("table3")),
+        ("exact_rows", Json::from(exact)),
+        ("points", table3_json(&rows)),
+    ]);
+    Ok(ArtifactOutput {
+        human: out,
+        json,
+        points,
+        params: Json::obj([("rows", Json::from(points))]),
+    })
+}

@@ -1,0 +1,140 @@
+//! Regenerates Table 4: the latency equations, worked through for the
+//! METROJR-ORBIT prototype so every intermediate quantity is visible.
+
+use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
+use metro_timing::equations::{stages_32_node_4stage, LatencyModel, MESSAGE_BITS, T_WIRE_NS};
+use std::fmt::Write as _;
+
+/// Registry entry.
+#[must_use]
+pub fn artifact() -> Artifact {
+    Artifact {
+        name: "table4",
+        description: "Table 4: latency equations worked for METROJR-ORBIT",
+        quick_profile: "identical to full (closed-form model)",
+        full_profile: "hw = 0 worked example plus hw = 1 full-custom variant",
+        run,
+    }
+}
+
+fn model_json(label: &str, m: &LatencyModel) -> Json {
+    Json::obj([
+        ("variant", Json::from(label)),
+        ("t_clk_ns", Json::from(m.t_clk_ns)),
+        ("t_io_ns", Json::from(m.t_io_ns)),
+        ("vtd_cycles", Json::from(m.vtd())),
+        ("t_on_chip_ns", Json::from(m.t_on_chip_ns())),
+        ("t_stg_ns", Json::from(m.t_stg_ns())),
+        ("header_bits", Json::from(m.header_bits())),
+        ("t_bit_ns", Json::from(m.t_bit_ns())),
+        ("t20_32_ns", Json::from(m.t20_32_ns())),
+    ])
+}
+
+fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Table 4: latency equations (worked example: METROJR-ORBIT) ===\n"
+    );
+    let m = LatencyModel {
+        t_clk_ns: 25.0,
+        t_io_ns: 10.0,
+        t_wire_ns: T_WIRE_NS,
+        width: 4,
+        cascade: 1,
+        pipestages: 1,
+        header_words: 0,
+        stage_digit_bits: stages_32_node_4stage(),
+    };
+    let _ = writeln!(
+        out,
+        "t_wire     = {} ns                      (assumed wire delay)",
+        m.t_wire_ns
+    );
+    let _ = writeln!(
+        out,
+        "vtd        = ceil((t_io + t_wire)/t_clk) = ceil(({} + {})/{}) = {} cycles",
+        m.t_io_ns,
+        m.t_wire_ns,
+        m.t_clk_ns,
+        m.vtd()
+    );
+    let _ = writeln!(
+        out,
+        "t_on_chip  = t_clk * dp = {} * {} = {} ns",
+        m.t_clk_ns,
+        m.pipestages,
+        m.t_on_chip_ns()
+    );
+    let _ = writeln!(
+        out,
+        "t_stg      = t_on_chip + vtd*t_clk = {} + {}*{} = {} ns",
+        m.t_on_chip_ns(),
+        m.vtd(),
+        m.t_clk_ns,
+        m.t_stg_ns()
+    );
+    let digit_sum: usize = m.stage_digit_bits.iter().sum();
+    let _ = writeln!(
+        out,
+        "hbits      = ceil((sum log2 r_s)/w)*w*c = ceil({digit_sum}/{})*{}*{} = {} bits  (hw = 0)",
+        m.width,
+        m.width,
+        m.cascade,
+        m.header_bits()
+    );
+    let _ = writeln!(
+        out,
+        "t_bit      = t_clk/(w*c) = {}/{} = {} ns/bit",
+        m.t_clk_ns,
+        m.width * m.cascade,
+        m.t_bit_ns()
+    );
+    let _ = writeln!(
+        out,
+        "t_20,32    = stages*t_stg + (20*8 + hbits)*t_bit = {}*{} + ({} + {})*{} = {} ns",
+        m.stages(),
+        m.t_stg_ns(),
+        MESSAGE_BITS,
+        m.header_bits(),
+        m.t_bit_ns(),
+        m.t20_32_ns()
+    );
+
+    let _ = writeln!(
+        out,
+        "\nand with pipelined connection setup (hw = 1, 2 ns full-custom clock):"
+    );
+    let hw1 = LatencyModel {
+        t_clk_ns: 2.0,
+        t_io_ns: 3.0,
+        header_words: 1,
+        ..m.clone()
+    };
+    let _ = writeln!(
+        out,
+        "vtd = {}, t_stg = {} ns, hbits = hw*w*c*stages = {} bits, t_20,32 = {} ns",
+        hw1.vtd(),
+        hw1.t_stg_ns(),
+        hw1.header_bits(),
+        hw1.t20_32_ns()
+    );
+
+    let rows = vec![
+        model_json("metrojr_orbit_hw0", &m),
+        model_json("full_custom_hw1", &hw1),
+    ];
+    let points = rows.len();
+    let json = Json::obj([
+        ("artifact", Json::from("table4")),
+        ("message_bits", Json::from(MESSAGE_BITS)),
+        ("points", Json::Arr(rows)),
+    ]);
+    Ok(ArtifactOutput {
+        human: out,
+        json,
+        points,
+        params: Json::obj([("variants", Json::from(2u64))]),
+    })
+}

@@ -1,0 +1,82 @@
+//! Regenerates Table 5: contemporary routing technologies and their
+//! `t_20,32` estimates, alongside the METRO rows they are compared with
+//! in §7.
+
+use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
+use metro_timing::catalog::table3;
+use metro_timing::contemporary::{routers_slower_than, table5};
+use metro_timing::report::{render_table5, table5_json};
+use std::fmt::Write as _;
+
+/// Registry entry.
+#[must_use]
+pub fn artifact() -> Artifact {
+    Artifact {
+        name: "table5",
+        description: "Table 5: contemporary routers vs the METRO estimates",
+        quick_profile: "identical to full (closed-form model)",
+        full_profile: "all contemporary rows, §7 who-beats-whom comparison",
+        run,
+    }
+}
+
+fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
+    let rows = table5();
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Table 5: contemporary routing technologies ===\n");
+    let _ = write!(out, "{}", render_table5(&rows));
+
+    let _ = writeln!(out, "\npublished vs reconstructed t_20,32:");
+    for r in &rows {
+        let (lo, hi) = r.estimate_t20_32_ns();
+        let (plo, phi) = r.published_t20_32_ns;
+        let _ = writeln!(
+            out,
+            "  {:<18} published {:>6.0} -> {:>6.0} ns | reconstructed {:>7.0} -> {:>7.0} ns",
+            r.name, plo, phi, lo, hi
+        );
+    }
+
+    let _ = writeln!(out, "\nparagraph 7 comparison (who METRO beats):");
+    let mut comparisons = Vec::new();
+    for (metro_name, metro_ns) in [
+        ("METROJR-ORBIT gate array", 1250.0),
+        ("METROJR 0.8u std cell", 500.0),
+        ("METRO 4-cascade full custom", 44.0),
+    ] {
+        let slower = routers_slower_than(metro_ns);
+        let _ = writeln!(
+            out,
+            "  {metro_name} ({metro_ns} ns): slower contemporaries = {slower:?}"
+        );
+        comparisons.push(Json::obj([
+            ("metro", Json::from(metro_name)),
+            ("t20_32_ns", Json::from(metro_ns)),
+            (
+                "slower_contemporaries",
+                Json::Arr(slower.into_iter().map(Json::from).collect()),
+            ),
+        ]));
+    }
+
+    let orbit = &table3()[0];
+    let _ = writeln!(
+        out,
+        "\n'even the minimal gate-array implementation of METRO compares favorably\n with the existing field': METROJR-ORBIT t_20,32 = {} ns",
+        orbit.t20_32_ns()
+    );
+
+    let points = rows.len();
+    let json = Json::obj([
+        ("artifact", Json::from("table5")),
+        ("points", table5_json(&rows)),
+        ("comparisons", Json::Arr(comparisons)),
+        ("metrojr_orbit_t20_32_ns", Json::from(orbit.t20_32_ns())),
+    ]);
+    Ok(ArtifactOutput {
+        human: out,
+        json,
+        points,
+        params: Json::obj([("rows", Json::from(points))]),
+    })
+}

@@ -1,41 +1,10 @@
-//! Ablation: one transmit engine versus two.
-//!
-//! The Figure 3 caption restricts each endpoint "to only use one of its
-//! entering network ports at a time" — the parallelism-limited model.
-//! The hardware has two entering ports; this experiment measures what
-//! the restriction costs by letting a second transmit engine drive the
-//! other port.
-
-use metro_sim::experiment::{run_load_point, SweepConfig};
+//! Thin shim over the `ablation_concurrency` artifact in the metro registry; kept so
+//! existing `cargo run --bin ablation_concurrency` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run ablation_concurrency`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = SweepConfig::figure3();
-    if quick {
-        cfg.warmup = 500;
-        cfg.measure = 2_500;
-        cfg.drain = 1_500;
-    } else {
-        cfg.measure = 6_000;
-    }
-
-    println!("=== Ablation: transmit engines per endpoint ===\n");
-    println!(
-        "{:>8} {:>6} {:>11} {:>8} {:>12} {:>10}",
-        "engines", "load", "mean(cyc)", "p95", "retries/msg", "delivered"
-    );
-    println!("{}", "-".repeat(62));
-    for engines in [1usize, 2] {
-        cfg.sim.endpoint.max_concurrent = engines;
-        for load in [0.3, 0.6, 0.9] {
-            let p = run_load_point(&cfg, load);
-            println!(
-                "{engines:>8} {load:>6.1} {:>11.1} {:>8} {:>12.3} {:>10}",
-                p.mean_latency, p.p95_latency, p.retries_per_message, p.delivered
-            );
-        }
-    }
-    println!("\nexpected shape: identical until a single engine saturates (~0.55 of");
-    println!("capacity); past that, the second engine converts queueing delay into");
-    println!("delivered throughput — at the cost of more in-network contention.");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "ablation_concurrency",
+    ));
 }

@@ -1,64 +1,10 @@
-//! Ablation: the multipath (dilated) network of Figure 3 versus a
-//! non-dilated network of the same parts, and deterministic versus
-//! randomized wiring.
-//!
-//! Dilation is METRO's source of path redundancy (§2): it should buy
-//! both congestion relief under load and survival under router faults.
-
-use metro_sim::experiment::{run_fault_point, run_load_point, SweepConfig};
-use metro_topo::multibutterfly::{MultibutterflySpec, StageSpec, WiringStyle};
-
-/// A 64-endpoint network from the same 8x8 parts with dilation 1
-/// everywhere: two stages of radix 8, no redundant paths inside the
-/// network (only the two endpoint ports).
-fn non_dilated() -> MultibutterflySpec {
-    MultibutterflySpec {
-        endpoints: 64,
-        endpoint_ports: 2,
-        stages: vec![StageSpec::new(8, 8, 1), StageSpec::new(8, 8, 1)],
-        wiring: WiringStyle::Randomized,
-        seed: 0x1994,
-    }
-}
+//! Thin shim over the `ablation_dilation` artifact in the metro registry; kept so
+//! existing `cargo run --bin ablation_dilation` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run ablation_dilation`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut base = SweepConfig::figure3();
-    if quick {
-        base.warmup = 500;
-        base.measure = 2_500;
-        base.drain = 1_500;
-    } else {
-        base.measure = 6_000;
-    }
-
-    println!("=== Ablation: dilation and wiring style ===\n");
-    let variants: [(&str, MultibutterflySpec); 3] = [
-        ("dilated 2/2/1 (paper)", MultibutterflySpec::figure3()),
-        ("non-dilated radix-8 x2", non_dilated()),
-        (
-            "dilated, deterministic wiring",
-            MultibutterflySpec::figure3().with_wiring(WiringStyle::Deterministic),
-        ),
-    ];
-    for (name, spec) in variants {
-        let mut cfg = base.clone();
-        cfg.spec = spec;
-        println!("{name}:");
-        for load in [0.2, 0.5] {
-            let p = run_load_point(&cfg, load);
-            println!(
-                "  load {load:.1}: mean {:>7.1} cyc  p95 {:>6}  retries/msg {:>6.3}  delivered {}",
-                p.mean_latency, p.p95_latency, p.retries_per_message, p.delivered
-            );
-        }
-        let f = run_fault_point(&cfg, 0.3, 2, 0);
-        println!(
-            "  2 dead routers @ load 0.3: mean {:>7.1} cyc  retries/msg {:>6.3}  delivered {}  lost {}\n",
-            f.mean_latency, f.retries_per_message, f.delivered, f.abandoned
-        );
-    }
-    println!("expected shape: the dilated network rides through contention and router");
-    println!("loss with modest retry counts; the non-dilated network concentrates");
-    println!("blocking on its unique internal paths.");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "ablation_dilation",
+    ));
 }

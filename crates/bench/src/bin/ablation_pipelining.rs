@@ -1,62 +1,10 @@
-//! Ablation: the pipelining options of §5.1 — internal pipestages
-//! (`dp`), pipelined connection setup (`hw`), and wire pipeline depth
-//! (variable turn delay) — measured in simulation cycles and projected
-//! to nanoseconds with the Table 4 model.
-
-use metro_sim::experiment::{unloaded_latency, SweepConfig};
-use metro_timing::equations::{stages_32_node_4stage, LatencyModel, T_WIRE_NS};
+//! Thin shim over the `ablation_pipelining` artifact in the metro registry; kept so
+//! existing `cargo run --bin ablation_pipelining` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run ablation_pipelining`.
 
 fn main() {
-    println!("=== Ablation: pipelining options ===\n");
-    println!("simulated unloaded latency (cycles), Figure 3 network:");
-    println!(
-        "{:>6} {:>6} {:>11} {:>16}",
-        "dp", "hw", "wire delay", "latency (cycles)"
-    );
-    println!("{}", "-".repeat(44));
-    for (dp, hw, wire) in [
-        (1, 0, 0),
-        (2, 0, 0),
-        (3, 0, 0),
-        (1, 1, 0),
-        (1, 2, 0),
-        (1, 0, 1),
-        (1, 0, 2),
-        (2, 1, 1),
-    ] {
-        let mut cfg = SweepConfig::figure3();
-        cfg.sim.pipestages = dp;
-        cfg.sim.header_words = hw;
-        cfg.sim.wire_delay = wire;
-        let lat = unloaded_latency(&cfg);
-        println!("{dp:>6} {hw:>6} {wire:>11} {lat:>16}");
-    }
-
-    println!("\nanalytic projection (Table 4, 0.8µ full custom, 32-node network):");
-    println!(
-        "{:>6} {:>6} {:>9} {:>9} {:>12}",
-        "dp", "hw", "t_clk", "t_stg", "t_20,32 (ns)"
-    );
-    println!("{}", "-".repeat(46));
-    for (dp, hw, t_clk) in [(1, 0, 5.0), (2, 0, 2.0), (1, 1, 2.0), (1, 2, 2.0)] {
-        let m = LatencyModel {
-            t_clk_ns: t_clk,
-            t_io_ns: 3.0,
-            t_wire_ns: T_WIRE_NS,
-            width: 4,
-            cascade: 1,
-            pipestages: dp,
-            header_words: hw,
-            stage_digit_bits: stages_32_node_4stage(),
-        };
-        println!(
-            "{dp:>6} {hw:>6} {:>9} {:>9} {:>12}",
-            t_clk,
-            m.t_stg_ns(),
-            m.t20_32_ns()
-        );
-    }
-    println!("\nreading: deeper pipelines cost cycles but buy clock rate; pipelined");
-    println!("connection setup (hw > 0) trades header words for a shorter critical");
-    println!("path — the 124 ns (dp=2) vs 120 ns (hw=1) comparison of Table 3.");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "ablation_pipelining",
+    ));
 }

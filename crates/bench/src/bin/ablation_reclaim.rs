@@ -1,47 +1,10 @@
-//! Ablation: fast path reclamation (BCB teardown) versus detailed
-//! turn-time replies on blocked connections (paper §5.1, "Path
-//! Reclamation — Fast and Detailed").
-//!
-//! Fast reclamation releases blocked resources immediately; detailed
-//! mode holds the path until the source turns the connection, buying
-//! precise blocked-stage information at the cost of occupancy.
-
-use metro_sim::experiment::{run_load_point, SweepConfig};
+//! Thin shim over the `ablation_reclaim` artifact in the metro registry; kept so
+//! existing `cargo run --bin ablation_reclaim` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run ablation_reclaim`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = SweepConfig::figure3();
-    if quick {
-        cfg.warmup = 500;
-        cfg.measure = 2_500;
-        cfg.drain = 1_500;
-    } else {
-        cfg.measure = 6_000;
-    }
-
-    println!("=== Ablation: fast vs detailed path reclamation ===\n");
-    println!(
-        "{:>9} {:>6} {:>11} {:>8} {:>12} {:>10}",
-        "mode", "load", "mean(cyc)", "p95", "retries/msg", "delivered"
-    );
-    println!("{}", "-".repeat(62));
-    for fast in [true, false] {
-        cfg.sim.fast_reclaim = fast;
-        for load in [0.2, 0.4, 0.6] {
-            let p = run_load_point(&cfg, load);
-            println!(
-                "{:>9} {:>6.1} {:>11.1} {:>8} {:>12.3} {:>10}",
-                if fast { "fast" } else { "detailed" },
-                load,
-                p.mean_latency,
-                p.p95_latency,
-                p.retries_per_message,
-                p.delivered
-            );
-        }
-    }
-    println!("\nexpected shape: identical at low load (nothing blocks); as load grows,");
-    println!("fast reclamation frees blocked paths sooner — lower latency and higher");
-    println!("delivered throughput near saturation (\"Fast path reclamation allows");
-    println!("stochastic search for non-faulty, uncongested paths to proceed rapidly\").");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "ablation_reclaim",
+    ));
 }

@@ -1,48 +1,10 @@
-//! Ablation: stochastic output selection (the METRO architecture)
-//! versus round-robin and fixed-priority selection, under load and
-//! under faults.
-//!
-//! §4 argues random selection is "the key to making the protocol robust
-//! against dynamic faults" while needing no state; this experiment
-//! quantifies what the alternatives give up.
-
-use metro_core::SelectionPolicy;
-use metro_sim::experiment::{run_fault_point, run_load_point, SweepConfig};
+//! Thin shim over the `ablation_selection` artifact in the metro registry; kept so
+//! existing `cargo run --bin ablation_selection` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run ablation_selection`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = SweepConfig::figure3();
-    if quick {
-        cfg.warmup = 500;
-        cfg.measure = 2_500;
-        cfg.drain = 1_500;
-    } else {
-        cfg.measure = 6_000;
-    }
-
-    println!("=== Ablation: backward-port selection policy ===\n");
-    for policy in [
-        SelectionPolicy::Random,
-        SelectionPolicy::RoundRobin,
-        SelectionPolicy::Fixed,
-    ] {
-        cfg.sim.selection = policy;
-        println!("policy: {policy:?}");
-        for load in [0.2, 0.5] {
-            let p = run_load_point(&cfg, load);
-            println!(
-                "  load {load:.1}: mean {:>7.1} cyc  p95 {:>6}  retries/msg {:>6.3}  delivered {}",
-                p.mean_latency, p.p95_latency, p.retries_per_message, p.delivered
-            );
-        }
-        // Under faults the difference matters most: fixed selection
-        // retries down the same path.
-        let f = run_fault_point(&cfg, 0.3, 3, 6);
-        println!(
-            "  faulty (3 routers + 6 links): mean {:>7.1} cyc  retries/msg {:>6.3}  delivered {}  lost {}\n",
-            f.mean_latency, f.retries_per_message, f.delivered, f.abandoned
-        );
-    }
-    println!("expected shape: random ≈ round-robin when healthy; under faults and");
-    println!("contention, fixed priority concentrates traffic, raising retries/latency.");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "ablation_selection",
+    ));
 }

@@ -1,55 +1,10 @@
-//! Cross-validation of Table 3's cascade rows in *simulation*: a
-//! `c`-wide cascade moves `w·c` bits per clock with the header
-//! replicated on every slice, so its cycle count equals a single-slice
-//! network carrying `ceil(payload/c)` words. The simulated unloaded
-//! cycle counts are compared against the Table 4 cycle model
-//! (`stages · (dp + vtd) + words + turnaround`).
-//!
-//! (The cycle-accurate cascade itself — shared randomness, wired-AND —
-//! is exercised by `metro_core::CascadeGroup`; at network scale the
-//! slices are cycle-lockstep by construction, so the equivalent-payload
-//! reduction is exact for fault-free operation.)
-
-use metro_sim::experiment::{unloaded_latency, SweepConfig};
-use metro_timing::equations::{stages_32_node_4stage, LatencyModel, T_WIRE_NS};
-use metro_topo::multibutterfly::MultibutterflySpec;
+//! Thin shim over the `cascade_sim` artifact in the metro registry; kept so
+//! existing `cargo run --bin cascade_sim` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run cascade_sim`.
 
 fn main() {
-    println!("=== Cascade width: simulated cycles vs the analytic model ===\n");
-    println!("32-node Figure-1-style network, 20-byte messages, METROJR-class routers\n");
-    println!(
-        "{:>3} {:>14} {:>18} {:>22}",
-        "c", "payload words", "simulated cycles", "t_20,32 @ 25 ns (ns)"
-    );
-    println!("{}", "-".repeat(62));
-    for c in [1usize, 2, 4] {
-        // Equivalent-payload reduction: 20 bytes over a w·c-bit logical
-        // channel (w = 8 in simulation → 20 words at c = 1).
-        let payload_words = 20usize.div_ceil(c);
-        let mut cfg = SweepConfig::figure3();
-        cfg.spec = MultibutterflySpec::paper32();
-        cfg.payload_words = payload_words.saturating_sub(1); // + checksum word
-        let cycles = unloaded_latency(&cfg);
-
-        // The analytic projection at the ORBIT clock (25 ns).
-        let model = LatencyModel {
-            t_clk_ns: 25.0,
-            t_io_ns: 10.0,
-            t_wire_ns: T_WIRE_NS,
-            width: 4,
-            cascade: c,
-            pipestages: 1,
-            header_words: 0,
-            stage_digit_bits: stages_32_node_4stage(),
-        };
-        println!(
-            "{c:>3} {:>14} {:>18} {:>22}",
-            payload_words,
-            cycles,
-            model.t20_32_ns()
-        );
-    }
-    println!("\nreading: doubling the cascade roughly halves the serialization cycles");
-    println!("while the per-stage cycles are fixed — the same diminishing-returns");
-    println!("shape as Table 3's 1250 -> 750 -> 500 ns ORBIT column.");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "cascade_sim",
+    ));
 }

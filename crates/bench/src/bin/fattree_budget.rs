@@ -1,36 +1,10 @@
-//! Fat-tree construction budgets: how many METRO parts a fat-tree
-//! machine needs, per DeHon's construction arithmetic (\[7\]) — the
-//! second network class the paper names (§2), with the pin-count
-//! tradeoff width cascading addresses (§5.1).
-
-use metro_topo::fattree::{FatTree, FatTreeSpec};
+//! Thin shim over the `fattree_budget` artifact in the metro registry; kept so
+//! existing `cargo run --bin fattree_budget` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run fattree_budget`.
 
 fn main() {
-    println!("=== Fat-tree router budgets from METRO parts ===\n");
-    for (levels, leaf) in [(4usize, 2usize), (5, 2), (6, 2)] {
-        let tree = FatTree::build(&FatTreeSpec::binary(levels, leaf)).expect("valid tree");
-        println!(
-            "binary fat-tree, {} leaves, leaf capacity {leaf}, bisection {} wires:",
-            tree.leaves(),
-            tree.bisection()
-        );
-        println!(
-            "  {:<28} {:>10} {:>10} {:>10}",
-            "part (i x o)", "4x4", "8x8", "16x16"
-        );
-        let total4 = tree.total_routers(4, 4);
-        let total8 = tree.total_routers(8, 8);
-        let total16 = tree.total_routers(16, 16);
-        println!(
-            "  {:<28} {:>10} {:>10} {:>10}",
-            "routers for the whole tree", total4, total8, total16
-        );
-        // Per-level capacities.
-        let caps: Vec<String> = (1..=levels).map(|d| tree.capacity(d).to_string()).collect();
-        println!("  channel capacities root->leaf: {}\n", caps.join(" -> "));
-    }
-    println!("reading: bigger parts cut the router count superlinearly near the");
-    println!("root (wide channels concentrate); width cascading lets narrow parts");
-    println!("serve the wide upper channels at more pins — the i/o-pin versus");
-    println!("datapath-width trade §5.1 motivates.");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "fattree_budget",
+    ));
 }

@@ -1,59 +1,10 @@
-//! Regenerates the §6.2 claim: "performance degrades robustly in the
-//! face of faults" (\[2\], \[3\]). Kills growing numbers of routers and
-//! links in the Figure 3 network under moderate load and reports
-//! latency, retries, throughput, and message loss (there must be none).
-//!
-//! Pass `--quick` for a shorter run.
-
-use metro_sim::experiment::{run_fault_point, SweepConfig};
+//! Thin shim over the `fault_sweep` artifact in the metro registry; kept so
+//! existing `cargo run --bin fault_sweep` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run fault_sweep`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = SweepConfig::figure3();
-    if quick {
-        cfg.warmup = 500;
-        cfg.measure = 3_000;
-        cfg.drain = 1_500;
-    }
-    let load = 0.3;
-
-    println!("=== Fault-degradation sweep (Figure 3 network, load {load}) ===\n");
-    println!(
-        "{:>8} {:>7} {:>11} {:>8} {:>12} {:>10} {:>10} {:>10}",
-        "routers", "links", "mean(cyc)", "p95", "retries/msg", "accepted", "delivered", "lost"
-    );
-    println!("{}", "-".repeat(84));
-    let mut baseline = None;
-    for (dead_routers, dead_links) in [
-        (0, 0),
-        (1, 0),
-        (2, 0),
-        (4, 0),
-        (0, 4),
-        (0, 8),
-        (2, 4),
-        (4, 8),
-        (6, 12),
-    ] {
-        let p = run_fault_point(&cfg, load, dead_routers, dead_links);
-        if dead_routers == 0 && dead_links == 0 {
-            baseline = Some(p.mean_latency);
-        }
-        println!(
-            "{:>8} {:>7} {:>11.1} {:>8} {:>12.3} {:>10.4} {:>10} {:>10}",
-            p.dead_routers,
-            p.dead_links,
-            p.mean_latency,
-            p.p95_latency,
-            p.retries_per_message,
-            p.accepted,
-            p.delivered,
-            p.abandoned
-        );
-    }
-    if let Some(base) = baseline {
-        println!(
-            "\nrobust degradation: latency grows gradually from the {base:.1}-cycle baseline;\nstochastic path selection + source retry deliver every message (lost = 0)."
-        );
-    }
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "fault_sweep",
+    ));
 }

@@ -1,82 +1,7 @@
-//! Regenerates Figure 1: the 16×16 multipath network built from 4×2
-//! (inputs × radix) dilation-2 routers and 4×4 dilation-1 routers, its
-//! path multiplicity, and the fault-tolerance property its caption and
-//! §5.1 claim.
-
-use metro_topo::analysis::{path_profile, single_router_tolerance};
-use metro_topo::dot::to_dot;
-use metro_topo::fault::FaultSet;
-use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec};
-use metro_topo::paths::{count_paths, enumerate_paths};
+//! Thin shim over the `fig1` artifact in the metro registry; kept so
+//! existing `cargo run --bin fig1` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run fig1`.
 
 fn main() {
-    let spec = MultibutterflySpec::figure1();
-    let net = Multibutterfly::build(&spec).expect("figure 1 network");
-    if std::env::args().any(|a| a == "--dot") {
-        let dot = to_dot(&net, &FaultSet::new());
-        let dir = std::path::Path::new("results");
-        let _ = std::fs::create_dir_all(dir);
-        let path = dir.join("fig1.dot");
-        std::fs::write(&path, dot).expect("write dot");
-        println!("wrote {} (render with `dot -Tsvg`)", path.display());
-    }
-
-    println!("=== Figure 1: 16x16 multipath network ===\n");
-    println!("endpoints:        {}", net.endpoints());
-    println!("ports/endpoint:   {}", net.endpoint_ports());
-    for s in 0..net.stages() {
-        let st = net.stage_spec(s);
-        println!(
-            "stage {s}: {:>2} routers of {}x{} (inputs x radix), dilation {}",
-            net.routers_in_stage(s),
-            st.forward_ports,
-            st.radix(),
-            st.dilation
-        );
-    }
-
-    // The caption highlights endpoints 6 -> 16 (1-indexed); 5 -> 15 here.
-    let faults = FaultSet::new();
-    let highlighted = count_paths(&net, 5, 15, &faults);
-    println!("\nwire-level paths endpoint 6 -> endpoint 16 (paper numbering): {highlighted}");
-    let routes = enumerate_paths(&net, 5, 15, &faults, 32);
-    println!("router-level routes ({}):", routes.len());
-    for r in &routes {
-        let hops: Vec<String> = r
-            .iter()
-            .enumerate()
-            .map(|(s, idx)| format!("r{s}.{idx}"))
-            .collect();
-        println!("  {}", hops.join(" -> "));
-    }
-
-    let profile = path_profile(&net, &faults);
-    println!(
-        "\npath profile over all pairs: min {} / max {} (total {})",
-        profile.min_paths, profile.max_paths, profile.total_paths
-    );
-
-    // §5.1: the dilation-1 final stage tolerates any single router loss.
-    let tolerance = single_router_tolerance(&net);
-    println!("\nsingle-router-loss tolerance by stage:");
-    for (s, ok) in tolerance.iter().enumerate() {
-        println!(
-            "  stage {s}: {}",
-            if *ok {
-                "every single-router loss leaves all endpoints connected"
-            } else {
-                "some single-router loss isolates an endpoint"
-            }
-        );
-    }
-
-    println!("\npaper claim check:");
-    println!(
-        "  'many paths between each pair of network endpoints'     -> min {} paths",
-        profile.min_paths
-    );
-    println!(
-        "  'tolerate the complete loss of any router in the final\n   stage without isolating any endpoints'                 -> {}",
-        if tolerance[2] { "holds" } else { "VIOLATED" }
-    );
+    std::process::exit(metro_harness::cli::shim(&metro_bench::registry(), "fig1"));
 }

@@ -1,63 +1,7 @@
-//! Regenerates Figure 3: effective latency versus network loading for
-//! randomly distributed 20-byte message traffic on the 3-stage,
-//! 64-endpoint, radix-4 network (dilation 2/2/1, two network ports per
-//! endpoint, parallelism-limited processors).
-//!
-//! Pass `--quick` for a shorter run.
-
-use metro_bench::{ascii_curve, load_points_csv, render_load_points, write_result_csv};
-use metro_sim::experiment::{load_sweep, unloaded_latency, SweepConfig};
+//! Thin shim over the `fig3` artifact in the metro registry; kept so
+//! existing `cargo run --bin fig3` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run fig3`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let csv = std::env::args().any(|a| a == "--csv");
-    let mut cfg = SweepConfig::figure3();
-    if quick {
-        cfg.warmup = 500;
-        cfg.measure = 3_000;
-        cfg.drain = 1_000;
-    }
-
-    println!("=== Figure 3: aggregate latency vs network loading ===\n");
-    println!("network: 64 endpoints, 3 stages of radix-4 routers (8-bit wide),");
-    println!("         dilation 2 / 2 / 1, two ports per endpoint");
-    println!("traffic: uniformly random destinations, 20-byte messages");
-    println!("model:   parallelism-limited (processors stall on outstanding message)\n");
-
-    let base = unloaded_latency(&cfg);
-    println!(
-        "unloaded message latency: {base} cycles (paper: 28 cycles, injection to ack receipt)\n"
-    );
-
-    let loads = [
-        0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70, 0.80,
-        0.90,
-    ];
-    let points = load_sweep(&cfg, &loads);
-    print!("{}", render_load_points(&points));
-    if csv {
-        match write_result_csv("fig3_load_latency.csv", &load_points_csv(&points)) {
-            Ok(path) => println!("\nwrote {}", path.display()),
-            Err(e) => eprintln!("\ncsv write failed: {e}"),
-        }
-    }
-
-    println!("\nmean latency vs offered load:");
-    print!("{}", ascii_curve(&points, 12));
-
-    // Shape checks the paper's curve exhibits.
-    let low = &points[0];
-    let sat = points.iter().map(|p| p.accepted).fold(f64::MIN, f64::max);
-    println!("\nshape summary:");
-    println!(
-        "  low-load latency {:.1} cycles ({:.2}x unloaded)",
-        low.mean_latency,
-        low.mean_latency / base as f64
-    );
-    println!("  saturation throughput ~{:.2} of injection capacity", sat);
-    println!(
-        "  latency at highest load {:.0} cycles ({:.1}x unloaded) — the congestion knee",
-        points.last().unwrap().mean_latency,
-        points.last().unwrap().mean_latency / base as f64
-    );
+    std::process::exit(metro_harness::cli::shim(&metro_bench::registry(), "fig3"));
 }

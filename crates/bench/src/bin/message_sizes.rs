@@ -1,45 +1,10 @@
-//! Message-size sweep over the Table 3 implementation catalog: where
-//! the `t_20,32` snapshot sits in the broader design space, and where
-//! implementations cross over (§8: "tradeoffs … between latency,
-//! throughput, i/o pins, and cost").
-
-use metro_timing::catalog::table3;
-use metro_timing::sweeps::{crossover_bytes, message_size_sweep, serialization_fraction};
+//! Thin shim over the `message_sizes` artifact in the metro registry; kept so
+//! existing `cargo run --bin message_sizes` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run message_sizes`.
 
 fn main() {
-    println!("=== Delivery latency vs message size (ns) ===\n");
-    let sizes = [4usize, 8, 20, 64, 256];
-    let rows = table3();
-    let picks = [0usize, 2, 4, 8, 11, 15];
-    print!("{:<36}", "implementation");
-    for s in sizes {
-        print!("{s:>9} B");
-    }
-    println!();
-    println!("{}", "-".repeat(36 + sizes.len() * 10));
-    for &k in &picks {
-        let r = &rows[k];
-        print!("{:<36}", format!("{} [{}]", r.name, r.technology));
-        for (_, ns) in message_size_sweep(&r.model(), &sizes) {
-            print!("{ns:>10.0}");
-        }
-        println!();
-    }
-
-    println!("\ncrossovers (message size where the wide/slow option starts winning):");
-    let wide_slow = rows[2].model(); // ORBIT 4-cascade
-    let narrow_fast = rows[4].model(); // std-cell METROJR
-    match crossover_bytes(&wide_slow, &narrow_fast, 4096) {
-        Some(b) => println!(
-            "  ORBIT 4-cascade overtakes std-cell METROJR at {b} bytes (Table 3's\n  20-byte figure of merit sits exactly on this crossover: both 500 ns)"
-        ),
-        None => println!("  no crossover within 4 KiB"),
-    }
-
-    println!("\nserialization fraction of t_20,32 (short-haul regime check, §2):");
-    for (name, frac) in serialization_fraction(&rows) {
-        if frac > 0.0 {
-            println!("  {name:<44} {:>5.1}%", frac * 100.0);
-        }
-    }
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "message_sizes",
+    ));
 }

@@ -1,0 +1,8 @@
+//! The unified experiment CLI: `metro list`, `metro run <artifact>...`,
+//! `metro run --all --quick --json --jobs N`. Every paper artifact in
+//! the registry is reachable from here, and every run writes
+//! `results/<artifact>.json` plus a `results/manifest.json` record.
+
+fn main() {
+    std::process::exit(metro_harness::cli::main_with(&metro_bench::registry()));
+}

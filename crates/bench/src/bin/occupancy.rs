@@ -1,77 +1,10 @@
-//! Router occupancy analysis: how evenly the stochastic selection
-//! spreads connections over the fabric, under uniform and hotspot
-//! traffic — §4's "random selection … frees the source from knowing the
-//! actual details of the redundant paths", made visible.
-
-use metro_core::RandomSource;
-use metro_sim::traffic::{LoadGenerator, TrafficPattern};
-use metro_sim::{NetworkSim, SimConfig};
-use metro_topo::multibutterfly::MultibutterflySpec;
-
-fn run(pattern: &TrafficPattern, cycles: u64) -> NetworkSim {
-    let mut sim = NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default()).unwrap();
-    let n = sim.topology().endpoints();
-    let stream_words = sim.stream_for(0, &[0; 19]).len();
-    let mut pattern_rng = RandomSource::new(0xACC);
-    let mut gens: Vec<LoadGenerator> = (0..n)
-        .map(|e| LoadGenerator::new(0.3, stream_words, 0x0CC + e as u64))
-        .collect();
-    let payload: Vec<u16> = (0..19).map(|k| k as u16).collect();
-    for _ in 0..cycles {
-        for (e, g) in gens.iter_mut().enumerate() {
-            if g.arrival() {
-                let dest = pattern.destination(e, n, &mut pattern_rng);
-                sim.send(e, dest, &payload);
-            }
-        }
-        sim.tick();
-    }
-    sim
-}
-
-fn report(label: &str, sim: &NetworkSim) {
-    println!("{label}:");
-    for s in 0..sim.topology().stages() {
-        let grants: Vec<usize> = (0..sim.topology().routers_in_stage(s))
-            .map(|r| sim.router(s, r).stats().grants)
-            .collect();
-        let total: usize = grants.iter().sum();
-        let min = grants.iter().min().copied().unwrap_or(0);
-        let max = grants.iter().max().copied().unwrap_or(0);
-        let mean = total as f64 / grants.len() as f64;
-        let blocks: usize = (0..grants.len())
-            .map(|r| sim.router(s, r).stats().blocks)
-            .sum();
-        println!(
-            "  stage {s}: grants/router min {min:>5} mean {mean:>8.1} max {max:>5}  (imbalance {:.2}x, {blocks} blocks)",
-            if min > 0 { max as f64 / min as f64 } else { f64::INFINITY },
-        );
-    }
-    println!();
-}
+//! Thin shim over the `occupancy` artifact in the metro registry; kept so
+//! existing `cargo run --bin occupancy` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run occupancy`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cycles = if quick { 3_000 } else { 8_000 };
-    println!("=== Router occupancy under load 0.3, {cycles} cycles ===\n");
-
-    let uniform = run(&TrafficPattern::Uniform, cycles);
-    report("uniform random traffic", &uniform);
-
-    let hotspot = run(
-        &TrafficPattern::Hotspot {
-            target: 0,
-            percent: 30,
-        },
-        cycles,
-    );
-    report("30% hotspot on endpoint 0", &hotspot);
-
-    println!("reading: under uniform traffic the stochastic selection keeps the");
-    println!("grant imbalance within ~1.5x at every stage with zero coordination.");
-    println!("The hotspot leaves stage 0 balanced (retries spread over all entry");
-    println!("paths) but skews the later stages by an order of magnitude: the");
-    println!("victim's destination subtree — rooted where the groups first");
-    println!("single out endpoint 0 — absorbs the whole concentration, and the");
-    println!("blocks pile up at stage 0 where circuits fail to form.");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "occupancy",
+    ));
 }

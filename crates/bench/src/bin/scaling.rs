@@ -1,63 +1,10 @@
-//! Scaling study: unloaded latency and saturation throughput as the
-//! network grows from 16 to 256 endpoints, holding the router
-//! technology fixed — the "logarithmic number of routing components"
-//! claim of §2 made quantitative.
-
-use metro_sim::experiment::{run_load_point, unloaded_latency, SweepConfig};
-use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec, StageSpec, WiringStyle};
-
-/// A 256-endpoint, 4-stage radix-4 network from the same parts as
-/// Figure 3 (dilation 2/2/2/1).
-fn net256() -> MultibutterflySpec {
-    MultibutterflySpec {
-        endpoints: 256,
-        endpoint_ports: 2,
-        stages: vec![
-            StageSpec::new(8, 8, 2),
-            StageSpec::new(8, 8, 2),
-            StageSpec::new(8, 8, 2),
-            StageSpec::new(4, 4, 1),
-        ],
-        wiring: WiringStyle::Randomized,
-        seed: 0x256,
-    }
-}
+//! Thin shim over the `scaling` artifact in the metro registry; kept so
+//! existing `cargo run --bin scaling` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run scaling`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    println!("=== Scaling: 16 -> 256 endpoints, fixed router technology ===\n");
-    println!(
-        "{:>10} {:>7} {:>8} {:>10} {:>12} {:>14}",
-        "endpoints", "stages", "routers", "unloaded", "mean @ 0.4", "retries @ 0.4"
-    );
-    println!("{}", "-".repeat(68));
-    for (spec, label) in [
-        (MultibutterflySpec::figure1(), 16usize),
-        (MultibutterflySpec::paper32(), 32),
-        (MultibutterflySpec::figure3(), 64),
-        (net256(), 256),
-    ] {
-        let net = Multibutterfly::build(&spec).expect("valid spec");
-        let mut cfg = SweepConfig::figure3();
-        cfg.spec = spec;
-        if quick || label >= 256 {
-            cfg.warmup = 500;
-            cfg.measure = 2_500;
-            cfg.drain = 1_500;
-        }
-        let base = unloaded_latency(&cfg);
-        let p = run_load_point(&cfg, 0.4);
-        println!(
-            "{:>10} {:>7} {:>8} {:>10} {:>12.1} {:>14.3}",
-            label,
-            net.stages(),
-            net.total_routers(),
-            base,
-            p.mean_latency,
-            p.retries_per_message
-        );
-    }
-    println!("\nreading: unloaded latency grows by ~1 cycle per extra stage plus the");
-    println!("longer headers — logarithmic in machine size, as circuit-switched");
-    println!("multistage routing promises; router count grows as N·log(N)/radix.");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "scaling",
+    ));
 }

@@ -1,51 +1,7 @@
-//! Regenerates Table 2: the configuration options, their instance
-//! counts, bit budgets, and the resulting scan-register width for
-//! representative METRO parts.
-
-use metro_core::{ArchParams, RouterConfig};
-use metro_scan::registers::{dilation_bits, encode_config, vtd_bits};
+//! Thin shim over the `table2` artifact in the metro registry; kept so
+//! existing `cargo run --bin table2` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run table2`.
 
 fn main() {
-    println!("=== Table 2: METRO configuration parameters ===\n");
-    println!(
-        "{:<24} {:<12} {:<26}",
-        "Option", "Instances", "Bits per instance"
-    );
-    println!("{}", "-".repeat(64));
-    println!("{:<24} {:<12} {:<26}", "Port On/Off", "i + o", "1/port");
-    println!(
-        "{:<24} {:<12} {:<26}",
-        "Off Port Drive Output", "i + o", "1/port"
-    );
-    println!(
-        "{:<24} {:<12} {:<26}",
-        "Turn Delay", "i + o", "ceil(log2(max_vtd))/port"
-    );
-    println!("{:<24} {:<12} {:<26}", "Fast Reclaim", "i + o", "1/port");
-    println!(
-        "{:<24} {:<12} {:<26}",
-        "Swallow", "i", "1/forward port (hw = 0 only)"
-    );
-    println!(
-        "{:<24} {:<12} {:<26}",
-        "Dilation (d)", "1", "log2(max_d)/router"
-    );
-
-    println!("\nscan-register widths for concrete parts:");
-    for (name, params) in [
-        ("METROJR (i=o=w=4)", ArchParams::metrojr()),
-        ("RN1-class (i=o=w=8)", ArchParams::rn1()),
-        ("METRO-8 (i=o=8, w=4)", ArchParams::metro8()),
-    ] {
-        let cfg = RouterConfig::new(&params).build().unwrap();
-        let image = encode_config(&cfg, &params);
-        println!(
-            "  {:<22} vtd bits {} | dilation bits {} | total config register: {} bits",
-            name,
-            vtd_bits(params.max_turn_delay()),
-            dilation_bits(params.max_dilation()),
-            image.len()
-        );
-        assert_eq!(image.len(), cfg.scan_bits(&params));
-    }
+    std::process::exit(metro_harness::cli::shim(&metro_bench::registry(), "table2"));
 }

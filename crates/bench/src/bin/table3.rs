@@ -1,33 +1,7 @@
-//! Regenerates Table 3: METRO implementation examples — `t_clk`,
-//! `t_io`, `t_stg`, `t_bit`, stages, and the `t_20,32` figure of merit,
-//! computed from the Table 4 equations and checked against the paper's
-//! printed cells.
-
-use metro_timing::catalog::table3;
-use metro_timing::report::render_table3;
+//! Thin shim over the `table3` artifact in the metro registry; kept so
+//! existing `cargo run --bin table3` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run table3`.
 
 fn main() {
-    println!("=== Table 3: METRO implementation examples ===\n");
-    let rows = table3();
-    print!("{}", render_table3(&rows));
-
-    println!("\nreproduction check (computed vs paper):");
-    let mut exact = 0;
-    for r in &rows {
-        let ok = (r.t20_32_ns() - r.expected_t20_32_ns).abs() < 1e-9
-            && (r.t_stg_ns() - r.expected_t_stg_ns).abs() < 1e-9;
-        if ok {
-            exact += 1;
-        }
-        println!(
-            "  {:<34} t_stg {:>5} ns (paper {:>5}) | t_20,32 {:>6} ns (paper {:>6}) {}",
-            format!("{} [{}]", r.name, r.technology),
-            r.t_stg_ns(),
-            r.expected_t_stg_ns,
-            r.t20_32_ns(),
-            r.expected_t20_32_ns,
-            if ok { "EXACT" } else { "MISMATCH" }
-        );
-    }
-    println!("\n{exact}/{} rows reproduce the paper exactly", rows.len());
+    std::process::exit(metro_harness::cli::shim(&metro_bench::registry(), "table3"));
 }

@@ -1,80 +1,7 @@
-//! Regenerates Table 4: the latency equations, worked through for the
-//! METROJR-ORBIT prototype so every intermediate quantity is visible.
-
-use metro_timing::equations::{stages_32_node_4stage, LatencyModel, MESSAGE_BITS, T_WIRE_NS};
+//! Thin shim over the `table4` artifact in the metro registry; kept so
+//! existing `cargo run --bin table4` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run table4`.
 
 fn main() {
-    println!("=== Table 4: latency equations (worked example: METROJR-ORBIT) ===\n");
-    let m = LatencyModel {
-        t_clk_ns: 25.0,
-        t_io_ns: 10.0,
-        t_wire_ns: T_WIRE_NS,
-        width: 4,
-        cascade: 1,
-        pipestages: 1,
-        header_words: 0,
-        stage_digit_bits: stages_32_node_4stage(),
-    };
-    println!(
-        "t_wire     = {} ns                      (assumed wire delay)",
-        m.t_wire_ns
-    );
-    println!(
-        "vtd        = ceil((t_io + t_wire)/t_clk) = ceil(({} + {})/{}) = {} cycles",
-        m.t_io_ns,
-        m.t_wire_ns,
-        m.t_clk_ns,
-        m.vtd()
-    );
-    println!(
-        "t_on_chip  = t_clk * dp = {} * {} = {} ns",
-        m.t_clk_ns,
-        m.pipestages,
-        m.t_on_chip_ns()
-    );
-    println!(
-        "t_stg      = t_on_chip + vtd*t_clk = {} + {}*{} = {} ns",
-        m.t_on_chip_ns(),
-        m.vtd(),
-        m.t_clk_ns,
-        m.t_stg_ns()
-    );
-    let digit_sum: usize = m.stage_digit_bits.iter().sum();
-    println!(
-        "hbits      = ceil((sum log2 r_s)/w)*w*c = ceil({digit_sum}/{})*{}*{} = {} bits  (hw = 0)",
-        m.width,
-        m.width,
-        m.cascade,
-        m.header_bits()
-    );
-    println!(
-        "t_bit      = t_clk/(w*c) = {}/{} = {} ns/bit",
-        m.t_clk_ns,
-        m.width * m.cascade,
-        m.t_bit_ns()
-    );
-    println!(
-        "t_20,32    = stages*t_stg + (20*8 + hbits)*t_bit = {}*{} + ({} + {})*{} = {} ns",
-        m.stages(),
-        m.t_stg_ns(),
-        MESSAGE_BITS,
-        m.header_bits(),
-        m.t_bit_ns(),
-        m.t20_32_ns()
-    );
-
-    println!("\nand with pipelined connection setup (hw = 1, 2 ns full-custom clock):");
-    let hw1 = LatencyModel {
-        t_clk_ns: 2.0,
-        t_io_ns: 3.0,
-        header_words: 1,
-        ..m.clone()
-    };
-    println!(
-        "vtd = {}, t_stg = {} ns, hbits = hw*w*c*stages = {} bits, t_20,32 = {} ns",
-        hw1.vtd(),
-        hw1.t_stg_ns(),
-        hw1.header_bits(),
-        hw1.t20_32_ns()
-    );
+    std::process::exit(metro_harness::cli::shim(&metro_bench::registry(), "table4"));
 }

@@ -1,41 +1,7 @@
-//! Regenerates Table 5: contemporary routing technologies and their
-//! `t_20,32` estimates, alongside the METRO rows they are compared with
-//! in §7.
-
-use metro_timing::catalog::table3;
-use metro_timing::contemporary::{routers_slower_than, table5};
-use metro_timing::report::render_table5;
+//! Thin shim over the `table5` artifact in the metro registry; kept so
+//! existing `cargo run --bin table5` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run table5`.
 
 fn main() {
-    println!("=== Table 5: contemporary routing technologies ===\n");
-    print!("{}", render_table5(&table5()));
-
-    println!("\npublished vs reconstructed t_20,32:");
-    for r in table5() {
-        let (lo, hi) = r.estimate_t20_32_ns();
-        let (plo, phi) = r.published_t20_32_ns;
-        println!(
-            "  {:<18} published {:>6.0} -> {:>6.0} ns | reconstructed {:>7.0} -> {:>7.0} ns",
-            r.name, plo, phi, lo, hi
-        );
-    }
-
-    println!("\nparagraph 7 comparison (who METRO beats):");
-    for metro in [
-        ("METROJR-ORBIT gate array", 1250.0),
-        ("METROJR 0.8u std cell", 500.0),
-        ("METRO 4-cascade full custom", 44.0),
-    ] {
-        let slower = routers_slower_than(metro.1);
-        println!(
-            "  {} ({} ns): slower contemporaries = {:?}",
-            metro.0, metro.1, slower
-        );
-    }
-
-    let orbit = &table3()[0];
-    println!(
-        "\n'even the minimal gate-array implementation of METRO compares favorably\n with the existing field': METROJR-ORBIT t_20,32 = {} ns",
-        orbit.t20_32_ns()
-    );
+    std::process::exit(metro_harness::cli::shim(&metro_bench::registry(), "table5"));
 }

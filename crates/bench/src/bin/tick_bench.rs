@@ -1,106 +1,10 @@
-//! Tick-engine throughput: flat double-buffered arenas vs. the
-//! reference nested-`Vec` engine on the fixed Figure 3 configuration
-//! (64-endpoint three-stage multibutterfly, 8-bit channels, `dp = 1`,
-//! fast reclamation).
-//!
-//! Both engines run the identical sustained workload — every endpoint
-//! re-offers an 8-word message each time its queue drains, so the
-//! fabric stays loaded for the whole measurement window. The measured
-//! quantity is simulator cycles per wall-clock second; results (and the
-//! flat/reference speedup) are written to `BENCH_tick.json`.
-//!
-//! Run with: `cargo run --release -p metro-bench --bin tick_bench`
-
-use metro_sim::{EngineKind, NetworkSim, SimConfig};
-use metro_topo::multibutterfly::MultibutterflySpec;
-use std::time::Instant;
-
-/// Cycles discarded to reach a loaded steady state.
-const WARMUP_CYCLES: u64 = 20_000;
-/// Cycles in the measured window.
-const MEASURED_CYCLES: u64 = 100_000;
-/// Offered payload per message, in words.
-const PAYLOAD_WORDS: usize = 8;
-/// Cycles between workload refresh sweeps.
-const OFFER_PERIOD: u64 = 32;
-
-fn build(kind: EngineKind) -> NetworkSim {
-    let spec = MultibutterflySpec::figure3();
-    let config = SimConfig {
-        engine: kind,
-        ..SimConfig::default()
-    };
-    let mut sim = NetworkSim::new(&spec, &config).expect("Figure 3 spec is valid");
-    // Decimate trace snapshots identically for both engines so the
-    // comparison isolates the tick engine itself.
-    sim.set_trace_interval(1_024);
-    sim
-}
-
-/// Keeps every endpoint's NIC queue non-empty: one fresh message per
-/// endpoint every `OFFER_PERIOD` cycles, destinations striding through
-/// the address space so the load spreads across the fabric.
-fn offer_load(sim: &mut NetworkSim, round: u64) {
-    let n = sim.topology().endpoints();
-    let payload: Vec<u16> = (0..PAYLOAD_WORDS as u16).collect();
-    for src in 0..n {
-        let dest = (src + 1 + (round as usize * 7) % (n - 1)) % n;
-        sim.send(src, dest, &payload);
-    }
-}
-
-fn run(kind: EngineKind) -> (f64, usize) {
-    let mut sim = build(kind);
-    let mut round = 0u64;
-    for now in 0..WARMUP_CYCLES {
-        if now % OFFER_PERIOD == 0 {
-            offer_load(&mut sim, round);
-            round += 1;
-        }
-        sim.tick();
-    }
-    sim.drain_outcomes();
-    let start = Instant::now();
-    for now in 0..MEASURED_CYCLES {
-        if now % OFFER_PERIOD == 0 {
-            offer_load(&mut sim, round);
-            round += 1;
-        }
-        sim.tick();
-    }
-    let elapsed = start.elapsed().as_secs_f64();
-    let delivered = sim.drain_outcomes().len();
-    (MEASURED_CYCLES as f64 / elapsed, delivered)
-}
+//! Thin shim over the `tick_bench` artifact in the metro registry; kept so
+//! existing `cargo run --bin tick_bench` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run tick_bench`.
 
 fn main() {
-    println!("=== Tick-engine throughput: Figure 3 network (64 endpoints, 3 stages) ===\n");
-    println!(
-        "warm-up {WARMUP_CYCLES} cycles, measured {MEASURED_CYCLES} cycles, \
-         {PAYLOAD_WORDS}-word messages re-offered every {OFFER_PERIOD} cycles\n"
-    );
-
-    let (flat_rate, flat_done) = run(EngineKind::Flat);
-    println!("flat      : {flat_rate:>12.0} cycles/s  ({flat_done} messages completed)");
-    let (ref_rate, ref_done) = run(EngineKind::Reference);
-    println!("reference : {ref_rate:>12.0} cycles/s  ({ref_done} messages completed)");
-
-    let speedup = flat_rate / ref_rate;
-    println!("\nspeedup   : {speedup:.2}x");
-    assert_eq!(
-        flat_done, ref_done,
-        "engines completed different message counts under the identical workload"
-    );
-
-    let json = format!(
-        "{{\n  \"benchmark\": \"tick_engine_throughput\",\n  \"topology\": \"figure3\",\n  \
-         \"endpoints\": 64,\n  \"warmup_cycles\": {WARMUP_CYCLES},\n  \
-         \"measured_cycles\": {MEASURED_CYCLES},\n  \"payload_words\": {PAYLOAD_WORDS},\n  \
-         \"offer_period\": {OFFER_PERIOD},\n  \
-         \"flat_cycles_per_sec\": {flat_rate:.1},\n  \
-         \"reference_cycles_per_sec\": {ref_rate:.1},\n  \
-         \"messages_completed\": {flat_done},\n  \"speedup\": {speedup:.3}\n}}\n"
-    );
-    std::fs::write("BENCH_tick.json", &json).expect("write BENCH_tick.json");
-    println!("\nwrote BENCH_tick.json");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "tick_bench",
+    ));
 }

@@ -1,57 +1,10 @@
-//! Traffic-pattern study: the Figure 3 network under the standard
-//! multistage-network adversaries — uniform random (the paper's
-//! workload), hotspot concentration, matrix transpose, and bit
-//! reversal.
-//!
-//! Multipath dilation plus randomized wiring is exactly the machinery
-//! (\[15\], \[16\]) that keeps structured permutations from collapsing onto
-//! a few internal links; this study quantifies it.
-
-use metro_sim::experiment::{run_load_point, SweepConfig};
-use metro_sim::TrafficPattern;
+//! Thin shim over the `traffic_patterns` artifact in the metro registry; kept so
+//! existing `cargo run --bin traffic_patterns` invocations keep working. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run traffic_patterns`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let mut cfg = SweepConfig::figure3();
-    if quick {
-        cfg.warmup = 500;
-        cfg.measure = 2_500;
-        cfg.drain = 1_500;
-    } else {
-        cfg.measure = 6_000;
-    }
-
-    println!("=== Traffic patterns on the Figure 3 network ===\n");
-    println!(
-        "{:<14} {:>6} {:>11} {:>8} {:>12} {:>10}",
-        "pattern", "load", "mean(cyc)", "p95", "retries/msg", "delivered"
-    );
-    println!("{}", "-".repeat(66));
-    let patterns: [(&str, TrafficPattern); 4] = [
-        ("uniform", TrafficPattern::Uniform),
-        (
-            "hotspot 20%",
-            TrafficPattern::Hotspot {
-                target: 0,
-                percent: 20,
-            },
-        ),
-        ("transpose", TrafficPattern::Transpose),
-        ("bit-reversal", TrafficPattern::BitReversal),
-    ];
-    for (name, pattern) in patterns {
-        cfg.pattern = pattern;
-        for load in [0.2, 0.4] {
-            let p = run_load_point(&cfg, load);
-            println!(
-                "{name:<14} {load:>6.1} {:>11.1} {:>8} {:>12.3} {:>10}",
-                p.mean_latency, p.p95_latency, p.retries_per_message, p.delivered
-            );
-        }
-    }
-    println!("\nreading: permutations (transpose, bit-reversal) beat even uniform");
-    println!("traffic — each destination hears from exactly one source, so the only");
-    println!("contention is inside the multipath fabric, which the dilation absorbs.");
-    println!("The hotspot serializes at the victim's delivery ports — an endpoint");
-    println!("limit no network fixes (visible as ~10 retries/msg at the hot node).");
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "traffic_patterns",
+    ));
 }

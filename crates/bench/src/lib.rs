@@ -1,9 +1,23 @@
 //! # metro-bench — regeneration harness for every table and figure
 //!
-//! One binary per paper artifact:
+//! Every paper artifact is an entry in the [`artifacts`] registry,
+//! fronted by the single `metro` CLI:
 //!
-//! | binary | artifact |
-//! |--------|----------|
+//! ```text
+//! cargo run --release -p metro-bench --bin metro -- list
+//! cargo run --release -p metro-bench --bin metro -- run fig3 --quick --jobs 8
+//! cargo run --release -p metro-bench --bin metro -- run --all --quick
+//! ```
+//!
+//! Each run prints the human report, writes machine-readable
+//! `results/<artifact>.json`, and appends a record (git revision,
+//! wall-clock, point count, worker count, parameters) to
+//! `results/manifest.json`. The historical one-artifact binaries
+//! (`fig3`, `table3`, …) still exist as thin shims over the same
+//! registry entries.
+//!
+//! | artifact | reproduces |
+//! |----------|------------|
 //! | `fig1` | Figure 1 — the 16×16 multipath network and its path structure |
 //! | `fig3` | Figure 3 — latency versus load on the 3-stage radix-4 network |
 //! | `table2` | Table 2 — configuration options and scan-register bit budget |
@@ -22,13 +36,23 @@
 //! | `occupancy` | per-router load balance, uniform vs hotspot |
 //! | `fattree_budget` | fat-tree router budgets from METRO parts |
 //! | `message_sizes` | size sweeps and implementation crossovers |
+//! | `tick_bench` | simulator engine throughput (flat vs reference) |
 //!
 //! Criterion benches (`cargo bench`) cover the same artifacts at
 //! micro scale plus router/allocator microbenchmarks.
 
 #![forbid(unsafe_code)]
 
-use metro_sim::experiment::LoadPoint;
+pub mod artifacts;
+
+use metro_harness::{Json, Registry, ResultsDir, ResultsError};
+use metro_sim::experiment::{FaultSweepPoint, LoadPoint};
+
+/// Builds the full artifact registry (all 19 paper artifacts).
+#[must_use]
+pub fn registry() -> Registry {
+    artifacts::registry()
+}
 
 /// Renders a latency-versus-load table in a fixed-width layout shared
 /// by the sweep binaries.
@@ -119,17 +143,63 @@ pub fn load_points_csv(points: &[LoadPoint]) -> String {
     out
 }
 
-/// Writes a CSV artifact under `results/`, creating the directory.
+/// Renders load points as a JSON array for the results layer.
+#[must_use]
+pub fn load_points_json(points: &[LoadPoint]) -> Json {
+    Json::arr(points.iter().map(|p| {
+        Json::obj([
+            ("offered", Json::from(p.offered)),
+            ("accepted", Json::from(p.accepted)),
+            ("mean_latency", Json::from(p.mean_latency)),
+            ("p50_latency", Json::from(p.p50_latency)),
+            ("p95_latency", Json::from(p.p95_latency)),
+            ("mean_network_latency", Json::from(p.mean_network_latency)),
+            ("retries_per_message", Json::from(p.retries_per_message)),
+            ("delivered", Json::from(p.delivered)),
+        ])
+    }))
+}
+
+/// Renders fault-sweep points as a JSON array for the results layer.
+#[must_use]
+pub fn fault_points_json(points: &[FaultSweepPoint]) -> Json {
+    Json::arr(points.iter().map(|p| {
+        Json::obj([
+            ("dead_routers", Json::from(p.dead_routers)),
+            ("dead_links", Json::from(p.dead_links)),
+            ("mean_latency", Json::from(p.mean_latency)),
+            ("p95_latency", Json::from(p.p95_latency)),
+            ("retries_per_message", Json::from(p.retries_per_message)),
+            ("accepted", Json::from(p.accepted)),
+            ("delivered", Json::from(p.delivered)),
+            ("abandoned", Json::from(p.abandoned)),
+        ])
+    }))
+}
+
+/// Writes a CSV artifact under `results/`, creating the directory if
+/// missing.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors.
-pub fn write_result_csv(name: &str, csv: &str) -> std::io::Result<std::path::PathBuf> {
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir)?;
-    let path = dir.join(name);
-    std::fs::write(&path, csv)?;
-    Ok(path)
+/// Returns a typed [`ResultsError`] naming the failing path (not a bare
+/// `io::Error` silently tied to the working directory).
+pub fn write_result_csv(name: &str, csv: &str) -> Result<std::path::PathBuf, ResultsError> {
+    write_result_csv_in(&ResultsDir::standard(), name, csv)
+}
+
+/// [`write_result_csv`] into an explicit results directory (tests point
+/// this at a temporary location).
+///
+/// # Errors
+///
+/// Returns a typed [`ResultsError`] naming the failing path.
+pub fn write_result_csv_in(
+    dir: &ResultsDir,
+    name: &str,
+    csv: &str,
+) -> Result<std::path::PathBuf, ResultsError> {
+    dir.write_text(name, csv)
 }
 
 #[cfg(test)]
@@ -174,5 +244,61 @@ mod tests {
         assert!(lines.next().unwrap().starts_with("offered,"));
         assert!(lines.next().unwrap().starts_with("0.1,"));
         assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn json_points_mirror_the_struct() {
+        let doc = load_points_json(&[point(0.1, 30.0)]);
+        let row = &doc.as_arr().unwrap()[0];
+        assert_eq!(row.get("offered").and_then(Json::as_f64), Some(0.1));
+        assert_eq!(row.get("delivered").and_then(Json::as_f64), Some(100.0));
+        // And it survives the writer/parser round-trip.
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn write_result_csv_creates_missing_directory() {
+        let root = std::env::temp_dir().join(format!(
+            "metro-bench-csv-{}/nested/results",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = ResultsDir::new(&root);
+        let path = write_result_csv_in(&dir, "t.csv", "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(root.parent().unwrap().parent().unwrap());
+    }
+
+    #[test]
+    fn write_result_csv_reports_a_typed_error() {
+        // A file where the directory should be forces a creation error
+        // that names the offending path.
+        let base = std::env::temp_dir().join(format!("metro-bench-block-{}", std::process::id()));
+        std::fs::write(&base, "occupied").unwrap();
+        let dir = ResultsDir::new(base.join("results"));
+        match write_result_csv_in(&dir, "t.csv", "x") {
+            Err(ResultsError::Io { path, .. }) => assert!(path.starts_with(&base)),
+            other => panic!("expected typed Io error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&base);
+    }
+
+    #[test]
+    fn registry_holds_all_nineteen_artifacts() {
+        let r = registry();
+        assert_eq!(r.len(), 19);
+        for name in [
+            "fig1",
+            "fig3",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fault_sweep",
+            "tick_bench",
+            "scaling",
+        ] {
+            assert!(r.get(name).is_some(), "missing artifact {name}");
+        }
     }
 }

@@ -1,0 +1,375 @@
+//! The `metro` CLI: one front door for every registered artifact.
+//!
+//! ```text
+//! metro list
+//! metro run <artifact>... [--quick] [--json] [--jobs N] [artifact flags]
+//! metro run --all [--quick] [--json] [--jobs N]
+//! ```
+//!
+//! `run` executes each named artifact, prints its human report (or the
+//! JSON document with `--json`), writes `results/<artifact>.json`, and
+//! appends a record to `results/manifest.json`. The legacy
+//! one-artifact binaries call [`shim`], which maps their historical
+//! flags (`--quick`, `--dot`, …) onto the same path.
+
+use crate::artifact::{Registry, RunCtx};
+use crate::results::{git_describe, unix_time_now, RunRecord};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// A parsed `metro` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `metro list`
+    List,
+    /// `metro run ...`
+    Run {
+        /// Artifact names to run (in registry order when `--all`).
+        names: Vec<String>,
+        /// The shared run context settings.
+        quick: bool,
+        /// Print JSON documents instead of human reports.
+        json: bool,
+        /// Worker threads (`None` = host parallelism).
+        jobs: Option<NonZeroUsize>,
+        /// Unrecognized flags, passed through to artifacts.
+        flags: Vec<String>,
+    },
+    /// `metro help` / usage errors (with an optional message).
+    Help(Option<String>),
+}
+
+/// Parses CLI arguments (without the program name) against a registry.
+#[must_use]
+pub fn parse_args(registry: &Registry, args: &[String]) -> Command {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => Command::Help(None),
+        Some("list") => Command::List,
+        Some("run") => {
+            let mut names = Vec::new();
+            let mut all = false;
+            let mut quick = false;
+            let mut json = false;
+            let mut jobs = None;
+            let mut flags = Vec::new();
+            let mut it = it.peekable();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--all" => all = true,
+                    "--quick" => quick = true,
+                    "--json" => json = true,
+                    "--jobs" => {
+                        let Some(v) = it.next() else {
+                            return Command::Help(Some("--jobs needs a value".to_string()));
+                        };
+                        match v.parse::<NonZeroUsize>() {
+                            Ok(n) => jobs = Some(n),
+                            Err(_) => {
+                                return Command::Help(Some(format!(
+                                    "--jobs needs a positive integer, got {v:?}"
+                                )))
+                            }
+                        }
+                    }
+                    f if f.starts_with("--") => flags.push(f.to_string()),
+                    name => {
+                        if registry.get(name).is_none() {
+                            return Command::Help(Some(format!(
+                                "unknown artifact {name:?} (see `metro list`)"
+                            )));
+                        }
+                        names.push(name.to_string());
+                    }
+                }
+            }
+            if all {
+                names = registry.names().iter().map(ToString::to_string).collect();
+            }
+            if names.is_empty() {
+                return Command::Help(Some(
+                    "nothing to run: name artifacts or pass --all".to_string(),
+                ));
+            }
+            Command::Run {
+                names,
+                quick,
+                json,
+                jobs,
+                flags,
+            }
+        }
+        Some(other) => Command::Help(Some(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Renders the `metro list` table.
+#[must_use]
+pub fn render_list(registry: &Registry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{} artifacts registered:\n", registry.len());
+    for a in registry {
+        let _ = writeln!(out, "  {:<22} {}", a.name, a.description);
+        let _ = writeln!(out, "  {:<22}   quick: {}", "", a.quick_profile);
+        let _ = writeln!(out, "  {:<22}   full:  {}", "", a.full_profile);
+    }
+    let _ = writeln!(
+        out,
+        "\nrun with: metro run <artifact>... [--quick] [--json] [--jobs N]"
+    );
+    out
+}
+
+/// Usage text.
+#[must_use]
+pub fn usage() -> String {
+    "metro — unified METRO experiment harness\n\
+     \n\
+     usage:\n\
+     \x20 metro list                                   show every registered artifact\n\
+     \x20 metro run <artifact>... [options]            run named artifacts\n\
+     \x20 metro run --all [options]                    run all artifacts in order\n\
+     \n\
+     options:\n\
+     \x20 --quick      scaled-down profile (CI smoke; shorter measurement windows)\n\
+     \x20 --json       print the machine-readable document instead of the report\n\
+     \x20 --jobs N     worker threads for sweep points (default: host parallelism)\n\
+     \n\
+     every run writes results/<artifact>.json and appends to results/manifest.json\n"
+        .to_string()
+}
+
+/// Runs one artifact end to end: execute, print, write
+/// `results/<name>.json`, append the manifest record. Returns the
+/// artifact's wall-clock seconds.
+///
+/// # Errors
+///
+/// Returns a description if the artifact itself fails or the results
+/// layer cannot write.
+pub fn run_one(
+    registry: &Registry,
+    name: &str,
+    ctx: &RunCtx,
+    print_json: bool,
+) -> Result<f64, String> {
+    let artifact = registry
+        .get(name)
+        .ok_or_else(|| format!("unknown artifact {name:?}"))?;
+    let started = Instant::now();
+    let output = (artifact.run)(ctx).map_err(|e| format!("artifact {name} failed: {e}"))?;
+    let wall = started.elapsed().as_secs_f64();
+
+    if print_json {
+        print!("{}", output.json.render());
+    } else {
+        print!("{}", output.human);
+    }
+
+    let path = ctx
+        .results
+        .write_json(name, &output.json)
+        .map_err(|e| e.to_string())?;
+    let record = RunRecord {
+        artifact: name.to_string(),
+        git: git_describe(),
+        unix_time: unix_time_now(),
+        wall_seconds: wall,
+        points: output.points,
+        jobs: ctx.jobs.get(),
+        quick: ctx.quick,
+        params: output.params,
+    };
+    ctx.results
+        .append_manifest(&record)
+        .map_err(|e| e.to_string())?;
+    if !print_json {
+        println!(
+            "[metro] wrote {} ({} points, {:.2}s, jobs={})",
+            path.display(),
+            output.points,
+            wall,
+            ctx.jobs
+        );
+    }
+    Ok(wall)
+}
+
+/// The `metro` binary's entry point: parses `std::env::args`, runs,
+/// returns a process exit code (0 success, 1 artifact/results failure,
+/// 2 usage error).
+#[must_use]
+pub fn main_with(registry: &Registry) -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(registry, &args) {
+        Command::Help(None) => {
+            print!("{}", usage());
+            0
+        }
+        Command::Help(Some(msg)) => {
+            eprintln!("metro: {msg}\n");
+            eprint!("{}", usage());
+            2
+        }
+        Command::List => {
+            print!("{}", render_list(registry));
+            0
+        }
+        Command::Run {
+            names,
+            quick,
+            json,
+            jobs,
+            flags,
+        } => {
+            let ctx = RunCtx {
+                quick,
+                jobs: jobs.unwrap_or_else(crate::executor::default_jobs),
+                flags,
+                results: crate::results::ResultsDir::standard(),
+            };
+            let mut failures = 0usize;
+            for (i, name) in names.iter().enumerate() {
+                if !json {
+                    if i > 0 {
+                        println!();
+                    }
+                    println!("[metro] running {name} ({}/{})", i + 1, names.len());
+                }
+                if let Err(e) = run_one(registry, name, &ctx, json) {
+                    eprintln!("metro: {e}");
+                    failures += 1;
+                }
+            }
+            if failures > 0 {
+                eprintln!("metro: {failures}/{} artifacts failed", names.len());
+                1
+            } else {
+                0
+            }
+        }
+    }
+}
+
+/// Entry point for the legacy one-artifact binaries: maps their
+/// historical flags onto a [`RunCtx`] and runs the named artifact.
+/// `--quick` selects the quick profile; any other `--flag` is passed
+/// through (e.g. `fig1 --dot`, `fig3 --csv`). Returns an exit code.
+#[must_use]
+pub fn shim(registry: &Registry, name: &str) -> i32 {
+    let mut ctx = RunCtx::new();
+    ctx.jobs = crate::executor::default_jobs();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quick" => ctx.quick = true,
+            other => ctx.flags.push(other.to_string()),
+        }
+    }
+    match run_one(registry, name, &ctx, false) {
+        Ok(_) => 0,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Artifact, ArtifactOutput};
+    use crate::json::Json;
+
+    fn ok_run(_: &RunCtx) -> Result<ArtifactOutput, String> {
+        Ok(ArtifactOutput {
+            human: String::new(),
+            json: Json::Null,
+            points: 0,
+            params: Json::obj::<&str>([]),
+        })
+    }
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        for name in ["fig3", "table3"] {
+            r.register(Artifact {
+                name,
+                description: "",
+                quick_profile: "",
+                full_profile: "",
+                run: ok_run,
+            });
+        }
+        r
+    }
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_run_with_options() {
+        let cmd = parse_args(&registry(), &s(&["run", "fig3", "--quick", "--jobs", "4"]));
+        match cmd {
+            Command::Run {
+                names,
+                quick,
+                json,
+                jobs,
+                flags,
+            } => {
+                assert_eq!(names, vec!["fig3"]);
+                assert!(quick && !json);
+                assert_eq!(jobs.map(NonZeroUsize::get), Some(4));
+                assert!(flags.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_all_expands_in_registry_order() {
+        let cmd = parse_args(&registry(), &s(&["run", "--all"]));
+        match cmd {
+            Command::Run { names, .. } => assert_eq!(names, vec!["fig3", "table3"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_artifact_is_a_usage_error() {
+        assert!(matches!(
+            parse_args(&registry(), &s(&["run", "fig9"])),
+            Command::Help(Some(_))
+        ));
+    }
+
+    #[test]
+    fn bad_jobs_is_a_usage_error() {
+        for bad in [
+            &["run", "fig3", "--jobs", "0"][..],
+            &["run", "fig3", "--jobs"],
+        ] {
+            assert!(matches!(
+                parse_args(&registry(), &s(bad)),
+                Command::Help(Some(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn unrecognized_flags_pass_through() {
+        let cmd = parse_args(&registry(), &s(&["run", "fig3", "--dot"]));
+        match cmd {
+            Command::Run { flags, .. } => assert_eq!(flags, vec!["--dot"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_renders_every_artifact() {
+        let text = render_list(&registry());
+        assert!(text.contains("fig3") && text.contains("table3"));
+    }
+}

@@ -1,0 +1,117 @@
+//! A worker pool for embarrassingly-parallel sweep points.
+//!
+//! Every sweep in this workspace — latency-versus-load (Figure 3),
+//! fault degradation (§6.2), the analytic design-space sweeps — is a
+//! map over *independent* simulation or model points. [`par_map`] runs
+//! that map on a `std::thread::scope` pool (no dependencies, no
+//! `unsafe`) and returns results **in input order**, so a parallel
+//! sweep is bit-identical to a sequential one provided each point's
+//! randomness is a function of the point alone (the per-point seed
+//! derivation documented in `metro_sim::experiment`).
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count to use when the caller does not specify one: the
+/// host's available parallelism, or 1 if that cannot be determined.
+#[must_use]
+pub fn default_jobs() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning the
+/// results in input order.
+///
+/// `f` receives `(index, &item)`. Work is claimed dynamically (an
+/// atomic cursor), so uneven point costs — a saturated load point can
+/// take 50× an unloaded one — still balance across workers. With
+/// `jobs == 1` (or a single item) no threads are spawned and the map
+/// runs inline on the caller's stack.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(jobs: NonZeroUsize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.get().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by the pool")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for n in [1, 2, 4, 9] {
+            let out = par_map(jobs(n), &items, |i, &v| {
+                assert_eq!(i, v);
+                v * 3 + 1
+            });
+            assert_eq!(out, items.iter().map(|v| v * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        // A deterministic per-point computation must not depend on the
+        // worker count.
+        let items: Vec<u64> = (0..33).collect();
+        let f = |i: usize, &v: &u64| -> u64 {
+            let mut x = v.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
+            for _ in 0..100 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            x
+        };
+        let seq = par_map(jobs(1), &items, f);
+        let par = par_map(jobs(8), &items, f);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(jobs(4), &[] as &[u32], |_, _| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = par_map(jobs(64), &[1, 2, 3], |_, &v| v + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # metro-harness — the unified experiment harness
+//!
+//! Every paper artifact (figure, table, ablation, benchmark) in this
+//! workspace is reproduced by a deterministic experiment. This crate is
+//! the shared machinery those experiments run on:
+//!
+//! * [`artifact`] — a registry of named artifacts (description,
+//!   quick/full profiles, run function) that the `metro` CLI fronts:
+//!   `metro list`, `metro run fig3 --quick --json --jobs 8`,
+//!   `metro run --all`.
+//! * [`executor`] — a `std::thread::scope` worker pool mapping a
+//!   function over independent sweep points. Results come back in input
+//!   order, so a parallel sweep is bit-identical to a sequential one as
+//!   long as each point's randomness is derived from the point itself
+//!   (see `metro_sim::experiment::point_seed`).
+//! * [`json`] — a dependency-free JSON document model: a writer that
+//!   every artifact emits through, and a small parser used to
+//!   round-trip-validate everything written and to update the results
+//!   manifest in place.
+//! * [`results`] — the results layer: one `results/<artifact>.json`
+//!   per run plus `results/manifest.json` recording artifact name, git
+//!   revision, wall-clock, point count, worker count, and parameters.
+//! * [`cli`] — argument parsing and the runner shared by the `metro`
+//!   binary and the legacy one-artifact shims.
+//!
+//! The crate depends only on `std`; it sits below `metro-sim` and
+//! `metro-timing` in the workspace graph so their sweep functions can
+//! be rebuilt on the executor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod cli;
+pub mod executor;
+pub mod json;
+pub mod results;
+
+pub use artifact::{Artifact, ArtifactOutput, Registry, RunCtx};
+pub use executor::{default_jobs, par_map};
+pub use json::Json;
+pub use results::{ResultsDir, ResultsError, RunRecord};

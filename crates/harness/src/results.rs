@@ -1,0 +1,352 @@
+//! The machine-readable results layer.
+//!
+//! Every artifact run writes two things through [`ResultsDir`]:
+//!
+//! * `results/<artifact>.json` — the artifact's data (points, rows,
+//!   summary figures), round-trip-validated through the [`crate::json`]
+//!   parser before it lands on disk;
+//! * `results/manifest.json` — an append-only record of runs: artifact
+//!   name, git revision, wall-clock seconds, point count, worker count,
+//!   quick/full profile, and the parameters the artifact reports.
+//!
+//! The manifest is the stable interface future PRs use to track bench
+//! trajectories (e.g. comparing `metro run fig3 --jobs 1` against
+//! `--jobs 8` wall-clocks across commits).
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+
+/// Manifest schema version written into `manifest.json`.
+pub const MANIFEST_SCHEMA: u64 = 1;
+/// Oldest runs are dropped once the manifest exceeds this many records.
+pub const MANIFEST_CAP: usize = 256;
+
+/// A typed error from the results layer: which path failed and why,
+/// instead of a bare `io::Error` silently tied to the working
+/// directory.
+#[derive(Debug)]
+pub enum ResultsError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A file that should contain JSON did not parse (or a freshly
+    /// rendered document failed its round-trip validation — a harness
+    /// bug).
+    Parse {
+        /// The path involved.
+        path: PathBuf,
+        /// Parser diagnostic.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ResultsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResultsError::Io { path, source } => {
+                write!(f, "results i/o error at {}: {source}", path.display())
+            }
+            ResultsError::Parse { path, detail } => {
+                write!(f, "invalid JSON at {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResultsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResultsError::Io { source, .. } => Some(source),
+            ResultsError::Parse { .. } => None,
+        }
+    }
+}
+
+/// One run's manifest record.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Artifact name (registry key).
+    pub artifact: String,
+    /// `git describe --always --dirty` at run time.
+    pub git: String,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time: u64,
+    /// Wall-clock seconds the artifact took.
+    pub wall_seconds: f64,
+    /// Number of sweep/model points the artifact produced.
+    pub points: usize,
+    /// Worker threads used by the point executor.
+    pub jobs: usize,
+    /// Whether the quick profile ran.
+    pub quick: bool,
+    /// Artifact-reported parameters (a JSON object).
+    pub params: Json,
+}
+
+impl RunRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("artifact", Json::from(self.artifact.as_str())),
+            ("git", Json::from(self.git.as_str())),
+            ("unix_time", Json::from(self.unix_time)),
+            ("wall_seconds", Json::from(self.wall_seconds)),
+            ("points", Json::from(self.points)),
+            ("jobs", Json::from(self.jobs)),
+            ("quick", Json::from(self.quick)),
+            ("params", self.params.clone()),
+        ])
+    }
+}
+
+/// A directory receiving artifact results and the run manifest.
+#[derive(Debug, Clone)]
+pub struct ResultsDir {
+    root: PathBuf,
+}
+
+impl ResultsDir {
+    /// A results directory at an explicit root (created on first
+    /// write). Tests point this at a temporary directory.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The standard `results/` directory relative to the working
+    /// directory — the layout every artifact in the repository uses.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new("results")
+    }
+
+    /// The root path.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn ensure_root(&self) -> Result<(), ResultsError> {
+        std::fs::create_dir_all(&self.root).map_err(|source| ResultsError::Io {
+            path: self.root.clone(),
+            source,
+        })
+    }
+
+    /// Writes `<stem>.json`, round-trip-validating the rendered
+    /// document first. Creates the directory if missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResultsError::Parse`] if the rendered document does
+    /// not survive a parse round-trip, or [`ResultsError::Io`] on
+    /// filesystem failure.
+    pub fn write_json(&self, stem: &str, doc: &Json) -> Result<PathBuf, ResultsError> {
+        self.ensure_root()?;
+        let path = self.root.join(format!("{stem}.json"));
+        let text = doc.render();
+        let reparsed = Json::parse(&text).map_err(|e| ResultsError::Parse {
+            path: path.clone(),
+            detail: e.to_string(),
+        })?;
+        if &reparsed != doc {
+            return Err(ResultsError::Parse {
+                path,
+                detail: "document did not survive a write/parse round-trip".to_string(),
+            });
+        }
+        std::fs::write(&path, text).map_err(|source| ResultsError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        Ok(path)
+    }
+
+    /// Writes a plain-text artifact (CSV, DOT, …) under the results
+    /// root, creating the directory if missing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResultsError::Io`] on filesystem failure.
+    pub fn write_text(&self, file_name: &str, contents: &str) -> Result<PathBuf, ResultsError> {
+        self.ensure_root()?;
+        let path = self.root.join(file_name);
+        std::fs::write(&path, contents).map_err(|source| ResultsError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        Ok(path)
+    }
+
+    /// Reads and parses `manifest.json`, or returns an empty manifest
+    /// if the file does not exist yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResultsError::Parse`] if an existing manifest is not
+    /// valid JSON, or [`ResultsError::Io`] on filesystem failure.
+    pub fn read_manifest(&self) -> Result<Json, ResultsError> {
+        let path = self.root.join("manifest.json");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(Json::obj([
+                    ("schema", Json::from(MANIFEST_SCHEMA)),
+                    ("runs", Json::arr([])),
+                ]));
+            }
+            Err(source) => return Err(ResultsError::Io { path, source }),
+        };
+        Json::parse(&text).map_err(|e| ResultsError::Parse {
+            path,
+            detail: e.to_string(),
+        })
+    }
+
+    /// Appends one run record to `manifest.json` (read-modify-write),
+    /// keeping the most recent [`MANIFEST_CAP`] records.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ResultsError`] from reading or writing the
+    /// manifest.
+    pub fn append_manifest(&self, record: &RunRecord) -> Result<PathBuf, ResultsError> {
+        let mut manifest = self.read_manifest()?;
+        if manifest.get("runs").and_then(Json::as_arr).is_none() {
+            manifest = Json::obj([
+                ("schema", Json::from(MANIFEST_SCHEMA)),
+                ("runs", Json::arr([])),
+            ]);
+        }
+        manifest.set("schema", Json::from(MANIFEST_SCHEMA));
+        let runs = manifest
+            .get("runs")
+            .and_then(Json::as_arr)
+            .expect("ensured above")
+            .to_vec();
+        let mut runs = runs;
+        runs.push(record.to_json());
+        if runs.len() > MANIFEST_CAP {
+            let excess = runs.len() - MANIFEST_CAP;
+            runs.drain(..excess);
+        }
+        manifest.set("runs", Json::Arr(runs));
+        self.write_json("manifest", &manifest)
+    }
+}
+
+/// The repository revision, via `git describe --always --dirty`;
+/// `"unknown"` when git is unavailable (e.g. a source tarball).
+#[must_use]
+pub fn git_describe() -> String {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output();
+    match out {
+        Ok(o) if o.status.success() => String::from_utf8_lossy(&o.stdout).trim().to_string(),
+        _ => "unknown".to_string(),
+    }
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before the epoch).
+#[must_use]
+pub fn unix_time_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> ResultsDir {
+        let dir =
+            std::env::temp_dir().join(format!("metro-harness-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultsDir::new(dir)
+    }
+
+    fn record(artifact: &str) -> RunRecord {
+        RunRecord {
+            artifact: artifact.to_string(),
+            git: "abc1234".to_string(),
+            unix_time: 1_754_000_000,
+            wall_seconds: 1.25,
+            points: 16,
+            jobs: 2,
+            quick: true,
+            params: Json::obj([("load", Json::from(0.3))]),
+        }
+    }
+
+    #[test]
+    fn write_json_creates_directory_and_round_trips() {
+        let dir = tmp("write");
+        let doc = Json::obj([("x", Json::from(1u64))]);
+        let path = dir.write_json("sample", &doc).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn manifest_appends_and_caps() {
+        let dir = tmp("manifest");
+        for k in 0..3 {
+            dir.append_manifest(&record(&format!("art{k}"))).unwrap();
+        }
+        let manifest = dir.read_manifest().unwrap();
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[2].get("artifact").and_then(Json::as_str), Some("art2"));
+        assert_eq!(
+            manifest.get("schema").and_then(Json::as_f64),
+            Some(MANIFEST_SCHEMA as f64)
+        );
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn missing_manifest_reads_as_empty() {
+        let dir = tmp("empty");
+        let manifest = dir.read_manifest().unwrap();
+        assert_eq!(
+            manifest
+                .get("runs")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_parse_error() {
+        let dir = tmp("corrupt");
+        dir.write_text("manifest.json", "{not json").unwrap();
+        match dir.read_manifest() {
+            Err(ResultsError::Parse { path, .. }) => {
+                assert!(path.ends_with("manifest.json"));
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn io_failure_is_a_typed_error_with_path() {
+        // A root that cannot be created: a file stands where the
+        // directory should go.
+        let base = std::env::temp_dir().join(format!("metro-harness-file-{}", std::process::id()));
+        std::fs::write(&base, "occupied").unwrap();
+        let dir = ResultsDir::new(base.join("sub"));
+        match dir.write_text("x.csv", "a,b\n") {
+            Err(ResultsError::Io { path, .. }) => assert!(path.starts_with(&base)),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&base);
+    }
+}

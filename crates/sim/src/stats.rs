@@ -217,6 +217,63 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentiles_are_zero_at_every_rank() {
+        let mut s = LatencyStats::new();
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(s.percentile(p), 0);
+        }
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut s = LatencyStats::new();
+        s.record(42);
+        for p in [0.0, 1.0, 50.0, 95.0, 100.0] {
+            assert_eq!(s.percentile(p), 42, "p{p}");
+        }
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!((s.min(), s.max(), s.count()), (42, 42, 1));
+    }
+
+    #[test]
+    fn p0_and_p100_clamp_to_min_and_max() {
+        let mut s = LatencyStats::new();
+        for v in [30, 10, 20] {
+            s.record(v);
+        }
+        // Nearest-rank with rank clamped into 1..=n: p0 → the minimum,
+        // p100 → the maximum, never out of bounds.
+        assert_eq!(s.percentile(0.0), 10);
+        assert_eq!(s.percentile(100.0), 30);
+        // A tiny positive p also lands on the first order statistic.
+        assert_eq!(s.percentile(0.001), 10);
+    }
+
+    #[test]
+    fn duplicate_heavy_distribution_percentiles() {
+        // 97 copies of 5 and 3 copies of 1000: the heavy value owns
+        // every rank up to p97; the tail appears only above it.
+        let mut s = LatencyStats::new();
+        for _ in 0..97 {
+            s.record(5);
+        }
+        for _ in 0..3 {
+            s.record(1000);
+        }
+        assert_eq!(s.percentile(50.0), 5);
+        assert_eq!(s.percentile(90.0), 5);
+        assert_eq!(s.percentile(97.0), 5);
+        assert_eq!(s.percentile(98.0), 1000);
+        assert_eq!(s.percentile(100.0), 1000);
+        // Recording after a percentile query re-sorts correctly.
+        s.record(1);
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(s.percentile(100.0), 1000);
+    }
+
+    #[test]
     fn network_stats_fold_outcomes() {
         use crate::message::MessageOutcome;
         let mut n = NetworkStats::new();

@@ -1,7 +1,10 @@
-//! ASCII table formatting for the regeneration binaries.
+//! ASCII table formatting for the regeneration binaries, and the
+//! matching machine-readable (JSON) renderings the results layer
+//! writes under `results/`.
 
 use crate::catalog::ImplementationSpec;
 use crate::contemporary::ContemporaryRouter;
+use metro_harness::Json;
 use std::fmt::Write as _;
 
 /// Renders Table 3 in the paper's column layout.
@@ -70,11 +73,69 @@ pub fn render_table5(rows: &[ContemporaryRouter]) -> String {
     out
 }
 
+/// Renders Table 3 rows as a JSON array: the paper's printed cells next
+/// to the model-computed values, one object per row.
+#[must_use]
+pub fn table3_json(rows: &[ImplementationSpec]) -> Json {
+    Json::arr(rows.iter().map(|r| {
+        Json::obj([
+            ("name", Json::from(r.name)),
+            ("technology", Json::from(r.technology)),
+            ("t_clk_ns", Json::from(r.t_clk_ns)),
+            ("t_io_ns", Json::from(r.t_io_ns)),
+            ("width", Json::from(r.width)),
+            ("cascade", Json::from(r.cascade)),
+            ("stages", Json::from(r.stages)),
+            ("t_stg_ns", Json::from(r.t_stg_ns())),
+            ("t_stg_ns_paper", Json::from(r.expected_t_stg_ns)),
+            ("t20_32_ns", Json::from(r.t20_32_ns())),
+            ("t20_32_ns_paper", Json::from(r.expected_t20_32_ns)),
+        ])
+    }))
+}
+
+/// Renders Table 5 rows as a JSON array: published and reconstructed
+/// `t_20,32` ranges per contemporary router.
+#[must_use]
+pub fn table5_json(rows: &[ContemporaryRouter]) -> Json {
+    Json::arr(rows.iter().map(|r| {
+        let (lo, hi) = r.estimate_t20_32_ns();
+        Json::obj([
+            ("name", Json::from(r.name)),
+            ("latency_ns_min", Json::from(r.latency_ns.0)),
+            ("latency_ns_max", Json::from(r.latency_ns.1)),
+            ("t_bit_ns", Json::from(r.t_bit.0)),
+            ("t_bit_width", Json::from(r.t_bit.1)),
+            (
+                "published_t20_32_ns_min",
+                Json::from(r.published_t20_32_ns.0),
+            ),
+            (
+                "published_t20_32_ns_max",
+                Json::from(r.published_t20_32_ns.1),
+            ),
+            ("reconstructed_t20_32_ns_min", Json::from(lo)),
+            ("reconstructed_t20_32_ns_max", Json::from(hi)),
+            ("reference", Json::from(r.reference)),
+        ])
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::catalog::table3;
     use crate::contemporary::table5;
+
+    #[test]
+    fn table_json_covers_every_row_and_round_trips() {
+        let t3 = table3_json(&table3());
+        assert_eq!(t3.as_arr().map(<[Json]>::len), Some(16));
+        assert_eq!(Json::parse(&t3.render()).unwrap(), t3);
+        let t5 = table5_json(&table5());
+        assert_eq!(t5.as_arr().map(<[Json]>::len), Some(7));
+        assert_eq!(Json::parse(&t5.render()).unwrap(), t5);
+    }
 
     #[test]
     fn table3_renders_every_row() {

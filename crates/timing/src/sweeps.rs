@@ -8,32 +8,54 @@
 
 use crate::catalog::ImplementationSpec;
 use crate::equations::LatencyModel;
+use metro_harness::par_map;
+use std::num::NonZeroUsize;
 
 /// Delivery latency versus message size for one implementation point:
-/// `(bytes, ns)` pairs.
+/// `(bytes, ns)` pairs. Single-worker form of
+/// [`message_size_sweep_jobs`].
 #[must_use]
 pub fn message_size_sweep(model: &LatencyModel, sizes_bytes: &[usize]) -> Vec<(usize, f64)> {
-    sizes_bytes
-        .iter()
-        .map(|&b| (b, model.delivery_ns(b)))
-        .collect()
+    message_size_sweep_jobs(model, sizes_bytes, NonZeroUsize::MIN)
+}
+
+/// [`message_size_sweep`] on the shared point executor: each size is an
+/// independent model evaluation, mapped over up to `jobs` workers with
+/// results in input order (identical to the sequential sweep — the
+/// model is deterministic).
+#[must_use]
+pub fn message_size_sweep_jobs(
+    model: &LatencyModel,
+    sizes_bytes: &[usize],
+    jobs: NonZeroUsize,
+) -> Vec<(usize, f64)> {
+    par_map(jobs, sizes_bytes, |_, &b| (b, model.delivery_ns(b)))
 }
 
 /// Delivery latency versus cascade width for a base model: `(c, ns)`.
 /// Wider cascades move more bits per clock but replicate the header
 /// across slices (Table 4's `hbits · c`), so returns diminish.
+/// Single-worker form of [`cascade_sweep_jobs`].
 #[must_use]
 pub fn cascade_sweep(base: &LatencyModel, widths: &[usize], bytes: usize) -> Vec<(usize, f64)> {
-    widths
-        .iter()
-        .map(|&c| {
-            let m = LatencyModel {
-                cascade: c,
-                ..base.clone()
-            };
-            (c, m.delivery_ns(bytes))
-        })
-        .collect()
+    cascade_sweep_jobs(base, widths, bytes, NonZeroUsize::MIN)
+}
+
+/// [`cascade_sweep`] on the shared point executor.
+#[must_use]
+pub fn cascade_sweep_jobs(
+    base: &LatencyModel,
+    widths: &[usize],
+    bytes: usize,
+    jobs: NonZeroUsize,
+) -> Vec<(usize, f64)> {
+    par_map(jobs, widths, |_, &c| {
+        let m = LatencyModel {
+            cascade: c,
+            ..base.clone()
+        };
+        (c, m.delivery_ns(bytes))
+    })
 }
 
 /// The message size (bytes) at which implementation `a` starts beating
@@ -145,6 +167,43 @@ mod tests {
         assert!(
             wide_slow.delivery_ns(cross + 8) < narrow_fast.delivery_ns(cross + 8),
             "wide channel must win past the crossover at {cross} bytes"
+        );
+    }
+
+    #[test]
+    fn crossover_of_identical_models_is_none() {
+        // No crossover can exist between a model and itself, nor
+        // between two models whose order never changes.
+        let m = orbit();
+        assert_eq!(crossover_bytes(&m, &m, 1024), None);
+        let faster_everywhere = LatencyModel {
+            t_clk_ns: m.t_clk_ns / 2.0,
+            ..m.clone()
+        };
+        assert_eq!(crossover_bytes(&faster_everywhere, &m, 1024), None);
+        assert_eq!(crossover_bytes(&m, &faster_everywhere, 1024), None);
+    }
+
+    #[test]
+    fn crossover_with_trivial_limit_is_none() {
+        // limit = 1 leaves no second point to compare against.
+        let rows = table3();
+        assert_eq!(crossover_bytes(&rows[2].model(), &rows[4].model(), 1), None);
+    }
+
+    #[test]
+    fn parallel_sweeps_match_sequential() {
+        let m = orbit();
+        let sizes = [1usize, 4, 20, 64, 256, 1024];
+        let jobs = NonZeroUsize::new(4).unwrap();
+        assert_eq!(
+            message_size_sweep(&m, &sizes),
+            message_size_sweep_jobs(&m, &sizes, jobs)
+        );
+        let widths = [1usize, 2, 4, 8];
+        assert_eq!(
+            cascade_sweep(&m, &widths, 20),
+            cascade_sweep_jobs(&m, &widths, 20, jobs)
         );
     }
 

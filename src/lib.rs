@@ -13,6 +13,9 @@
 //!   Tables 3–5.
 //! * [`scan`] — the IEEE 1149.1 scan subsystem (TAP, MultiTAP, boundary
 //!   scan, on-line fault diagnosis).
+//! * [`harness`] — the experiment harness: the artifact registry behind
+//!   the `metro` CLI, the deterministic parallel point executor, and
+//!   the machine-readable results layer (`results/*.json` + manifest).
 //!
 //! See `README.md` for a guided tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record of every table and figure.
@@ -21,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub use metro_core as core;
+pub use metro_harness as harness;
 pub use metro_scan as scan;
 pub use metro_sim as sim;
 pub use metro_timing as timing;

@@ -4,7 +4,7 @@
 //! measures what the restriction costs.
 
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{run_load_point, SweepConfig};
+use metro_sim::experiment::run_load_point;
 use std::fmt::Write as _;
 
 const LOADS: [f64; 3] = [0.3, 0.6, 0.9];
@@ -22,12 +22,7 @@ pub fn artifact() -> Artifact {
 }
 
 fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
-    let mut cfg = SweepConfig::figure3();
-    if ctx.quick {
-        super::quicken(&mut cfg, 2_500, 1_500);
-    } else {
-        cfg.measure = 6_000;
-    }
+    let cfg = crate::scenarios::sweep_for("ablation_concurrency", ctx.quick);
 
     let combos: Vec<(usize, f64)> = [1usize, 2]
         .iter()
@@ -84,10 +79,12 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("seed", Json::from(cfg.seed)),
         ("points", Json::Arr(rows)),
     ]);
+    let scenario = crate::scenarios::load_scenario("ablation_concurrency", &cfg, LOADS[2]);
     Ok(ArtifactOutput {
         human: out,
         json,
         points,
         params: Json::obj([("measure", Json::from(cfg.measure))]),
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

@@ -5,7 +5,7 @@
 //! under router faults.
 
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{run_fault_point, run_load_point, SweepConfig};
+use metro_sim::experiment::{run_fault_point, run_load_point};
 use metro_topo::multibutterfly::{MultibutterflySpec, StageSpec, WiringStyle};
 use std::fmt::Write as _;
 
@@ -37,12 +37,7 @@ pub fn artifact() -> Artifact {
 }
 
 fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
-    let mut base = SweepConfig::figure3();
-    if ctx.quick {
-        super::quicken(&mut base, 2_500, 1_500);
-    } else {
-        base.measure = 6_000;
-    }
+    let base = crate::scenarios::sweep_for("ablation_dilation", ctx.quick);
 
     let variants: [(&str, MultibutterflySpec); 3] = [
         ("dilated 2/2/1 (paper)", MultibutterflySpec::figure3()),
@@ -115,10 +110,12 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("seed", Json::from(base.seed)),
         ("points", Json::Arr(rows)),
     ]);
+    let scenario = crate::scenarios::load_scenario("ablation_dilation", &base, LOADS[1]);
     Ok(ArtifactOutput {
         human: out,
         json,
         points,
         params: Json::obj([("measure", Json::from(base.measure))]),
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

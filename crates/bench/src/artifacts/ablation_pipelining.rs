@@ -4,7 +4,7 @@
 //! to nanoseconds with the Table 4 model.
 
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{unloaded_latency, SweepConfig};
+use metro_sim::experiment::unloaded_latency;
 use metro_timing::equations::{stages_32_node_4stage, LatencyModel, T_WIRE_NS};
 use std::fmt::Write as _;
 
@@ -45,8 +45,9 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
     );
     let _ = writeln!(out, "{}", "-".repeat(44));
 
+    let quick = ctx.quick;
     let sim_points = par_map(ctx.jobs, &SIM_GRID, |_, &(dp, hw, wire)| {
-        let mut cfg = SweepConfig::figure3();
+        let mut cfg = crate::scenarios::sweep_for("ablation_pipelining", quick);
         cfg.sim.pipestages = dp;
         cfg.sim.header_words = hw;
         cfg.sim.wire_delay = wire;
@@ -119,10 +120,14 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("simulated", Json::Arr(rows)),
         ("analytic", Json::Arr(analytic)),
     ]);
+    // The serial-setup Table 4 cell as a scripted scenario (the
+    // `table4_hw0` corpus entry).
+    let scenario = crate::scenarios::named("table4_hw0").expect("catalog entry");
     Ok(ArtifactOutput {
         human: out,
         json,
         points,
         params: Json::obj([("sim_grid", Json::from(SIM_GRID.len()))]),
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

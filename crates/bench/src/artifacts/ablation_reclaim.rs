@@ -3,7 +3,7 @@
 //! Reclamation — Fast and Detailed").
 
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{run_load_point, SweepConfig};
+use metro_sim::experiment::run_load_point;
 use std::fmt::Write as _;
 
 const LOADS: [f64; 3] = [0.2, 0.4, 0.6];
@@ -21,12 +21,7 @@ pub fn artifact() -> Artifact {
 }
 
 fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
-    let mut cfg = SweepConfig::figure3();
-    if ctx.quick {
-        super::quicken(&mut cfg, 2_500, 1_500);
-    } else {
-        cfg.measure = 6_000;
-    }
+    let cfg = crate::scenarios::sweep_for("ablation_reclaim", ctx.quick);
 
     // One worker item per (mode, load) combination; common master seed
     // keeps the comparison paired.
@@ -94,10 +89,12 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("seed", Json::from(cfg.seed)),
         ("points", Json::Arr(rows)),
     ]);
+    let scenario = crate::scenarios::load_scenario("ablation_reclaim", &cfg, LOADS[1]);
     Ok(ArtifactOutput {
         human: out,
         json,
         points,
         params: Json::obj([("measure", Json::from(cfg.measure))]),
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

@@ -5,7 +5,7 @@
 
 use metro_core::SelectionPolicy;
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{run_fault_point, run_load_point, SweepConfig};
+use metro_sim::experiment::{run_fault_point, run_load_point};
 use std::fmt::Write as _;
 
 const LOADS: [f64; 2] = [0.2, 0.5];
@@ -23,12 +23,7 @@ pub fn artifact() -> Artifact {
 }
 
 fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
-    let mut cfg = SweepConfig::figure3();
-    if ctx.quick {
-        super::quicken(&mut cfg, 2_500, 1_500);
-    } else {
-        cfg.measure = 6_000;
-    }
+    let cfg = crate::scenarios::sweep_for("ablation_selection", ctx.quick);
 
     let policies = [
         SelectionPolicy::Random,
@@ -102,10 +97,12 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("seed", Json::from(cfg.seed)),
         ("points", Json::Arr(rows)),
     ]);
+    let scenario = crate::scenarios::load_scenario("ablation_selection", &cfg, LOADS[1]);
     Ok(ArtifactOutput {
         human: out,
         json,
         points,
         params: Json::obj([("measure", Json::from(cfg.measure))]),
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

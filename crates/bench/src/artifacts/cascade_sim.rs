@@ -5,7 +5,7 @@
 //! cycle counts are compared against the Table 4 cycle model.
 
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{unloaded_latency, SweepConfig};
+use metro_sim::experiment::unloaded_latency;
 use metro_timing::equations::{stages_32_node_4stage, LatencyModel, T_WIRE_NS};
 use metro_topo::multibutterfly::MultibutterflySpec;
 use std::fmt::Write as _;
@@ -41,11 +41,12 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
     );
     let _ = writeln!(out, "{}", "-".repeat(62));
 
+    let quick = ctx.quick;
     let results = par_map(ctx.jobs, &WIDTHS, |_, &c| {
         // Equivalent-payload reduction: 20 bytes over a w·c-bit logical
         // channel (w = 8 in simulation → 20 words at c = 1).
         let payload_words = 20usize.div_ceil(c);
-        let mut cfg = SweepConfig::figure3();
+        let mut cfg = crate::scenarios::sweep_for("cascade_sim", quick);
         cfg.spec = MultibutterflySpec::paper32();
         cfg.payload_words = payload_words.saturating_sub(1); // + checksum word
         let cycles = unloaded_latency(&cfg);
@@ -95,10 +96,14 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("message_bytes", Json::from(20u64)),
         ("points", Json::Arr(rows)),
     ]);
+    // The width-4 cell as a scripted scenario (the `cascade_w4` corpus
+    // entry).
+    let scenario = crate::scenarios::named("cascade_w4").expect("catalog entry");
     Ok(ArtifactOutput {
         human: out,
         json,
         points,
         params: Json::obj([("widths", Json::from(WIDTHS.len()))]),
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

@@ -89,5 +89,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         json,
         points,
         params: Json::obj([("trees", Json::from(3u64))]),
+        scenario: None,
     })
 }

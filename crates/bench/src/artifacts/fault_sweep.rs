@@ -5,7 +5,7 @@
 
 use crate::fault_points_json;
 use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{fault_sweep_jobs, SweepConfig};
+use metro_sim::experiment::fault_sweep_jobs;
 use std::fmt::Write as _;
 
 /// The `(dead_routers, dead_links)` grid.
@@ -37,10 +37,7 @@ pub fn artifact() -> Artifact {
 }
 
 fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
-    let mut cfg = SweepConfig::figure3();
-    if ctx.quick {
-        super::quicken(&mut cfg, 3_000, 1_500);
-    }
+    let cfg = crate::scenarios::sweep_for("fault_sweep", ctx.quick);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -96,10 +93,16 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("measure", Json::from(cfg.measure)),
         ("grid", Json::from(GRID.len())),
     ]);
+    // The sweep's network and load as a declarative scenario. (The
+    // grid cells themselves are fault points with their own arrival
+    // RNG discipline; the sidecar records the fault-free
+    // configuration they all share.)
+    let scenario = crate::scenarios::load_scenario("fault_sweep", &cfg, LOAD);
     Ok(ArtifactOutput {
         human: out,
         json,
         points: points.len(),
         params,
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

@@ -133,5 +133,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         json,
         points: pairs,
         params: Json::obj([("spec", Json::from("figure1"))]),
+        scenario: None,
     })
 }

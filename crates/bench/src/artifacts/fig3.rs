@@ -7,7 +7,7 @@ use crate::{
     ascii_curve, load_points_csv, load_points_json, render_load_points, write_result_csv_in,
 };
 use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{load_sweep_jobs, unloaded_latency, SweepConfig};
+use metro_sim::experiment::{load_sweep_jobs, point_seed, unloaded_latency};
 use std::fmt::Write as _;
 
 /// The sweep's offered-load grid.
@@ -28,10 +28,7 @@ pub fn artifact() -> Artifact {
 }
 
 fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
-    let mut cfg = SweepConfig::figure3();
-    if ctx.quick {
-        super::quicken(&mut cfg, 3_000, 1_000);
-    }
+    let cfg = crate::scenarios::sweep_for("fig3", ctx.quick);
 
     let mut out = String::new();
     let _ = writeln!(
@@ -112,10 +109,18 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("seed", Json::from(cfg.seed)),
         ("loads", Json::from(LOADS.len())),
     ]);
+    // The declarative scenario for the curve's 0.40-load cell;
+    // `metro scenario run` on the dumped sidecar reproduces that point
+    // bit for bit. The sweep seeds each cell as point_seed(seed, index),
+    // so the scenario carries the derived seed, not the base.
+    let cell = 7;
+    let mut scenario = crate::scenarios::load_scenario("fig3", &cfg, LOADS[cell]);
+    scenario.seed = point_seed(cfg.seed, cell as u64);
     Ok(ArtifactOutput {
         human: out,
         json,
         points: points.len(),
         params,
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

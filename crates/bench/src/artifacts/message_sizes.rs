@@ -108,5 +108,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
             ("implementations", Json::from(PICKS.len())),
             ("sizes", Json::from(SIZES.len())),
         ]),
+        scenario: None,
     })
 }

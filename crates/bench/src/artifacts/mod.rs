@@ -10,7 +10,13 @@
 //! Simulation artifacts honour `RunCtx::quick` by shortening their
 //! measurement windows (the same `--quick` the binaries always had)
 //! and `RunCtx::jobs` by running independent sweep points on the
-//! shared worker pool ([`metro_harness::par_map`]).
+//! shared worker pool ([`metro_harness::par_map`]). Both profiles of a
+//! sweep come from one construction path ([`crate::scenarios`]), and
+//! sim-backed artifacts emit the declarative [`Scenario`] describing
+//! their configuration for the `results/<name>.scenario.json` sidecar
+//! and the manifest's `scenario_hash`.
+//!
+//! [`Scenario`]: metro_sim::Scenario
 
 use metro_harness::Registry;
 
@@ -60,13 +66,4 @@ pub fn registry() -> Registry {
     r.register(message_sizes::artifact());
     r.register(tick_bench::artifact());
     r
-}
-
-/// Applies a quick profile to a sweep configuration: the shortened
-/// warmup/measure/drain windows the historical `--quick` flags used
-/// (the exact windows vary slightly per artifact, hence parameters).
-pub(crate) fn quicken(cfg: &mut metro_sim::experiment::SweepConfig, measure: u64, drain: u64) {
-    cfg.warmup = 500;
-    cfg.measure = measure;
-    cfg.drain = drain;
 }

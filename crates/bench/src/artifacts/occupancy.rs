@@ -149,5 +149,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         json,
         points,
         params: Json::obj([("cycles", Json::from(cycles))]),
+        scenario: None,
     })
 }

@@ -4,7 +4,7 @@
 //! claim of §2 made quantitative.
 
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{run_load_point, unloaded_latency, SweepConfig};
+use metro_sim::experiment::{run_load_point, unloaded_latency};
 use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec, StageSpec, WiringStyle};
 use std::fmt::Write as _;
 
@@ -47,11 +47,10 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
     let quick = ctx.quick;
     let results = par_map(ctx.jobs, &sizes, |_, (spec, label)| {
         let net = Multibutterfly::build(spec).expect("valid spec");
-        let mut cfg = SweepConfig::figure3();
+        // The 256-endpoint network always runs the quick windows; the
+        // catalog keeps quick and full on one construction path.
+        let mut cfg = crate::scenarios::sweep_for("scaling", quick || *label >= 256);
         cfg.spec = spec.clone();
-        if quick || *label >= 256 {
-            super::quicken(&mut cfg, 2_500, 1_500);
-        }
         let base = unloaded_latency(&cfg);
         let p = run_load_point(&cfg, 0.4);
         (*label, net.stages(), net.total_routers(), base, p)
@@ -107,10 +106,16 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("load", Json::from(0.4)),
         ("points", Json::Arr(rows)),
     ]);
+    let scenario = crate::scenarios::load_scenario(
+        "scaling",
+        &crate::scenarios::sweep_for("scaling", quick),
+        0.4,
+    );
     Ok(ArtifactOutput {
         human: out,
         json,
         points,
         params: Json::obj([("sizes", Json::from(4u64)), ("quick", Json::from(quick))]),
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

@@ -85,5 +85,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         json,
         points,
         params: Json::obj([("parts", Json::from(3u64))]),
+        scenario: None,
     })
 }

@@ -68,5 +68,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         json,
         points,
         params: Json::obj([("rows", Json::from(points))]),
+        scenario: None,
     })
 }

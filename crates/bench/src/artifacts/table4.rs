@@ -136,5 +136,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         json,
         points,
         params: Json::obj([("variants", Json::from(2u64))]),
+        scenario: None,
     })
 }

@@ -78,5 +78,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         json,
         points,
         params: Json::obj([("rows", Json::from(points))]),
+        scenario: None,
     })
 }

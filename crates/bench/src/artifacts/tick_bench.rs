@@ -154,5 +154,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
             ("warmup_cycles", Json::from(warmup)),
             ("measured_cycles", Json::from(measured)),
         ]),
+        scenario: None,
     })
 }

@@ -4,7 +4,7 @@
 //! reversal.
 
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{run_load_point, SweepConfig};
+use metro_sim::experiment::run_load_point;
 use metro_sim::TrafficPattern;
 use std::fmt::Write as _;
 
@@ -23,12 +23,7 @@ pub fn artifact() -> Artifact {
 }
 
 fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
-    let mut cfg = SweepConfig::figure3();
-    if ctx.quick {
-        super::quicken(&mut cfg, 2_500, 1_500);
-    } else {
-        cfg.measure = 6_000;
-    }
+    let cfg = crate::scenarios::sweep_for("traffic_patterns", ctx.quick);
 
     let patterns: [(&str, TrafficPattern); 4] = [
         ("uniform", TrafficPattern::Uniform),
@@ -105,10 +100,12 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         ("seed", Json::from(cfg.seed)),
         ("points", Json::Arr(rows)),
     ]);
+    let scenario = crate::scenarios::load_scenario("traffic_patterns", &cfg, LOADS[1]);
     Ok(ArtifactOutput {
         human: out,
         json,
         points,
         params: Json::obj([("measure", Json::from(cfg.measure))]),
+        scenario: Some(crate::scenarios::emit(&scenario)),
     })
 }

@@ -1,8 +1,14 @@
 //! The unified experiment CLI: `metro list`, `metro run <artifact>...`,
-//! `metro run --all --quick --json --jobs N`. Every paper artifact in
-//! the registry is reachable from here, and every run writes
-//! `results/<artifact>.json` plus a `results/manifest.json` record.
+//! `metro run --all --quick --json --jobs N`, and `metro scenario
+//! run|dump|validate|fuzz` for declarative scenario files. Every paper
+//! artifact in the registry is reachable from here, and every run
+//! writes `results/<artifact>.json` plus a `results/manifest.json`
+//! record (with the scenario hash when the artifact emits one).
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("scenario") {
+        std::process::exit(metro_bench::scenario_cli::main(&args[1..]));
+    }
     std::process::exit(metro_harness::cli::main_with(&metro_bench::registry()));
 }

@@ -44,6 +44,8 @@
 #![forbid(unsafe_code)]
 
 pub mod artifacts;
+pub mod scenario_cli;
+pub mod scenarios;
 
 use metro_harness::{Json, Registry, ResultsDir, ResultsError};
 use metro_sim::experiment::{FaultSweepPoint, LoadPoint};

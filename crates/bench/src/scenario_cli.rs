@@ -1,0 +1,328 @@
+//! The `metro scenario` verb: run, dump, validate, and fuzz
+//! declarative scenario files.
+//!
+//! ```text
+//! metro scenario run scenarios/figure1.json     # replay + record
+//! metro scenario dump figure3_load              # print a corpus scenario
+//! metro scenario validate scenarios/*.json      # byte-stable round-trip check
+//! metro scenario fuzz --count 25 --seed 7       # differential Flat vs Reference
+//! ```
+//!
+//! `run` replays the file deterministically, prints the result summary,
+//! writes `results/scenario_<name>.json`, and appends a manifest record
+//! carrying the scenario's canonical hash — the same reproducibility
+//! trail `metro run` leaves for registry artifacts.
+
+use crate::scenarios;
+use metro_harness::results::{git_describe, unix_time_now, ResultsDir, RunRecord};
+use metro_harness::Json;
+use metro_sim::scenario::fuzz::fuzz_campaign;
+use metro_sim::scenario::{codec, run_scenario};
+use std::time::Instant;
+
+fn usage() -> String {
+    "usage: metro scenario <command>\n\
+     \n\
+     commands:\n\
+     \x20 run <file.json>           replay a scenario file, record the result\n\
+     \x20 dump <name>               print a corpus scenario (see `dump --list`)\n\
+     \x20 validate <file.json>...   check byte-stable JSON round-trips\n\
+     \x20 fuzz [--count N] [--seed S]\n\
+     \x20                           differential Flat-vs-Reference campaign\n"
+        .to_string()
+}
+
+/// Entry point for `metro scenario <args…>`; returns the process exit
+/// code.
+#[must_use]
+pub fn main(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..], &ResultsDir::standard()),
+        Some("dump") => cmd_dump(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{}", usage());
+            i32::from(args.is_empty())
+        }
+        Some(other) => {
+            eprintln!("metro scenario: unknown command {other:?}\n");
+            eprint!("{}", usage());
+            2
+        }
+    }
+}
+
+fn cmd_run(args: &[String], results: &ResultsDir) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("metro scenario run: missing scenario file");
+        return 2;
+    };
+    match run_file(path, results) {
+        Ok(summary) => {
+            print!("{summary}");
+            0
+        }
+        Err(e) => {
+            eprintln!("metro scenario run: {e}");
+            1
+        }
+    }
+}
+
+/// Replays one scenario file and records the result; returns the human
+/// summary. Split from the arg handling so tests can drive it against a
+/// temporary results directory.
+///
+/// # Errors
+///
+/// Returns a description of the first failure: unreadable file, codec
+/// rejection, invalid topology, or a results-directory write error.
+pub fn run_file(path: &str, results: &ResultsDir) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let scenario = codec::from_text(&text).map_err(|e| e.to_string())?;
+    let hash = codec::scenario_hash(&scenario);
+
+    let started = Instant::now();
+    let result = run_scenario(&scenario).map_err(|e| e.to_string())?;
+    let wall = started.elapsed().as_secs_f64();
+
+    let stem = format!("scenario_{}", scenario.name);
+    let doc = Json::obj([
+        ("scenario", Json::from(scenario.name.as_str())),
+        ("scenario_hash", Json::from(hash.as_str())),
+        ("result", result.to_json()),
+    ]);
+    let out_path = results.write_json(&stem, &doc).map_err(|e| e.to_string())?;
+    results
+        .append_manifest(&RunRecord {
+            artifact: stem.clone(),
+            git: git_describe(),
+            unix_time: unix_time_now(),
+            wall_seconds: wall,
+            points: usize::from(result.point.is_some()),
+            jobs: 1,
+            quick: false,
+            params: Json::obj([("source", Json::from(path))]),
+            scenario_hash: Some(hash.clone()),
+        })
+        .map_err(|e| e.to_string())?;
+
+    let mut summary = String::new();
+    summary.push_str(&format!(
+        "scenario {:?} ({hash})\n  outcomes {}  delivered {}  abandoned {}  payload words {}  fabric idle {}\n",
+        scenario.name,
+        result.outcomes.len(),
+        result.delivered,
+        result.abandoned,
+        result.payload_words,
+        result.fabric_idle,
+    ));
+    if let Some(p) = &result.point {
+        summary.push_str(&format!(
+            "  load point: offered {:.3}  accepted {:.3}  mean {:.1} cyc  p95 {}  retries/msg {:.3}\n",
+            p.offered, p.accepted, p.mean_latency, p.p95_latency, p.retries_per_message
+        ));
+    }
+    summary.push_str(&format!(
+        "  outcome digest {:#018x}\n  wrote {}\n",
+        result.outcome_digest(),
+        out_path.display()
+    ));
+    Ok(summary)
+}
+
+fn cmd_dump(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("--list") => {
+            for name in scenarios::NAMED {
+                println!("{name}");
+            }
+            0
+        }
+        Some(name) => match scenarios::named(name) {
+            Some(s) => {
+                print!("{}", scenarios::emit(&s).render());
+                0
+            }
+            None => {
+                eprintln!(
+                    "metro scenario dump: unknown scenario {name:?} (known: {})",
+                    scenarios::NAMED.join(", ")
+                );
+                2
+            }
+        },
+        None => {
+            eprintln!("metro scenario dump: missing scenario name");
+            2
+        }
+    }
+}
+
+fn cmd_validate(args: &[String]) -> i32 {
+    if args.is_empty() {
+        eprintln!("metro scenario validate: no files given");
+        return 2;
+    }
+    let mut failures = 0usize;
+    for path in args {
+        match validate_file(path) {
+            Ok(name) => println!("ok  {path} ({name})"),
+            Err(e) => {
+                eprintln!("FAIL {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    i32::from(failures > 0)
+}
+
+/// Validates one scenario file: it must parse, decode under the current
+/// schema, and re-encode to the *identical bytes* — so schema drift or
+/// hand-edits that lose canonical form fail CI rather than silently
+/// re-normalizing.
+///
+/// # Errors
+///
+/// Returns a description of the first failure.
+pub fn validate_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let scenario = codec::from_text(&text).map_err(|e| e.to_string())?;
+    let re_rendered = codec::encode(&scenario).render();
+    if re_rendered != text {
+        return Err(
+            "file is not in canonical form (re-encoding changes the bytes); \
+             regenerate it with `metro scenario dump`"
+                .to_string(),
+        );
+    }
+    Ok(scenario.name)
+}
+
+fn cmd_fuzz(args: &[String]) -> i32 {
+    let mut count = 25u64;
+    let mut seed = 0xD1FF_5EED_u64;
+    fn parse(v: Option<&String>, flag: &str) -> Result<u64, String> {
+        let s = v.ok_or_else(|| format!("{flag} needs a value"))?;
+        let parsed = match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        parsed.map_err(|e| format!("{flag}: {e}"))
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--count" => match parse(it.next(), "--count") {
+                Ok(v) => count = v,
+                Err(e) => {
+                    eprintln!("metro scenario fuzz: {e}");
+                    return 2;
+                }
+            },
+            "--seed" => match parse(it.next(), "--seed") {
+                Ok(v) => seed = v,
+                Err(e) => {
+                    eprintln!("metro scenario fuzz: {e}");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("metro scenario fuzz: unknown flag {other:?}");
+                return 2;
+            }
+        }
+    }
+    let started = Instant::now();
+    match fuzz_campaign(seed, count) {
+        Ok(n) => {
+            println!(
+                "differential fuzz: {n} scenarios, Flat == Reference on every one \
+                 ({:.1}s, base seed {seed:#x})",
+                started.elapsed().as_secs_f64()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("differential fuzz FAILED: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("metro-scenario-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn run_file_records_result_and_hash() {
+        let dir = temp_dir("run");
+        let s = crate::scenarios::named("figure1").unwrap();
+        let file = dir.join("figure1.json");
+        std::fs::write(&file, codec::encode(&s).render()).unwrap();
+        let results = ResultsDir::new(dir.join("results"));
+
+        let summary = run_file(file.to_str().unwrap(), &results).unwrap();
+        assert!(summary.contains("scenario \"figure1\""));
+        assert!(summary.contains("outcome digest"));
+
+        // The result document landed and carries the scenario hash.
+        let doc = Json::parse(
+            &std::fs::read_to_string(results.root().join("scenario_figure1.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("scenario_hash").and_then(Json::as_str),
+            Some(codec::scenario_hash(&s).as_str())
+        );
+        // So did the manifest record.
+        let manifest = results.read_manifest().unwrap();
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            runs[0].get("scenario_hash").and_then(Json::as_str),
+            Some(codec::scenario_hash(&s).as_str())
+        );
+
+        // Re-running the same file reproduces the identical result doc.
+        run_file(file.to_str().unwrap(), &results).unwrap();
+        let again = Json::parse(
+            &std::fs::read_to_string(results.root().join("scenario_figure1.json")).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(again, doc, "scenario replay must be reproducible");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_accepts_canonical_and_rejects_edited_files() {
+        let dir = temp_dir("validate");
+        let s = crate::scenarios::named("cascade_w4").unwrap();
+        let good = dir.join("good.json");
+        std::fs::write(&good, codec::encode(&s).render()).unwrap();
+        assert_eq!(validate_file(good.to_str().unwrap()).unwrap(), "cascade_w4");
+
+        // Whitespace-only edits are not canonical.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, codec::encode(&s).render_compact()).unwrap();
+        assert!(validate_file(bad.to_str().unwrap())
+            .unwrap_err()
+            .contains("canonical"));
+
+        // Unknown fields are rejected by the codec itself.
+        let mut doc = codec::encode(&s);
+        doc.set("surprise", Json::from(1u64));
+        let unknown = dir.join("unknown.json");
+        std::fs::write(&unknown, doc.render()).unwrap();
+        assert!(validate_file(unknown.to_str().unwrap()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

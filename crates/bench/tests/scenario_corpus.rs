@@ -1,0 +1,76 @@
+//! The checked-in scenario corpus (`scenarios/*.json`) stays canonical,
+//! in sync with the in-code catalog, and deterministic to replay.
+
+use metro_bench::scenarios;
+use metro_sim::scenario::{codec, run_scenario};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("scenarios/ directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_covers_every_named_scenario() {
+    let stems: Vec<String> = corpus_files()
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for name in scenarios::NAMED {
+        assert!(
+            stems.iter().any(|s| s == name),
+            "scenarios/{name}.json is missing — regenerate with `metro scenario dump {name}`"
+        );
+    }
+    assert_eq!(stems.len(), scenarios::NAMED.len(), "stray corpus file");
+}
+
+#[test]
+fn corpus_files_are_canonical_and_match_the_catalog() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let scenario =
+            codec::from_text(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Byte-stable: re-encoding reproduces the file exactly.
+        assert_eq!(
+            codec::encode(&scenario).render(),
+            text,
+            "{} is not canonical — regenerate with `metro scenario dump`",
+            path.display()
+        );
+        // In sync with the in-code catalog the artifacts emit from.
+        let expected = scenarios::named(&scenario.name)
+            .unwrap_or_else(|| panic!("{}: not in the catalog", path.display()));
+        assert_eq!(
+            scenario,
+            expected,
+            "{} drifted from the scenarios::named catalog",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_scenarios_replay_deterministically() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).unwrap();
+        let scenario = codec::from_text(&text).unwrap();
+        let a = run_scenario(&scenario).expect("runnable");
+        let b = run_scenario(&scenario).expect("runnable");
+        assert_eq!(a, b, "{}: replay diverged", path.display());
+        assert!(
+            !a.outcomes.is_empty(),
+            "{}: scenario produced no outcomes",
+            path.display()
+        );
+    }
+}

@@ -64,6 +64,12 @@ pub struct ArtifactOutput {
     /// Key parameters of the run, recorded in the manifest (a JSON
     /// object).
     pub params: Json,
+    /// The declarative scenario this artifact ran (encoded through
+    /// `metro_sim::scenario`), when the artifact is simulation-backed.
+    /// The CLI writes it to `results/<name>.scenario.json` and records
+    /// its [`Json::canonical_hash`] in the manifest so every results
+    /// file is reproducible from its manifest entry alone.
+    pub scenario: Option<Json>,
 }
 
 /// An artifact's run function. Errors are surfaced as strings — an
@@ -162,6 +168,7 @@ mod tests {
             json: Json::obj([("ok", Json::from(true))]),
             points: 1,
             params: Json::obj::<&str>([]),
+            scenario: None,
         })
     }
 

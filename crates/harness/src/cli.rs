@@ -171,6 +171,15 @@ pub fn run_one(
         .results
         .write_json(name, &output.json)
         .map_err(|e| e.to_string())?;
+    let scenario_hash = match &output.scenario {
+        Some(scenario) => {
+            ctx.results
+                .write_json(&format!("{name}.scenario"), scenario)
+                .map_err(|e| e.to_string())?;
+            Some(format!("{:#018x}", scenario.canonical_hash()))
+        }
+        None => None,
+    };
     let record = RunRecord {
         artifact: name.to_string(),
         git: git_describe(),
@@ -180,6 +189,7 @@ pub fn run_one(
         jobs: ctx.jobs.get(),
         quick: ctx.quick,
         params: output.params,
+        scenario_hash,
     };
     ctx.results
         .append_manifest(&record)
@@ -287,6 +297,7 @@ mod tests {
             json: Json::Null,
             points: 0,
             params: Json::obj::<&str>([]),
+            scenario: None,
         })
     }
 

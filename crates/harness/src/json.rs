@@ -219,6 +219,21 @@ impl Json {
         }
     }
 
+    /// A canonical 64-bit content hash: FNV-1a over the compact
+    /// rendering. Two documents hash equal iff they render identically
+    /// — key *order* is significant (the codec layers above emit keys
+    /// in a fixed order, so this is a stable identity for a scenario
+    /// or result document).
+    #[must_use]
+    pub fn canonical_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.render_compact().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
     /// Parses a JSON document.
     ///
     /// # Errors

@@ -85,11 +85,16 @@ pub struct RunRecord {
     pub quick: bool,
     /// Artifact-reported parameters (a JSON object).
     pub params: Json,
+    /// Canonical hash of the run's declarative scenario (hex, e.g.
+    /// `"0x1a2b…"`), when the artifact emitted one. Together with
+    /// `results/<artifact>.scenario.json` this makes the run
+    /// reproducible from its manifest entry alone.
+    pub scenario_hash: Option<String>,
 }
 
 impl RunRecord {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut doc = Json::obj([
             ("artifact", Json::from(self.artifact.as_str())),
             ("git", Json::from(self.git.as_str())),
             ("unix_time", Json::from(self.unix_time)),
@@ -98,7 +103,11 @@ impl RunRecord {
             ("jobs", Json::from(self.jobs)),
             ("quick", Json::from(self.quick)),
             ("params", self.params.clone()),
-        ])
+        ]);
+        if let Some(hash) = &self.scenario_hash {
+            doc.set("scenario_hash", Json::from(hash.as_str()));
+        }
+        doc
     }
 }
 
@@ -280,7 +289,23 @@ mod tests {
             jobs: 2,
             quick: true,
             params: Json::obj([("load", Json::from(0.3))]),
+            scenario_hash: None,
         }
+    }
+
+    #[test]
+    fn scenario_hash_lands_in_the_manifest_record() {
+        let dir = tmp("scenario-hash");
+        let mut rec = record("fig3");
+        rec.scenario_hash = Some("0x00c0ffee00c0ffee".to_string());
+        dir.append_manifest(&rec).unwrap();
+        let manifest = dir.read_manifest().unwrap();
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            runs[0].get("scenario_hash").and_then(Json::as_str),
+            Some("0x00c0ffee00c0ffee")
+        );
+        let _ = std::fs::remove_dir_all(dir.root());
     }
 
     #[test]

@@ -247,6 +247,45 @@ mod tests {
         let site = CorruptionSite { stage: 0 };
         let plan = mask_plan(site, &[3, 5, 1], &[0, 2, 4]);
         assert_eq!(plan.upstream_stage, None);
+        assert_eq!(plan.upstream_backward_port, None);
+        assert_eq!(plan.downstream_stage, 0);
         assert_eq!(plan.downstream_forward_port, 0);
+    }
+
+    #[test]
+    fn final_stage_corruption_masks_the_last_link() {
+        // Corruption entering at the deepest stage: the suspect link is
+        // the one out of stage N-2, and the downstream port is the final
+        // stage's own entry port.
+        let ports_taken = [7usize, 6, 5, 4];
+        let fwd_ports = [0usize, 1, 2, 3];
+        let site = CorruptionSite { stage: 3 };
+        let plan = mask_plan(site, &ports_taken, &fwd_ports);
+        assert_eq!(plan.upstream_stage, Some(2));
+        assert_eq!(plan.upstream_backward_port, Some(ports_taken[2]));
+        assert_eq!(plan.downstream_stage, 3);
+        assert_eq!(plan.downstream_forward_port, fwd_ports[3]);
+    }
+
+    #[test]
+    fn zero_length_checksum_vectors_localize_nothing() {
+        // A zero-stage path (or a record that collected no STATUS
+        // words) can never name a corruption site.
+        assert_eq!(localize_corruption(&[], &[]), None);
+        // Expected side empty: nothing to compare against, even if the
+        // reported side carries stray words.
+        assert_eq!(localize_corruption(&[], &[0x1234]), None);
+        // Reported side empty: zip truncates, no mismatch observable.
+        assert_eq!(localize_corruption(&[0x1234], &[]), None);
+    }
+
+    #[test]
+    fn all_matching_checksums_localize_nothing() {
+        // Every stage agrees — corruption happened after the last
+        // router, or not at all. This must hold for arbitrary lengths,
+        // including a single-stage path.
+        assert_eq!(localize_corruption(&[0xABCD], &[0xABCD]), None);
+        let clean = vec![0u16, 0xFFFF, 0x0F0F, 0x55AA, 0x1234];
+        assert_eq!(localize_corruption(&clean, &clean.clone()), None);
     }
 }

@@ -30,6 +30,7 @@
 //! | [`traffic`] | workload patterns and load control |
 //! | [`stats`] | latency/throughput/retry statistics |
 //! | [`experiment`] | load sweeps and fault sweeps (Figure 3 and §6.2) |
+//! | [`scenario`] | declarative, serializable run descriptions + differential fuzzing |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +40,7 @@ pub mod endpoint;
 pub mod experiment;
 pub mod message;
 pub mod network;
+pub mod scenario;
 pub mod stats;
 pub mod trace;
 pub mod traffic;
@@ -48,6 +50,9 @@ pub use endpoint::{EndpointConfig, ReplyPolicy};
 pub use experiment::{FaultSweepPoint, LoadPoint, SweepConfig};
 pub use message::{DeliveryRecord, FailureKind, MessageOutcome};
 pub use network::{EngineKind, NetworkSim, SimConfig};
+pub use scenario::{
+    run_scenario, FaultInjection, Scenario, ScenarioResult, SendSpec, WorkloadSpec,
+};
 pub use stats::{LatencyStats, NetworkStats};
 pub use trace::{TraceEvent, TraceLog, TraceRecord};
 pub use traffic::TrafficPattern;

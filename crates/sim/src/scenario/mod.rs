@@ -1,0 +1,504 @@
+//! Declarative scenarios: one typed, serializable value describing an
+//! entire simulation run.
+//!
+//! The paper's evaluation is a space of *configurations* — radix,
+//! dilation, stages, fault sets, reclamation policy, traffic pattern
+//! (Tables 3–5, Figures 1/3). A [`Scenario`] captures one point of that
+//! space end to end: the topology ([`MultibutterflySpec`]), the router
+//! and protocol parameters ([`SimConfig`], including the engine kind
+//! and the simulator seed), the workload seed, a static [`FaultSet`],
+//! timed dynamic [`FaultInjection`]s, and the workload itself
+//! ([`WorkloadSpec`]).
+//!
+//! Scenarios serialize through [`codec`] onto the harness's hand-rolled
+//! JSON model (schema-versioned, unknown-field-rejecting, byte-stable),
+//! so a checked-in `scenarios/*.json` file, a manifest entry's
+//! `scenario_hash`, and a `results/<artifact>.scenario.json` sidecar
+//! all name exactly the same run. [`run_scenario`] replays one
+//! deterministically; [`fuzz`] generates random scenarios and checks
+//! the two tick engines against each other over them.
+
+pub mod codec;
+pub mod fuzz;
+
+use crate::experiment::LoadPoint;
+use crate::message::MessageOutcome;
+use crate::network::{NetworkSim, SimConfig};
+use crate::traffic::{LoadGenerator, TrafficPattern};
+use metro_core::RandomSource;
+use metro_harness::Json;
+use metro_topo::fault::FaultSet;
+use metro_topo::multibutterfly::MultibutterflySpec;
+
+/// One scheduled message of a scripted workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendSpec {
+    /// Cycle at which the message is queued at the source NIC.
+    pub at: u64,
+    /// Source endpoint.
+    pub src: usize,
+    /// Destination endpoint.
+    pub dest: usize,
+    /// Payload data words.
+    pub payload: Vec<u16>,
+}
+
+/// What traffic the scenario offers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Open-loop load: Bernoulli arrivals at `load` on every endpoint
+    /// with destinations drawn from `pattern` — the workload of the
+    /// paper's Figure 3 and §6.2 sweeps. All randomness derives from
+    /// the scenario's workload seed exactly as
+    /// [`crate::experiment::run_load_point`] derives it, so a scenario
+    /// at load `l` reproduces the equivalent sweep point bit for bit.
+    Load {
+        /// Destination pattern.
+        pattern: TrafficPattern,
+        /// Offered load (fraction of injection capacity).
+        load: f64,
+        /// Payload words per message.
+        payload_words: usize,
+        /// Warmup cycles excluded from statistics.
+        warmup: u64,
+        /// Measured cycles.
+        measure: u64,
+        /// Drain period after measurement.
+        drain: u64,
+    },
+    /// A fixed, scripted send schedule — the workload shape of the
+    /// golden-equivalence tests and the differential fuzzer.
+    Sends {
+        /// The scheduled messages (any order; replayed by cycle).
+        sends: Vec<SendSpec>,
+        /// Total cycles to run.
+        cycles: u64,
+    },
+}
+
+/// A timed dynamic fault injection: at cycle `at`, `faults` merge into
+/// the active fault set (cumulatively — earlier injections stay in
+/// force).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultInjection {
+    /// Cycle at which the faults appear.
+    pub at: u64,
+    /// The elements that fail at that cycle.
+    pub faults: FaultSet,
+}
+
+/// A complete, self-contained description of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable name (results file stem for `metro scenario run`).
+    pub name: String,
+    /// Network topology.
+    pub topology: MultibutterflySpec,
+    /// Router/protocol/engine parameters (including the simulator's
+    /// master seed).
+    pub sim: SimConfig,
+    /// Workload seed: traffic pattern and arrival randomness. Separate
+    /// from `sim.seed` exactly as [`crate::experiment::SweepConfig`]
+    /// separates them.
+    pub seed: u64,
+    /// Faults present from cycle 0 (masked/static faults).
+    pub faults: FaultSet,
+    /// Timed dynamic fault injections, applied cumulatively.
+    pub injections: Vec<FaultInjection>,
+    /// The offered traffic.
+    pub workload: WorkloadSpec,
+}
+
+impl Scenario {
+    /// A minimal scripted scenario on the given topology — a convenient
+    /// starting point for tests and hand-written scenario files.
+    #[must_use]
+    pub fn scripted(
+        name: &str,
+        topology: MultibutterflySpec,
+        sends: Vec<SendSpec>,
+        cycles: u64,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            topology,
+            sim: SimConfig::default(),
+            seed: 0x5CE0,
+            faults: FaultSet::new(),
+            injections: Vec::new(),
+            workload: WorkloadSpec::Sends { sends, cycles },
+        }
+    }
+}
+
+impl NetworkSim {
+    /// Builds the simulator a scenario describes: topology + sim
+    /// parameters, with the scenario's static fault set already
+    /// applied. Timed injections are the runner's job
+    /// ([`run_scenario`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology validation errors from [`NetworkSim::new`].
+    pub fn from_scenario(scenario: &Scenario) -> Result<Self, Box<dyn std::error::Error>> {
+        let mut sim = NetworkSim::new(&scenario.topology, &scenario.sim)?;
+        if !scenario.faults.is_empty() {
+            sim.apply_faults(scenario.faults.clone());
+        }
+        Ok(sim)
+    }
+}
+
+/// What replaying a scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Every completed message transaction, in completion order.
+    pub outcomes: Vec<MessageOutcome>,
+    /// Messages delivered (from the statistics window: for `Load`
+    /// workloads this counts the measurement window only).
+    pub delivered: usize,
+    /// Messages abandoned (retry budget exhausted).
+    pub abandoned: usize,
+    /// The measured load point, for `Load` workloads.
+    pub point: Option<LoadPoint>,
+    /// Total payload words across all completed transactions.
+    pub payload_words: usize,
+    /// Whether the fabric was idle when the run ended.
+    pub fabric_idle: bool,
+}
+
+impl ScenarioResult {
+    /// A 64-bit FNV-1a digest of the complete outcome stream — a
+    /// compact determinism witness: two runs of the same scenario (or
+    /// of one scenario on the two engines) produced identical outcome
+    /// streams iff their digests match.
+    #[must_use]
+    pub fn outcome_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut absorb = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for o in &self.outcomes {
+            absorb(o.src as u64);
+            absorb(o.dest as u64);
+            absorb(o.requested_at);
+            absorb(o.first_injection_at);
+            absorb(o.completed_at);
+            absorb(o.retries as u64);
+            absorb(o.failures.len() as u64);
+            absorb(o.payload_words as u64);
+            for &w in &o.payload_delivered {
+                absorb(u64::from(w));
+            }
+        }
+        h
+    }
+
+    /// The machine-readable result summary, suitable for
+    /// `results/scenario_<name>.json`. Deterministic: two replays of
+    /// one scenario render byte-identical documents.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let point = match &self.point {
+            Some(p) => Json::obj([
+                ("offered", Json::from(p.offered)),
+                ("accepted", Json::from(p.accepted)),
+                ("mean_latency", Json::from(p.mean_latency)),
+                ("p50_latency", Json::from(p.p50_latency)),
+                ("p95_latency", Json::from(p.p95_latency)),
+                ("mean_network_latency", Json::from(p.mean_network_latency)),
+                ("retries_per_message", Json::from(p.retries_per_message)),
+                ("delivered", Json::from(p.delivered)),
+            ]),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("outcomes", Json::from(self.outcomes.len())),
+            ("delivered", Json::from(self.delivered)),
+            ("abandoned", Json::from(self.abandoned)),
+            ("payload_words", Json::from(self.payload_words)),
+            ("fabric_idle", Json::from(self.fabric_idle)),
+            (
+                "outcome_digest",
+                Json::from(format!("{:#018x}", self.outcome_digest())),
+            ),
+            ("point", point),
+        ])
+    }
+}
+
+/// Applies every injection due at or before `now`, cumulatively.
+fn apply_due_injections(
+    sim: &mut NetworkSim,
+    pending: &mut Vec<FaultInjection>,
+    active: &mut FaultSet,
+    now: u64,
+) {
+    let mut changed = false;
+    while pending.first().is_some_and(|i| i.at <= now) {
+        let injection = pending.remove(0);
+        active.merge(&injection.faults);
+        changed = true;
+    }
+    if changed {
+        sim.apply_faults(active.clone());
+    }
+}
+
+/// Replays a scenario deterministically: builds the network via
+/// [`NetworkSim::from_scenario`], offers the workload, applies timed
+/// injections, and collects the complete outcome stream. Two calls on
+/// the same scenario return identical results (asserted in tests) — the
+/// reproducibility contract behind `scenarios/*.json` and the manifest's
+/// `scenario_hash`.
+///
+/// # Errors
+///
+/// Propagates topology validation errors.
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::error::Error>> {
+    let mut sim = NetworkSim::from_scenario(scenario)?;
+    let n = sim.topology().endpoints();
+    let mut active = scenario.faults.clone();
+    let mut pending = scenario.injections.clone();
+    pending.sort_by_key(|i| i.at);
+
+    let mut point = None;
+    match &scenario.workload {
+        WorkloadSpec::Load {
+            pattern,
+            load,
+            payload_words,
+            warmup,
+            measure,
+            drain,
+        } => {
+            let stream_words = sim.stream_for(0, &vec![0; *payload_words]).len();
+            let mut pattern_rng = RandomSource::new(scenario.seed ^ 0xABCD);
+            let mut generators: Vec<LoadGenerator> = (0..n)
+                .map(|e| {
+                    LoadGenerator::new(
+                        *load,
+                        stream_words,
+                        scenario.seed.wrapping_add(e as u64 * 7919),
+                    )
+                })
+                .collect();
+            let payload: Vec<u16> = (0..*payload_words).map(|k| k as u16).collect();
+            let total = warmup + measure;
+            for cycle in 0..total {
+                if cycle == *warmup {
+                    sim.reset_stats();
+                }
+                apply_due_injections(&mut sim, &mut pending, &mut active, cycle);
+                for (e, gen) in generators.iter_mut().enumerate() {
+                    if gen.arrival() {
+                        let dest = pattern.destination(e, n, &mut pattern_rng);
+                        sim.send(e, dest, &payload);
+                    }
+                }
+                sim.tick();
+            }
+            for cycle in total..total + drain {
+                if sim.is_quiescent() {
+                    break;
+                }
+                apply_due_injections(&mut sim, &mut pending, &mut active, cycle);
+                sim.tick();
+            }
+            let stats = sim.stats_mut();
+            let delivered = stats.delivered;
+            point = Some(LoadPoint {
+                offered: *load,
+                accepted: delivered as f64 * stream_words as f64 / *measure as f64 / n as f64,
+                mean_latency: stats.total_latency.mean(),
+                p50_latency: stats.total_latency.percentile(50.0),
+                p95_latency: stats.total_latency.percentile(95.0),
+                mean_network_latency: stats.network_latency.mean(),
+                retries_per_message: stats.retries_per_message(),
+                delivered,
+            });
+        }
+        WorkloadSpec::Sends { sends, cycles } => {
+            let mut queue = sends.clone();
+            queue.sort_by_key(|s| s.at);
+            for now in 0..*cycles {
+                while let Some(s) = queue.first() {
+                    if s.at > now {
+                        break;
+                    }
+                    let s = queue.remove(0);
+                    sim.send(s.src % n, s.dest % n, &s.payload);
+                }
+                apply_due_injections(&mut sim, &mut pending, &mut active, now);
+                sim.tick();
+            }
+        }
+    }
+
+    let outcomes = sim.drain_outcomes();
+    let payload_words = outcomes.iter().map(|o| o.payload_words).sum();
+    let fabric_idle = sim.fabric_idle();
+    let stats = sim.stats_mut();
+    Ok(ScenarioResult {
+        delivered: stats.delivered,
+        abandoned: stats.abandoned,
+        point,
+        payload_words,
+        fabric_idle,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metro_topo::fault::FaultKind;
+    use metro_topo::graph::LinkId;
+
+    fn scripted_sample() -> Scenario {
+        let sends = vec![
+            SendSpec {
+                at: 0,
+                src: 1,
+                dest: 6,
+                payload: vec![1, 2, 3],
+            },
+            SendSpec {
+                at: 40,
+                src: 3,
+                dest: 0,
+                payload: vec![9],
+            },
+        ];
+        Scenario::scripted("sample", MultibutterflySpec::small8(), sends, 1_200)
+    }
+
+    #[test]
+    fn from_scenario_applies_static_faults() {
+        let mut s = scripted_sample();
+        s.faults.kill_router(0, 1);
+        let sim = NetworkSim::from_scenario(&s).unwrap();
+        assert!(sim.faults().router_dead(0, 1));
+    }
+
+    #[test]
+    fn scripted_scenario_delivers_and_is_deterministic() {
+        let s = scripted_sample();
+        let a = run_scenario(&s).unwrap();
+        let b = run_scenario(&s).unwrap();
+        assert_eq!(a, b, "two replays of one scenario must be identical");
+        assert_eq!(a.outcomes.len(), 2);
+        assert_eq!(a.outcomes[0].payload_words, 3);
+        assert_eq!(a.delivered, 2);
+        assert_eq!(a.outcome_digest(), b.outcome_digest());
+    }
+
+    #[test]
+    fn load_scenario_matches_run_load_point_bitwise() {
+        use crate::experiment::{run_load_point, SweepConfig};
+        let cfg = SweepConfig {
+            warmup: 200,
+            measure: 1_000,
+            drain: 500,
+            ..SweepConfig::small()
+        };
+        let expect = run_load_point(&cfg, 0.2);
+        let s = Scenario {
+            name: "load".to_string(),
+            topology: cfg.spec.clone(),
+            sim: cfg.sim.clone(),
+            seed: cfg.seed,
+            faults: FaultSet::new(),
+            injections: Vec::new(),
+            workload: WorkloadSpec::Load {
+                pattern: cfg.pattern.clone(),
+                load: 0.2,
+                payload_words: cfg.payload_words,
+                warmup: cfg.warmup,
+                measure: cfg.measure,
+                drain: cfg.drain,
+            },
+        };
+        let got = run_scenario(&s).unwrap();
+        assert_eq!(
+            got.point.as_ref(),
+            Some(&expect),
+            "a Load scenario must reproduce the sweep point it describes"
+        );
+    }
+
+    #[test]
+    fn timed_injection_forces_retries() {
+        // Corrupt every delivery link of the destination mid-run; the
+        // injected fault must be visible in the outcome (retries > 0 or
+        // corrupt failures recorded).
+        let mut s = scripted_sample();
+        s.workload = WorkloadSpec::Sends {
+            sends: vec![SendSpec {
+                at: 100,
+                src: 1,
+                dest: 6,
+                payload: vec![7; 6],
+            }],
+            cycles: 2_000,
+        };
+        let clean = run_scenario(&s).unwrap();
+        assert_eq!(clean.outcomes[0].retries, 0);
+
+        let sim = NetworkSim::from_scenario(&s).unwrap();
+        let last = sim.topology().stages() - 1;
+        let mut faults = FaultSet::new();
+        for l in metro_topo::paths::all_links(sim.topology()) {
+            if l.stage == last {
+                faults.break_link(l, FaultKind::CorruptData { xor: 0x01 });
+            }
+        }
+        s.injections.push(FaultInjection { at: 0, faults });
+        let faulty = run_scenario(&s).unwrap();
+        assert!(
+            faulty.outcomes.is_empty()
+                || faulty.outcomes[0].retries > 0
+                || !faulty.outcomes[0].failures.is_empty(),
+            "an injected corrupting fault must perturb the run"
+        );
+        assert_ne!(clean.outcome_digest(), faulty.outcome_digest());
+    }
+
+    #[test]
+    fn injections_accumulate_rather_than_replace() {
+        let mut s = scripted_sample();
+        let mut f1 = FaultSet::new();
+        f1.kill_router(0, 0);
+        let mut f2 = FaultSet::new();
+        f2.break_link(LinkId::new(0, 1, 0), FaultKind::Dead);
+        s.injections = vec![
+            FaultInjection { at: 10, faults: f1 },
+            FaultInjection { at: 20, faults: f2 },
+        ];
+        // Replay manually up to cycle 30 and check the live fault set.
+        let mut sim = NetworkSim::from_scenario(&s).unwrap();
+        let mut active = s.faults.clone();
+        let mut pending = s.injections.clone();
+        for now in 0..30 {
+            apply_due_injections(&mut sim, &mut pending, &mut active, now);
+            sim.tick();
+        }
+        assert!(
+            sim.faults().router_dead(0, 0),
+            "first injection still active"
+        );
+        assert!(sim.faults().link_dead(LinkId::new(0, 1, 0)));
+    }
+
+    #[test]
+    fn result_json_is_deterministic_and_round_trips() {
+        let s = scripted_sample();
+        let a = run_scenario(&s).unwrap().to_json();
+        let b = run_scenario(&s).unwrap().to_json();
+        assert_eq!(a.render(), b.render());
+        assert_eq!(Json::parse(&a.render()).unwrap(), a);
+    }
+}

@@ -128,6 +128,11 @@ impl FaultSet {
         self.links.iter().map(|(l, k)| (*l, *k))
     }
 
+    /// Iterates over the dead endpoints.
+    pub fn dead_endpoints(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dead_endpoints.iter().copied()
+    }
+
     /// Removes the fault on a link (repair).
     pub fn repair_link(&mut self, link: LinkId) {
         self.links.remove(&link);
@@ -136,6 +141,19 @@ impl FaultSet {
     /// Revives a dead router (repair).
     pub fn revive_router(&mut self, s: usize, r: usize) {
         self.dead_routers.remove(&(s, r));
+    }
+
+    /// Merges another fault set into this one (union). Link faults in
+    /// `other` override an existing fault on the same link — the newer
+    /// diagnosis wins, matching how the simulator's timed fault
+    /// injections accumulate.
+    pub fn merge(&mut self, other: &FaultSet) {
+        self.dead_routers.extend(other.dead_routers.iter().copied());
+        for (l, k) in &other.links {
+            self.links.insert(*l, *k);
+        }
+        self.dead_endpoints
+            .extend(other.dead_endpoints.iter().copied());
     }
 
     /// Kills a uniformly random selection of `count` routers drawn from
@@ -248,6 +266,26 @@ mod tests {
             assert!(candidates.contains(v));
             assert!(f.link_dead(*v));
         }
+    }
+
+    #[test]
+    fn merge_unions_and_overrides_links() {
+        let mut a = FaultSet::new();
+        a.kill_router(0, 1);
+        a.break_link(LinkId::new(0, 0, 0), FaultKind::Dead);
+        let mut b = FaultSet::new();
+        b.kill_router(1, 2);
+        b.kill_endpoint(3);
+        b.break_link(LinkId::new(0, 0, 0), FaultKind::CorruptData { xor: 0x10 });
+        a.merge(&b);
+        assert!(a.router_dead(0, 1) && a.router_dead(1, 2));
+        assert!(a.endpoint_dead(3));
+        assert_eq!(
+            a.link_fault(LinkId::new(0, 0, 0)),
+            Some(FaultKind::CorruptData { xor: 0x10 }),
+            "newer fault wins on merge"
+        );
+        assert_eq!(a.total(), 4);
     }
 
     #[test]

@@ -117,5 +117,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("measure", Json::from(base.measure))]),
         scenario: Some(crate::scenarios::emit(&scenario)),
+        telemetry: None,
     })
 }

@@ -129,5 +129,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("sim_grid", Json::from(SIM_GRID.len()))]),
         scenario: Some(crate::scenarios::emit(&scenario)),
+        telemetry: None,
     })
 }

@@ -105,5 +105,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("widths", Json::from(WIDTHS.len()))]),
         scenario: Some(crate::scenarios::emit(&scenario)),
+        telemetry: None,
     })
 }

@@ -90,5 +90,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("trees", Json::from(3u64))]),
         scenario: None,
+        telemetry: None,
     })
 }

@@ -5,7 +5,9 @@
 
 use crate::fault_points_json;
 use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::fault_sweep_jobs;
+use metro_sim::experiment::{
+    fault_sweep_jobs, point_seed, run_fault_point_with_telemetry, SweepConfig,
+};
 use std::fmt::Write as _;
 
 /// The `(dead_routers, dead_links)` grid.
@@ -77,7 +79,7 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         );
     }
 
-    let lost: usize = points.iter().map(|p| p.abandoned).sum();
+    let lost: u64 = points.iter().map(|p| p.abandoned).sum();
     let json = Json::obj([
         ("artifact", Json::from("fault_sweep")),
         ("topology", Json::from("figure3")),
@@ -98,11 +100,20 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
     // RNG discipline; the sidecar records the fault-free
     // configuration they all share.)
     let scenario = crate::scenarios::load_scenario("fault_sweep", &cfg, LOAD);
+    // Telemetry sidecar: the fault-free baseline cell (grid index 0)
+    // with its sweep seed, so the snapshot matches the table's first
+    // row.
+    let cell_cfg = SweepConfig {
+        seed: point_seed(cfg.seed, 0),
+        ..cfg.clone()
+    };
+    let (_, snap) = run_fault_point_with_telemetry(&cell_cfg, LOAD, 0, 0, "fault_sweep");
     Ok(ArtifactOutput {
         human: out,
         json,
         points: points.len(),
         params,
         scenario: Some(crate::scenarios::emit(&scenario)),
+        telemetry: Some(snap.to_json()),
     })
 }

@@ -134,5 +134,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points: pairs,
         params: Json::obj([("spec", Json::from("figure1"))]),
         scenario: None,
+        telemetry: None,
     })
 }

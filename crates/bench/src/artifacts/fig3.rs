@@ -7,7 +7,9 @@ use crate::{
     ascii_curve, load_points_csv, load_points_json, render_load_points, write_result_csv_in,
 };
 use metro_harness::{Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::experiment::{load_sweep_jobs, point_seed, unloaded_latency};
+use metro_sim::experiment::{
+    load_sweep_jobs, point_seed, run_load_point_with_telemetry, unloaded_latency, SweepConfig,
+};
 use std::fmt::Write as _;
 
 /// The sweep's offered-load grid.
@@ -116,11 +118,19 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
     let cell = 7;
     let mut scenario = crate::scenarios::load_scenario("fig3", &cfg, LOADS[cell]);
     scenario.seed = point_seed(cfg.seed, cell as u64);
+    // Telemetry sidecar: re-run the same representative cell with its
+    // sweep seed and freeze the registry into a snapshot.
+    let cell_cfg = SweepConfig {
+        seed: point_seed(cfg.seed, cell as u64),
+        ..cfg.clone()
+    };
+    let (_, snap) = run_load_point_with_telemetry(&cell_cfg, LOADS[cell], "fig3");
     Ok(ArtifactOutput {
         human: out,
         json,
         points: points.len(),
         params,
         scenario: Some(crate::scenarios::emit(&scenario)),
+        telemetry: Some(snap.to_json()),
     })
 }

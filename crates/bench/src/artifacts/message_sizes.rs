@@ -109,5 +109,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
             ("sizes", Json::from(SIZES.len())),
         ]),
         scenario: None,
+        telemetry: None,
     })
 }

@@ -35,14 +35,14 @@ fn simulate(pattern: &TrafficPattern, cycles: u64) -> NetworkSim {
 fn report(out: &mut String, rows: &mut Vec<Json>, label: &str, sim: &NetworkSim) {
     let _ = writeln!(out, "{label}:");
     for s in 0..sim.topology().stages() {
-        let grants: Vec<usize> = (0..sim.topology().routers_in_stage(s))
+        let grants: Vec<u64> = (0..sim.topology().routers_in_stage(s))
             .map(|r| sim.router(s, r).stats().grants)
             .collect();
-        let total: usize = grants.iter().sum();
+        let total: u64 = grants.iter().sum();
         let min = grants.iter().min().copied().unwrap_or(0);
         let max = grants.iter().max().copied().unwrap_or(0);
         let mean = total as f64 / grants.len() as f64;
-        let blocks: usize = (0..grants.len())
+        let blocks: u64 = (0..grants.len())
             .map(|r| sim.router(s, r).stats().blocks)
             .sum();
         let imbalance = if min > 0 {
@@ -98,7 +98,7 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
             },
         ),
     ];
-    let sims = par_map(ctx.jobs, &workloads, |_, (_, pattern)| {
+    let mut sims = par_map(ctx.jobs, &workloads, |_, (_, pattern)| {
         simulate(pattern, cycles)
     });
 
@@ -106,6 +106,8 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
     for ((label, _), sim) in workloads.iter().zip(&sims) {
         report(&mut out, &mut rows, label, sim);
     }
+    // Telemetry sidecar: the uniform-traffic fabric.
+    let snap = sims[0].telemetry_snapshot("occupancy");
 
     let _ = writeln!(
         out,
@@ -150,5 +152,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("cycles", Json::from(cycles))]),
         scenario: None,
+        telemetry: Some(snap.to_json()),
     })
 }

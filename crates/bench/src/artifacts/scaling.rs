@@ -117,5 +117,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("sizes", Json::from(4u64)), ("quick", Json::from(quick))]),
         scenario: Some(crate::scenarios::emit(&scenario)),
+        telemetry: None,
     })
 }

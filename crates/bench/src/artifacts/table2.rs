@@ -86,5 +86,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("parts", Json::from(3u64))]),
         scenario: None,
+        telemetry: None,
     })
 }

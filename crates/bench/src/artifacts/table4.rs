@@ -137,5 +137,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("variants", Json::from(2u64))]),
         scenario: None,
+        telemetry: None,
     })
 }

@@ -79,5 +79,6 @@ fn run(_ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("rows", Json::from(points))]),
         scenario: None,
+        telemetry: None,
     })
 }

@@ -47,7 +47,7 @@ fn offer_load(sim: &mut NetworkSim, round: u64) {
     }
 }
 
-fn measure(kind: EngineKind, warmup: u64, measured: u64) -> (f64, usize) {
+fn measure(kind: EngineKind, warmup: u64, measured: u64) -> (f64, usize, NetworkSim) {
     let mut sim = build(kind);
     let mut round = 0u64;
     for now in 0..warmup {
@@ -68,7 +68,7 @@ fn measure(kind: EngineKind, warmup: u64, measured: u64) -> (f64, usize) {
     }
     let elapsed = start.elapsed().as_secs_f64();
     let delivered = sim.drain_outcomes().len();
-    (measured as f64 / elapsed, delivered)
+    (measured as f64 / elapsed, delivered, sim)
 }
 
 /// Registry entry.
@@ -103,12 +103,12 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
 
     // The two engine runs are timed, so they run sequentially even when
     // jobs > 1: sharing cores would corrupt both wall-clock readings.
-    let (flat_rate, flat_done) = measure(EngineKind::Flat, warmup, measured);
+    let (flat_rate, flat_done, mut flat_sim) = measure(EngineKind::Flat, warmup, measured);
     let _ = writeln!(
         out,
         "flat      : {flat_rate:>12.0} cycles/s  ({flat_done} messages completed)"
     );
-    let (ref_rate, ref_done) = measure(EngineKind::Reference, warmup, measured);
+    let (ref_rate, ref_done, _) = measure(EngineKind::Reference, warmup, measured);
     let _ = writeln!(
         out,
         "reference : {ref_rate:>12.0} cycles/s  ({ref_done} messages completed)"
@@ -155,5 +155,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
             ("measured_cycles", Json::from(measured)),
         ]),
         scenario: None,
+        telemetry: Some(flat_sim.telemetry_snapshot("tick_bench").to_json()),
     })
 }

@@ -107,5 +107,6 @@ fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
         points,
         params: Json::obj([("measure", Json::from(cfg.measure))]),
         scenario: Some(crate::scenarios::emit(&scenario)),
+        telemetry: None,
     })
 }

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod artifacts;
+pub mod report_cli;
 pub mod scenario_cli;
 pub mod scenarios;
 

@@ -14,6 +14,7 @@
 //! trail `metro run` leaves for registry artifacts.
 
 use crate::scenarios;
+use metro_harness::log;
 use metro_harness::results::{git_describe, unix_time_now, ResultsDir, RunRecord};
 use metro_harness::Json;
 use metro_sim::scenario::fuzz::fuzz_campaign;
@@ -42,12 +43,12 @@ pub fn main(args: &[String]) -> i32 {
         Some("validate") => cmd_validate(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
-            print!("{}", usage());
+            log::output(&usage());
             i32::from(args.is_empty())
         }
         Some(other) => {
-            eprintln!("metro scenario: unknown command {other:?}\n");
-            eprint!("{}", usage());
+            log::error(&format!("metro scenario: unknown command {other:?}\n"));
+            log::error_text(&usage());
             2
         }
     }
@@ -55,16 +56,16 @@ pub fn main(args: &[String]) -> i32 {
 
 fn cmd_run(args: &[String], results: &ResultsDir) -> i32 {
     let Some(path) = args.first() else {
-        eprintln!("metro scenario run: missing scenario file");
+        log::error("metro scenario run: missing scenario file");
         return 2;
     };
     match run_file(path, results) {
         Ok(summary) => {
-            print!("{summary}");
+            log::output(&summary);
             0
         }
         Err(e) => {
-            eprintln!("metro scenario run: {e}");
+            log::error(&format!("metro scenario run: {e}"));
             1
         }
     }
@@ -105,6 +106,7 @@ pub fn run_file(path: &str, results: &ResultsDir) -> Result<String, String> {
             quick: false,
             params: Json::obj([("source", Json::from(path))]),
             scenario_hash: Some(hash.clone()),
+            telemetry_hash: None,
         })
         .map_err(|e| e.to_string())?;
 
@@ -136,25 +138,25 @@ fn cmd_dump(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("--list") => {
             for name in scenarios::NAMED {
-                println!("{name}");
+                log::output(&format!("{name}\n"));
             }
             0
         }
         Some(name) => match scenarios::named(name) {
             Some(s) => {
-                print!("{}", scenarios::emit(&s).render());
+                log::output(&scenarios::emit(&s).render());
                 0
             }
             None => {
-                eprintln!(
+                log::error(&format!(
                     "metro scenario dump: unknown scenario {name:?} (known: {})",
                     scenarios::NAMED.join(", ")
-                );
+                ));
                 2
             }
         },
         None => {
-            eprintln!("metro scenario dump: missing scenario name");
+            log::error("metro scenario dump: missing scenario name");
             2
         }
     }
@@ -162,15 +164,15 @@ fn cmd_dump(args: &[String]) -> i32 {
 
 fn cmd_validate(args: &[String]) -> i32 {
     if args.is_empty() {
-        eprintln!("metro scenario validate: no files given");
+        log::error("metro scenario validate: no files given");
         return 2;
     }
     let mut failures = 0usize;
     for path in args {
         match validate_file(path) {
-            Ok(name) => println!("ok  {path} ({name})"),
+            Ok(name) => log::info(&format!("ok  {path} ({name})")),
             Err(e) => {
-                eprintln!("FAIL {path}: {e}");
+                log::error(&format!("FAIL {path}: {e}"));
                 failures += 1;
             }
         }
@@ -217,19 +219,19 @@ fn cmd_fuzz(args: &[String]) -> i32 {
             "--count" => match parse(it.next(), "--count") {
                 Ok(v) => count = v,
                 Err(e) => {
-                    eprintln!("metro scenario fuzz: {e}");
+                    log::error(&format!("metro scenario fuzz: {e}"));
                     return 2;
                 }
             },
             "--seed" => match parse(it.next(), "--seed") {
                 Ok(v) => seed = v,
                 Err(e) => {
-                    eprintln!("metro scenario fuzz: {e}");
+                    log::error(&format!("metro scenario fuzz: {e}"));
                     return 2;
                 }
             },
             other => {
-                eprintln!("metro scenario fuzz: unknown flag {other:?}");
+                log::error(&format!("metro scenario fuzz: unknown flag {other:?}"));
                 return 2;
             }
         }
@@ -237,15 +239,15 @@ fn cmd_fuzz(args: &[String]) -> i32 {
     let started = Instant::now();
     match fuzz_campaign(seed, count) {
         Ok(n) => {
-            println!(
+            log::info(&format!(
                 "differential fuzz: {n} scenarios, Flat == Reference on every one \
                  ({:.1}s, base seed {seed:#x})",
                 started.elapsed().as_secs_f64()
-            );
+            ));
             0
         }
         Err(e) => {
-            eprintln!("differential fuzz FAILED: {e}");
+            log::error(&format!("differential fuzz FAILED: {e}"));
             1
         }
     }

@@ -39,6 +39,7 @@ use crate::params::ArchParams;
 use crate::rng::RandomSource;
 use crate::status::StatusWord;
 use crate::word::Word;
+use metro_telemetry::{CounterCell, RouterCounter};
 use std::collections::VecDeque;
 
 /// Forward-lane inputs to one [`Router::tick`] call: the word arriving
@@ -164,22 +165,44 @@ pub enum PortStatus {
 }
 
 /// Event counters a router accumulates across its lifetime.
+///
+/// This is a named *view* over the router's internal
+/// [`CounterCell`] — the telemetry registry reads the cell directly;
+/// this struct exists for ergonomic field access in tests and
+/// experiment code. Counters are `u64` so snapshots are
+/// platform-independent and match the simulator's cycle types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RouterStats {
     /// Connection requests that arrived at forward ports.
-    pub opens: usize,
+    pub opens: u64,
     /// Requests switched through to a backward port.
-    pub grants: usize,
+    pub grants: u64,
     /// Requests blocked for lack of a free equivalent backward port.
-    pub blocks: usize,
+    pub blocks: u64,
     /// Blocked connections torn down via fast path reclamation (BCB).
-    pub fast_reclaims: usize,
+    pub fast_reclaims: u64,
     /// Connection reversals (forward → reverse) completed.
-    pub turns: usize,
+    pub turns: u64,
     /// Connections closed by a DROP passing through.
-    pub drops: usize,
+    pub drops: u64,
     /// Data words forwarded downstream.
-    pub words_forwarded: usize,
+    pub words_forwarded: u64,
+}
+
+impl RouterStats {
+    /// Builds the view from a raw counter cell.
+    #[must_use]
+    pub fn from_cell(cell: &CounterCell) -> Self {
+        RouterStats {
+            opens: cell.get(RouterCounter::Opens),
+            grants: cell.get(RouterCounter::Grants),
+            blocks: cell.get(RouterCounter::Blocks),
+            fast_reclaims: cell.get(RouterCounter::FastReclaims),
+            turns: cell.get(RouterCounter::Turns),
+            drops: cell.get(RouterCounter::Drops),
+            words_forwarded: cell.get(RouterCounter::WordsForwarded),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -279,7 +302,7 @@ pub struct Router {
     rng: RandomSource,
     alloc: Allocator,
     ports: Vec<Port>,
-    stats: RouterStats,
+    counters: CounterCell,
     scratch: TickScratch,
 }
 
@@ -304,7 +327,7 @@ impl Router {
             rng: RandomSource::new(seed),
             params,
             config,
-            stats: RouterStats::default(),
+            counters: CounterCell::new(),
             scratch: TickScratch::default(),
         })
     }
@@ -354,15 +377,21 @@ impl Router {
         self.rng = rng;
     }
 
-    /// Event counters accumulated so far.
+    /// Event counters accumulated so far, as a named view.
     #[must_use]
     pub fn stats(&self) -> RouterStats {
-        self.stats
+        RouterStats::from_cell(&self.counters)
+    }
+
+    /// The raw counter cell — what the telemetry registry syncs from.
+    #[must_use]
+    pub fn counters(&self) -> &CounterCell {
+        &self.counters
     }
 
     /// Resets the event counters.
     pub fn reset_stats(&mut self) {
-        self.stats = RouterStats::default();
+        self.counters.reset();
     }
 
     /// The IN-USE signal of each backward port (the wired-AND input for
@@ -565,11 +594,11 @@ impl Router {
                     // stray control word after teardown) — stay idle.
                     return;
                 };
-                self.stats.opens += 1;
+                self.counters.inc(RouterCounter::Opens);
                 let Word::Data(v) = in_w else { unreachable!() };
                 match outcome {
                     AllocationOutcome::Granted { bwd } => {
-                        self.stats.grants += 1;
+                        self.counters.inc(RouterCounter::Grants);
                         let port = &mut self.ports[f];
                         port.cksum.reset();
                         port.cksum.absorb_value(v);
@@ -588,7 +617,7 @@ impl Router {
                             port.fpipe.push_back(push);
                             let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
                             if matches!(push, Word::Data(_)) {
-                                self.stats.words_forwarded += 1;
+                                self.counters.inc(RouterCounter::WordsForwarded);
                             }
                             port.state = State::Forward { bwd, settle: 0 };
                             out_bwd[bwd] = popped;
@@ -610,12 +639,12 @@ impl Router {
                         }
                     }
                     AllocationOutcome::Blocked => {
-                        self.stats.blocks += 1;
+                        self.counters.inc(RouterCounter::Blocks);
                         let port = &mut self.ports[f];
                         port.cksum.reset();
                         port.cksum.absorb_value(v);
                         if self.config.fast_reclaim(f) {
-                            self.stats.fast_reclaims += 1;
+                            self.counters.inc(RouterCounter::FastReclaims);
                             port.state = State::Draining;
                             out_bcb[f] = true;
                         } else {
@@ -681,7 +710,7 @@ impl Router {
                     Word::Data(v) => {
                         settle = 0;
                         port.cksum.absorb_value(v);
-                        self.stats.words_forwarded += 1;
+                        self.counters.inc(RouterCounter::WordsForwarded);
                         Word::Data(v & mask)
                     }
                     other => {
@@ -702,7 +731,7 @@ impl Router {
                         // The reversal request has flushed through our
                         // forward pipeline; reverse the connection and
                         // queue our status report (paper §4, §5.1).
-                        self.stats.turns += 1;
+                        self.counters.inc(RouterCounter::Turns);
                         let cksum = port.cksum.value();
                         port.fill_rpipe(dp, Word::DataIdle);
                         port.rq.clear();
@@ -715,7 +744,7 @@ impl Router {
                     }
                     Word::Drop => {
                         // Drop fully propagated downstream; free the path.
-                        self.stats.drops += 1;
+                        self.counters.inc(RouterCounter::Drops);
                         self.alloc.release(bwd);
                         port.reset();
                         port.state = State::Draining;
@@ -765,7 +794,7 @@ impl Router {
                         };
                     }
                     Word::Drop => {
-                        self.stats.drops += 1;
+                        self.counters.inc(RouterCounter::Drops);
                         self.alloc.release(bwd);
                         port.reset();
                         port.state = State::Draining;
@@ -818,7 +847,7 @@ impl Router {
                 let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
                 out_bwd[bwd] = popped;
                 if popped == Word::Drop {
-                    self.stats.drops += 1;
+                    self.counters.inc(RouterCounter::Drops);
                     self.alloc.release(bwd);
                     port.reset();
                     port.state = State::Draining;

@@ -70,6 +70,12 @@ pub struct ArtifactOutput {
     /// its [`Json::canonical_hash`] in the manifest so every results
     /// file is reproducible from its manifest entry alone.
     pub scenario: Option<Json>,
+    /// The encoded telemetry snapshot for the run's representative
+    /// measurement (a `TelemetrySnapshot` document from
+    /// `metro-telemetry`), when the artifact exports one. The CLI
+    /// writes it to `results/<name>.telemetry.json` and records its
+    /// hash in the manifest.
+    pub telemetry: Option<Json>,
 }
 
 /// An artifact's run function. Errors are surfaced as strings — an
@@ -169,6 +175,7 @@ mod tests {
             points: 1,
             params: Json::obj::<&str>([]),
             scenario: None,
+            telemetry: None,
         })
     }
 

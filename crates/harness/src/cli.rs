@@ -13,6 +13,7 @@
 //! flags (`--quick`, `--dot`, …) onto the same path.
 
 use crate::artifact::{Registry, RunCtx};
+use crate::log::{self, Verbosity};
 use crate::results::{git_describe, unix_time_now, RunRecord};
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -32,6 +33,8 @@ pub enum Command {
         json: bool,
         /// Worker threads (`None` = host parallelism).
         jobs: Option<NonZeroUsize>,
+        /// Debug-level harness narration (`--verbose`).
+        verbose: bool,
         /// Unrecognized flags, passed through to artifacts.
         flags: Vec<String>,
     },
@@ -52,6 +55,7 @@ pub fn parse_args(registry: &Registry, args: &[String]) -> Command {
             let mut quick = false;
             let mut json = false;
             let mut jobs = None;
+            let mut verbose = false;
             let mut flags = Vec::new();
             let mut it = it.peekable();
             while let Some(a) = it.next() {
@@ -59,6 +63,7 @@ pub fn parse_args(registry: &Registry, args: &[String]) -> Command {
                     "--all" => all = true,
                     "--quick" => quick = true,
                     "--json" => json = true,
+                    "--verbose" => verbose = true,
                     "--jobs" => {
                         let Some(v) = it.next() else {
                             return Command::Help(Some("--jobs needs a value".to_string()));
@@ -96,6 +101,7 @@ pub fn parse_args(registry: &Registry, args: &[String]) -> Command {
                 quick,
                 json,
                 jobs,
+                verbose,
                 flags,
             }
         }
@@ -135,8 +141,10 @@ pub fn usage() -> String {
      \x20 --quick      scaled-down profile (CI smoke; shorter measurement windows)\n\
      \x20 --json       print the machine-readable document instead of the report\n\
      \x20 --jobs N     worker threads for sweep points (default: host parallelism)\n\
+     \x20 --verbose    debug-level harness narration (sidecar paths, hashes)\n\
      \n\
-     every run writes results/<artifact>.json and appends to results/manifest.json\n"
+     every run writes results/<artifact>.json and appends to results/manifest.json;\n\
+     simulation-backed artifacts add .scenario.json and .telemetry.json sidecars\n"
         .to_string()
 }
 
@@ -162,9 +170,9 @@ pub fn run_one(
     let wall = started.elapsed().as_secs_f64();
 
     if print_json {
-        print!("{}", output.json.render());
+        log::output(&output.json.render());
     } else {
-        print!("{}", output.human);
+        log::output(&output.human);
     }
 
     let path = ctx
@@ -173,10 +181,25 @@ pub fn run_one(
         .map_err(|e| e.to_string())?;
     let scenario_hash = match &output.scenario {
         Some(scenario) => {
-            ctx.results
+            let p = ctx
+                .results
                 .write_json(&format!("{name}.scenario"), scenario)
                 .map_err(|e| e.to_string())?;
-            Some(format!("{:#018x}", scenario.canonical_hash()))
+            let hash = format!("{:#018x}", scenario.canonical_hash());
+            log::debug(&format!("[metro] wrote {} ({hash})", p.display()));
+            Some(hash)
+        }
+        None => None,
+    };
+    let telemetry_hash = match &output.telemetry {
+        Some(telemetry) => {
+            let p = ctx
+                .results
+                .write_json(&format!("{name}.telemetry"), telemetry)
+                .map_err(|e| e.to_string())?;
+            let hash = format!("{:#018x}", telemetry.canonical_hash());
+            log::debug(&format!("[metro] wrote {} ({hash})", p.display()));
+            Some(hash)
         }
         None => None,
     };
@@ -190,18 +213,19 @@ pub fn run_one(
         quick: ctx.quick,
         params: output.params,
         scenario_hash,
+        telemetry_hash,
     };
     ctx.results
         .append_manifest(&record)
         .map_err(|e| e.to_string())?;
     if !print_json {
-        println!(
+        log::info(&format!(
             "[metro] wrote {} ({} points, {:.2}s, jobs={})",
             path.display(),
             output.points,
             wall,
             ctx.jobs
-        );
+        ));
     }
     Ok(wall)
 }
@@ -214,16 +238,16 @@ pub fn main_with(registry: &Registry) -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(registry, &args) {
         Command::Help(None) => {
-            print!("{}", usage());
+            log::output(&usage());
             0
         }
         Command::Help(Some(msg)) => {
-            eprintln!("metro: {msg}\n");
-            eprint!("{}", usage());
+            log::error(&format!("metro: {msg}\n"));
+            log::error_text(&usage());
             2
         }
         Command::List => {
-            print!("{}", render_list(registry));
+            log::output(&render_list(registry));
             0
         }
         Command::Run {
@@ -231,8 +255,12 @@ pub fn main_with(registry: &Registry) -> i32 {
             quick,
             json,
             jobs,
+            verbose,
             flags,
         } => {
+            if verbose {
+                log::set_verbosity(Verbosity::Verbose);
+            }
             let ctx = RunCtx {
                 quick,
                 jobs: jobs.unwrap_or_else(crate::executor::default_jobs),
@@ -243,17 +271,24 @@ pub fn main_with(registry: &Registry) -> i32 {
             for (i, name) in names.iter().enumerate() {
                 if !json {
                     if i > 0 {
-                        println!();
+                        log::info("");
                     }
-                    println!("[metro] running {name} ({}/{})", i + 1, names.len());
+                    log::info(&format!(
+                        "[metro] running {name} ({}/{})",
+                        i + 1,
+                        names.len()
+                    ));
                 }
                 if let Err(e) = run_one(registry, name, &ctx, json) {
-                    eprintln!("metro: {e}");
+                    log::error(&format!("metro: {e}"));
                     failures += 1;
                 }
             }
             if failures > 0 {
-                eprintln!("metro: {failures}/{} artifacts failed", names.len());
+                log::error(&format!(
+                    "metro: {failures}/{} artifacts failed",
+                    names.len()
+                ));
                 1
             } else {
                 0
@@ -273,13 +308,14 @@ pub fn shim(registry: &Registry, name: &str) -> i32 {
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--quick" => ctx.quick = true,
+            "--verbose" => log::set_verbosity(Verbosity::Verbose),
             other => ctx.flags.push(other.to_string()),
         }
     }
     match run_one(registry, name, &ctx, false) {
         Ok(_) => 0,
         Err(e) => {
-            eprintln!("{name}: {e}");
+            log::error(&format!("{name}: {e}"));
             1
         }
     }
@@ -298,6 +334,7 @@ mod tests {
             points: 0,
             params: Json::obj::<&str>([]),
             scenario: None,
+            telemetry: None,
         })
     }
 
@@ -328,12 +365,25 @@ mod tests {
                 quick,
                 json,
                 jobs,
+                verbose,
                 flags,
             } => {
                 assert_eq!(names, vec!["fig3"]);
-                assert!(quick && !json);
+                assert!(quick && !json && !verbose);
                 assert_eq!(jobs.map(NonZeroUsize::get), Some(4));
                 assert!(flags.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn verbose_is_parsed_not_passed_through() {
+        let cmd = parse_args(&registry(), &s(&["run", "fig3", "--verbose"]));
+        match cmd {
+            Command::Run { verbose, flags, .. } => {
+                assert!(verbose);
+                assert!(flags.is_empty(), "--verbose is a harness flag");
             }
             other => panic!("{other:?}"),
         }

@@ -34,9 +34,11 @@ pub mod artifact;
 pub mod cli;
 pub mod executor;
 pub mod json;
+pub mod log;
 pub mod results;
 
 pub use artifact::{Artifact, ArtifactOutput, Registry, RunCtx};
 pub use executor::{default_jobs, par_map};
 pub use json::Json;
+pub use log::Verbosity;
 pub use results::{ResultsDir, ResultsError, RunRecord};

@@ -1,0 +1,86 @@
+//! A minimal logging facade for the harness and its CLIs.
+//!
+//! Artifact *output* (reports, JSON documents) is byte-stable contract
+//! data and always prints. Harness *status* (`[metro] running …`) is
+//! informational and prints by default but can be silenced; *debug*
+//! detail (sidecar paths, hashes) prints only under `--verbose`. Errors
+//! always reach stderr. The level is a process-wide atomic so artifact
+//! code deep in the bench crate can log without threading a handle.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the harness narrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Errors and artifact output only.
+    Quiet = 0,
+    /// Plus status lines (the default — matches historical CLI output).
+    Normal = 1,
+    /// Plus debug detail (`--verbose`).
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Verbosity::Normal as u8);
+
+/// Sets the process-wide verbosity.
+pub fn set_verbosity(v: Verbosity) {
+    LEVEL.store(v as u8, Ordering::Relaxed);
+}
+
+/// The current process-wide verbosity.
+#[must_use]
+pub fn verbosity() -> Verbosity {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Verbosity::Quiet,
+        1 => Verbosity::Normal,
+        _ => Verbosity::Verbose,
+    }
+}
+
+/// Prints artifact output verbatim to stdout (no newline added) —
+/// unconditional at every verbosity; the byte-stable channel.
+pub fn output(text: &str) {
+    print!("{text}");
+}
+
+/// Prints a status line to stdout at [`Verbosity::Normal`] and above.
+pub fn info(line: &str) {
+    if verbosity() >= Verbosity::Normal {
+        println!("{line}");
+    }
+}
+
+/// Prints a debug line to stdout at [`Verbosity::Verbose`] only.
+pub fn debug(line: &str) {
+    if verbosity() >= Verbosity::Verbose {
+        println!("{line}");
+    }
+}
+
+/// Prints an error line to stderr — unconditional.
+pub fn error(line: &str) {
+    eprintln!("{line}");
+}
+
+/// Prints error text verbatim to stderr (no newline) — unconditional.
+pub fn error_text(text: &str) {
+    eprint!("{text}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbosity_round_trips_and_orders() {
+        // Tests share the process-wide atomic: restore the default.
+        set_verbosity(Verbosity::Verbose);
+        assert_eq!(verbosity(), Verbosity::Verbose);
+        set_verbosity(Verbosity::Quiet);
+        assert_eq!(verbosity(), Verbosity::Quiet);
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+        set_verbosity(Verbosity::Normal);
+        assert_eq!(verbosity(), Verbosity::Normal);
+    }
+}

@@ -90,6 +90,9 @@ pub struct RunRecord {
     /// `results/<artifact>.scenario.json` this makes the run
     /// reproducible from its manifest entry alone.
     pub scenario_hash: Option<String>,
+    /// Canonical hash of the run's telemetry snapshot sidecar
+    /// (`results/<artifact>.telemetry.json`), when one was exported.
+    pub telemetry_hash: Option<String>,
 }
 
 impl RunRecord {
@@ -106,6 +109,9 @@ impl RunRecord {
         ]);
         if let Some(hash) = &self.scenario_hash {
             doc.set("scenario_hash", Json::from(hash.as_str()));
+        }
+        if let Some(hash) = &self.telemetry_hash {
+            doc.set("telemetry_hash", Json::from(hash.as_str()));
         }
         doc
     }
@@ -290,6 +296,7 @@ mod tests {
             quick: true,
             params: Json::obj([("load", Json::from(0.3))]),
             scenario_hash: None,
+            telemetry_hash: None,
         }
     }
 
@@ -304,6 +311,21 @@ mod tests {
         assert_eq!(
             runs[0].get("scenario_hash").and_then(Json::as_str),
             Some("0x00c0ffee00c0ffee")
+        );
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn telemetry_hash_lands_in_the_manifest_record() {
+        let dir = tmp("telemetry-hash");
+        let mut rec = record("fig3");
+        rec.telemetry_hash = Some("0x0123456789abcdef".to_string());
+        dir.append_manifest(&rec).unwrap();
+        let manifest = dir.read_manifest().unwrap();
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            runs[0].get("telemetry_hash").and_then(Json::as_str),
+            Some("0x0123456789abcdef")
         );
         let _ = std::fs::remove_dir_all(dir.root());
     }

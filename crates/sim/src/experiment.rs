@@ -29,6 +29,7 @@ use crate::network::{NetworkSim, SimConfig};
 use crate::traffic::{LoadGenerator, TrafficPattern};
 use metro_core::RandomSource;
 use metro_harness::par_map;
+use metro_telemetry::TelemetrySnapshot;
 use metro_topo::fault::FaultSet;
 use metro_topo::multibutterfly::MultibutterflySpec;
 use metro_topo::paths::all_links;
@@ -127,7 +128,7 @@ pub struct LoadPoint {
     /// Mean retries per delivered message.
     pub retries_per_message: f64,
     /// Messages delivered in the measurement window.
-    pub delivered: usize,
+    pub delivered: u64,
 }
 
 /// One measured point of a fault-degradation curve.
@@ -146,9 +147,9 @@ pub struct FaultSweepPoint {
     /// Accepted throughput (payload words / cycle / endpoint).
     pub accepted: f64,
     /// Messages delivered.
-    pub delivered: usize,
+    pub delivered: u64,
     /// Messages abandoned.
-    pub abandoned: usize,
+    pub abandoned: u64,
 }
 
 /// Measures the unloaded round-trip latency of the configured network:
@@ -165,10 +166,11 @@ pub fn unloaded_latency(cfg: &SweepConfig) -> u64 {
     outcome.network_latency()
 }
 
-/// Runs one load point: Bernoulli arrivals at `load` on every endpoint,
-/// parallelism-limited sources (one outstanding message each).
-#[must_use]
-pub fn run_load_point(cfg: &SweepConfig, load: f64) -> LoadPoint {
+/// Runs the load-point simulation to completion (warmup, measurement,
+/// drain) and returns the sim plus the per-message stream length — the
+/// single construction path behind [`run_load_point`] and its
+/// telemetry-carrying variant.
+fn run_load_sim(cfg: &SweepConfig, load: f64) -> (NetworkSim, usize) {
     let mut sim = NetworkSim::new(&cfg.spec, &cfg.sim).expect("valid spec");
     let n = sim.topology().endpoints();
     let stream_words = sim.stream_for(0, &vec![0; cfg.payload_words]).len();
@@ -198,7 +200,17 @@ pub fn run_load_point(cfg: &SweepConfig, load: f64) -> LoadPoint {
         }
         sim.tick();
     }
+    (sim, stream_words)
+}
 
+/// Summarizes a finished load-point sim into its curve point.
+fn load_point_from(
+    sim: &mut NetworkSim,
+    cfg: &SweepConfig,
+    load: f64,
+    stream_words: usize,
+) -> LoadPoint {
+    let n = sim.topology().endpoints();
     let stats = sim.stats_mut();
     let delivered = stats.delivered;
     LoadPoint {
@@ -213,6 +225,28 @@ pub fn run_load_point(cfg: &SweepConfig, load: f64) -> LoadPoint {
         retries_per_message: stats.retries_per_message(),
         delivered,
     }
+}
+
+/// Runs one load point: Bernoulli arrivals at `load` on every endpoint,
+/// parallelism-limited sources (one outstanding message each).
+#[must_use]
+pub fn run_load_point(cfg: &SweepConfig, load: f64) -> LoadPoint {
+    let (mut sim, stream_words) = run_load_sim(cfg, load);
+    load_point_from(&mut sim, cfg, load, stream_words)
+}
+
+/// [`run_load_point`], additionally freezing the sim's telemetry into a
+/// snapshot named `name` — the source of the `.telemetry.json` sidecar
+/// an artifact exports for its representative cell.
+#[must_use]
+pub fn run_load_point_with_telemetry(
+    cfg: &SweepConfig,
+    load: f64,
+    name: &str,
+) -> (LoadPoint, TelemetrySnapshot) {
+    let (mut sim, stream_words) = run_load_sim(cfg, load);
+    let snapshot = sim.telemetry_snapshot(name);
+    (load_point_from(&mut sim, cfg, load, stream_words), snapshot)
 }
 
 /// Runs a full latency-versus-load sweep (Figure 3) on one worker.
@@ -238,15 +272,14 @@ pub fn load_sweep_jobs(cfg: &SweepConfig, loads: &[f64], jobs: NonZeroUsize) -> 
     })
 }
 
-/// Runs one fault point: kills `dead_routers` random non-final-stage
-/// routers and `dead_links` random links, then measures at `load`.
-#[must_use]
-pub fn run_fault_point(
+/// Runs the fault-point simulation to completion and returns the sim,
+/// shared by [`run_fault_point`] and its telemetry-carrying variant.
+fn run_fault_sim(
     cfg: &SweepConfig,
     load: f64,
     dead_routers: usize,
     dead_links: usize,
-) -> FaultSweepPoint {
+) -> NetworkSim {
     let mut sim = NetworkSim::new(&cfg.spec, &cfg.sim).expect("valid spec");
     let n = sim.topology().endpoints();
     let stream_words = sim.stream_for(0, &vec![0; cfg.payload_words]).len();
@@ -299,7 +332,17 @@ pub fn run_fault_point(
         }
         sim.tick();
     }
-    let endpoints = n;
+    sim
+}
+
+/// Summarizes a finished fault-point sim into its sweep point.
+fn fault_point_from(
+    sim: &mut NetworkSim,
+    cfg: &SweepConfig,
+    dead_routers: usize,
+    dead_links: usize,
+) -> FaultSweepPoint {
+    let endpoints = sim.topology().endpoints();
     let measure = cfg.measure;
     let payload_words = cfg.payload_words;
     let stats = sim.stats_mut();
@@ -313,6 +356,37 @@ pub fn run_fault_point(
         delivered: stats.delivered,
         abandoned: stats.abandoned,
     }
+}
+
+/// Runs one fault point: kills `dead_routers` random non-final-stage
+/// routers and `dead_links` random links, then measures at `load`.
+#[must_use]
+pub fn run_fault_point(
+    cfg: &SweepConfig,
+    load: f64,
+    dead_routers: usize,
+    dead_links: usize,
+) -> FaultSweepPoint {
+    let mut sim = run_fault_sim(cfg, load, dead_routers, dead_links);
+    fault_point_from(&mut sim, cfg, dead_routers, dead_links)
+}
+
+/// [`run_fault_point`], additionally freezing the sim's telemetry into
+/// a snapshot named `name` for sidecar export.
+#[must_use]
+pub fn run_fault_point_with_telemetry(
+    cfg: &SweepConfig,
+    load: f64,
+    dead_routers: usize,
+    dead_links: usize,
+    name: &str,
+) -> (FaultSweepPoint, TelemetrySnapshot) {
+    let mut sim = run_fault_sim(cfg, load, dead_routers, dead_links);
+    let snapshot = sim.telemetry_snapshot(name);
+    (
+        fault_point_from(&mut sim, cfg, dead_routers, dead_links),
+        snapshot,
+    )
 }
 
 /// Runs a fault-degradation sweep at fixed load on one worker.

@@ -18,11 +18,11 @@ use crate::message::MessageOutcome;
 use crate::stats::NetworkStats;
 use crate::wire::Wire;
 use metro_core::header::HeaderPlan;
-use metro_core::router::RouterStats;
 use metro_core::{
     ArchParams, BwdIn, FwdIn, RandomSource, Router, RouterConfig, SelectionPolicy, StreamChecksum,
     TickOutput, Word,
 };
+use metro_telemetry::{TelemetryRegistry, TelemetrySnapshot};
 use metro_topo::fault::FaultSet;
 use metro_topo::flatlinks::{FlatLinks, FlatTarget};
 use metro_topo::graph::{LinkId, LinkTarget};
@@ -80,6 +80,12 @@ pub struct SimConfig {
     /// cycle-for-cycle equivalent (see the golden-equivalence tests);
     /// [`EngineKind::Flat`] is simply faster.
     pub engine: EngineKind,
+    /// Cycles between telemetry syncs (clamped to ≥ 1): how often the
+    /// registry copies router counters, feeds the trace, and extends
+    /// the time series. 1 = every cycle (exact trace stamps); larger
+    /// values coarsen stamps and series resolution for a cheaper
+    /// steady-state tick.
+    pub telemetry_every: u64,
 }
 
 impl Default for SimConfig {
@@ -98,6 +104,7 @@ impl Default for SimConfig {
             endpoint: EndpointConfig::default(),
             seed: 0xC0FFEE,
             engine: EngineKind::default(),
+            telemetry_every: 1,
         }
     }
 }
@@ -221,11 +228,9 @@ pub struct NetworkSim {
     stats: NetworkStats,
     stats_from: u64,
     trace: Option<crate::trace::TraceLog>,
-    /// Snapshot the router counters into the trace only every this many
-    /// cycles (1 = every cycle).
-    trace_every: u64,
-    /// Reusable buffer for the trace's router-counter snapshot.
-    snap_buf: Vec<Vec<RouterStats>>,
+    /// The telemetry spine: rebased per-router counters, per-sync
+    /// deltas (the trace's input), and decimated network-total series.
+    registry: TelemetryRegistry,
 }
 
 impl NetworkSim {
@@ -374,6 +379,9 @@ impl NetworkSim {
             })),
         };
 
+        let routers_per_stage: Vec<usize> = (0..topo.stages())
+            .map(|s| topo.routers_in_stage(s))
+            .collect();
         Ok(Self {
             topo,
             config: config.clone(),
@@ -387,8 +395,7 @@ impl NetworkSim {
             stats: NetworkStats::new(),
             stats_from: 0,
             trace: None,
-            trace_every: 1,
-            snap_buf: Vec::new(),
+            registry: TelemetryRegistry::new(&routers_per_stage, config.telemetry_every),
         })
     }
 
@@ -398,13 +405,27 @@ impl NetworkSim {
         self.trace = Some(crate::trace::TraceLog::new(capacity));
     }
 
-    /// Snapshots the router counters into the trace only every `every`
-    /// cycles (default 1 = every cycle). Counter increments between
-    /// snapshots are still observed — the trace diffs cumulative
-    /// counters — but their cycle stamps coarsen to the snapshot grid,
-    /// trading stamp resolution for a cheaper hot path under tracing.
+    /// Sets how often (in cycles) the telemetry registry syncs router
+    /// counters, feeds the trace, and extends the time series (default
+    /// 1 = every cycle; 0 is clamped to 1). Counter increments between
+    /// syncs are never lost — the registry diffs cumulative counters —
+    /// but trace stamps and series buckets coarsen to the sync grid,
+    /// trading resolution for a cheaper steady-state tick.
+    pub fn set_telemetry_interval(&mut self, every: u64) {
+        self.registry.set_interval(every);
+    }
+
+    /// Historical name for [`NetworkSim::set_telemetry_interval`]: the
+    /// trace consumes registry deltas, so the two share one interval.
     pub fn set_trace_interval(&mut self, every: u64) {
-        self.trace_every = every.max(1);
+        self.set_telemetry_interval(every);
+    }
+
+    /// The telemetry registry: rebased per-router counters, last-sync
+    /// deltas, and decimated per-counter series.
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetryRegistry {
+        &self.registry
     }
 
     /// The trace log, if tracing is enabled.
@@ -743,24 +764,19 @@ impl NetworkSim {
         }
     }
 
-    /// Trace, then harvest completed transactions (shared by both
-    /// engines).
+    /// Sync telemetry, then harvest completed transactions (shared by
+    /// both engines).
     fn after_tick(&mut self) {
-        if let Some(trace) = &mut self.trace {
-            if self.trace_every <= 1 || self.now.is_multiple_of(self.trace_every) {
-                if self.snap_buf.len() != self.routers.len() {
-                    self.snap_buf = self
-                        .routers
-                        .iter()
-                        .map(|stage| vec![RouterStats::default(); stage.len()])
-                        .collect();
+        let every = self.registry.interval();
+        if every <= 1 || self.now.is_multiple_of(every) {
+            for (s, stage) in self.routers.iter().enumerate() {
+                for (r, router) in stage.iter().enumerate() {
+                    self.registry.sync_slot(s, r, router.counters());
                 }
-                for (dst, stage) in self.snap_buf.iter_mut().zip(&self.routers) {
-                    for (d, r) in dst.iter_mut().zip(stage) {
-                        *d = r.stats();
-                    }
-                }
-                trace.snapshot_routers(self.now, &self.snap_buf);
+            }
+            self.registry.finish_sync();
+            if let Some(trace) = &mut self.trace {
+                trace.observe(self.now, self.registry.deltas());
             }
         }
         self.now += 1;
@@ -898,19 +914,41 @@ impl NetworkSim {
     }
 
     /// Clears statistics; only messages *requested* from now on are
-    /// counted (warmup exclusion).
+    /// counted (warmup exclusion). The telemetry registry is rebased so
+    /// every slot reads zero — subsequent syncs measure post-reset
+    /// activity only — while the routers keep their cumulative
+    /// counters.
     pub fn reset_stats(&mut self) {
         self.stats = NetworkStats::new();
         self.stats_from = self.now;
+        self.registry.rebase();
     }
 
     /// Sums a per-router statistic over every router in the network.
     #[must_use]
-    pub fn router_stat_total(
-        &self,
-        f: impl Fn(&metro_core::router::RouterStats) -> usize,
-    ) -> usize {
+    pub fn router_stat_total(&self, f: impl Fn(&metro_core::router::RouterStats) -> u64) -> u64 {
         self.routers.iter().flatten().map(|r| f(&r.stats())).sum()
+    }
+
+    /// Freezes the current telemetry into a schema-versioned snapshot:
+    /// registry counters brought up to date with the live router cells
+    /// (without disturbing the sync cadence), the total-latency
+    /// summary, and the decimated series.
+    pub fn telemetry_snapshot(&mut self, name: &str) -> TelemetrySnapshot {
+        // Sync a clone so deltas/series keep their interval semantics
+        // for the ongoing run; snapshots are a cold path.
+        let mut reg = self.registry.clone();
+        for (s, stage) in self.routers.iter().enumerate() {
+            for (r, router) in stage.iter().enumerate() {
+                reg.sync_slot(s, r, router.counters());
+            }
+        }
+        let latency = self.stats.total_latency.summary();
+        let engine = match self.config.engine {
+            EngineKind::Flat => "flat",
+            EngineKind::Reference => "reference",
+        };
+        TelemetrySnapshot::from_registry(name, engine, self.now, &reg, latency)
     }
 }
 
@@ -918,6 +956,7 @@ impl NetworkSim {
 mod tests {
     use super::*;
     use crate::message::ACK_OK;
+    use metro_telemetry::RouterCounter;
 
     fn fig1_sim() -> NetworkSim {
         NetworkSim::new(&MultibutterflySpec::figure1(), &SimConfig::default()).unwrap()
@@ -1276,5 +1315,68 @@ mod tests {
         assert_eq!(o.payload_delivered, vec![8; 10]);
         // Latency grows with the extra pipeline depth.
         assert!(o.network_latency() > 30);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_every_registry_slot() {
+        let mut sim = fig1_sim();
+        for src in 0..16 {
+            sim.send(src, (src + 3) % 16, &[src as u16; 6]);
+        }
+        sim.run(300);
+        let total_before = sim.telemetry().counters().total(RouterCounter::Opens);
+        assert!(total_before > 0, "traffic must register");
+
+        sim.reset_stats();
+        let reg = sim.telemetry();
+        for ((stage, router), cell) in reg.counters().iter() {
+            assert!(
+                cell.is_zero(),
+                "registry slot r{stage}.{router} not zeroed by reset_stats"
+            );
+        }
+        for ((stage, router), cell) in reg.deltas().iter() {
+            assert!(
+                cell.is_zero(),
+                "delta slot r{stage}.{router} survived reset"
+            );
+        }
+        assert_eq!(reg.syncs(), 0, "series history restarts");
+
+        // Routers keep cumulative counters — the registry rebases so
+        // post-reset observation measures only post-reset traffic.
+        sim.send(0, 9, &[1, 2, 3]);
+        sim.run(300);
+        let opens_after = sim.telemetry().counters().total(RouterCounter::Opens);
+        assert!(opens_after > 0 && opens_after < total_before);
+    }
+
+    #[test]
+    fn trace_interval_zero_clamps_to_every_cycle() {
+        let mut sim = fig1_sim();
+        sim.set_trace_interval(0);
+        assert_eq!(sim.telemetry().interval(), 1, "0 clamps to 1");
+        sim.enable_trace(0);
+        sim.send(4, 13, &[7; 5]);
+        sim.run(300);
+        let grants = sim
+            .trace()
+            .unwrap()
+            .of_kind(|e| matches!(e, crate::trace::TraceEvent::Granted { .. }));
+        assert!(!grants.is_empty(), "tracing still observes events");
+    }
+
+    #[test]
+    fn telemetry_snapshot_leaves_registry_cadence_undisturbed() {
+        let mut sim = fig1_sim();
+        sim.send(2, 8, &[3; 4]);
+        sim.run(200);
+        let syncs_before = sim.telemetry().syncs();
+        let snap = sim.telemetry_snapshot("probe");
+        assert_eq!(snap.cycles, sim.now());
+        assert!(snap.counters.total(RouterCounter::Opens) > 0);
+        // Snapshotting syncs a clone: the live registry's sync count and
+        // deltas are untouched.
+        assert_eq!(sim.telemetry().syncs(), syncs_before);
     }
 }

@@ -337,6 +337,7 @@ fn enc_sim(sim: &SimConfig) -> Json {
                 EngineKind::Reference => "reference",
             }),
         ),
+        ("telemetry_every", Json::from(sim.telemetry_every)),
     ])
 }
 
@@ -354,6 +355,7 @@ fn dec_sim(doc: &Json, path: &str) -> Result<SimConfig, CodecError> {
             "endpoint",
             "seed",
             "engine",
+            "telemetry_every",
         ],
         path,
     )?;
@@ -399,6 +401,12 @@ fn dec_sim(doc: &Json, path: &str) -> Result<SimConfig, CodecError> {
         endpoint: dec_endpoint(get(doc, "endpoint", path)?, &format!("{path}.endpoint"))?,
         seed: dec_seed(get(doc, "seed", path)?, &format!("{path}.seed"))?,
         engine,
+        // Absent in pre-telemetry scenario files; default matches
+        // `SimConfig::default` so old documents keep their meaning.
+        telemetry_every: match doc.get("telemetry_every") {
+            Some(v) => dec_u64(v, &format!("{path}.telemetry_every"))?,
+            None => 1,
+        },
     })
 }
 

@@ -156,15 +156,19 @@ pub struct ScenarioResult {
     pub outcomes: Vec<MessageOutcome>,
     /// Messages delivered (from the statistics window: for `Load`
     /// workloads this counts the measurement window only).
-    pub delivered: usize,
+    pub delivered: u64,
     /// Messages abandoned (retry budget exhausted).
-    pub abandoned: usize,
+    pub abandoned: u64,
     /// The measured load point, for `Load` workloads.
     pub point: Option<LoadPoint>,
     /// Total payload words across all completed transactions.
     pub payload_words: usize,
     /// Whether the fabric was idle when the run ended.
     pub fabric_idle: bool,
+    /// Telemetry sync interval the run used (from the scenario's
+    /// `sim.telemetry_every`, clamped to at least 1) — recorded so a
+    /// result names the cadence its trace/series data was observed at.
+    pub telemetry_every: u64,
 }
 
 impl ScenarioResult {
@@ -221,6 +225,7 @@ impl ScenarioResult {
             ("abandoned", Json::from(self.abandoned)),
             ("payload_words", Json::from(self.payload_words)),
             ("fabric_idle", Json::from(self.fabric_idle)),
+            ("telemetry_every", Json::from(self.telemetry_every)),
             (
                 "outcome_digest",
                 Json::from(format!("{:#018x}", self.outcome_digest())),
@@ -341,6 +346,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::
     let outcomes = sim.drain_outcomes();
     let payload_words = outcomes.iter().map(|o| o.payload_words).sum();
     let fabric_idle = sim.fabric_idle();
+    let telemetry_every = sim.telemetry().interval();
     let stats = sim.stats_mut();
     Ok(ScenarioResult {
         delivered: stats.delivered,
@@ -348,6 +354,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::
         point,
         payload_words,
         fabric_idle,
+        telemetry_every,
         outcomes,
     })
 }

@@ -1,96 +1,18 @@
 //! Latency, throughput, and retry statistics.
+//!
+//! The latency collector is the telemetry crate's
+//! [`Histogram`](metro_telemetry::Histogram), re-exported under its
+//! historical name: one sample type flows from the simulator through
+//! snapshots to `metro report`.
 
 use crate::message::{FailureKind, MessageOutcome};
 
-/// An online collector of latency samples with percentile queries.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct LatencyStats {
-    samples: Vec<u64>,
-    sorted: bool,
-}
+/// An online collector of latency samples with percentile queries —
+/// the telemetry histogram under its historical simulator name.
+pub type LatencyStats = metro_telemetry::Histogram;
 
-impl LatencyStats {
-    /// An empty collector.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records one latency sample.
-    pub fn record(&mut self, latency: u64) {
-        self.samples.push(latency);
-        self.sorted = false;
-    }
-
-    /// Number of samples.
-    #[must_use]
-    pub fn count(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Arithmetic mean, or 0 with no samples.
-    #[must_use]
-    pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
-    }
-
-    /// The `p`-th percentile (0–100, nearest-rank), or 0 with no
-    /// samples.
-    pub fn percentile(&mut self, p: f64) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
-        self.samples[rank.clamp(1, self.samples.len()) - 1]
-    }
-
-    /// Buckets the samples into a histogram of the given bucket width:
-    /// `(bucket_start, count)` pairs covering min..=max, empty buckets
-    /// included.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bucket_width == 0`.
-    #[must_use]
-    pub fn histogram(&self, bucket_width: u64) -> Vec<(u64, usize)> {
-        assert!(bucket_width > 0, "bucket width must be nonzero");
-        if self.samples.is_empty() {
-            return Vec::new();
-        }
-        let lo = self.min() / bucket_width * bucket_width;
-        let hi = self.max();
-        let buckets = ((hi - lo) / bucket_width + 1) as usize;
-        let mut hist = vec![0usize; buckets];
-        for &s in &self.samples {
-            hist[((s - lo) / bucket_width) as usize] += 1;
-        }
-        hist.into_iter()
-            .enumerate()
-            .map(|(k, c)| (lo + k as u64 * bucket_width, c))
-            .collect()
-    }
-
-    /// Minimum sample, or 0.
-    #[must_use]
-    pub fn min(&self) -> u64 {
-        self.samples.iter().copied().min().unwrap_or(0)
-    }
-
-    /// Maximum sample, or 0.
-    #[must_use]
-    pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
-    }
-}
-
-/// Aggregate statistics over a simulation window.
+/// Aggregate statistics over a simulation window. Counters are `u64`
+/// (platform-independent, matching cycle types and telemetry cells).
 #[derive(Debug, Clone, Default)]
 pub struct NetworkStats {
     /// Total-latency samples (request → acknowledgment), the Figure 3
@@ -99,20 +21,20 @@ pub struct NetworkStats {
     /// Network-latency samples (first injection → acknowledgment).
     pub network_latency: LatencyStats,
     /// Messages delivered.
-    pub delivered: usize,
+    pub delivered: u64,
     /// Messages abandoned (max-retry exhaustion).
-    pub abandoned: usize,
+    pub abandoned: u64,
     /// Total retries across delivered messages.
-    pub retries: usize,
+    pub retries: u64,
     /// Failed attempts by kind: `(blocked, fast_reclaimed, corrupt,
     /// no_ack, timeout)`.
-    pub failure_counts: [usize; 5],
+    pub failure_counts: [u64; 5],
     /// Payload words carried by delivered messages.
-    pub payload_words: usize,
+    pub payload_words: u64,
     /// Blocked-attempt counts per stage (detailed-reclamation mode
     /// reports the exact stage in the turn-time STATUS reply; fast
     /// reclamation counts under `failure_counts` only).
-    pub blocked_by_stage: Vec<usize>,
+    pub blocked_by_stage: Vec<u64>,
 }
 
 impl NetworkStats {
@@ -128,8 +50,8 @@ impl NetworkStats {
         self.total_latency.record(outcome.total_latency());
         self.network_latency.record(outcome.network_latency());
         self.delivered += 1;
-        self.retries += outcome.retries;
-        self.payload_words += payload_words;
+        self.retries += outcome.retries as u64;
+        self.payload_words += payload_words as u64;
         for f in &outcome.failures {
             if let FailureKind::Blocked { stage } = f {
                 if self.blocked_by_stage.len() <= *stage {
@@ -151,7 +73,7 @@ impl NetworkStats {
     /// Records an abandoned message.
     pub fn record_abandoned(&mut self, outcome: &MessageOutcome) {
         self.abandoned += 1;
-        self.retries += outcome.retries;
+        self.retries += outcome.retries as u64;
     }
 
     /// Mean retries per delivered message.

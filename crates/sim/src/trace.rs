@@ -1,18 +1,20 @@
-//! Cycle-level event tracing.
+//! Cycle-stamped event tracing.
 //!
-//! A [`TraceLog`] records the connection-level events of a simulation —
-//! opens, grants, blocks, turns, drops, BCB teardowns, retries,
-//! deliveries — with their cycle stamps. Traces make protocol debugging
-//! tractable (every event names its router or endpoint) and feed the
-//! occupancy statistics the experiment harnesses report.
+//! The routers count events (grants, blocks, turns, drops); the trace
+//! log adds *when* and *where*. The simulator's
+//! [`TelemetryRegistry`](metro_telemetry::TelemetryRegistry) computes
+//! per-(stage, router) counter deltas at every telemetry interval, and
+//! [`TraceLog::observe`] converts each nonzero delta into stamped
+//! [`TraceEvent`]s — the trace is a *consumer* of registry deltas, not
+//! a second counter-diffing mechanism. Coarsening the interval
+//! (`NetworkSim::set_telemetry_interval`) coarsens the stamps to the
+//! sync grid without losing events.
 //!
-//! Tracing is pull-based: the simulator's components already count
-//! events ([`metro_core::router::RouterStats`]); the trace
-//! log adds *when* and *where*. [`TraceLog::snapshot_routers`] diffs
-//! router counters between cycles, producing events without touching
-//! the router hot path.
+//! The log is a bounded ring: with a nonzero capacity, the oldest
+//! records are evicted as new ones arrive, so long runs trace at
+//! bounded memory.
 
-use metro_core::router::RouterStats;
+use metro_telemetry::{CounterBlock, RouterCounter};
 use std::fmt;
 
 /// One traced event.
@@ -39,14 +41,14 @@ pub enum TraceEvent {
         /// Router index within the stage.
         router: usize,
     },
-    /// A router released a connection (DROP completed).
+    /// A router dropped (closed) a connection.
     Dropped {
         /// Stage of the router.
         stage: usize,
         /// Router index within the stage.
         router: usize,
     },
-    /// A source endpoint completed a message.
+    /// An endpoint completed a message.
     Completed {
         /// Source endpoint.
         src: usize,
@@ -60,143 +62,87 @@ pub enum TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Granted { stage, router } => write!(f, "grant   r{stage}.{router}"),
-            Self::Blocked { stage, router } => write!(f, "block   r{stage}.{router}"),
-            Self::Turned { stage, router } => write!(f, "turn    r{stage}.{router}"),
-            Self::Dropped { stage, router } => write!(f, "drop    r{stage}.{router}"),
-            Self::Completed { src, dest, retries } => {
-                write!(f, "done    {src} -> {dest} ({retries} retries)")
+            TraceEvent::Granted { stage, router } => write!(f, "grant   r{stage}.{router}"),
+            TraceEvent::Blocked { stage, router } => write!(f, "block   r{stage}.{router}"),
+            TraceEvent::Turned { stage, router } => write!(f, "turn    r{stage}.{router}"),
+            TraceEvent::Dropped { stage, router } => write!(f, "drop    r{stage}.{router}"),
+            TraceEvent::Completed { src, dest, retries } => {
+                write!(f, "done    {src} -> {dest} (retries {retries})")
             }
         }
     }
 }
 
-/// A stamped event.
+/// A trace event with its cycle stamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
-    /// Clock cycle the event was observed at.
+    /// Cycle at which the event was observed (the telemetry sync
+    /// boundary; exact when the interval is 1).
     pub at: u64,
-    /// The event.
+    /// What happened.
     pub event: TraceEvent,
 }
 
-/// An event log built by diffing per-router counters each cycle.
+/// A bounded log of cycle-stamped events fed by telemetry deltas.
 #[derive(Debug, Clone, Default)]
 pub struct TraceLog {
     records: Vec<TraceRecord>,
-    last: Vec<Vec<RouterStats>>,
+    /// Maximum records retained; 0 = unbounded.
     capacity: usize,
 }
 
 impl TraceLog {
-    /// Creates a log retaining at most `capacity` records (0 =
+    /// An empty log retaining at most `capacity` records (0 =
     /// unbounded).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self {
+        TraceLog {
             records: Vec::new(),
-            last: Vec::new(),
             capacity,
         }
     }
 
-    /// The recorded events.
-    #[must_use]
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
-    }
-
-    /// Number of records retained.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.records.len()
-    }
-
-    /// Whether the log is empty.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
-    }
-
-    /// Clears the log (the counter snapshot is kept, so diffing
-    /// continues seamlessly).
-    pub fn clear(&mut self) {
-        self.records.clear();
-    }
-
     fn push(&mut self, at: u64, event: TraceEvent) {
-        if self.capacity > 0 && self.records.len() >= self.capacity {
+        if self.capacity > 0 && self.records.len() == self.capacity {
             self.records.remove(0);
         }
         self.records.push(TraceRecord { at, event });
     }
 
-    /// Diffs the current router counters against the previous snapshot,
-    /// emitting one event per counter increment. `stats[s][r]` are the
-    /// counters of router `r` in stage `s` at cycle `now`.
-    pub fn snapshot_routers(&mut self, now: u64, stats: &[Vec<RouterStats>]) {
-        if self.last.len() != stats.len() {
-            self.last = stats.to_vec();
-            return;
-        }
-        for (s, stage) in stats.iter().enumerate() {
-            for (r, cur) in stage.iter().enumerate() {
-                let prev = self.last[s][r];
-                for _ in prev.grants..cur.grants {
-                    self.push(
-                        now,
-                        TraceEvent::Granted {
-                            stage: s,
-                            router: r,
-                        },
-                    );
-                }
-                for _ in prev.blocks..cur.blocks {
-                    self.push(
-                        now,
-                        TraceEvent::Blocked {
-                            stage: s,
-                            router: r,
-                        },
-                    );
-                }
-                for _ in prev.turns..cur.turns {
-                    self.push(
-                        now,
-                        TraceEvent::Turned {
-                            stage: s,
-                            router: r,
-                        },
-                    );
-                }
-                for _ in prev.drops..cur.drops {
-                    self.push(
-                        now,
-                        TraceEvent::Dropped {
-                            stage: s,
-                            router: r,
-                        },
-                    );
-                }
+    /// Converts one sync's registry deltas into stamped events: each
+    /// grant/block/turn/drop counted since the previous sync becomes
+    /// one record stamped `now`.
+    pub fn observe(&mut self, now: u64, deltas: &CounterBlock) {
+        for ((stage, router), cell) in deltas.iter() {
+            if cell.is_zero() {
+                continue;
             }
-        }
-        // Refresh the snapshot in place (`RouterStats` is `Copy`); the
-        // per-snapshot clone this replaces dominated traced-run cost.
-        for (last, stage) in self.last.iter_mut().zip(stats) {
-            if last.len() == stage.len() {
-                last.copy_from_slice(stage);
-            } else {
-                stage.clone_into(last);
+            let pairs = [
+                (RouterCounter::Grants, TraceEvent::Granted { stage, router }),
+                (RouterCounter::Blocks, TraceEvent::Blocked { stage, router }),
+                (RouterCounter::Turns, TraceEvent::Turned { stage, router }),
+                (RouterCounter::Drops, TraceEvent::Dropped { stage, router }),
+            ];
+            for (counter, event) in pairs {
+                for _ in 0..cell.get(counter) {
+                    self.push(now, event);
+                }
             }
         }
     }
 
     /// Records a message completion.
-    pub fn record_completion(&mut self, at: u64, src: usize, dest: usize, retries: usize) {
-        self.push(at, TraceEvent::Completed { src, dest, retries });
+    pub fn record_completion(&mut self, now: u64, src: usize, dest: usize, retries: usize) {
+        self.push(now, TraceEvent::Completed { src, dest, retries });
     }
 
-    /// Events of one kind, in order.
+    /// All retained records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose event matches the predicate.
     pub fn of_kind(&self, pred: impl Fn(&TraceEvent) -> bool) -> Vec<TraceRecord> {
         self.records
             .iter()
@@ -205,76 +151,143 @@ impl TraceLog {
             .collect()
     }
 
-    /// Renders the log as one line per event.
+    /// Renders the log, one stamped line per record.
     #[must_use]
     pub fn render(&self) -> String {
-        use fmt::Write as _;
         let mut out = String::new();
         for r in &self.records {
-            let _ = writeln!(out, "[{:>8}] {}", r.at, r.event);
+            out.push_str(&format!("[{:>8}] {}\n", r.at, r.event));
         }
         out
+    }
+
+    /// Discards the retained records. The registry keeps the delta
+    /// state, so observation continues seamlessly.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// The retention limit this log was built with (0 = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use metro_telemetry::CounterBlock;
 
-    fn stats(grants: usize, blocks: usize) -> RouterStats {
-        RouterStats {
-            grants,
-            blocks,
-            ..RouterStats::default()
-        }
+    /// A 1×1 delta block with the given grant/block counts.
+    fn deltas(grants: u64, blocks: u64) -> CounterBlock {
+        let mut b = CounterBlock::new(&[1]);
+        b.cell_mut(0, 0).add(RouterCounter::Grants, grants);
+        b.cell_mut(0, 0).add(RouterCounter::Blocks, blocks);
+        b
     }
 
     #[test]
-    fn diffing_emits_one_event_per_increment() {
+    fn observe_emits_one_event_per_delta_count() {
         let mut log = TraceLog::new(0);
-        log.snapshot_routers(0, &[vec![stats(0, 0)]]);
-        log.snapshot_routers(1, &[vec![stats(2, 1)]]);
-        assert_eq!(log.len(), 3);
+        log.observe(1, &deltas(2, 1));
         let grants = log.of_kind(|e| matches!(e, TraceEvent::Granted { .. }));
+        let blocks = log.of_kind(|e| matches!(e, TraceEvent::Blocked { .. }));
         assert_eq!(grants.len(), 2);
-        assert_eq!(grants[0].at, 1);
+        assert_eq!(blocks.len(), 1);
+        assert!(log.records().iter().all(|r| r.at == 1));
+
+        // The next sync's deltas stand alone — no internal diffing.
+        log.observe(5, &deltas(1, 0));
+        assert_eq!(
+            log.of_kind(|e| matches!(e, TraceEvent::Granted { .. }))
+                .len(),
+            3
+        );
+        assert_eq!(log.records().last().unwrap().at, 5);
     }
 
     #[test]
-    fn first_snapshot_only_initializes() {
+    fn zero_deltas_emit_nothing() {
         let mut log = TraceLog::new(0);
-        log.snapshot_routers(5, &[vec![stats(7, 7)]]);
-        assert!(log.is_empty());
+        log.observe(3, &deltas(0, 0));
+        assert!(log.records().is_empty());
+    }
+
+    #[test]
+    fn multi_router_deltas_name_the_right_slots() {
+        let mut b = CounterBlock::new(&[2, 1]);
+        b.cell_mut(0, 1).add(RouterCounter::Turns, 1);
+        b.cell_mut(1, 0).add(RouterCounter::Drops, 2);
+        let mut log = TraceLog::new(0);
+        log.observe(9, &b);
+        assert_eq!(
+            log.records()[0].event,
+            TraceEvent::Turned {
+                stage: 0,
+                router: 1
+            }
+        );
+        assert_eq!(
+            log.records()[1].event,
+            TraceEvent::Dropped {
+                stage: 1,
+                router: 0
+            }
+        );
+        assert_eq!(log.records().len(), 3);
     }
 
     #[test]
     fn capacity_bounds_the_log() {
+        let mut log = TraceLog::new(3);
+        for k in 0..5 {
+            log.observe(k, &deltas(1, 0));
+        }
+        assert_eq!(log.records().len(), 3);
+        // Oldest evicted: stamps 2, 3, 4 survive.
+        let stamps: Vec<u64> = log.records().iter().map(|r| r.at).collect();
+        assert_eq!(stamps, [2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_at_exact_capacity_evicts_exactly_one() {
         let mut log = TraceLog::new(2);
-        log.record_completion(1, 0, 1, 0);
-        log.record_completion(2, 0, 2, 0);
-        log.record_completion(3, 0, 3, 0);
-        assert_eq!(log.len(), 2);
-        assert_eq!(log.records()[0].at, 2, "oldest evicted first");
+        log.observe(0, &deltas(1, 0));
+        log.observe(1, &deltas(1, 0));
+        assert_eq!(log.records().len(), 2, "at capacity, nothing evicted yet");
+        log.observe(2, &deltas(1, 0));
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.records()[0].at, 1);
+        assert_eq!(log.records()[1].at, 2);
+
+        // A single observe delivering more events than capacity keeps
+        // only the newest `capacity` records.
+        let mut log = TraceLog::new(2);
+        log.observe(7, &deltas(5, 0));
+        assert_eq!(log.records().len(), 2);
+        assert!(log.records().iter().all(|r| r.at == 7));
     }
 
     #[test]
     fn render_stamps_every_line() {
         let mut log = TraceLog::new(0);
-        log.record_completion(42, 3, 9, 1);
-        let s = log.render();
-        assert!(s.contains("42"));
-        assert!(s.contains("3 -> 9"));
-        assert_eq!(s.lines().count(), 1);
+        log.observe(4, &deltas(1, 1));
+        log.record_completion(12, 3, 9, 2);
+        let text = log.render();
+        assert_eq!(
+            text,
+            "[       4] grant   r0.0\n[       4] block   r0.0\n[      12] done    3 -> 9 (retries 2)\n"
+        );
     }
 
     #[test]
-    fn clear_keeps_the_snapshot() {
+    fn clear_discards_records_only() {
         let mut log = TraceLog::new(0);
-        log.snapshot_routers(0, &[vec![stats(0, 0)]]);
-        log.snapshot_routers(1, &[vec![stats(1, 0)]]);
+        log.observe(1, &deltas(2, 0));
         log.clear();
-        assert!(log.is_empty());
-        log.snapshot_routers(2, &[vec![stats(2, 0)]]);
-        assert_eq!(log.len(), 1, "diff continues from the kept snapshot");
+        assert!(log.records().is_empty());
+        log.observe(2, &deltas(1, 0));
+        assert_eq!(log.records().len(), 1, "observation continues after clear");
     }
 }

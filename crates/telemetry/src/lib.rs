@@ -1,0 +1,39 @@
+//! Telemetry spine for the METRO reproduction.
+//!
+//! Every layer of the repo observes the network through this crate:
+//!
+//! * [`RouterCounter`] — typed metric IDs; the discriminants are slot
+//!   indices, so registries and snapshots share one layout.
+//! * [`CounterCell`] / [`CounterBlock`] — fixed-size per-router cells
+//!   and flat (stage × router) registries, zero-alloc on the hot path.
+//!   `metro_core::Router` increments a `CounterCell` directly.
+//! * [`Histogram`] — latency samples with nearest-rank percentiles
+//!   (the simulator's former `LatencyStats`, re-exported there).
+//! * [`TimeSeries`] — decimated ring buffers: bounded memory over
+//!   unbounded runs, conserving counter totals.
+//! * [`TelemetryRegistry`] — owned by the simulator; rebased cumulative
+//!   counts, per-sync deltas (the trace log's input), and per-counter
+//!   series.
+//! * [`TelemetrySnapshot`] + [`snapshot`] codec — schema-versioned,
+//!   byte-stable JSON on the harness [`metro_harness::Json`] model; the
+//!   `results/<name>.telemetry.json` sidecar format.
+//! * [`report`] — per-stage utilization / block-rate / latency tables,
+//!   the engine behind `metro report`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod histogram;
+pub mod metric;
+pub mod registry;
+pub mod report;
+pub mod series;
+pub mod snapshot;
+
+pub use counters::{CounterBlock, CounterCell};
+pub use histogram::{Histogram, HistogramSummary};
+pub use metric::RouterCounter;
+pub use registry::TelemetryRegistry;
+pub use series::TimeSeries;
+pub use snapshot::{telemetry_hash, TelemetrySnapshot, TELEMETRY_SCHEMA};

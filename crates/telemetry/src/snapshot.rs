@@ -1,0 +1,478 @@
+//! Schema-versioned, byte-stable telemetry snapshots.
+//!
+//! A [`TelemetrySnapshot`] freezes one simulation's telemetry — per
+//! (stage, router) counter cells, a latency summary, and the decimated
+//! network-total series — into a value with a canonical JSON form on
+//! the harness [`Json`] model. The codec follows the scenario codec's
+//! rules: `telemetry_schema` is checked before any field parsing,
+//! unknown fields are rejected at every object level with dotted
+//! paths, and encode∘decode∘encode is the identity on bytes (the
+//! `.telemetry.json` sidecar contract).
+
+use crate::counters::{CounterBlock, CounterCell};
+use crate::histogram::HistogramSummary;
+use crate::metric::RouterCounter;
+use crate::registry::TelemetryRegistry;
+use metro_harness::Json;
+
+/// Telemetry schema version written into (and required of) every
+/// document.
+pub const TELEMETRY_SCHEMA: u64 = 1;
+
+/// A telemetry decode failure: where in the document and what went
+/// wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// Dotted path to the offending field (e.g. `"series[2].stride"`).
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "telemetry decode error at {}: {}",
+            self.path, self.message
+        )
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// One counter's decimated network-total series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    /// The [`RouterCounter::name`] this series tracks.
+    pub metric: String,
+    /// Syncs aggregated per bucket.
+    pub stride: u64,
+    /// Bucket sums, oldest first.
+    pub samples: Vec<u64>,
+}
+
+/// A frozen view of one simulation's telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// The run this snapshot describes (artifact or scenario name).
+    pub name: String,
+    /// Engine that produced it (`"flat"` or `"reference"`).
+    pub engine: String,
+    /// Simulated cycles covered.
+    pub cycles: u64,
+    /// Telemetry sync interval in cycles.
+    pub interval: u64,
+    /// Per (stage, router) counters, in [`RouterCounter::ALL`] slot
+    /// order inside each cell.
+    pub counters: CounterBlock,
+    /// Total-latency distribution summary.
+    pub latency: HistogramSummary,
+    /// Decimated network-total delta series, one per counter.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Freezes a registry (plus a latency summary) into a snapshot.
+    #[must_use]
+    pub fn from_registry(
+        name: &str,
+        engine: &str,
+        cycles: u64,
+        registry: &TelemetryRegistry,
+        latency: HistogramSummary,
+    ) -> Self {
+        TelemetrySnapshot {
+            name: name.to_string(),
+            engine: engine.to_string(),
+            cycles,
+            interval: registry.interval(),
+            counters: registry.counters().clone(),
+            latency,
+            series: RouterCounter::ALL
+                .into_iter()
+                .map(|c| SeriesSnapshot {
+                    metric: c.name().to_string(),
+                    stride: registry.series(c).stride(),
+                    samples: registry.series(c).samples().to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The canonical JSON document — [`encode`] as a method.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        encode(self)
+    }
+
+    /// Decodes a document — [`decode`] as a constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on schema mismatch, unknown or missing
+    /// fields, or malformed values.
+    pub fn from_json(doc: &Json) -> Result<Self, SnapshotError> {
+        decode(doc)
+    }
+}
+
+fn err<T>(path: &str, message: impl Into<String>) -> Result<T, SnapshotError> {
+    Err(SnapshotError {
+        path: path.to_string(),
+        message: message.into(),
+    })
+}
+
+fn check_fields(doc: &Json, allowed: &[&str], path: &str) -> Result<(), SnapshotError> {
+    let Json::Obj(pairs) = doc else {
+        return err(path, "expected an object");
+    };
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return err(path, format!("unknown field {k:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn get<'a>(doc: &'a Json, key: &str, path: &str) -> Result<&'a Json, SnapshotError> {
+    match doc.get(key) {
+        Some(v) => Ok(v),
+        None => err(path, format!("missing field {key:?}")),
+    }
+}
+
+fn dec_f64(doc: &Json, path: &str) -> Result<f64, SnapshotError> {
+    doc.as_f64()
+        .ok_or(())
+        .or_else(|()| err(path, "expected a number"))
+}
+
+fn dec_u64(doc: &Json, path: &str) -> Result<u64, SnapshotError> {
+    let v = dec_f64(doc, path)?;
+    if v.fract() != 0.0 || !(0.0..9.0e15).contains(&v) {
+        return err(path, format!("expected a non-negative integer, got {v}"));
+    }
+    Ok(v as u64)
+}
+
+fn dec_str<'a>(doc: &'a Json, path: &str) -> Result<&'a str, SnapshotError> {
+    doc.as_str()
+        .ok_or(())
+        .or_else(|()| err(path, "expected a string"))
+}
+
+fn dec_arr<'a>(doc: &'a Json, path: &str) -> Result<&'a [Json], SnapshotError> {
+    doc.as_arr()
+        .ok_or(())
+        .or_else(|()| err(path, "expected an array"))
+}
+
+fn enc_latency(l: &HistogramSummary) -> Json {
+    Json::obj([
+        ("count", Json::from(l.count)),
+        ("mean", Json::from(l.mean)),
+        ("min", Json::from(l.min)),
+        ("max", Json::from(l.max)),
+        ("p50", Json::from(l.p50)),
+        ("p95", Json::from(l.p95)),
+        ("p99", Json::from(l.p99)),
+    ])
+}
+
+fn dec_latency(doc: &Json, path: &str) -> Result<HistogramSummary, SnapshotError> {
+    check_fields(
+        doc,
+        &["count", "mean", "min", "max", "p50", "p95", "p99"],
+        path,
+    )?;
+    let f = |key: &str| -> Result<u64, SnapshotError> {
+        dec_u64(get(doc, key, path)?, &format!("{path}.{key}"))
+    };
+    Ok(HistogramSummary {
+        count: f("count")?,
+        mean: dec_f64(get(doc, "mean", path)?, &format!("{path}.mean"))?,
+        min: f("min")?,
+        max: f("max")?,
+        p50: f("p50")?,
+        p95: f("p95")?,
+        p99: f("p99")?,
+    })
+}
+
+/// Encodes a snapshot to its canonical JSON document. Counter cells are
+/// arrays in [`RouterCounter::ALL`] slot order; the `counters` field is
+/// stage-major, router-minor.
+#[must_use]
+pub fn encode(s: &TelemetrySnapshot) -> Json {
+    Json::obj([
+        ("telemetry_schema", Json::from(TELEMETRY_SCHEMA)),
+        ("name", Json::from(s.name.as_str())),
+        ("engine", Json::from(s.engine.as_str())),
+        ("cycles", Json::from(s.cycles)),
+        ("interval", Json::from(s.interval)),
+        (
+            "counter_names",
+            Json::arr(RouterCounter::ALL.into_iter().map(|c| Json::from(c.name()))),
+        ),
+        (
+            "counters",
+            Json::arr((0..s.counters.stages()).map(|st| {
+                Json::arr((0..s.counters.routers_in_stage(st)).map(|r| {
+                    Json::arr(
+                        s.counters
+                            .cell(st, r)
+                            .counts()
+                            .iter()
+                            .map(|&v| Json::from(v)),
+                    )
+                }))
+            })),
+        ),
+        ("latency", enc_latency(&s.latency)),
+        (
+            "series",
+            Json::arr(s.series.iter().map(|ser| {
+                Json::obj([
+                    ("metric", Json::from(ser.metric.as_str())),
+                    ("stride", Json::from(ser.stride)),
+                    (
+                        "samples",
+                        Json::arr(ser.samples.iter().map(|&v| Json::from(v))),
+                    ),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Decodes a canonical snapshot document.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] naming the offending field on schema
+/// mismatch, unknown or missing fields, or type errors.
+pub fn decode(doc: &Json) -> Result<TelemetrySnapshot, SnapshotError> {
+    // Schema first: reject foreign documents before parsing fields.
+    let schema = dec_u64(get(doc, "telemetry_schema", "")?, "telemetry_schema")?;
+    if schema != TELEMETRY_SCHEMA {
+        return err(
+            "telemetry_schema",
+            format!("unsupported schema {schema} (this build reads {TELEMETRY_SCHEMA})"),
+        );
+    }
+    check_fields(
+        doc,
+        &[
+            "telemetry_schema",
+            "name",
+            "engine",
+            "cycles",
+            "interval",
+            "counter_names",
+            "counters",
+            "latency",
+            "series",
+        ],
+        "",
+    )?;
+
+    // The counter-name vector is self-describing redundancy: it must
+    // match this build's slot order exactly.
+    let names = dec_arr(get(doc, "counter_names", "")?, "counter_names")?;
+    if names.len() != RouterCounter::COUNT {
+        return err("counter_names", "wrong number of counters");
+    }
+    for (i, (n, c)) in names.iter().zip(RouterCounter::ALL).enumerate() {
+        let p = format!("counter_names[{i}]");
+        if dec_str(n, &p)? != c.name() {
+            return err(&p, format!("expected {:?}", c.name()));
+        }
+    }
+
+    let stages_doc = dec_arr(get(doc, "counters", "")?, "counters")?;
+    let mut per_stage = Vec::with_capacity(stages_doc.len());
+    for (st, stage) in stages_doc.iter().enumerate() {
+        per_stage.push(dec_arr(stage, &format!("counters[{st}]"))?.len());
+    }
+    let mut counters = CounterBlock::new(&per_stage);
+    for (st, stage) in stages_doc.iter().enumerate() {
+        for (r, cell_doc) in dec_arr(stage, "counters")?.iter().enumerate() {
+            let p = format!("counters[{st}][{r}]");
+            let vals = dec_arr(cell_doc, &p)?;
+            if vals.len() != RouterCounter::COUNT {
+                return err(&p, format!("expected {} counters", RouterCounter::COUNT));
+            }
+            let mut cell = CounterCell::new();
+            for (c, v) in RouterCounter::ALL.into_iter().zip(vals) {
+                cell.add(c, dec_u64(v, &format!("{p}[{}]", c as usize))?);
+            }
+            *counters.cell_mut(st, r) = cell;
+        }
+    }
+
+    let series_doc = dec_arr(get(doc, "series", "")?, "series")?;
+    let mut series = Vec::with_capacity(series_doc.len());
+    for (i, s) in series_doc.iter().enumerate() {
+        let p = format!("series[{i}]");
+        check_fields(s, &["metric", "stride", "samples"], &p)?;
+        let samples_doc = dec_arr(get(s, "samples", &p)?, &format!("{p}.samples"))?;
+        let mut samples = Vec::with_capacity(samples_doc.len());
+        for (k, v) in samples_doc.iter().enumerate() {
+            samples.push(dec_u64(v, &format!("{p}.samples[{k}]"))?);
+        }
+        series.push(SeriesSnapshot {
+            metric: dec_str(get(s, "metric", &p)?, &format!("{p}.metric"))?.to_string(),
+            stride: dec_u64(get(s, "stride", &p)?, &format!("{p}.stride"))?,
+            samples,
+        });
+    }
+
+    Ok(TelemetrySnapshot {
+        name: dec_str(get(doc, "name", "")?, "name")?.to_string(),
+        engine: dec_str(get(doc, "engine", "")?, "engine")?.to_string(),
+        cycles: dec_u64(get(doc, "cycles", "")?, "cycles")?,
+        interval: dec_u64(get(doc, "interval", "")?, "interval")?,
+        counters,
+        latency: dec_latency(get(doc, "latency", "")?, "latency")?,
+        series,
+    })
+}
+
+/// Parses snapshot text (a `.telemetry.json` sidecar) and decodes it.
+///
+/// # Errors
+///
+/// Returns a [`SnapshotError`] for both parse and decode failures.
+pub fn from_text(text: &str) -> Result<TelemetrySnapshot, SnapshotError> {
+    let doc = Json::parse(text).map_err(|e| SnapshotError {
+        path: String::new(),
+        message: format!("invalid JSON: {e}"),
+    })?;
+    decode(&doc)
+}
+
+/// The canonical content hash recorded in `manifest.json`:
+/// `0x`-prefixed FNV-1a over the compact rendering of the canonical
+/// encoding.
+#[must_use]
+pub fn telemetry_hash(s: &TelemetrySnapshot) -> String {
+    format!("{:#018x}", encode(s).canonical_hash())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::TelemetryRegistry;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let mut reg = TelemetryRegistry::new(&[2, 1], 8);
+        let mut raw = CounterCell::new();
+        raw.add(RouterCounter::Opens, 9);
+        raw.add(RouterCounter::Grants, 7);
+        raw.add(RouterCounter::Blocks, 2);
+        raw.add(RouterCounter::WordsForwarded, 140);
+        reg.sync_slot(0, 0, &raw);
+        raw.add(RouterCounter::Turns, 3);
+        reg.sync_slot(0, 1, &raw);
+        reg.sync_slot(1, 0, &CounterCell::new());
+        reg.finish_sync();
+        let latency = HistogramSummary {
+            count: 12,
+            mean: 55.25,
+            min: 30,
+            max: 101,
+            p50: 52,
+            p95: 98,
+            p99: 101,
+        };
+        TelemetrySnapshot::from_registry("unit", "flat", 4096, &reg, latency)
+    }
+
+    #[test]
+    fn snapshot_round_trips_byte_stably() {
+        let s = sample_snapshot();
+        let doc = encode(&s);
+        let text = doc.render();
+        let decoded = from_text(&text).expect("canonical text decodes");
+        assert_eq!(decoded, s, "value round-trip");
+        assert_eq!(
+            encode(&decoded).render(),
+            text,
+            "encode∘decode∘encode must be the byte identity"
+        );
+        // And through the compact form used for hashing.
+        assert_eq!(encode(&decoded).render_compact(), doc.render_compact());
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected_before_field_parsing() {
+        let mut doc = encode(&sample_snapshot());
+        doc.set("telemetry_schema", Json::from(2u64));
+        // Also plant an unknown field: the schema error must win.
+        doc.set("future_field", Json::from(1u64));
+        let e = decode(&doc).unwrap_err();
+        assert_eq!(e.path, "telemetry_schema");
+        assert!(e.message.contains("unsupported schema 2"));
+    }
+
+    fn arr_mut<'a>(doc: &'a mut Json, key: &str) -> &'a mut Vec<Json> {
+        let Json::Obj(pairs) = doc else {
+            panic!("expected an object")
+        };
+        pairs
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_arr_mut())
+            .expect("array field")
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_paths() {
+        let mut doc = encode(&sample_snapshot());
+        doc.set("surprise", Json::from(true));
+        let e = decode(&doc).unwrap_err();
+        assert!(e.message.contains("surprise"));
+
+        let mut doc = encode(&sample_snapshot());
+        arr_mut(&mut doc, "series")[0].set("extra", Json::from(1u64));
+        let e = decode(&doc).unwrap_err();
+        assert_eq!(e.path, "series[0]");
+        assert!(e.message.contains("extra"));
+    }
+
+    #[test]
+    fn counter_name_drift_is_rejected() {
+        let mut doc = encode(&sample_snapshot());
+        doc.set(
+            "counter_names",
+            Json::arr(
+                [
+                    "opens",
+                    "grants",
+                    "blocks",
+                    "fast_reclaims",
+                    "turns",
+                    "drops",
+                    "renamed",
+                ]
+                .into_iter()
+                .map(Json::from),
+            ),
+        );
+        let e = decode(&doc).unwrap_err();
+        assert_eq!(e.path, "counter_names[6]");
+    }
+
+    #[test]
+    fn hash_is_stable_and_discriminating() {
+        let s = sample_snapshot();
+        let h = telemetry_hash(&s);
+        assert!(h.starts_with("0x") && h.len() == 18);
+        assert_eq!(h, telemetry_hash(&s));
+        let mut other = s.clone();
+        other.cycles += 1;
+        assert_ne!(h, telemetry_hash(&other));
+    }
+}

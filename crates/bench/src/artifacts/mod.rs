@@ -1,4 +1,4 @@
-//! The 19 paper artifacts, as registry entries.
+//! The 20 paper artifacts, as registry entries.
 //!
 //! Each module moves one historical binary's logic behind a
 //! [`metro_harness::Artifact`]: the run function builds the human
@@ -26,6 +26,7 @@ pub mod ablation_pipelining;
 pub mod ablation_reclaim;
 pub mod ablation_selection;
 pub mod cascade_sim;
+pub mod chaos;
 pub mod fattree_budget;
 pub mod fault_sweep;
 pub mod fig1;
@@ -53,6 +54,7 @@ pub fn registry() -> Registry {
     r.register(table4::artifact());
     r.register(table5::artifact());
     r.register(fault_sweep::artifact());
+    r.register(chaos::artifact());
     r.register(ablation_selection::artifact());
     r.register(ablation_reclaim::artifact());
     r.register(ablation_dilation::artifact());

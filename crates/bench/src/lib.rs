@@ -25,6 +25,7 @@
 //! | `table4` | Table 4 — the latency equations, worked through |
 //! | `table5` | Table 5 — contemporary routing technologies |
 //! | `fault_sweep` | §6.2 — performance degradation under faults |
+//! | `chaos` | §5.1/§5.3 — fault-storm campaigns against the self-healing loop |
 //! | `ablation_selection` | random vs round-robin vs fixed output selection |
 //! | `ablation_reclaim` | fast vs detailed path reclamation |
 //! | `ablation_dilation` | dilated multipath vs non-dilated network |
@@ -44,6 +45,7 @@
 #![forbid(unsafe_code)]
 
 pub mod artifacts;
+pub mod chaos_cli;
 pub mod report_cli;
 pub mod scenario_cli;
 pub mod scenarios;
@@ -51,7 +53,7 @@ pub mod scenarios;
 use metro_harness::{Json, Registry, ResultsDir, ResultsError};
 use metro_sim::experiment::{FaultSweepPoint, LoadPoint};
 
-/// Builds the full artifact registry (all 19 paper artifacts).
+/// Builds the full artifact registry (all 20 paper artifacts).
 #[must_use]
 pub fn registry() -> Registry {
     artifacts::registry()
@@ -287,9 +289,9 @@ mod tests {
     }
 
     #[test]
-    fn registry_holds_all_nineteen_artifacts() {
+    fn registry_holds_all_twenty_artifacts() {
         let r = registry();
-        assert_eq!(r.len(), 19);
+        assert_eq!(r.len(), 20);
         for name in [
             "fig1",
             "fig3",
@@ -298,6 +300,7 @@ mod tests {
             "table4",
             "table5",
             "fault_sweep",
+            "chaos",
             "tick_bench",
             "scaling",
         ] {

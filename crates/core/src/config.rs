@@ -148,6 +148,31 @@ impl RouterConfig {
         self.bwd_mode[b].is_enabled()
     }
 
+    /// Sets the mode of forward port `f` in place. Port enables "may
+    /// change during operation" (paper §5.3) — this is the runtime
+    /// masking entry the self-healing layer uses, bypassing the
+    /// builder because the rest of the configuration is already
+    /// validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is out of range.
+    pub fn set_forward_mode(&mut self, f: usize, mode: PortMode) {
+        assert!(f < self.fwd_mode.len(), "forward port {f} out of range");
+        self.fwd_mode[f] = mode;
+    }
+
+    /// Sets the mode of backward port `b` in place (runtime masking;
+    /// see [`RouterConfig::set_forward_mode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn set_backward_mode(&mut self, b: usize, mode: PortMode) {
+        assert!(b < self.bwd_mode.len(), "backward port {b} out of range");
+        self.bwd_mode[b] = mode;
+    }
+
     /// Whether forward port `f` uses fast path reclamation on blocking
     /// (`true`) or holds the connection for a detailed turn-time reply
     /// (`false`). Paper §5.1, "Path Reclamation — Fast and Detailed".

@@ -365,9 +365,28 @@ impl Router {
     /// Applies a new configuration, as a scan operation would
     /// (paper §5.3: port enables and fast reclamation may change during
     /// operation). Connections in flight are unaffected except that
-    /// newly disabled backward ports are no longer granted.
+    /// newly disabled backward ports are no longer granted. Every port
+    /// flipped enabled → disabled counts as one applied mask in the
+    /// telemetry ([`RouterCounter::MasksApplied`]).
     pub fn apply_config(&mut self, config: RouterConfig) {
+        for f in 0..self.params.forward_ports() {
+            if self.config.forward_enabled(f) && !config.forward_enabled(f) {
+                self.counters.inc(RouterCounter::MasksApplied);
+            }
+        }
+        for b in 0..self.params.backward_ports() {
+            if self.config.backward_enabled(b) && !config.backward_enabled(b) {
+                self.counters.inc(RouterCounter::MasksApplied);
+            }
+        }
         self.config = config;
+    }
+
+    /// Records an externally observed event against this router's
+    /// counter cell — the self-healing layer attributes checksum
+    /// mismatches and post-mask retries to the routers they implicate.
+    pub fn note_event(&mut self, counter: RouterCounter) {
+        self.counters.inc(counter);
     }
 
     /// Replaces the router's random stream — used by

@@ -139,6 +139,70 @@ pub fn mask_plan(site: CorruptionSite, ports_taken: &[usize], fwd_ports: &[usize
     }
 }
 
+/// What one failed attempt's reply evidence says about the fabric —
+/// the online entry point the simulator's self-healing layer feeds
+/// each piece of delivery evidence through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptDiagnosis {
+    /// Transit checksums localized corruption to a link: apply the
+    /// mask plan (disable both ends).
+    Corruption(MaskPlan),
+    /// Every reported transit checksum matched but the delivery itself
+    /// failed (corrupt ACK, no ACK, or the reply evidence simply
+    /// stopped): the fault sits past the last *reporting* router — on
+    /// the delivery boundary when every stage reported, or on the dead
+    /// link the trail went cold at. Mask that stage's backward port.
+    DeliveryBoundary {
+        /// The last stage that reported (the path's final stage when
+        /// the evidence is complete).
+        stage: usize,
+        /// The backward port the connection left that stage on.
+        backward_port: usize,
+    },
+    /// The attempt produced no reversal evidence at all (watchdog
+    /// expiry with an empty record): a dead element ate the stream
+    /// without replying. Localization needs a boundary-scan sweep.
+    NeedsSweep,
+    /// The evidence does not implicate a wire (e.g. an ordinary
+    /// blocked/reclaimed attempt): take no masking action.
+    Inconclusive,
+}
+
+/// Classifies one failed attempt from its reply evidence.
+///
+/// `expected` and `reported` are the per-stage transit checksums
+/// (nearest router first, as `expected_stage_checksums` produces and
+/// the NIC's delivery record collects); `ports_taken`/`fwd_ports`
+/// describe the path actually switched (from the STATUS words and the
+/// topology); `delivery_failed` is true when the destination NACKed or
+/// never ACKed despite a full reversal.
+#[must_use]
+pub fn diagnose_attempt(
+    expected: &[u16],
+    reported: &[u16],
+    ports_taken: &[usize],
+    fwd_ports: &[usize],
+    delivery_failed: bool,
+) -> AttemptDiagnosis {
+    if reported.is_empty() {
+        return AttemptDiagnosis::NeedsSweep;
+    }
+    if let Some(site) = localize_corruption(expected, reported) {
+        return AttemptDiagnosis::Corruption(mask_plan(site, ports_taken, fwd_ports));
+    }
+    // Clean-as-far-as-reported evidence with a failed delivery: the
+    // element after the last reporting router swallowed the stream (a
+    // dead inter-stage link kills the reply mid-path; a dead or
+    // corrupting delivery link leaves a full, clean report).
+    if delivery_failed && !ports_taken.is_empty() {
+        return AttemptDiagnosis::DeliveryBoundary {
+            stage: ports_taken.len() - 1,
+            backward_port: ports_taken[ports_taken.len() - 1],
+        };
+    }
+    AttemptDiagnosis::Inconclusive
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +341,118 @@ mod tests {
         assert_eq!(localize_corruption(&[], &[0x1234]), None);
         // Reported side empty: zip truncates, no mismatch observable.
         assert_eq!(localize_corruption(&[0x1234], &[]), None);
+    }
+
+    #[test]
+    fn first_of_multiple_corrupting_stages_wins() {
+        // Two independently corrupting elements on one path: every
+        // checksum from the first bad stage onward mismatches, and the
+        // second fault adds *further* divergence downstream — the
+        // localizer must still name the first stage, because masking
+        // proceeds one link at a time (the next attempt re-localizes
+        // the survivor).
+        let plan = plan3();
+        let digits = plan.digits_for(0b10_01_11);
+        let payload = [2u16, 4, 6, 8];
+        let expected = expected_stage_checksums(&plan, &digits, &payload, 8, 0);
+        let mut reported = expected.clone();
+        for r in reported.iter_mut().skip(1) {
+            *r ^= 0x0040; // first corrupting link: into stage 1
+        }
+        for r in reported.iter_mut().skip(2) {
+            *r ^= 0x2000; // second corrupting link: into stage 2
+        }
+        assert_eq!(
+            localize_corruption(&expected, &reported),
+            Some(CorruptionSite { stage: 1 })
+        );
+        // Degenerate double fault: the second corruption exactly undoes
+        // the first at stage 2. The first mismatching stage still wins.
+        let mut cancel = expected.clone();
+        cancel[1] ^= 0x0040;
+        assert_eq!(
+            localize_corruption(&expected, &cancel),
+            Some(CorruptionSite { stage: 1 })
+        );
+    }
+
+    #[test]
+    fn mask_plan_on_dilated_ports_names_the_physical_port() {
+        // Dilation 2: each logical direction owns two physical backward
+        // ports, and the STATUS word names the *physical* port the
+        // connection switched through. ports_taken entries here are
+        // physical indices within dilated groups (dir*2 + lane), and
+        // the plan must carry them through untouched — masking the
+        // sibling lane instead would disable a healthy wire.
+        let ports_taken = [3usize, 5, 0]; // dirs 1,2,0 — lanes 1,1,0
+        let fwd_ports = [2usize, 6, 1];
+        let plan = mask_plan(CorruptionSite { stage: 1 }, &ports_taken, &fwd_ports);
+        assert_eq!(plan.upstream_stage, Some(0));
+        assert_eq!(
+            plan.upstream_backward_port,
+            Some(3),
+            "lane 1 of direction 1, not the direction's base port"
+        );
+        assert_eq!(plan.downstream_stage, 1);
+        assert_eq!(plan.downstream_forward_port, 6);
+
+        let plan = mask_plan(CorruptionSite { stage: 2 }, &ports_taken, &fwd_ports);
+        assert_eq!(plan.upstream_backward_port, Some(5));
+        assert_eq!(plan.downstream_forward_port, 1);
+    }
+
+    #[test]
+    fn diagnose_attempt_classifies_each_evidence_shape() {
+        let plan = plan3();
+        let digits = plan.digits_for(6);
+        let payload = [1u16, 2];
+        let expected = expected_stage_checksums(&plan, &digits, &payload, 8, 0);
+        let ports = [1usize, 2, 3];
+        let fwd = [0usize, 0, 0];
+
+        // Corruption mid-path → a mask plan naming the link.
+        let mut bad = expected.clone();
+        bad[2] ^= 0x10;
+        match diagnose_attempt(&expected, &bad, &ports, &fwd, true) {
+            AttemptDiagnosis::Corruption(p) => {
+                assert_eq!(p.upstream_backward_port, Some(2));
+                assert_eq!(p.downstream_stage, 2);
+            }
+            d => panic!("expected corruption, got {d:?}"),
+        }
+
+        // Clean checksums + failed delivery → the delivery boundary.
+        assert_eq!(
+            diagnose_attempt(&expected, &expected, &ports, &fwd, true),
+            AttemptDiagnosis::DeliveryBoundary {
+                stage: 2,
+                backward_port: 3
+            }
+        );
+
+        // Clean evidence that stops mid-path with a failed delivery:
+        // a dead link ate the stream right after the last reporting
+        // router — mask the port the trail went cold on.
+        assert_eq!(
+            diagnose_attempt(&expected, &expected[..1], &ports[..1], &fwd, true),
+            AttemptDiagnosis::DeliveryBoundary {
+                stage: 0,
+                backward_port: 1
+            }
+        );
+
+        // No reversal evidence at all → sweep.
+        assert_eq!(
+            diagnose_attempt(&expected, &[], &ports, &fwd, false),
+            AttemptDiagnosis::NeedsSweep
+        );
+
+        // Partial clean evidence without a delivery failure (an
+        // ordinary block) → no action.
+        assert_eq!(
+            diagnose_attempt(&expected, &expected[..1], &ports[..1], &fwd, false),
+            AttemptDiagnosis::Inconclusive
+        );
     }
 
     #[test]

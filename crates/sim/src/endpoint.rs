@@ -19,7 +19,9 @@
 //! by the acknowledgment and padded with DATA-IDLE to model memory
 //! latency (paper §5.1, DATA-IDLE use 1).
 
-use crate::message::{DeliveryRecord, FailureKind, MessageOutcome, ACK_CORRUPT, ACK_OK};
+use crate::message::{
+    DeliveryRecord, DeliveryStatus, FailureKind, MessageOutcome, ACK_CORRUPT, ACK_OK,
+};
 use metro_core::{RandomSource, StreamChecksum, Word};
 use std::collections::VecDeque;
 
@@ -86,6 +88,33 @@ impl Default for EndpointConfig {
             capture_failure_records: false,
         }
     }
+}
+
+/// Evidence from one failed delivery attempt, drained by the network's
+/// self-healing layer for online diagnosis (paper §5.3: reconfiguration
+/// happens while the network carries traffic, driven by the same
+/// checksum/STATUS words the retry protocol already collects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptEvidence {
+    /// Source endpoint.
+    pub src: usize,
+    /// Destination endpoint of the failed attempt.
+    pub dest: usize,
+    /// Injection (output) port the attempt used.
+    pub port: usize,
+    /// How the attempt failed.
+    pub kind: FailureKind,
+    /// The return-stream record (statuses, checksums, ack) collected
+    /// during the attempt, nearest router first.
+    pub record: DeliveryRecord,
+    /// The opening segment's word stream (header + payload + checksum +
+    /// TURN) — the diagnoser recomputes expected per-stage checksums
+    /// from it.
+    pub stream: Vec<Word>,
+    /// Whether the reverse lane showed any life during the attempt (a
+    /// live first-hop router holds DATA-IDLE). `false` means the entry
+    /// port leads nowhere.
+    pub entry_alive: bool,
 }
 
 /// A message delivered at a destination endpoint.
@@ -222,6 +251,9 @@ pub struct Endpoint {
     completed: Vec<MessageOutcome>,
     abandoned: Vec<MessageOutcome>,
     delivered: Vec<Delivered>,
+    evidence: Vec<AttemptEvidence>,
+    collect_evidence: bool,
+    port_masked: Vec<bool>,
     dead: bool,
 }
 
@@ -247,6 +279,9 @@ impl Endpoint {
             completed: Vec::new(),
             abandoned: Vec::new(),
             delivered: Vec::new(),
+            evidence: Vec::new(),
+            collect_evidence: false,
+            port_masked: vec![false; out_ports],
             dead: false,
         }
     }
@@ -337,6 +372,53 @@ impl Endpoint {
         std::mem::take(&mut self.delivered)
     }
 
+    /// Turns failed-attempt evidence collection on or off. Off by
+    /// default: under sustained congested load every blocked attempt
+    /// would clone its record, so only the self-healing layer enables
+    /// this.
+    pub fn set_collect_evidence(&mut self, on: bool) {
+        self.collect_evidence = on;
+        if !on {
+            self.evidence.clear();
+        }
+    }
+
+    /// Drains the failed-attempt evidence collected since the last
+    /// drain (empty unless [`Endpoint::set_collect_evidence`] is on).
+    pub fn take_evidence(&mut self) -> Vec<AttemptEvidence> {
+        std::mem::take(&mut self.evidence)
+    }
+
+    /// Masks an output (injection) port: new attempts and retries avoid
+    /// it while any unmasked port remains. Refuses (returning `false`)
+    /// to mask the last unmasked port — a source must always keep one
+    /// way into the network. Masking is advisory, not a hard disable:
+    /// if every unmasked port is held by a sibling engine, a masked
+    /// port may still be used rather than stalling forever.
+    pub fn mask_out_port(&mut self, p: usize) -> bool {
+        assert!(p < self.out_ports, "output port {p} out of range");
+        if self.port_masked[p] {
+            return true;
+        }
+        if self.port_masked.iter().filter(|&&m| !m).count() <= 1 {
+            return false;
+        }
+        self.port_masked[p] = true;
+        true
+    }
+
+    /// Unmasks an output port (e.g. after a repair).
+    pub fn unmask_out_port(&mut self, p: usize) {
+        assert!(p < self.out_ports, "output port {p} out of range");
+        self.port_masked[p] = false;
+    }
+
+    /// Whether an output port is currently masked.
+    #[must_use]
+    pub fn out_port_masked(&self, p: usize) -> bool {
+        self.port_masked[p]
+    }
+
     /// Advances the endpoint one clock cycle.
     ///
     /// Compatibility wrapper over [`Endpoint::tick_into`] that allocates
@@ -409,12 +491,28 @@ impl Endpoint {
             .count()
     }
 
-    /// The `n`-th (in port order) free output port for engine `k`.
-    fn nth_free_port(&self, k: usize, n: usize) -> usize {
+    /// Number of output ports engine `k` should choose among: unmasked
+    /// free ports when any exist, otherwise all free ports (masking is
+    /// advisory — see [`Endpoint::mask_out_port`]).
+    fn count_usable_ports(&self, k: usize) -> usize {
+        let unmasked = (0..self.out_ports)
+            .filter(|&p| !self.port_masked[p] && self.port_free_for(k, p))
+            .count();
+        if unmasked > 0 {
+            unmasked
+        } else {
+            self.count_free_ports(k)
+        }
+    }
+
+    /// The `n`-th (in port order) usable output port for engine `k`.
+    fn nth_usable_port(&self, k: usize, n: usize) -> usize {
+        let any_unmasked =
+            (0..self.out_ports).any(|p| !self.port_masked[p] && self.port_free_for(k, p));
         (0..self.out_ports)
-            .filter(|&p| self.port_free_for(k, p))
+            .filter(|&p| self.port_free_for(k, p) && !(any_unmasked && self.port_masked[p]))
             .nth(n)
-            .expect("n < count_free_ports")
+            .expect("n < count_usable_ports")
     }
 
     fn tick_engine(
@@ -429,7 +527,7 @@ impl Endpoint {
         // Start the next message if idle (and the inter-stream gap has
         // elapsed).
         if eng.active.is_none() && now >= eng.gap_until && !self.queue.is_empty() {
-            let nfree = self.count_free_ports(k);
+            let nfree = self.count_usable_ports(k);
             if nfree > 0 {
                 let QueuedMessage {
                     dest,
@@ -438,7 +536,7 @@ impl Endpoint {
                     requested_at,
                 } = self.queue.pop_front().expect("queue checked non-empty");
                 let n = self.rng.index(nfree);
-                let port = self.nth_free_port(k, n);
+                let port = self.nth_usable_port(k, n);
                 eng.active = Some(ActiveMessage {
                     dest,
                     payload_words,
@@ -596,6 +694,17 @@ impl Endpoint {
             if self.config.capture_failure_records {
                 msg.failure_records.push((msg.port, msg.record.clone()));
             }
+            if self.collect_evidence {
+                self.evidence.push(AttemptEvidence {
+                    src: self.id,
+                    dest: msg.dest,
+                    port: msg.port,
+                    kind,
+                    record: msg.record.clone(),
+                    stream: msg.all_segments[0].clone(),
+                    entry_alive: msg.saw_reverse_activity,
+                });
+            }
             msg.record.reset();
             msg.success_at = None;
             msg.saw_reverse_activity = false;
@@ -614,6 +723,9 @@ impl Endpoint {
                     payload_delivered: Vec::new(),
                     reply_received: Vec::new(),
                     failure_records: msg.failure_records,
+                    status: DeliveryStatus::Undeliverable {
+                        attempts: msg.retries,
+                    },
                 });
                 eng.state = TxState::Idle;
                 eng.gap_until = now + 2;
@@ -626,11 +738,12 @@ impl Endpoint {
                 self.rng.index(self.config.retry_backoff_max + 1)
             };
             // Spread retries over the redundant entry ports too (but
-            // never onto a port a sibling engine is using).
-            let nfree = self.count_free_ports(k);
+            // never onto a port a sibling engine is using, and avoiding
+            // masked ports while unmasked ones are free).
+            let nfree = self.count_usable_ports(k);
             if nfree > 0 {
                 let n = self.rng.index(nfree);
-                msg.port = self.nth_free_port(k, n);
+                msg.port = self.nth_usable_port(k, n);
             }
             // +2 guarantees at least one fully undriven cycle reaches
             // the first-hop router so it can drain the old connection.
@@ -655,6 +768,7 @@ impl Endpoint {
                 payload_delivered: Vec::new(),
                 reply_received: msg.record.reply_words.clone(),
                 failure_records: msg.failure_records,
+                status: DeliveryStatus::Delivered,
             });
             eng.state = TxState::Idle;
             eng.gap_until = now + 2;

@@ -31,11 +31,13 @@
 //! | [`stats`] | latency/throughput/retry statistics |
 //! | [`experiment`] | load sweeps and fault sweeps (Figure 3 and §6.2) |
 //! | [`scenario`] | declarative, serializable run descriptions + differential fuzzing |
+//! | [`chaos`] | randomized fault-storm campaigns with hard self-healing invariants |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod endpoint;
 pub mod experiment;
 pub mod message;
@@ -46,12 +48,13 @@ pub mod trace;
 pub mod traffic;
 pub mod wire;
 
-pub use endpoint::{EndpointConfig, ReplyPolicy};
+pub use chaos::{ChaosCampaign, ChaosReport, ChaosViolation, StormEvent};
+pub use endpoint::{AttemptEvidence, EndpointConfig, ReplyPolicy};
 pub use experiment::{FaultSweepPoint, LoadPoint, SweepConfig};
-pub use message::{DeliveryRecord, FailureKind, MessageOutcome};
+pub use message::{DeliveryRecord, DeliveryStatus, FailureKind, MessageOutcome};
 pub use network::{EngineKind, NetworkSim, SimConfig};
 pub use scenario::{
-    run_scenario, FaultInjection, Scenario, ScenarioResult, SendSpec, WorkloadSpec,
+    run_scenario, FaultInjection, RepairSet, Scenario, ScenarioResult, SendSpec, WorkloadSpec,
 };
 pub use stats::{LatencyStats, NetworkStats};
 pub use trace::{TraceEvent, TraceLog, TraceRecord};

@@ -27,6 +27,29 @@ pub enum FailureKind {
     Timeout,
 }
 
+/// How a message transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum DeliveryStatus {
+    /// The acknowledgment arrived: delivered exactly once.
+    #[default]
+    Delivered,
+    /// The NIC exhausted its configured attempt budget
+    /// (`EndpointConfig::max_retries`, 0 = never give up) and
+    /// surrendered the message after `attempts` tries.
+    Undeliverable {
+        /// Transmission attempts made before giving up.
+        attempts: usize,
+    },
+}
+
+impl DeliveryStatus {
+    /// Whether the message was delivered (vs. given up on).
+    #[must_use]
+    pub fn is_delivered(self) -> bool {
+        matches!(self, DeliveryStatus::Delivered)
+    }
+}
+
 /// The result of one complete message transaction (possibly after
 /// several attempts).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +85,9 @@ pub struct MessageOutcome {
     /// checksums) the attempt collected — the raw material for
     /// checksum-based fault localization (`metro-scan::diagnosis`).
     pub failure_records: Vec<(usize, DeliveryRecord)>,
+    /// How the transaction ended: delivered, or given up as
+    /// undeliverable after exhausting the attempt budget.
+    pub status: DeliveryStatus,
 }
 
 impl MessageOutcome {
@@ -132,9 +158,21 @@ mod tests {
             payload_delivered: vec![],
             reply_received: vec![],
             failure_records: vec![],
+            status: DeliveryStatus::Delivered,
         };
         assert_eq!(o.total_latency(), 40);
         assert_eq!(o.network_latency(), 36);
+    }
+
+    #[test]
+    fn undeliverable_status_carries_the_attempt_count() {
+        let s = DeliveryStatus::Undeliverable { attempts: 4 };
+        assert!(!s.is_delivered());
+        assert!(DeliveryStatus::default().is_delivered());
+        match s {
+            DeliveryStatus::Undeliverable { attempts } => assert_eq!(attempts, 4),
+            DeliveryStatus::Delivered => unreachable!(),
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! * **`scenario_schema` is checked first**; documents from a different
 //!   schema version are rejected before any field parsing.
 
-use super::{FaultInjection, Scenario, SendSpec, WorkloadSpec};
+use super::{FaultInjection, RepairSet, Scenario, SendSpec, WorkloadSpec};
 use crate::endpoint::{EndpointConfig, ReplyPolicy};
 use crate::network::{EngineKind, SimConfig};
 use crate::traffic::TrafficPattern;
@@ -307,7 +307,7 @@ fn dec_endpoint(doc: &Json, path: &str) -> Result<EndpointConfig, CodecError> {
 }
 
 fn enc_sim(sim: &SimConfig) -> Json {
-    Json::obj([
+    let mut fields = vec![
         ("width", Json::from(sim.width)),
         ("header_words", Json::from(sim.header_words)),
         ("pipestages", Json::from(sim.pipestages)),
@@ -338,7 +338,12 @@ fn enc_sim(sim: &SimConfig) -> Json {
             }),
         ),
         ("telemetry_every", Json::from(sim.telemetry_every)),
-    ])
+    ];
+    // Conditional emission keeps pre-healing scenario files byte-stable.
+    if sim.self_heal {
+        fields.push(("self_heal", Json::from(true)));
+    }
+    Json::obj(fields)
 }
 
 fn dec_sim(doc: &Json, path: &str) -> Result<SimConfig, CodecError> {
@@ -356,6 +361,7 @@ fn dec_sim(doc: &Json, path: &str) -> Result<SimConfig, CodecError> {
             "seed",
             "engine",
             "telemetry_every",
+            "self_heal",
         ],
         path,
     )?;
@@ -406,6 +412,12 @@ fn dec_sim(doc: &Json, path: &str) -> Result<SimConfig, CodecError> {
         telemetry_every: match doc.get("telemetry_every") {
             Some(v) => dec_u64(v, &format!("{path}.telemetry_every"))?,
             None => 1,
+        },
+        // Absent in pre-healing scenario files; off is the old
+        // behaviour.
+        self_heal: match doc.get("self_heal") {
+            Some(v) => dec_bool(v, &format!("{path}.self_heal"))?,
+            None => false,
         },
     })
 }
@@ -523,6 +535,79 @@ fn dec_faults(doc: &Json, path: &str) -> Result<FaultSet, CodecError> {
         faults.kill_endpoint(dec_usize(e, &format!("{eps_path}[{i}]"))?);
     }
     Ok(faults)
+}
+
+fn enc_repairs(repairs: &RepairSet) -> Json {
+    // Vec order is preserved verbatim — unlike `FaultSet`'s hash
+    // containers, a `RepairSet` is already deterministic, so the
+    // author's order is the canonical order.
+    Json::obj([
+        (
+            "links",
+            Json::arr(repairs.links.iter().map(|l| {
+                Json::obj([
+                    ("stage", Json::from(l.stage)),
+                    ("router", Json::from(l.router)),
+                    ("port", Json::from(l.port)),
+                ])
+            })),
+        ),
+        (
+            "routers",
+            Json::arr(
+                repairs
+                    .routers
+                    .iter()
+                    .map(|&(s, r)| Json::arr([Json::from(s), Json::from(r)])),
+            ),
+        ),
+        (
+            "endpoints",
+            Json::arr(repairs.endpoints.iter().map(|&e| Json::from(e))),
+        ),
+    ])
+}
+
+fn dec_repairs(doc: &Json, path: &str) -> Result<RepairSet, CodecError> {
+    check_fields(doc, &["links", "routers", "endpoints"], path)?;
+    let mut repairs = RepairSet::default();
+    let links_path = format!("{path}.links");
+    for (i, l) in dec_arr(get(doc, "links", path)?, &links_path)?
+        .iter()
+        .enumerate()
+    {
+        let lp = format!("{links_path}[{i}]");
+        check_fields(l, &["stage", "router", "port"], &lp)?;
+        repairs.links.push(LinkId::new(
+            dec_usize(get(l, "stage", &lp)?, &format!("{lp}.stage"))?,
+            dec_usize(get(l, "router", &lp)?, &format!("{lp}.router"))?,
+            dec_usize(get(l, "port", &lp)?, &format!("{lp}.port"))?,
+        ));
+    }
+    let routers_path = format!("{path}.routers");
+    for (i, r) in dec_arr(get(doc, "routers", path)?, &routers_path)?
+        .iter()
+        .enumerate()
+    {
+        let rp = format!("{routers_path}[{i}]");
+        let pair = dec_arr(r, &rp)?;
+        if pair.len() != 2 {
+            return err(&rp, "expected a [stage, router] pair");
+        }
+        repairs
+            .routers
+            .push((dec_usize(&pair[0], &rp)?, dec_usize(&pair[1], &rp)?));
+    }
+    let eps_path = format!("{path}.endpoints");
+    for (i, e) in dec_arr(get(doc, "endpoints", path)?, &eps_path)?
+        .iter()
+        .enumerate()
+    {
+        repairs
+            .endpoints
+            .push(dec_usize(e, &format!("{eps_path}[{i}]"))?);
+    }
+    Ok(repairs)
 }
 
 // ---------------------------------------------------------------------------
@@ -698,11 +783,16 @@ pub fn encode(scenario: &Scenario) -> Json {
         ("faults", enc_faults(&scenario.faults)),
         (
             "injections",
-            Json::arr(
-                scenario.injections.iter().map(|i| {
-                    Json::obj([("at", Json::from(i.at)), ("faults", enc_faults(&i.faults))])
-                }),
-            ),
+            Json::arr(scenario.injections.iter().map(|i| {
+                let mut doc =
+                    Json::obj([("at", Json::from(i.at)), ("faults", enc_faults(&i.faults))]);
+                // Emitted only when present, so pre-repair corpus
+                // files stay byte-canonical under re-encoding.
+                if !i.repairs.is_empty() {
+                    doc.set("repairs", enc_repairs(&i.repairs));
+                }
+                doc
+            })),
         ),
         ("workload", enc_workload(&scenario.workload)),
     ])
@@ -746,10 +836,15 @@ pub fn decode(doc: &Json) -> Result<Scenario, CodecError> {
         .enumerate()
     {
         let ip = format!("{injections_path}[{i}]");
-        check_fields(inj, &["at", "faults"], &ip)?;
+        check_fields(inj, &["at", "faults", "repairs"], &ip)?;
         injections.push(FaultInjection {
             at: dec_u64(get(inj, "at", &ip)?, &format!("{ip}.at"))?,
             faults: dec_faults(get(inj, "faults", &ip)?, &format!("{ip}.faults"))?,
+            // Absent in pre-repair scenario files (back-compat).
+            repairs: match inj.get("repairs") {
+                Some(r) => dec_repairs(r, &format!("{ip}.repairs"))?,
+                None => RepairSet::default(),
+            },
         });
     }
     Ok(Scenario {
@@ -824,6 +919,7 @@ mod tests {
             injections: vec![FaultInjection {
                 at: 250,
                 faults: inj,
+                repairs: RepairSet::default(),
             }],
             workload: WorkloadSpec::Load {
                 pattern: TrafficPattern::Hotspot {
@@ -917,6 +1013,40 @@ mod tests {
         wl.set("sends", Json::arr([send0]));
         doc.set("workload", wl);
         assert!(decode(&doc).is_err());
+    }
+
+    #[test]
+    fn repair_events_round_trip_and_stay_back_compatible() {
+        let mut s = rich_scenario();
+        s.injections[0].repairs = RepairSet {
+            links: vec![LinkId::new(1, 2, 0), LinkId::new(0, 0, 1)],
+            routers: vec![(0, 3)],
+            endpoints: vec![5],
+        };
+        let doc = encode(&s);
+        assert_eq!(decode(&doc).unwrap(), s);
+        // Byte stability with repairs present.
+        let text = doc.render();
+        assert_eq!(encode(&from_text(&text).unwrap()).render(), text);
+
+        // Back-compat: a pre-repair document (no "repairs" key) decodes
+        // to an empty repair set, and re-encodes without the key —
+        // existing corpus files keep their canonical bytes.
+        let old = rich_scenario();
+        let old_doc = encode(&old);
+        assert!(old_doc.render().find("repairs").is_none());
+        assert!(decode(&old_doc).unwrap().injections[0].repairs.is_empty());
+
+        // Unknown fields inside a repair entry still fail loudly.
+        let mut doc = encode(&s);
+        let mut injections = doc.get("injections").unwrap().as_arr().unwrap().to_vec();
+        let mut repairs = injections[0].get("repairs").unwrap().clone();
+        repairs.set("surprise", Json::from(1u64));
+        injections[0].set("repairs", repairs);
+        doc.set("injections", Json::arr(injections));
+        let e = decode(&doc).unwrap_err();
+        assert_eq!(e.path, "scenario.injections[0].repairs");
+        assert!(e.message.contains("surprise"));
     }
 
     #[test]

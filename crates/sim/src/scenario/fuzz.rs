@@ -12,7 +12,7 @@
 //!
 //! [`MessageOutcome`]: crate::message::MessageOutcome
 
-use super::{codec, run_scenario, FaultInjection, Scenario, SendSpec, WorkloadSpec};
+use super::{codec, run_scenario, FaultInjection, RepairSet, Scenario, SendSpec, WorkloadSpec};
 use crate::network::{EngineKind, SimConfig};
 use metro_core::RandomSource;
 use metro_topo::fault::{FaultKind, FaultSet};
@@ -108,6 +108,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
         vec![FaultInjection {
             at: rng.bits(8), // within the active window
             faults: random_faults(&topology, &mut rng),
+            repairs: RepairSet::default(),
         }]
     } else {
         Vec::new()

@@ -28,6 +28,7 @@ use crate::traffic::{LoadGenerator, TrafficPattern};
 use metro_core::RandomSource;
 use metro_harness::Json;
 use metro_topo::fault::FaultSet;
+use metro_topo::graph::LinkId;
 use metro_topo::multibutterfly::MultibutterflySpec;
 
 /// One scheduled message of a scripted workload.
@@ -76,15 +77,53 @@ pub enum WorkloadSpec {
     },
 }
 
+/// Timed repairs riding on a fault injection: the named elements are
+/// restored to service at the injection's cycle (after that cycle's
+/// new faults merge, so an injection that both breaks and repairs one
+/// element repairs it).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairSet {
+    /// Links whose fault clears (`FaultSet::repair_link`).
+    pub links: Vec<LinkId>,
+    /// Routers revived, as `(stage, router)`
+    /// (`FaultSet::revive_router`).
+    pub routers: Vec<(usize, usize)>,
+    /// Endpoints revived (`FaultSet::revive_endpoint`).
+    pub endpoints: Vec<usize>,
+}
+
+impl RepairSet {
+    /// Whether the set names no repairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.routers.is_empty() && self.endpoints.is_empty()
+    }
+
+    /// Applies every repair to the given fault set.
+    pub fn apply_to(&self, faults: &mut FaultSet) {
+        for &l in &self.links {
+            faults.repair_link(l);
+        }
+        for &(s, r) in &self.routers {
+            faults.revive_router(s, r);
+        }
+        for &e in &self.endpoints {
+            faults.revive_endpoint(e);
+        }
+    }
+}
+
 /// A timed dynamic fault injection: at cycle `at`, `faults` merge into
 /// the active fault set (cumulatively — earlier injections stay in
-/// force).
+/// force) and `repairs` then clear their named elements.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultInjection {
     /// Cycle at which the faults appear.
     pub at: u64,
     /// The elements that fail at that cycle.
     pub faults: FaultSet,
+    /// The elements restored to service at that cycle.
+    pub repairs: RepairSet,
 }
 
 /// A complete, self-contained description of one simulation run.
@@ -193,6 +232,10 @@ impl ScenarioResult {
             absorb(o.completed_at);
             absorb(o.retries as u64);
             absorb(o.failures.len() as u64);
+            absorb(match o.status {
+                crate::message::DeliveryStatus::Delivered => 0,
+                crate::message::DeliveryStatus::Undeliverable { attempts } => 1 + attempts as u64,
+            });
             absorb(o.payload_words as u64);
             for &w in &o.payload_delivered {
                 absorb(u64::from(w));
@@ -246,6 +289,7 @@ fn apply_due_injections(
     while pending.first().is_some_and(|i| i.at <= now) {
         let injection = pending.remove(0);
         active.merge(&injection.faults);
+        injection.repairs.apply_to(active);
         changed = true;
     }
     if changed {
@@ -463,7 +507,11 @@ mod tests {
                 faults.break_link(l, FaultKind::CorruptData { xor: 0x01 });
             }
         }
-        s.injections.push(FaultInjection { at: 0, faults });
+        s.injections.push(FaultInjection {
+            at: 0,
+            faults,
+            repairs: RepairSet::default(),
+        });
         let faulty = run_scenario(&s).unwrap();
         assert!(
             faulty.outcomes.is_empty()
@@ -482,8 +530,16 @@ mod tests {
         let mut f2 = FaultSet::new();
         f2.break_link(LinkId::new(0, 1, 0), FaultKind::Dead);
         s.injections = vec![
-            FaultInjection { at: 10, faults: f1 },
-            FaultInjection { at: 20, faults: f2 },
+            FaultInjection {
+                at: 10,
+                faults: f1,
+                repairs: RepairSet::default(),
+            },
+            FaultInjection {
+                at: 20,
+                faults: f2,
+                repairs: RepairSet::default(),
+            },
         ];
         // Replay manually up to cycle 30 and check the live fault set.
         let mut sim = NetworkSim::from_scenario(&s).unwrap();
@@ -498,6 +554,47 @@ mod tests {
             "first injection still active"
         );
         assert!(sim.faults().link_dead(LinkId::new(0, 1, 0)));
+    }
+
+    #[test]
+    fn timed_repairs_restore_service() {
+        let mut s = scripted_sample();
+        // Break a link at cycle 10, then repair it (and revive a
+        // router killed by the same schedule) at cycle 20.
+        let broken = LinkId::new(0, 1, 0);
+        let mut f1 = FaultSet::new();
+        f1.break_link(broken, FaultKind::Dead);
+        f1.kill_router(1, 0);
+        s.injections = vec![
+            FaultInjection {
+                at: 10,
+                faults: f1,
+                repairs: RepairSet::default(),
+            },
+            FaultInjection {
+                at: 20,
+                faults: FaultSet::new(),
+                repairs: RepairSet {
+                    links: vec![broken],
+                    routers: vec![(1, 0)],
+                    endpoints: vec![],
+                },
+            },
+        ];
+        let mut sim = NetworkSim::from_scenario(&s).unwrap();
+        let mut active = s.faults.clone();
+        let mut pending = s.injections.clone();
+        for now in 0..15 {
+            apply_due_injections(&mut sim, &mut pending, &mut active, now);
+            sim.tick();
+        }
+        assert!(sim.faults().link_dead(broken), "fault active before repair");
+        assert!(sim.faults().router_dead(1, 0));
+        for now in 15..25 {
+            apply_due_injections(&mut sim, &mut pending, &mut active, now);
+            sim.tick();
+        }
+        assert!(sim.faults().is_empty(), "repair cleared every fault");
     }
 
     #[test]

@@ -214,6 +214,7 @@ mod tests {
             payload_delivered: vec![],
             reply_received: vec![],
             failure_records: vec![],
+            status: crate::message::DeliveryStatus::Delivered,
         };
         n.record(&o, 20);
         assert_eq!(n.delivered, 1);

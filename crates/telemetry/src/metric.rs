@@ -27,11 +27,20 @@ pub enum RouterCounter {
     Drops = 5,
     /// Payload words forwarded through the crossbar.
     WordsForwarded = 6,
+    /// Return-stream checksum mismatches the self-healing layer
+    /// attributed to this router's downstream side.
+    ChecksumMismatches = 7,
+    /// Port-mask applications: enabled ports flipped to disabled by a
+    /// live reconfiguration ([`Router::apply_config`]-level diff).
+    MasksApplied = 8,
+    /// Retries routed through this router's stage-0 entry after at
+    /// least one mask was in effect for the sending endpoint.
+    RetriesAfterMask = 9,
 }
 
 impl RouterCounter {
     /// Number of counters — the width of a [`crate::CounterCell`].
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 10;
 
     /// Every counter, in slot order.
     pub const ALL: [RouterCounter; RouterCounter::COUNT] = [
@@ -42,6 +51,9 @@ impl RouterCounter {
         RouterCounter::Turns,
         RouterCounter::Drops,
         RouterCounter::WordsForwarded,
+        RouterCounter::ChecksumMismatches,
+        RouterCounter::MasksApplied,
+        RouterCounter::RetriesAfterMask,
     ];
 
     /// The stable snake_case name used in snapshot JSON and reports.
@@ -55,6 +67,9 @@ impl RouterCounter {
             RouterCounter::Turns => "turns",
             RouterCounter::Drops => "drops",
             RouterCounter::WordsForwarded => "words_forwarded",
+            RouterCounter::ChecksumMismatches => "checksum_mismatches",
+            RouterCounter::MasksApplied => "masks_applied",
+            RouterCounter::RetriesAfterMask => "retries_after_mask",
         }
     }
 

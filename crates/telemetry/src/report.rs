@@ -74,6 +74,17 @@ pub fn render(snap: &TelemetrySnapshot) -> String {
         out.push_str(&table_row(&s.to_string(), routers, &totals, snap.cycles));
     }
     out.push_str(&table_row("total", all_routers, &grand, snap.cycles));
+    let mismatches = grand[RouterCounter::ChecksumMismatches as usize];
+    let masks = grand[RouterCounter::MasksApplied as usize];
+    let masked_retries = grand[RouterCounter::RetriesAfterMask as usize];
+    // The healing line only appears when the self-healing layer acted,
+    // so fault-free reports keep their pinned pre-healing format.
+    if mismatches + masks + masked_retries > 0 {
+        out.push_str(&format!(
+            "healing: checksum_mismatches {mismatches}  masks_applied {masks}  \
+             retries_after_mask {masked_retries}\n"
+        ));
+    }
     let l = &snap.latency;
     out.push_str(&format!(
         "latency: count {}  mean {:.1}  p50 {}  p95 {}  p99 {}  min {}  max {}\n",
@@ -149,6 +160,38 @@ mod tests {
             lines[5],
             "latency: count 8  mean 41.5  p50 40  p95 60  p99 60  min 30  max 60"
         );
+    }
+
+    #[test]
+    fn healing_line_appears_only_when_the_healer_acted() {
+        let mut reg = TelemetryRegistry::new(&[1], 1);
+        let mut a = CounterCell::new();
+        a.add(RouterCounter::ChecksumMismatches, 3);
+        a.add(RouterCounter::MasksApplied, 2);
+        a.add(RouterCounter::RetriesAfterMask, 5);
+        reg.sync_slot(0, 0, &a);
+        reg.finish_sync();
+        let snap = TelemetrySnapshot::from_registry(
+            "healed",
+            "flat",
+            100,
+            &reg,
+            HistogramSummary::default(),
+        );
+        let text = render(&snap);
+        assert!(text
+            .contains("healing: checksum_mismatches 3  masks_applied 2  retries_after_mask 5\n"));
+
+        // A quiet network renders no healing line at all.
+        let quiet = TelemetryRegistry::new(&[1], 1);
+        let snap = TelemetrySnapshot::from_registry(
+            "quiet",
+            "flat",
+            100,
+            &quiet,
+            HistogramSummary::default(),
+        );
+        assert!(!render(&snap).contains("healing:"));
     }
 
     #[test]

@@ -455,6 +455,9 @@ mod tests {
                     "fast_reclaims",
                     "turns",
                     "drops",
+                    "words_forwarded",
+                    "checksum_mismatches",
+                    "masks_applied",
                     "renamed",
                 ]
                 .into_iter()
@@ -462,7 +465,7 @@ mod tests {
             ),
         );
         let e = decode(&doc).unwrap_err();
-        assert_eq!(e.path, "counter_names[6]");
+        assert_eq!(e.path, "counter_names[9]");
     }
 
     #[test]

@@ -143,6 +143,11 @@ impl FaultSet {
         self.dead_routers.remove(&(s, r));
     }
 
+    /// Revives a dead endpoint (repair).
+    pub fn revive_endpoint(&mut self, e: usize) {
+        self.dead_endpoints.remove(&e);
+    }
+
     /// Merges another fault set into this one (union). Link faults in
     /// `other` override an existing fault on the same link — the newer
     /// diagnosis wins, matching how the simulator's timed fault
@@ -295,5 +300,10 @@ mod tests {
         assert!(f.endpoint_dead(9));
         assert!(!f.endpoint_dead(8));
         assert_eq!(f.total(), 1);
+        f.revive_endpoint(9);
+        assert!(f.is_empty());
+        // Reviving a live endpoint is a no-op, not an error.
+        f.revive_endpoint(9);
+        assert!(f.is_empty());
     }
 }

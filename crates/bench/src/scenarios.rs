@@ -12,9 +12,10 @@
 use metro_harness::Json;
 use metro_sim::experiment::SweepConfig;
 use metro_sim::scenario::{codec, FaultInjection, RepairSet, Scenario, SendSpec, WorkloadSpec};
+use metro_topo::fattree::{FatTree, FatTreeSpec};
 use metro_topo::fault::{FaultKind, FaultSet};
 use metro_topo::graph::LinkId;
-use metro_topo::multibutterfly::MultibutterflySpec;
+use metro_topo::multibutterfly::{MultibutterflySpec, WiringStyle};
 
 /// Applies a quick profile to a sweep configuration: the shortened
 /// warmup/measure/drain windows the historical `--quick` flags used
@@ -85,7 +86,7 @@ pub fn emit(scenario: &Scenario) -> Json {
 }
 
 /// The names of the checked-in corpus scenarios, in `scenarios/` order.
-pub const NAMED: [&str; 7] = [
+pub const NAMED: [&str; 8] = [
     "figure1",
     "figure3_load",
     "table4_hw0",
@@ -93,6 +94,7 @@ pub const NAMED: [&str; 7] = [
     "cascade_w4",
     "fault_masking",
     "chaos_smoke",
+    "fattree",
 ];
 
 /// A small deterministic send schedule spreading `count` messages of
@@ -207,6 +209,19 @@ pub fn named(name: &str) -> Option<Scenario> {
             });
             Some(s)
         }
+        // The second network class the paper builds from METRO parts
+        // (§2, [7]): a binary fat-tree's routing structure unfolded
+        // into uniform radix-2 dilation-2 stages — 8 leaves with two
+        // ports each — under a scripted cross-tree schedule.
+        "fattree" => {
+            let tree = FatTree::build(&FatTreeSpec::binary(3, 2)).expect("valid fat-tree spec");
+            Some(Scenario::scripted(
+                "fattree",
+                tree.to_multibutterfly(WiringStyle::Randomized, 0xFA7),
+                spread_sends(8, 10, 8),
+                2_500,
+            ))
+        }
         _ => None,
     }
 }
@@ -292,6 +307,27 @@ mod tests {
         assert_eq!(r.abandoned, 0, "healing scenario must lose no messages");
         assert_eq!(r.outcomes.len(), 14);
         assert_eq!(r.delivered, 14);
+    }
+
+    #[test]
+    fn fattree_scenario_delivers_identically_on_both_engines() {
+        use metro_sim::network::EngineKind;
+
+        let base = named("fattree").unwrap();
+        let mut flat = base.clone();
+        flat.sim.engine = EngineKind::Flat;
+        let mut reference = base;
+        reference.sim.engine = EngineKind::Reference;
+
+        let f = run_scenario(&flat).expect("runnable on flat");
+        let r = run_scenario(&reference).expect("runnable on reference");
+        assert_eq!(f.delivered, 10, "all sends must deliver");
+        assert_eq!(f.abandoned, 0);
+        assert_eq!(
+            f.outcome_digest(),
+            r.outcome_digest(),
+            "fat-tree unfolding must not split the engines"
+        );
     }
 
     #[test]

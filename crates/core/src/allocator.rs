@@ -15,6 +15,16 @@
 use crate::config::RouterConfig;
 use crate::rng::RandomSource;
 
+/// The `n`-th set bit of `mask` (0-indexed from the least significant
+/// end). The caller guarantees `n < mask.count_ones()`.
+#[inline]
+fn nth_set_bit(mut mask: u64, n: usize) -> usize {
+    for _ in 0..n {
+        mask &= mask - 1;
+    }
+    mask.trailing_zeros() as usize
+}
+
 /// How a router chooses among multiple free, logically equivalent
 /// backward ports.
 ///
@@ -83,6 +93,11 @@ impl AllocationOutcome {
 #[derive(Debug, Clone)]
 pub struct Allocator {
     owner: Vec<Option<usize>>,
+    /// Bitplane over backward ports: bit `b` set iff `owner[b]` is
+    /// `Some` — the router's IN-USE word. Candidate selection is a
+    /// single `!in_use & enabled & group` AND; the wired-AND of the
+    /// cascade check reads this word directly.
+    in_use: u64,
     policy: SelectionPolicy,
     rr_next: Vec<usize>,
     /// Arbitration-order scratch, reused across ticks so the hot path
@@ -94,8 +109,10 @@ impl Allocator {
     /// Creates an allocator for a router with `o` backward ports.
     #[must_use]
     pub fn new(config: &RouterConfig, o: usize) -> Self {
+        assert!(o <= 64, "the IN-USE bitplane holds at most 64 ports");
         Self {
             owner: vec![None; o],
+            in_use: 0,
             policy: SelectionPolicy::Random,
             rr_next: vec![0; config.radix()],
             arb_order: Vec::new(),
@@ -130,19 +147,25 @@ impl Allocator {
     /// backward port exposes for the cascade wired-AND check (paper §5.1).
     #[must_use]
     pub fn in_use(&self, b: usize) -> bool {
-        self.owner[b].is_some()
+        self.in_use & (1u64 << b) != 0
+    }
+
+    /// The IN-USE word: bit `b` set iff backward port `b` is allocated.
+    #[must_use]
+    pub fn in_use_mask(&self) -> u64 {
+        self.in_use
     }
 
     /// The full IN-USE vector.
     #[must_use]
     pub fn in_use_vector(&self) -> Vec<bool> {
-        self.owner.iter().map(Option::is_some).collect()
+        (0..self.owner.len()).map(|b| self.in_use(b)).collect()
     }
 
     /// Number of backward ports currently allocated.
     #[must_use]
     pub fn allocated_count(&self) -> usize {
-        self.owner.iter().filter(|o| o.is_some()).count()
+        self.in_use.count_ones() as usize
     }
 
     /// Requests a connection in logical direction `dir` with no recorded
@@ -170,16 +193,14 @@ impl Allocator {
         config: &RouterConfig,
         rng: &mut RandomSource,
     ) -> AllocationOutcome {
-        // The direction group is a contiguous port range; walking it
-        // twice (count, then select the k-th candidate) keeps the hot
-        // path allocation-free while drawing exactly one random index
-        // per grant — the same stream consumption as the historical
-        // candidate-vector implementation.
-        let group = config.direction_group(dir);
-        let count = group
-            .clone()
-            .filter(|&b| self.owner[b].is_none() && config.backward_enabled(b))
-            .count();
+        // The hardware candidate word: free AND enabled AND in the
+        // requested direction group — one wired-AND over the bitplanes.
+        // `count_ones` replaces the historical double-scan of the port
+        // range, but the candidate count (and therefore the number of
+        // random indices drawn per grant) is identical, so the shared
+        // stream advances exactly as it always has.
+        let free = !self.in_use & config.backward_enabled_mask() & config.direction_group_mask(dir);
+        let count = free.count_ones() as usize;
         if count == 0 {
             return AllocationOutcome::Blocked;
         }
@@ -192,11 +213,9 @@ impl Allocator {
             }
             SelectionPolicy::Fixed => 0,
         };
-        let chosen = group
-            .filter(|&b| self.owner[b].is_none() && config.backward_enabled(b))
-            .nth(k)
-            .expect("k < candidate count");
+        let chosen = nth_set_bit(free, k);
         self.owner[chosen] = Some(fwd);
+        self.in_use |= 1u64 << chosen;
         AllocationOutcome::Granted { bwd: chosen }
     }
 
@@ -244,13 +263,15 @@ impl Allocator {
     /// Releases backward port `b` (connection closed or torn down).
     pub fn release(&mut self, b: usize) {
         self.owner[b] = None;
+        self.in_use &= !(1u64 << b);
     }
 
     /// Releases every port owned by forward port `fwd`.
     pub fn release_owned_by(&mut self, fwd: usize) {
-        for o in &mut self.owner {
+        for (b, o) in self.owner.iter_mut().enumerate() {
             if *o == Some(fwd) {
                 *o = None;
+                self.in_use &= !(1u64 << b);
             }
         }
     }

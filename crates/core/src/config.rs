@@ -19,6 +19,19 @@
 use crate::error::ConfigError;
 use crate::params::{log2_exact, ArchParams};
 
+/// A mask with the low `n` bits set — the all-enabled bitplane for a
+/// side with `n` ports.
+#[inline]
+#[must_use]
+pub(crate) fn low_mask(n: usize) -> u64 {
+    debug_assert!(n <= 64, "port bitplanes hold at most 64 ports");
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
 /// Whether a disabled port actively drives its output pins (the
 /// "Off Port Drive Output" option of Table 2).
 ///
@@ -74,6 +87,13 @@ pub struct RouterConfig {
     digit_bits: usize,
     fwd_mode: Vec<PortMode>,
     bwd_mode: Vec<PortMode>,
+    /// Bitplane over forward ports: bit `f` set iff port `f` is
+    /// enabled. Kept in lockstep with `fwd_mode` by every setter so the
+    /// allocator and router hot paths test membership with one AND
+    /// instead of scanning `PortMode` enums.
+    fwd_enabled_mask: u64,
+    /// Bitplane over backward ports; see `fwd_enabled_mask`.
+    bwd_enabled_mask: u64,
     fwd_turn_delay: Vec<usize>,
     bwd_turn_delay: Vec<usize>,
     fwd_fast_reclaim: Vec<bool>,
@@ -88,6 +108,10 @@ impl RouterConfig {
     #[must_use]
     #[allow(clippy::new_ret_no_self)] // the builder is the entry point
     pub fn new(params: &ArchParams) -> ConfigBuilder {
+        assert!(
+            params.forward_ports() <= 64 && params.backward_ports() <= 64,
+            "port bitplanes hold at most 64 ports per side"
+        );
         ConfigBuilder {
             params: *params,
             config: RouterConfig {
@@ -96,6 +120,8 @@ impl RouterConfig {
                 digit_bits: params.digit_bits_at_dilation(params.max_dilation()),
                 fwd_mode: vec![PortMode::Enabled; params.forward_ports()],
                 bwd_mode: vec![PortMode::Enabled; params.backward_ports()],
+                fwd_enabled_mask: low_mask(params.forward_ports()),
+                bwd_enabled_mask: low_mask(params.backward_ports()),
                 fwd_turn_delay: vec![0; params.forward_ports()],
                 bwd_turn_delay: vec![0; params.backward_ports()],
                 fwd_fast_reclaim: vec![true; params.forward_ports()],
@@ -148,6 +174,37 @@ impl RouterConfig {
         self.bwd_mode[b].is_enabled()
     }
 
+    /// Bitplane over forward ports: bit `f` set iff forward port `f`
+    /// is enabled. Precomputed — every mode setter keeps it in sync —
+    /// so hot paths select candidate ports with single AND/popcount
+    /// operations instead of scanning `PortMode` values.
+    #[inline]
+    #[must_use]
+    pub fn forward_enabled_mask(&self) -> u64 {
+        self.fwd_enabled_mask
+    }
+
+    /// Bitplane over backward ports: bit `b` set iff backward port `b`
+    /// is enabled. See [`RouterConfig::forward_enabled_mask`].
+    #[inline]
+    #[must_use]
+    pub fn backward_enabled_mask(&self) -> u64 {
+        self.bwd_enabled_mask
+    }
+
+    /// Bitplane of the backward ports making up logical direction
+    /// `dir` — bits `dir*d .. (dir+1)*d` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dir >= radix`.
+    #[inline]
+    #[must_use]
+    pub fn direction_group_mask(&self, dir: usize) -> u64 {
+        assert!(dir < self.radix, "direction {dir} out of range");
+        low_mask(self.dilation) << (dir * self.dilation)
+    }
+
     /// Sets the mode of forward port `f` in place. Port enables "may
     /// change during operation" (paper §5.3) — this is the runtime
     /// masking entry the self-healing layer uses, bypassing the
@@ -160,6 +217,11 @@ impl RouterConfig {
     pub fn set_forward_mode(&mut self, f: usize, mode: PortMode) {
         assert!(f < self.fwd_mode.len(), "forward port {f} out of range");
         self.fwd_mode[f] = mode;
+        if mode.is_enabled() {
+            self.fwd_enabled_mask |= 1u64 << f;
+        } else {
+            self.fwd_enabled_mask &= !(1u64 << f);
+        }
     }
 
     /// Sets the mode of backward port `b` in place (runtime masking;
@@ -171,6 +233,11 @@ impl RouterConfig {
     pub fn set_backward_mode(&mut self, b: usize, mode: PortMode) {
         assert!(b < self.bwd_mode.len(), "backward port {b} out of range");
         self.bwd_mode[b] = mode;
+        if mode.is_enabled() {
+            self.bwd_enabled_mask |= 1u64 << b;
+        } else {
+            self.bwd_enabled_mask &= !(1u64 << b);
+        }
     }
 
     /// Whether forward port `f` uses fast path reclamation on blocking
@@ -291,7 +358,7 @@ impl ConfigBuilder {
                 count: self.config.fwd_mode.len(),
             });
         } else {
-            self.config.fwd_mode[f] = mode;
+            self.config.set_forward_mode(f, mode);
         }
         self
     }
@@ -308,7 +375,7 @@ impl ConfigBuilder {
                 count: self.config.bwd_mode.len(),
             });
         } else {
-            self.config.bwd_mode[b] = mode;
+            self.config.set_backward_mode(b, mode);
         }
         self
     }
@@ -561,6 +628,47 @@ mod tests {
         let cfg = RouterConfig::new(&p).build().unwrap();
         // 16*(1+1+3+1) + 8 (swallow) + 1 (dilation) = 96 + 9 = 105
         assert_eq!(cfg.scan_bits(&p), 105);
+    }
+
+    #[test]
+    fn enabled_masks_mirror_port_modes() {
+        let mut cfg = RouterConfig::new(&params())
+            .with_forward_port_mode(1, PortMode::DisabledDriven)
+            .with_backward_port_mode(6, PortMode::DisabledTristate)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.forward_enabled_mask(), 0b1111_1101);
+        assert_eq!(cfg.backward_enabled_mask(), 0b1011_1111);
+        // Runtime masking keeps the bitplanes in lockstep.
+        cfg.set_forward_mode(1, PortMode::Enabled);
+        cfg.set_backward_mode(0, PortMode::DisabledDriven);
+        for f in 0..8 {
+            assert_eq!(
+                cfg.forward_enabled_mask() >> f & 1 == 1,
+                cfg.forward_enabled(f)
+            );
+            assert_eq!(
+                cfg.backward_enabled_mask() >> f & 1 == 1,
+                cfg.backward_enabled(f)
+            );
+        }
+    }
+
+    #[test]
+    fn direction_group_mask_matches_range() {
+        for d in [1, 2] {
+            let cfg = RouterConfig::new(&params())
+                .with_dilation(d)
+                .build()
+                .unwrap();
+            for dir in 0..cfg.radix() {
+                let mut expect = 0u64;
+                for b in cfg.direction_group(dir) {
+                    expect |= 1 << b;
+                }
+                assert_eq!(cfg.direction_group_mask(dir), expect);
+            }
+        }
     }
 
     #[test]

@@ -281,13 +281,25 @@ impl Port {
     }
 }
 
+/// Advances a `dp - 1`-deep pipeline by one word: pushes `word` in and
+/// returns the word that falls out. At `dp == 1` (the common
+/// single-pipestage configuration) the pipe holds zero words and the
+/// input passes straight through without touching the deque.
+#[inline]
+fn pipe_advance(pipe: &mut VecDeque<Word>, word: Word) -> Word {
+    if pipe.is_empty() {
+        return word;
+    }
+    pipe.push_back(word);
+    pipe.pop_front().expect("pipe just received a word")
+}
+
 /// Per-tick scratch buffers, reused across calls so the steady-state
 /// tick path never allocates.
 #[derive(Debug, Clone, Default)]
 struct TickScratch {
     requests: Vec<(usize, usize)>,
     outcomes: Vec<AllocationOutcome>,
-    granted: Vec<Option<AllocationOutcome>>,
 }
 
 /// A cycle-accurate METRO router.
@@ -302,6 +314,14 @@ pub struct Router {
     rng: RandomSource,
     alloc: Allocator,
     ports: Vec<Port>,
+    /// Bitplane over forward ports: bit `f` set iff `ports[f]` is in any
+    /// non-`Idle` state. Ports become active only through the `Idle` arm
+    /// of `step_port` (or a forced teardown) and return to idle only
+    /// through the `Draining` arm, so those choke points keep this word
+    /// exact. The tick loop selects request candidates with
+    /// `!active & fwd_enabled_mask` and steps only `active | requested`
+    /// ports — quiescent ports cost nothing.
+    active: u64,
     counters: CounterCell,
     scratch: TickScratch,
 }
@@ -321,12 +341,17 @@ impl Router {
         seed: u64,
     ) -> Result<Self, crate::error::ConfigError> {
         let dp = params.pipestages();
+        assert!(
+            params.forward_ports() <= 64,
+            "port bitplanes hold at most 64 ports per side"
+        );
         Ok(Self {
             alloc: Allocator::new(&config, params.backward_ports()),
             ports: (0..params.forward_ports()).map(|_| Port::new(dp)).collect(),
             rng: RandomSource::new(seed),
             params,
             config,
+            active: 0,
             counters: CounterCell::new(),
             scratch: TickScratch::default(),
         })
@@ -471,6 +496,7 @@ impl Router {
         if owner < self.ports.len() {
             self.ports[owner].reset();
             self.ports[owner].state = State::Draining;
+            self.active |= 1u64 << owner;
         }
         true
     }
@@ -539,56 +565,115 @@ impl Router {
         out_bwd.fill(Word::Empty);
         out_fwd.fill(Word::Empty);
         out_bcb.fill(false);
+        debug_assert!(
+            {
+                let mut m = 0u64;
+                for (f, p) in self.ports.iter().enumerate() {
+                    if !matches!(p.state, State::Idle) {
+                        m |= 1u64 << f;
+                    }
+                }
+                m == self.active
+            },
+            "activity bitplane out of sync with port FSM states"
+        );
 
-        // Phase 0: BCB arrivals tear down connections immediately.
-        for (b, &bcb) in bcb_in.iter().enumerate() {
-            if bcb {
-                if let Some(owner) = self.alloc.owner(b) {
-                    self.alloc.release(b);
-                    if owner < i {
-                        self.ports[owner].reset();
-                        self.ports[owner].state = State::Draining;
-                        out_bcb[owner] = true;
+        // Fully quiescent fast path: no port mid-connection, no
+        // backward port allocated, and no header word arriving. Nothing
+        // below could fire — no BCB release (nothing owned), no request
+        // (no DATA on an idle port), no FSM step, no counter change,
+        // and, critically, no random draw (empty arbitration consumes
+        // none) — so the stream stays in lockstep with the slow path.
+        if self.active == 0
+            && self.alloc.in_use_mask() == 0
+            && !fwd_in.iter().any(|w| matches!(w, Word::Data(_)))
+        {
+            return;
+        }
+
+        // Phase 0: BCB arrivals tear down connections immediately. A
+        // BCB only has effect on an *owned* backward port, so the scan
+        // is skipped outright when nothing is allocated.
+        if self.alloc.in_use_mask() != 0 {
+            for (b, &bcb) in bcb_in.iter().enumerate() {
+                if bcb {
+                    if let Some(owner) = self.alloc.owner(b) {
+                        self.alloc.release(b);
+                        if owner < i {
+                            self.ports[owner].reset();
+                            self.ports[owner].state = State::Draining;
+                            self.active |= 1u64 << owner;
+                            out_bcb[owner] = true;
+                        }
                     }
                 }
             }
         }
 
-        // Phase 1: collect new connection requests from idle ports.
+        // Phase 1: collect new connection requests from idle, enabled
+        // ports — one AND over the activity and enabled bitplanes picks
+        // the candidates; the bit scan visits them in the same ascending
+        // port order as the historical full scan.
         let digit_bits = self.config.digit_bits();
         let w = self.params.width();
         let mut requests = std::mem::take(&mut self.scratch.requests);
         let mut outcomes = std::mem::take(&mut self.scratch.outcomes);
-        let mut granted = std::mem::take(&mut self.scratch.granted);
         requests.clear();
-        for (f, &word) in fwd_in.iter().enumerate() {
-            if !self.config.forward_enabled(f) {
-                continue;
-            }
-            if let (State::Idle, Word::Data(v)) = (&self.ports[f].state, word) {
+        let mut req_mask = 0u64;
+        let mut idle = !self.active & self.config.forward_enabled_mask();
+        while idle != 0 {
+            let f = idle.trailing_zeros() as usize;
+            idle &= idle - 1;
+            if let Word::Data(v) = fwd_in[f] {
                 let dir = if digit_bits == 0 {
                     0
                 } else {
                     (v >> (w - digit_bits)) as usize & ((1 << digit_bits) - 1)
                 };
                 requests.push((f, dir));
+                req_mask |= 1u64 << f;
             }
         }
-        self.alloc
-            .arbitrate_into(&requests, &self.config, &mut self.rng, &mut outcomes);
-        granted.clear();
-        granted.resize(i, None);
-        for (&(f, _), outcome) in requests.iter().zip(&outcomes) {
-            granted[f] = Some(*outcome);
+        // All randomness for the tick is consumed here, in one batch:
+        // the arbitration shuffle plus one draw per granted request.
+        if requests.is_empty() {
+            outcomes.clear();
+        } else {
+            self.alloc
+                .arbitrate_into(&requests, &self.config, &mut self.rng, &mut outcomes);
+            // Opens/Grants/Blocks fall straight out of the arbitration
+            // batch — counted with batch adds instead of per-port
+            // increments (identical totals at every tick boundary).
+            let opens = requests.len() as u64;
+            let grants = outcomes.iter().filter(|o| o.port().is_some()).count() as u64;
+            self.counters.add(RouterCounter::Opens, opens);
+            self.counters.add(RouterCounter::Grants, grants);
+            self.counters.add(RouterCounter::Blocks, opens - grants);
         }
 
-        // Phase 2: advance every forward port one step.
-        for (f, grant) in granted.iter().copied().enumerate() {
+        // Phase 2: advance every active or newly requesting port one
+        // step. Idle ports without a request are provable no-ops (their
+        // outputs are pre-filled and `step_port` would return
+        // immediately), so the bit scan skips them. Requests were pushed
+        // in ascending port order in phase 1 and this scan ascends too,
+        // so a single cursor pairs each requesting port with its
+        // outcome — no per-tick grant table to clear and refill.
+        let mut cursor = 0usize;
+        let mut step = self.active | req_mask;
+        while step != 0 {
+            let f = step.trailing_zeros() as usize;
+            step &= step - 1;
+            let grant = if req_mask & (1u64 << f) != 0 {
+                let g = outcomes[cursor];
+                cursor += 1;
+                Some(g)
+            } else {
+                None
+            };
             self.step_port(f, fwd_in[f], rev_in, grant, out_bwd, out_fwd, out_bcb);
         }
         self.scratch.requests = requests;
         self.scratch.outcomes = outcomes;
-        self.scratch.granted = granted;
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -613,11 +698,12 @@ impl Router {
                     // stray control word after teardown) — stay idle.
                     return;
                 };
-                self.counters.inc(RouterCounter::Opens);
+                // Opens/Grants/Blocks were batch-counted at arbitration;
+                // every outcome below leaves the port non-idle.
+                self.active |= 1u64 << f;
                 let Word::Data(v) = in_w else { unreachable!() };
                 match outcome {
                     AllocationOutcome::Granted { bwd } => {
-                        self.counters.inc(RouterCounter::Grants);
                         let port = &mut self.ports[f];
                         port.cksum.reset();
                         port.cksum.absorb_value(v);
@@ -633,8 +719,7 @@ impl Router {
                                 Some(head) => Word::Data(head & mask),
                                 None => Word::Empty,
                             };
-                            port.fpipe.push_back(push);
-                            let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
+                            let popped = pipe_advance(&mut port.fpipe, push);
                             if matches!(push, Word::Data(_)) {
                                 self.counters.inc(RouterCounter::WordsForwarded);
                             }
@@ -658,7 +743,6 @@ impl Router {
                         }
                     }
                     AllocationOutcome::Blocked => {
-                        self.counters.inc(RouterCounter::Blocks);
                         let port = &mut self.ports[f];
                         port.cksum.reset();
                         port.cksum.absorb_value(v);
@@ -737,8 +821,7 @@ impl Router {
                         other
                     }
                 };
-                port.fpipe.push_back(push);
-                let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
+                let popped = pipe_advance(&mut port.fpipe, push);
                 out_bwd[bwd] = popped;
                 port.state = if closing {
                     State::ClosingFwd { bwd }
@@ -800,8 +883,7 @@ impl Router {
                 }
                 port.state = State::Reverse { bwd, settle };
                 let inject = port.rq.pop_front().unwrap_or(Word::DataIdle);
-                port.rpipe.push_back(inject);
-                let popped = port.rpipe.pop_front().unwrap_or(Word::DataIdle);
+                let popped = pipe_advance(&mut port.rpipe, inject);
                 out_fwd[f] = popped;
                 match popped {
                     Word::Turn => {
@@ -850,8 +932,7 @@ impl Router {
             State::BlockedReply => {
                 let port = &mut self.ports[f];
                 let inject = port.rq.pop_front().unwrap_or(Word::DataIdle);
-                port.rpipe.push_back(inject);
-                let popped = port.rpipe.pop_front().unwrap_or(Word::DataIdle);
+                let popped = pipe_advance(&mut port.rpipe, inject);
                 out_fwd[f] = popped;
                 if popped == Word::Drop {
                     port.reset();
@@ -862,8 +943,7 @@ impl Router {
             State::ClosingFwd { bwd } => {
                 // Drain the forward pipeline until the DROP exits.
                 let port = &mut self.ports[f];
-                port.fpipe.push_back(Word::Empty);
-                let popped = port.fpipe.pop_front().unwrap_or(Word::Empty);
+                let popped = pipe_advance(&mut port.fpipe, Word::Empty);
                 out_bwd[bwd] = popped;
                 if popped == Word::Drop {
                     self.counters.inc(RouterCounter::Drops);
@@ -876,6 +956,7 @@ impl Router {
             State::Draining => {
                 if in_w == Word::Empty {
                     self.ports[f].reset();
+                    self.active &= !(1u64 << f);
                 }
             }
         }

@@ -4,8 +4,8 @@
 
 use metro_core::{
     header::{consume_digit, HeaderPlan},
-    Allocator, ArchParams, BwdIn, CascadeGroup, FwdIn, RandomSource, RouterConfig, StreamChecksum,
-    Word,
+    Allocator, ArchParams, BwdIn, CascadeGroup, FwdIn, PortMode, RandomSource, RouterConfig,
+    StreamChecksum, Word,
 };
 use proptest::prelude::*;
 
@@ -225,5 +225,132 @@ proptest! {
         }
         let expected: Vec<u16> = payload.iter().map(|&v| v & mask).collect();
         prop_assert_eq!(delivered, expected);
+    }
+
+    /// The bitplane allocator is indistinguishable from the historical
+    /// scalar double-scan for ANY combination of `DisabledDriven` /
+    /// `DisabledTristate` backward-port masks: identical outcomes per
+    /// request AND identical random-stream consumption (checked by
+    /// comparing post-run draws from both streams).
+    #[test]
+    fn bitplane_alloc_matches_scalar_oracle(
+        seed in any::<u64>(),
+        modes in proptest::collection::vec(0usize..3, 8),
+        requests in proptest::collection::vec((0usize..8, 0usize..4), 0..64),
+    ) {
+        let p = ArchParams::rn1();
+        let mut builder = RouterConfig::new(&p).with_dilation(2);
+        for (b, &m) in modes.iter().enumerate() {
+            let mode = match m {
+                0 => PortMode::Enabled,
+                1 => PortMode::DisabledDriven,
+                _ => PortMode::DisabledTristate,
+            };
+            builder = builder.with_backward_port_mode(b, mode);
+        }
+        let cfg = builder.build().unwrap();
+
+        let mut alloc = Allocator::new(&cfg, 8);
+        let mut rng = RandomSource::new(seed);
+        let mut oracle_rng = RandomSource::new(seed);
+        let outcomes = alloc.arbitrate(&requests, &cfg, &mut rng);
+        let expected = scalar_oracle_arbitrate(&requests, &cfg, &mut oracle_rng);
+        prop_assert_eq!(&outcomes, &expected);
+        // Identical stream consumption: both streams must now be at the
+        // same point.
+        for _ in 0..4 {
+            prop_assert_eq!(rng.index(1 << 16), oracle_rng.index(1 << 16));
+        }
+    }
+
+    /// Runtime re-masking (`set_backward_mode`, as the chaos healer
+    /// applies it) keeps the bitplane and scalar paths in lockstep.
+    #[test]
+    fn bitplane_alloc_matches_oracle_under_runtime_masking(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec((0usize..8, 0usize..3), 0..12),
+        requests in proptest::collection::vec((0usize..8, 0usize..4), 0..32),
+    ) {
+        let p = ArchParams::rn1();
+        let mut cfg = RouterConfig::new(&p).with_dilation(2).build().unwrap();
+        for &(b, m) in &flips {
+            cfg.set_backward_mode(b, match m {
+                0 => PortMode::Enabled,
+                1 => PortMode::DisabledDriven,
+                _ => PortMode::DisabledTristate,
+            });
+        }
+        let mut alloc = Allocator::new(&cfg, 8);
+        let mut rng = RandomSource::new(seed);
+        let mut oracle_rng = RandomSource::new(seed);
+        let outcomes = alloc.arbitrate(&requests, &cfg, &mut rng);
+        let expected = scalar_oracle_arbitrate(&requests, &cfg, &mut oracle_rng);
+        prop_assert_eq!(&outcomes, &expected);
+        for _ in 0..4 {
+            prop_assert_eq!(rng.index(1 << 16), oracle_rng.index(1 << 16));
+        }
+    }
+}
+
+/// The historical scalar allocator, kept verbatim as the oracle for the
+/// bitplane rewrite: per-request double scan of the direction group with
+/// `Vec<Option<usize>>` ownership, Fisher-Yates arbitration order from
+/// the shared stream.
+fn scalar_oracle_arbitrate(
+    requests: &[(usize, usize)],
+    cfg: &RouterConfig,
+    rng: &mut RandomSource,
+) -> Vec<metro_core::AllocationOutcome> {
+    use metro_core::AllocationOutcome;
+    let mut owner: Vec<Option<usize>> = vec![None; 8];
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    for k in (1..order.len()).rev() {
+        order.swap(k, rng.index(k + 1));
+    }
+    let mut outcomes = vec![AllocationOutcome::Blocked; requests.len()];
+    for &idx in &order {
+        let (fwd, dir) = requests[idx];
+        let group = cfg.direction_group(dir);
+        let count = group
+            .clone()
+            .filter(|&b| owner[b].is_none() && cfg.backward_enabled(b))
+            .count();
+        if count == 0 {
+            continue;
+        }
+        let k = rng.index(count);
+        let chosen = group
+            .filter(|&b| owner[b].is_none() && cfg.backward_enabled(b))
+            .nth(k)
+            .expect("k < candidate count");
+        owner[chosen] = Some(fwd);
+        outcomes[idx] = AllocationOutcome::Granted { bwd: chosen };
+    }
+    outcomes
+}
+
+/// The degenerate case: every backward port masked. The bitplane path
+/// must block every request without consuming any randomness beyond the
+/// arbitration shuffle — exactly like the scalar oracle.
+#[test]
+fn all_ports_masked_blocks_everything() {
+    let p = ArchParams::rn1();
+    let mut cfg = RouterConfig::new(&p).with_dilation(2).build().unwrap();
+    for b in 0..8 {
+        cfg.set_backward_mode(b, PortMode::DisabledDriven);
+    }
+    assert_eq!(cfg.backward_enabled_mask(), 0);
+    let requests: Vec<(usize, usize)> = (0..8).map(|f| (f, f % 4)).collect();
+    let mut alloc = Allocator::new(&cfg, 8);
+    let mut rng = RandomSource::new(9);
+    let mut oracle_rng = RandomSource::new(9);
+    let outcomes = alloc.arbitrate(&requests, &cfg, &mut rng);
+    assert!(outcomes.iter().all(|o| o.port().is_none()));
+    assert_eq!(alloc.allocated_count(), 0);
+    assert_eq!(alloc.in_use_mask(), 0);
+    let expected = scalar_oracle_arbitrate(&requests, &cfg, &mut oracle_rng);
+    assert_eq!(outcomes, expected);
+    for _ in 0..4 {
+        assert_eq!(rng.index(1 << 16), oracle_rng.index(1 << 16));
     }
 }

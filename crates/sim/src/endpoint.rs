@@ -196,7 +196,11 @@ enum TxState {
 #[derive(Debug, Clone)]
 struct TxEngine {
     state: TxState,
-    active: Option<ActiveMessage>,
+    /// Boxed so an idle engine is a handful of bytes: the tick path
+    /// swaps engines in and out of `self` by value, and an inline
+    /// `ActiveMessage` (several Vecs deep) would make that swap the
+    /// single hottest memcpy in the simulator.
+    active: Option<Box<ActiveMessage>>,
     /// Earliest cycle at which this engine's next stream may start.
     /// Streams must be separated by at least one undriven (Empty) cycle
     /// so the first-hop router can finish draining the previous
@@ -354,6 +358,13 @@ impl Endpoint {
     /// Drains the outcomes of completed transactions.
     pub fn take_completed(&mut self) -> Vec<MessageOutcome> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// Whether any completed or abandoned outcomes await harvesting —
+    /// lets the per-tick harvest skip endpoints with nothing to drain.
+    #[must_use]
+    pub fn has_outcomes(&self) -> bool {
+        !self.completed.is_empty() || !self.abandoned.is_empty()
     }
 
     /// Drains the outcomes of abandoned transactions (max retries hit).
@@ -537,7 +548,7 @@ impl Endpoint {
                 } = self.queue.pop_front().expect("queue checked non-empty");
                 let n = self.rng.index(nfree);
                 let port = self.nth_usable_port(k, n);
-                eng.active = Some(ActiveMessage {
+                eng.active = Some(Box::new(ActiveMessage {
                     dest,
                     payload_words,
                     stream: segments[0].clone(),
@@ -553,7 +564,7 @@ impl Endpoint {
                     port,
                     success_at: None,
                     saw_reverse_activity: false,
-                });
+                }));
                 eng.state = TxState::Sending { idx: 0 };
             }
         }

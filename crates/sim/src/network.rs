@@ -204,6 +204,12 @@ struct FlatEngine {
     /// set in [`NetworkSim::apply_faults`] so the tick path never
     /// queries the fault set.
     router_dead: Vec<bool>,
+    /// Per-wire [`Wire::is_transparent`] flags (zero delay, no fault):
+    /// the tick path copies slots directly instead of calling `advance`.
+    /// Transparency only changes when faults change, so these are
+    /// rebuilt in [`NetworkSim::apply_faults`], never per tick.
+    inj_transparent: Vec<bool>,
+    stage_transparent: Vec<bool>,
 }
 
 /// The original engine: nested `Vec` buffers rebuilt each tick, with
@@ -335,16 +341,18 @@ impl NetworkSim {
         let engine = match config.engine {
             EngineKind::Flat => {
                 let links = FlatLinks::build(&topo);
-                let inj_wires = (0..links.n_ep_slots())
+                let inj_wires: Vec<Wire> = (0..links.n_ep_slots())
                     .map(|_| Wire::new(boundary_delay(0)))
                     .collect();
-                let stage_wires = (0..topo.stages())
+                let stage_wires: Vec<Wire> = (0..topo.stages())
                     .flat_map(|s| {
                         let n = topo.routers_in_stage(s) * topo.stage_spec(s).backward_ports;
                         std::iter::repeat_n(boundary_delay(s + 1), n)
                     })
                     .map(Wire::new)
                     .collect();
+                let inj_transparent = inj_wires.iter().map(Wire::is_transparent).collect();
+                let stage_transparent = stage_wires.iter().map(Wire::is_transparent).collect();
                 EngineState::Flat(Box::new(FlatEngine {
                     cur: ChannelArena::idle(&links),
                     next: ChannelArena::idle(&links),
@@ -352,6 +360,8 @@ impl NetworkSim {
                     inj_wires,
                     stage_wires,
                     router_dead: vec![false; links.n_routers()],
+                    inj_transparent,
+                    stage_transparent,
                     links,
                 }))
             }
@@ -627,6 +637,8 @@ impl NetworkSim {
             inj_wires,
             stage_wires,
             router_dead,
+            inj_transparent,
+            stage_transparent,
         } = &mut **eng;
         let ep = links.ep_ports();
 
@@ -669,10 +681,16 @@ impl NetworkSim {
         }
 
         // 3. Wires advance, writing every slot of the next arena.
+        // Transparent wires (zero delay, fault-free — the common RN1
+        // boundary) are identity functions: copy bus slots straight into
+        // the next arena and never touch the `Wire` state.
         for (i, wire) in inj_wires.iter_mut().enumerate() {
             let t = links.inj_target(i);
-            let (fwd_o, rev_o, bcb_o) =
-                wire.advance(bus.ep_out_fwd[i], bus.out_fwd[t], bus.out_bcb[t]);
+            let (fwd_o, rev_o, bcb_o) = if inj_transparent[i] {
+                (bus.ep_out_fwd[i], bus.out_fwd[t], bus.out_bcb[t])
+            } else {
+                wire.advance(bus.ep_out_fwd[i], bus.out_fwd[t], bus.out_bcb[t])
+            };
             next.fwd_in[t] = fwd_o;
             next.ep_out_rev[i] = rev_o;
             next.ep_out_bcb[i] = bcb_o;
@@ -681,15 +699,23 @@ impl NetworkSim {
             match links.bwd_target(j) {
                 FlatTarget::Fwd(t) => {
                     let t = t as usize;
-                    let (fwd_o, rev_o, bcb_o) =
-                        wire.advance(bus.out_bwd[j], bus.out_fwd[t], bus.out_bcb[t]);
+                    let (fwd_o, rev_o, bcb_o) = if stage_transparent[j] {
+                        (bus.out_bwd[j], bus.out_fwd[t], bus.out_bcb[t])
+                    } else {
+                        wire.advance(bus.out_bwd[j], bus.out_fwd[t], bus.out_bcb[t])
+                    };
                     next.fwd_in[t] = fwd_o;
                     next.rev_in[j] = rev_o;
                     next.bcb_in[j] = bcb_o;
                 }
                 FlatTarget::Endpoint(i) => {
                     let i = i as usize;
-                    let (fwd_o, rev_o, _) = wire.advance(bus.out_bwd[j], bus.ep_in_rev[i], false);
+                    let (fwd_o, rev_o) = if stage_transparent[j] {
+                        (bus.out_bwd[j], bus.ep_in_rev[i])
+                    } else {
+                        let (f, r, _) = wire.advance(bus.out_bwd[j], bus.ep_in_rev[i], false);
+                        (f, r)
+                    };
                     next.ep_in_fwd[i] = fwd_o;
                     next.rev_in[j] = rev_o;
                     next.bcb_in[j] = false;
@@ -804,6 +830,9 @@ impl NetworkSim {
         }
         self.now += 1;
         for e in 0..self.endpoints.len() {
+            if !self.endpoints[e].has_outcomes() {
+                continue;
+            }
             for o in self.endpoints[e].take_completed() {
                 if let Some(trace) = &mut self.trace {
                     trace.record_completion(self.now, o.src, o.dest, o.retries);
@@ -918,6 +947,11 @@ impl NetworkSim {
                             .set_fault(self.faults.link_fault(LinkId::new(s, r, b)));
                     }
                 }
+            }
+            // Transparency follows the fault set; refresh the cached
+            // flags in the same pass.
+            for (t, w) in eng.stage_transparent.iter_mut().zip(&eng.stage_wires) {
+                *t = w.is_transparent();
             }
         }
     }

@@ -106,6 +106,15 @@ impl Wire {
         )
     }
 
+    /// Whether [`Wire::advance`] is the identity function: zero pipeline
+    /// delay and no fault. Transparency only changes when a fault is
+    /// injected or cleared, so an engine may cache it between fault
+    /// applications and skip `advance` entirely for transparent wires.
+    #[must_use]
+    pub fn is_transparent(&self) -> bool {
+        self.delay == 0 && self.fault.is_none()
+    }
+
     /// Whether no word is in flight on either lane (and no BCB).
     #[must_use]
     pub fn is_quiet(&self) -> bool {

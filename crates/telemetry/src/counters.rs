@@ -2,7 +2,11 @@
 //!
 //! [`CounterCell`] is one router's worth of counters — a fixed `[u64]`
 //! array indexed by [`RouterCounter`] discriminant, `Copy`, and
-//! incremented with a single add on the hot path. [`CounterBlock`] is a
+//! incremented with a single add on the hot path. The bitplane router
+//! tick feeds the arbitration counters (`Opens`/`Grants`/`Blocks`) as
+//! popcount-derived batch [`CounterCell::add`]s once per tick rather
+//! than per-port `inc`s; both paths land in the same cells, so every
+//! reading at a tick boundary is exact either way. [`CounterBlock`] is a
 //! whole network's worth: one flat `Vec<CounterCell>` slot-indexed by
 //! (stage, router), allocated once at construction and never resized,
 //! so per-tick synchronization is pure index arithmetic.
@@ -50,11 +54,13 @@ impl CounterCell {
     }
 
     /// Zeroes every counter.
+    #[inline]
     pub fn reset(&mut self) {
         self.counts = [0; RouterCounter::COUNT];
     }
 
     /// Element-wise `self + other`.
+    #[inline]
     #[must_use]
     pub fn plus(&self, other: &CounterCell) -> CounterCell {
         let mut out = *self;
@@ -66,6 +72,7 @@ impl CounterCell {
 
     /// Element-wise saturating `self - other`; the delta between two
     /// cumulative readings of the same cell.
+    #[inline]
     #[must_use]
     pub fn saturating_delta(&self, earlier: &CounterCell) -> CounterCell {
         let mut out = CounterCell::new();

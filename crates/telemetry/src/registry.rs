@@ -29,6 +29,11 @@ pub struct TelemetryRegistry {
     interval: u64,
     /// Number of syncs folded in since the last reset.
     syncs: u64,
+    /// Network-total delta accumulated by the current sync pass —
+    /// [`TelemetryRegistry::sync_slot`] folds each slot's delta in as
+    /// it is computed, so [`TelemetryRegistry::finish_sync`] never
+    /// rescans the whole block.
+    pending: CounterCell,
 }
 
 impl TelemetryRegistry {
@@ -46,6 +51,7 @@ impl TelemetryRegistry {
                 .collect(),
             interval: interval.max(1),
             syncs: 0,
+            pending: CounterCell::new(),
         }
     }
 
@@ -68,15 +74,18 @@ impl TelemetryRegistry {
         let i = self.current.slot(s, r);
         let rebased = raw.saturating_delta(&self.baseline.cells()[i]);
         let prev = self.current.cells()[i];
-        *self.deltas.cell_mut(s, r) = rebased.saturating_delta(&prev);
+        let delta = rebased.saturating_delta(&prev);
+        self.pending = self.pending.plus(&delta);
+        *self.deltas.cell_mut(s, r) = delta;
         *self.current.cell_mut(s, r) = rebased;
     }
 
     /// Folds the just-written deltas into the per-counter time series.
     pub fn finish_sync(&mut self) {
         for c in RouterCounter::ALL {
-            self.series[c as usize].push(self.deltas.total(c));
+            self.series[c as usize].push(self.pending.get(c));
         }
+        self.pending.reset();
         self.syncs += 1;
     }
 

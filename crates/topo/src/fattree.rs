@@ -15,6 +15,7 @@
 //! depth `d` has `capacity(d+1)` wires; capacities grow toward the root
 //! by `growth` (capped by full bandwidth), the classic "fattening".
 
+use crate::multibutterfly::{MultibutterflySpec, StageSpec, WiringStyle};
 use core::fmt;
 
 /// Specification of a fat-tree.
@@ -187,6 +188,40 @@ impl FatTree {
         paths
     }
 
+    /// Unfolds the tree's routing structure into a simulatable
+    /// [`MultibutterflySpec`]: one stage per tree level, each of
+    /// radix-`arity` dilation-`leaf_capacity` routers
+    /// (`arity·leaf_capacity` ports a side), with `leaf_capacity` ports
+    /// per leaf endpoint.
+    ///
+    /// This is the butterfly-equivalent of the *up-path concentrator
+    /// column* every leaf climbs — the decomposition of \[7\] builds
+    /// both networks from the same parts, and stage `d` here plays the
+    /// role of the depth-`levels-d` tree node's switching. Capacity
+    /// fattening is not represented (a uniform multibutterfly has
+    /// constant per-stage bandwidth), so this models the leaf-local
+    /// routing and multipath behavior, not root-channel contention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arity` is not a power of two — stage radices must
+    /// consume whole bits of the destination address.
+    #[must_use]
+    pub fn to_multibutterfly(&self, wiring: WiringStyle, seed: u64) -> MultibutterflySpec {
+        assert!(
+            self.spec.arity.is_power_of_two(),
+            "fat-tree unfolding requires a power-of-two arity"
+        );
+        let ports = self.spec.arity * self.spec.leaf_capacity;
+        MultibutterflySpec {
+            endpoints: self.leaves(),
+            endpoint_ports: self.spec.leaf_capacity,
+            stages: vec![StageSpec::new(ports, ports, self.spec.leaf_capacity); self.spec.levels],
+            wiring,
+            seed,
+        }
+    }
+
     /// Number of `i_ports × o_ports` METRO routers required to implement
     /// the switching of one node at depth `d` as a full concentrator
     /// between its down-side wires (children + local) and up-side wires,
@@ -280,6 +315,37 @@ mod tests {
         let large = t.total_routers(8, 8);
         assert!(small > 0 && large > 0);
         assert!(large <= small, "bigger parts need no more routers");
+    }
+
+    #[test]
+    fn unfolding_builds_a_valid_multibutterfly() {
+        use crate::multibutterfly::Multibutterfly;
+
+        let t = FatTree::build(&FatTreeSpec::binary(3, 2)).unwrap();
+        let spec = t.to_multibutterfly(WiringStyle::Randomized, 0xFA7);
+        assert_eq!(spec.endpoints, 8);
+        assert_eq!(spec.endpoint_ports, 2);
+        assert_eq!(spec.stages.len(), 3);
+        for s in &spec.stages {
+            assert_eq!((s.forward_ports, s.backward_ports, s.dilation), (4, 4, 2));
+            assert_eq!(s.radix(), 2);
+        }
+        // The counting identities close: the builder accepts it.
+        let net = Multibutterfly::build(&spec).expect("unfolded spec must validate");
+        assert_eq!(net.spec().endpoints, t.leaves());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two arity")]
+    fn unfolding_rejects_non_power_of_two_arity() {
+        let t = FatTree::build(&FatTreeSpec {
+            arity: 3,
+            levels: 2,
+            leaf_capacity: 1,
+            growth: 2,
+        })
+        .unwrap();
+        let _ = t.to_multibutterfly(WiringStyle::Deterministic, 0);
     }
 
     #[test]

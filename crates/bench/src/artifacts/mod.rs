@@ -1,4 +1,4 @@
-//! The 20 paper artifacts, as registry entries.
+//! The 21 paper artifacts, as registry entries.
 //!
 //! Each module moves one historical binary's logic behind a
 //! [`metro_harness::Artifact`]: the run function builds the human
@@ -34,6 +34,7 @@ pub mod fig3;
 pub mod message_sizes;
 pub mod occupancy;
 pub mod scaling;
+pub mod shard_bench;
 pub mod table2;
 pub mod table3;
 pub mod table4;
@@ -67,5 +68,6 @@ pub fn registry() -> Registry {
     r.register(fattree_budget::artifact());
     r.register(message_sizes::artifact());
     r.register(tick_bench::artifact());
+    r.register(shard_bench::artifact());
     r
 }

@@ -17,20 +17,25 @@
 use metro_harness::log;
 use metro_harness::results::{git_describe, unix_time_now, ResultsDir, RunRecord};
 use metro_harness::Json;
-use metro_sim::chaos::{run_campaign, run_campaign_paired, ChaosCampaign, ChaosReport};
+use metro_sim::chaos::{
+    run_campaign, run_campaign_paired, run_campaign_shard_paired, ChaosCampaign, ChaosReport,
+};
 use metro_sim::network::EngineKind;
 use metro_topo::multibutterfly::MultibutterflySpec;
 use std::time::Instant;
 
 fn usage() -> String {
     "usage: metro chaos [--campaigns N] [--seed S] [--engine flat|reference|both]\n\
+     \x20                [--shards N]\n\
      \n\
      Runs N seeded fault-storm campaigns on the Figure 1 network with\n\
      self-healing enabled, checking hard invariants: no silent message\n\
      loss or duplication, every injected fault masked from reply\n\
      evidence alone, bounded post-masking latency recovery, and (with\n\
      --engine both, the default) bit-identical behaviour on the Flat\n\
-     and Reference tick engines.\n"
+     and Reference tick engines. With --shards N (N > 1), every\n\
+     campaign additionally replays on the sharded Flat engine and must\n\
+     be bit-identical to the single-threaded run, telemetry included.\n"
         .to_string()
 }
 
@@ -49,6 +54,7 @@ pub fn main(args: &[String]) -> i32 {
     let mut campaigns = 4u64;
     let mut seed = 0x57A6u64;
     let mut engine = EngineChoice::Both;
+    let mut shards = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -64,6 +70,15 @@ pub fn main(args: &[String]) -> i32 {
                 Ok(v) => seed = v,
                 Err(e) => return arg_error(&e),
             },
+            "--shards" => match parse_u64(it.next(), "--shards") {
+                Ok(0) => {
+                    return arg_error(
+                        "--shards expects a count >= 1 (0/auto is scenario-file only)",
+                    )
+                }
+                Ok(v) => shards = v as usize,
+                Err(e) => return arg_error(&e),
+            },
             "--engine" => match it.next().map(String::as_str) {
                 Some("flat") => engine = EngineChoice::Flat,
                 Some("reference") => engine = EngineChoice::Reference,
@@ -77,7 +92,7 @@ pub fn main(args: &[String]) -> i32 {
             other => return arg_error(&format!("unknown flag {other:?}")),
         }
     }
-    match run_storm(campaigns, seed, engine, &ResultsDir::standard()) {
+    match run_storm(campaigns, seed, engine, shards, &ResultsDir::standard()) {
         Ok(summary) => {
             log::output(&summary);
             0
@@ -111,6 +126,7 @@ fn run_storm(
     campaigns: u64,
     base_seed: u64,
     engine: EngineChoice,
+    shards: usize,
     results: &ResultsDir,
 ) -> Result<String, String> {
     let spec = MultibutterflySpec::figure1();
@@ -125,6 +141,13 @@ fn run_storm(
             EngineChoice::Both => run_campaign_paired(&campaign),
         }
         .map_err(|e| format!("campaign seed {seed:#x}: {e}"))?;
+        if shards > 1 {
+            // Shard-identity audit: the same campaign on the sharded
+            // Flat engine must be bit-identical to single-threaded,
+            // telemetry snapshot included.
+            run_campaign_shard_paired(&campaign, shards)
+                .map_err(|e| format!("campaign seed {seed:#x} (shards={shards}): {e}"))?;
+        }
         reports.push(report);
     }
     let wall = started.elapsed().as_secs_f64();
@@ -136,11 +159,18 @@ fn run_storm(
         EngineChoice::Reference => "reference",
         EngineChoice::Both => "flat+reference",
     };
-    let doc = Json::obj([
+    let mut fields = vec![
         ("artifact", Json::from("chaos")),
         ("base_seed", Json::from(base_seed)),
         ("campaigns", Json::from(campaigns)),
         ("engines", Json::from(engines)),
+    ];
+    // Conditional emission keeps the checked-in chaos.json byte-stable
+    // for the classic single-threaded storm.
+    if shards > 1 {
+        fields.push(("shards", Json::from(shards)));
+    }
+    fields.extend([
         ("total_sends", Json::from(total_sends)),
         ("total_masks_applied", Json::from(total_masks)),
         (
@@ -148,6 +178,7 @@ fn run_storm(
             Json::arr(reports.iter().map(ChaosReport::to_json)),
         ),
     ]);
+    let doc = Json::obj(fields);
     let out_path = results
         .write_json("chaos", &doc)
         .map_err(|e| e.to_string())?;
@@ -171,8 +202,13 @@ fn run_storm(
         .map_err(|e| e.to_string())?;
 
     let mut summary = String::new();
+    let shard_note = if shards > 1 {
+        format!(", shard-identical at {shards} shards")
+    } else {
+        String::new()
+    };
     summary.push_str(&format!(
-        "chaos storm: {campaigns} campaigns (base seed {base_seed:#x}, {engines})\n"
+        "chaos storm: {campaigns} campaigns (base seed {base_seed:#x}, {engines}{shard_note})\n"
     ));
     for r in &reports {
         summary.push_str(&format!(
@@ -211,7 +247,7 @@ mod tests {
     #[test]
     fn run_storm_records_results_and_manifest() {
         let (dir, results) = temp_results("run");
-        let summary = run_storm(1, 3, EngineChoice::Flat, &results).unwrap();
+        let summary = run_storm(1, 3, EngineChoice::Flat, 1, &results).unwrap();
         assert!(summary.contains("all invariants held"));
 
         let doc = Json::parse(&std::fs::read_to_string(results.root().join("chaos.json")).unwrap())
@@ -230,9 +266,21 @@ mod tests {
     }
 
     #[test]
+    fn a_sharded_storm_holds_shard_identity() {
+        let (dir, results) = temp_results("sharded");
+        let summary = run_storm(1, 3, EngineChoice::Flat, 4, &results).unwrap();
+        assert!(summary.contains("shard-identical at 4 shards"));
+        let doc = Json::parse(&std::fs::read_to_string(results.root().join("chaos.json")).unwrap())
+            .unwrap();
+        assert_eq!(doc.get("shards").and_then(Json::as_f64), Some(4.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn bad_flags_are_rejected() {
         assert_eq!(main(&["--campaigns".into()]), 2);
         assert_eq!(main(&["--engine".into(), "warp".into()]), 2);
+        assert_eq!(main(&["--shards".into(), "0".into()]), 2);
         assert_eq!(main(&["--frobnicate".into()]), 2);
         assert_eq!(main(&["--help".into()]), 0);
     }

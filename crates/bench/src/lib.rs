@@ -38,6 +38,7 @@
 //! | `fattree_budget` | fat-tree router budgets from METRO parts |
 //! | `message_sizes` | size sweeps and implementation crossovers |
 //! | `tick_bench` | simulator engine throughput (flat vs reference) |
+//! | `shard_bench` | sharded flat-engine throughput at 1/2/4 shards (metro1k) |
 //!
 //! Criterion benches (`cargo bench`) cover the same artifacts at
 //! micro scale plus router/allocator microbenchmarks.
@@ -53,7 +54,7 @@ pub mod scenarios;
 use metro_harness::{Json, Registry, ResultsDir, ResultsError};
 use metro_sim::experiment::{FaultSweepPoint, LoadPoint};
 
-/// Builds the full artifact registry (all 20 paper artifacts).
+/// Builds the full artifact registry (all 21 paper artifacts).
 #[must_use]
 pub fn registry() -> Registry {
     artifacts::registry()
@@ -289,9 +290,9 @@ mod tests {
     }
 
     #[test]
-    fn registry_holds_all_twenty_artifacts() {
+    fn registry_holds_all_twenty_one_artifacts() {
         let r = registry();
-        assert_eq!(r.len(), 20);
+        assert_eq!(r.len(), 21);
         for name in [
             "fig1",
             "fig3",
@@ -302,6 +303,7 @@ mod tests {
             "fault_sweep",
             "chaos",
             "tick_bench",
+            "shard_bench",
             "scaling",
         ] {
             assert!(r.get(name).is_some(), "missing artifact {name}");

@@ -17,7 +17,7 @@ use crate::scenarios;
 use metro_harness::log;
 use metro_harness::results::{git_describe, unix_time_now, ResultsDir, RunRecord};
 use metro_harness::Json;
-use metro_sim::scenario::fuzz::fuzz_campaign;
+use metro_sim::scenario::fuzz::{fuzz_campaign, shard_fuzz_campaign};
 use metro_sim::scenario::{codec, run_scenario};
 use std::time::Instant;
 
@@ -25,11 +25,14 @@ fn usage() -> String {
     "usage: metro scenario <command>\n\
      \n\
      commands:\n\
-     \x20 run <file.json>           replay a scenario file, record the result\n\
+     \x20 run <file.json> [--shards N]\n\
+     \x20                           replay a scenario file, record the result\n\
+     \x20                           (--shards overrides the file's shard count)\n\
      \x20 dump <name>               print a corpus scenario (see `dump --list`)\n\
      \x20 validate <file.json>...   check byte-stable JSON round-trips\n\
-     \x20 fuzz [--count N] [--seed S]\n\
-     \x20                           differential Flat-vs-Reference campaign\n"
+     \x20 fuzz [--count N] [--seed S] [--shards N]\n\
+     \x20                           differential campaign: Flat vs Reference,\n\
+     \x20                           or (with --shards) sharded vs single-thread\n"
         .to_string()
 }
 
@@ -59,7 +62,24 @@ fn cmd_run(args: &[String], results: &ResultsDir) -> i32 {
         log::error("metro scenario run: missing scenario file");
         return 2;
     };
-    match run_file(path, results) {
+    let mut shards = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => match it.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(v)) => shards = Some(v),
+                _ => {
+                    log::error("metro scenario run: --shards needs a count (0 = host auto)");
+                    return 2;
+                }
+            },
+            other => {
+                log::error(&format!("metro scenario run: unknown flag {other:?}"));
+                return 2;
+            }
+        }
+    }
+    match run_file_with_shards(path, results, shards) {
         Ok(summary) => {
             log::output(&summary);
             0
@@ -80,9 +100,29 @@ fn cmd_run(args: &[String], results: &ResultsDir) -> i32 {
 /// Returns a description of the first failure: unreadable file, codec
 /// rejection, invalid topology, or a results-directory write error.
 pub fn run_file(path: &str, results: &ResultsDir) -> Result<String, String> {
+    run_file_with_shards(path, results, None)
+}
+
+/// [`run_file`] with an optional shard-count override (`--shards`).
+/// The override changes only the execution strategy — the recorded
+/// scenario hash is the *file's* hash, and the result document is
+/// bit-identical at every shard count, so a sharded replay reproduces
+/// the same artifact faster.
+///
+/// # Errors
+///
+/// As [`run_file`].
+pub fn run_file_with_shards(
+    path: &str,
+    results: &ResultsDir,
+    shards: Option<usize>,
+) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    let scenario = codec::from_text(&text).map_err(|e| e.to_string())?;
+    let mut scenario = codec::from_text(&text).map_err(|e| e.to_string())?;
     let hash = codec::scenario_hash(&scenario);
+    if let Some(n) = shards {
+        scenario.sim.shards = n;
+    }
 
     let started = Instant::now();
     let result = run_scenario(&scenario).map_err(|e| e.to_string())?;
@@ -205,6 +245,7 @@ pub fn validate_file(path: &str) -> Result<String, String> {
 fn cmd_fuzz(args: &[String]) -> i32 {
     let mut count = 25u64;
     let mut seed = 0xD1FF_5EED_u64;
+    let mut shards = None;
     fn parse(v: Option<&String>, flag: &str) -> Result<u64, String> {
         let s = v.ok_or_else(|| format!("{flag} needs a value"))?;
         let parsed = match s.strip_prefix("0x") {
@@ -230,6 +271,17 @@ fn cmd_fuzz(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--shards" => match parse(it.next(), "--shards") {
+                Ok(0 | 1) => {
+                    log::error("metro scenario fuzz: --shards expects a count >= 2");
+                    return 2;
+                }
+                Ok(v) => shards = Some(v as usize),
+                Err(e) => {
+                    log::error(&format!("metro scenario fuzz: {e}"));
+                    return 2;
+                }
+            },
             other => {
                 log::error(&format!("metro scenario fuzz: unknown flag {other:?}"));
                 return 2;
@@ -237,13 +289,28 @@ fn cmd_fuzz(args: &[String]) -> i32 {
         }
     }
     let started = Instant::now();
-    match fuzz_campaign(seed, count) {
-        Ok(n) => {
-            log::info(&format!(
-                "differential fuzz: {n} scenarios, Flat == Reference on every one \
+    let outcome = match shards {
+        // Shard-differential mode: every seeded scenario replays on the
+        // Flat engine at 1 and N shards and must be bit-identical,
+        // telemetry snapshots included.
+        Some(n) => shard_fuzz_campaign(seed, count, n).map(|done| {
+            format!(
+                "shard-differential fuzz: {done} scenarios, shards={n} == shards=1 on \
+                 every one ({:.1}s, base seed {seed:#x})",
+                started.elapsed().as_secs_f64()
+            )
+        }),
+        None => fuzz_campaign(seed, count).map(|done| {
+            format!(
+                "differential fuzz: {done} scenarios, Flat == Reference on every one \
                  ({:.1}s, base seed {seed:#x})",
                 started.elapsed().as_secs_f64()
-            ));
+            )
+        }),
+    };
+    match outcome {
+        Ok(msg) => {
+            log::info(&msg);
             0
         }
         Err(e) => {

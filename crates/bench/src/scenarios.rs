@@ -11,11 +11,13 @@
 
 use metro_harness::Json;
 use metro_sim::experiment::SweepConfig;
+use metro_sim::network::SimConfig;
 use metro_sim::scenario::{codec, FaultInjection, RepairSet, Scenario, SendSpec, WorkloadSpec};
+use metro_sim::TrafficPattern;
 use metro_topo::fattree::{FatTree, FatTreeSpec};
 use metro_topo::fault::{FaultKind, FaultSet};
 use metro_topo::graph::LinkId;
-use metro_topo::multibutterfly::{MultibutterflySpec, WiringStyle};
+use metro_topo::multibutterfly::{MultibutterflySpec, StageSpec, WiringStyle};
 
 /// Applies a quick profile to a sweep configuration: the shortened
 /// warmup/measure/drain windows the historical `--quick` flags used
@@ -86,7 +88,7 @@ pub fn emit(scenario: &Scenario) -> Json {
 }
 
 /// The names of the checked-in corpus scenarios, in `scenarios/` order.
-pub const NAMED: [&str; 8] = [
+pub const NAMED: [&str; 9] = [
     "figure1",
     "figure3_load",
     "table4_hw0",
@@ -95,6 +97,7 @@ pub const NAMED: [&str; 8] = [
     "fault_masking",
     "chaos_smoke",
     "fattree",
+    "metro1k",
 ];
 
 /// A small deterministic send schedule spreading `count` messages of
@@ -222,6 +225,43 @@ pub fn named(name: &str) -> Option<Scenario> {
                 2_500,
             ))
         }
+        // The sharded-engine workhorse: a 1024-endpoint, 5-stage,
+        // 1536-router fabric (radix 4 throughout, dilation 2 in the
+        // four wide stages) under a short uniform load window. The
+        // corpus file pins `sim.shards = 0` (host auto), so replaying
+        // it exercises the partitioned tick by default — and must stay
+        // bit-identical to a single-threaded run at any shard count.
+        "metro1k" => Some(Scenario {
+            name: "metro1k".to_string(),
+            topology: MultibutterflySpec {
+                endpoints: 1_024,
+                endpoint_ports: 2,
+                stages: vec![
+                    StageSpec::new(8, 8, 2),
+                    StageSpec::new(8, 8, 2),
+                    StageSpec::new(8, 8, 2),
+                    StageSpec::new(8, 8, 2),
+                    StageSpec::new(4, 4, 1),
+                ],
+                wiring: WiringStyle::Randomized,
+                seed: 0x1024,
+            },
+            sim: SimConfig {
+                shards: 0,
+                ..SimConfig::default()
+            },
+            seed: 0x1024_5EED,
+            faults: FaultSet::new(),
+            injections: Vec::new(),
+            workload: WorkloadSpec::Load {
+                pattern: TrafficPattern::Uniform,
+                load: 0.15,
+                payload_words: 8,
+                warmup: 100,
+                measure: 400,
+                drain: 300,
+            },
+        }),
         _ => None,
     }
 }

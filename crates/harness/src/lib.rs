@@ -12,7 +12,9 @@
 //!   function over independent sweep points. Results come back in input
 //!   order, so a parallel sweep is bit-identical to a sequential one as
 //!   long as each point's randomness is derived from the point itself
-//!   (see `metro_sim::experiment::point_seed`).
+//!   (see `metro_sim::experiment::point_seed`). Also home of
+//!   [`TickPool`], the persistent barrier-synchronised worker pool the
+//!   sharded Flat engine drives its per-phase tick fan-out through.
 //! * [`json`] — a dependency-free JSON document model: a writer that
 //!   every artifact emits through, and a small parser used to
 //!   round-trip-validate everything written and to update the results
@@ -27,7 +29,11 @@
 //! `metro-timing` in the workspace graph so their sweep functions can
 //! be rebuilt on the executor.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// lifetime-erased job slot inside `executor::TickPool` (see the SAFETY
+// comments there), which carries a narrowly-scoped `#[allow]`. All
+// other code in this crate remains unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
@@ -38,7 +44,7 @@ pub mod log;
 pub mod results;
 
 pub use artifact::{Artifact, ArtifactOutput, Registry, RunCtx};
-pub use executor::{default_jobs, par_map};
+pub use executor::{default_jobs, par_map, TickPool};
 pub use json::Json;
 pub use log::Verbosity;
 pub use results::{ResultsDir, ResultsError, RunRecord};

@@ -434,10 +434,28 @@ pub fn run_campaign_with_telemetry(
     campaign: &ChaosCampaign,
     engine: EngineKind,
 ) -> Result<(ChaosReport, metro_telemetry::TelemetrySnapshot), Box<dyn std::error::Error>> {
+    run_campaign_sharded(campaign, engine, 1)
+}
+
+/// [`run_campaign_with_telemetry`] with an explicit shard count for the
+/// Flat engine's partitioned tick ([`SimConfig::shards`]; ignored by
+/// the Reference engine). Sharding is pure execution strategy, so the
+/// report and snapshot must be bit-identical across shard counts —
+/// [`run_campaign_shard_paired`] enforces exactly that.
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_sharded(
+    campaign: &ChaosCampaign,
+    engine: EngineKind,
+    shards: usize,
+) -> Result<(ChaosReport, metro_telemetry::TelemetrySnapshot), Box<dyn std::error::Error>> {
     let config = SimConfig {
         self_heal: true,
         seed: campaign.seed,
         engine,
+        shards,
         endpoint: crate::endpoint::EndpointConfig {
             timeout: 240,
             ..crate::endpoint::EndpointConfig::default()
@@ -595,6 +613,50 @@ pub fn run_campaign_paired(
     Ok(flat)
 }
 
+/// Runs one campaign on the Flat engine twice — single-threaded and
+/// sharded into `shards` shards — and requires bit-identical outcome
+/// streams, healed sets, and telemetry snapshots. The chaos runner
+/// exercises mid-run fault injection, self-healing masks, and
+/// sequential probing, so this is the harshest shard-identity check in
+/// the suite. Returns the single-threaded report.
+///
+/// # Errors
+///
+/// Returns the first violation on either run, or
+/// [`ChaosViolation::EngineDivergence`] when the runs disagree.
+pub fn run_campaign_shard_paired(
+    campaign: &ChaosCampaign,
+    shards: usize,
+) -> Result<ChaosReport, Box<dyn std::error::Error>> {
+    let (single, snap_single) = run_campaign_sharded(campaign, EngineKind::Flat, 1)?;
+    let (sharded, snap_sharded) = run_campaign_sharded(campaign, EngineKind::Flat, shards)?;
+    if single.outcomes != sharded.outcomes {
+        return Err(Box::new(ChaosViolation::EngineDivergence {
+            detail: format!(
+                "outcome streams differ between shards=1 and shards={shards} ({} vs {} outcomes)",
+                single.outcomes.len(),
+                sharded.outcomes.len()
+            ),
+        }));
+    }
+    if single.masked_links != sharded.masked_links
+        || single.masked_injections != sharded.masked_injections
+    {
+        return Err(Box::new(ChaosViolation::EngineDivergence {
+            detail: format!(
+                "healed sets differ between shards=1 and shards={shards} ({:?} vs {:?})",
+                single.masked_links, sharded.masked_links
+            ),
+        }));
+    }
+    if snap_single.to_json() != snap_sharded.to_json() {
+        return Err(Box::new(ChaosViolation::EngineDivergence {
+            detail: format!("telemetry snapshots differ between shards=1 and shards={shards}"),
+        }));
+    }
+    Ok(single)
+}
+
 /// Runs `count` generated campaigns (seeds `base_seed + k`) on both
 /// engines and returns their reports.
 ///
@@ -669,6 +731,13 @@ mod tests {
         let spec = MultibutterflySpec::figure1();
         let campaign = ChaosCampaign::generate(&spec, 11).unwrap();
         run_campaign_paired(&campaign).expect("Flat == Reference under chaos");
+    }
+
+    #[test]
+    fn a_campaign_is_shard_equivalent() {
+        let spec = MultibutterflySpec::figure1();
+        let campaign = ChaosCampaign::generate(&spec, 11).unwrap();
+        run_campaign_shard_paired(&campaign, 4).expect("shards=4 == shards=1 under chaos");
     }
 
     #[test]

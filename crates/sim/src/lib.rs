@@ -43,6 +43,7 @@ pub mod experiment;
 pub mod message;
 pub mod network;
 pub mod scenario;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 pub mod traffic;

@@ -343,6 +343,11 @@ fn enc_sim(sim: &SimConfig) -> Json {
     if sim.self_heal {
         fields.push(("self_heal", Json::from(true)));
     }
+    // Likewise for pre-sharding files: 1 (single-threaded) is the
+    // default and is never written out.
+    if sim.shards != 1 {
+        fields.push(("shards", Json::from(sim.shards)));
+    }
     Json::obj(fields)
 }
 
@@ -362,6 +367,7 @@ fn dec_sim(doc: &Json, path: &str) -> Result<SimConfig, CodecError> {
             "engine",
             "telemetry_every",
             "self_heal",
+            "shards",
         ],
         path,
     )?;
@@ -418,6 +424,13 @@ fn dec_sim(doc: &Json, path: &str) -> Result<SimConfig, CodecError> {
         self_heal: match doc.get("self_heal") {
             Some(v) => dec_bool(v, &format!("{path}.self_heal"))?,
             None => false,
+        },
+        // Absent in pre-sharding scenario files; 1 is the classic
+        // single-threaded tick (and every shard count is bit-identical
+        // to it, so this is purely an execution-strategy knob).
+        shards: match doc.get("shards") {
+            Some(v) => dec_usize(v, &format!("{path}.shards"))?,
+            None => 1,
         },
     })
 }
@@ -1047,6 +1060,30 @@ mod tests {
         let e = decode(&doc).unwrap_err();
         assert_eq!(e.path, "scenario.injections[0].repairs");
         assert!(e.message.contains("surprise"));
+    }
+
+    #[test]
+    fn shards_round_trip_and_stay_back_compatible() {
+        // Non-default shard counts survive the round trip (including
+        // 0 = host auto) and render byte-stably.
+        for shards in [2usize, 4, 0] {
+            let mut s = rich_scenario();
+            s.sim.shards = shards;
+            let doc = encode(&s);
+            assert_eq!(decode(&doc).unwrap(), s, "shards={shards}");
+            let text = doc.render();
+            assert_eq!(encode(&from_text(&text).unwrap()).render(), text);
+        }
+
+        // Back-compat: the default (1, single-threaded) is never
+        // written out, so pre-sharding corpus files keep their
+        // canonical bytes, and a document without the key decodes to
+        // shards = 1.
+        let old = rich_scenario();
+        assert_eq!(old.sim.shards, 1);
+        let old_doc = encode(&old);
+        assert!(old_doc.render().find("shards").is_none());
+        assert_eq!(decode(&old_doc).unwrap().sim.shards, 1);
     }
 
     #[test]

@@ -185,6 +185,58 @@ pub fn differential_check(scenario: &Scenario) -> Result<(), String> {
     Ok(())
 }
 
+/// Replays `scenario` on the Flat engine twice — single-threaded and
+/// sharded into `shards` shards — and checks full bit-identity:
+/// identical outcome streams, run summaries, and telemetry snapshots.
+/// The shard knob must be pure execution strategy; any divergence here
+/// is a partitioning bug (slot ownership, phase ordering, or merge
+/// order), not a protocol difference.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence (or codec failure).
+pub fn shard_differential_check(scenario: &Scenario, shards: usize) -> Result<(), String> {
+    let decoded = codec::decode(&codec::encode(scenario))
+        .map_err(|e| format!("scenario {:?} did not round-trip: {e}", scenario.name))?;
+    let mut single = decoded.clone();
+    single.sim.engine = EngineKind::Flat;
+    single.sim.shards = 1;
+    let mut sharded = decoded;
+    sharded.sim.engine = EngineKind::Flat;
+    sharded.sim.shards = shards;
+    let (a, mut sim_a) = super::run_scenario_with_sim(&single).map_err(|e| e.to_string())?;
+    let (b, mut sim_b) = super::run_scenario_with_sim(&sharded).map_err(|e| e.to_string())?;
+    if a.outcomes != b.outcomes {
+        return Err(format!(
+            "MessageOutcome streams diverged on {:?}: shards=1 produced {} outcomes (digest {:#x}), shards={shards} {} (digest {:#x})",
+            scenario.name,
+            a.outcomes.len(),
+            a.outcome_digest(),
+            b.outcomes.len(),
+            b.outcome_digest(),
+        ));
+    }
+    if (a.delivered, a.abandoned, a.payload_words, a.fabric_idle)
+        != (b.delivered, b.abandoned, b.payload_words, b.fabric_idle)
+    {
+        return Err(format!(
+            "run summaries diverged on {:?}: shards=1 {:?} vs shards={shards} {:?}",
+            scenario.name,
+            (a.delivered, a.abandoned, a.payload_words, a.fabric_idle),
+            (b.delivered, b.abandoned, b.payload_words, b.fabric_idle),
+        ));
+    }
+    let snap_a = sim_a.telemetry_snapshot(&scenario.name).to_json();
+    let snap_b = sim_b.telemetry_snapshot(&scenario.name).to_json();
+    if snap_a != snap_b {
+        return Err(format!(
+            "telemetry snapshots diverged on {:?} between shards=1 and shards={shards}",
+            scenario.name,
+        ));
+    }
+    Ok(())
+}
+
 /// Runs `count` seeded scenarios starting at `base_seed`, stopping at
 /// the first divergence. Returns the number of scenarios checked.
 ///
@@ -196,6 +248,23 @@ pub fn fuzz_campaign(base_seed: u64, count: u64) -> Result<u64, String> {
         let seed = crate::experiment::point_seed(base_seed, i);
         let scenario = random_scenario(seed);
         differential_check(&scenario)
+            .map_err(|e| format!("seed {seed:#x} (case {i}/{count}): {e}"))?;
+    }
+    Ok(count)
+}
+
+/// Runs `count` seeded scenarios starting at `base_seed`, each checked
+/// for shard bit-identity at `shards` shards (see
+/// [`shard_differential_check`]). Returns the number checked.
+///
+/// # Errors
+///
+/// Returns the failing seed and the divergence description.
+pub fn shard_fuzz_campaign(base_seed: u64, count: u64, shards: usize) -> Result<u64, String> {
+    for i in 0..count {
+        let seed = crate::experiment::point_seed(base_seed, i);
+        let scenario = random_scenario(seed);
+        shard_differential_check(&scenario, shards)
             .map_err(|e| format!("seed {seed:#x} (case {i}/{count}): {e}"))?;
     }
     Ok(count)
@@ -229,5 +298,13 @@ mod tests {
         // suite (tests/scenario_differential.rs); this is the unit-level
         // smoke.
         assert_eq!(fuzz_campaign(0x5EED, 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn small_shard_campaign_passes() {
+        // Full-corpus shard identity lives in the bench crate's
+        // integration suite; this unit smoke keeps the sharded tick and
+        // telemetry comparison wired into `cargo test -p metro-sim`.
+        assert_eq!(shard_fuzz_campaign(0x5EED, 2, 4).unwrap(), 2);
     }
 }

@@ -308,6 +308,22 @@ fn apply_due_injections(
 ///
 /// Propagates topology validation errors.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::error::Error>> {
+    run_scenario_with_sim(scenario).map(|(result, _sim)| result)
+}
+
+/// [`run_scenario`], but also hands back the finished [`NetworkSim`] so
+/// callers can inspect end-of-run state the [`ScenarioResult`] does not
+/// carry — telemetry snapshots, fault masks, per-router counters. Used
+/// by the shard-differential fuzzer to compare *all* observable state
+/// between single-threaded and sharded runs, not just the outcome
+/// stream.
+///
+/// # Errors
+///
+/// Propagates topology validation errors.
+pub fn run_scenario_with_sim(
+    scenario: &Scenario,
+) -> Result<(ScenarioResult, NetworkSim), Box<dyn std::error::Error>> {
     let mut sim = NetworkSim::from_scenario(scenario)?;
     let n = sim.topology().endpoints();
     let mut active = scenario.faults.clone();
@@ -392,7 +408,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::
     let fabric_idle = sim.fabric_idle();
     let telemetry_every = sim.telemetry().interval();
     let stats = sim.stats_mut();
-    Ok(ScenarioResult {
+    let result = ScenarioResult {
         delivered: stats.delivered,
         abandoned: stats.abandoned,
         point,
@@ -400,7 +416,8 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::
         fabric_idle,
         telemetry_every,
         outcomes,
-    })
+    };
+    Ok((result, sim))
 }
 
 #[cfg(test)]

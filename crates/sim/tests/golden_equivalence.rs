@@ -1,10 +1,13 @@
 //! Golden-trace equivalence: the flat double-buffered engine must be
 //! cycle-for-cycle indistinguishable from the reference (nested-`Vec`)
-//! engine it replaced.
+//! engine it replaced — and the *sharded* flat engine must be
+//! bit-identical to the single-threaded flat tick at every shard
+//! count.
 //!
-//! Every case builds the *same* network twice — once per
-//! [`EngineKind`] — drives both in lockstep with an identical workload
-//! (including mid-run dynamic faults), and asserts that the complete
+//! Every case builds the *same* network several times — once per
+//! [`EngineKind`], plus flat runs at `shards ∈ {2, 4, auto}` — drives
+//! all of them in lockstep with an identical workload (including
+//! mid-run dynamic faults), and asserts that the complete
 //! [`MessageOutcome`] sequences, the per-router counter totals, and the
 //! end-of-run fabric state all match exactly.
 
@@ -67,12 +70,14 @@ fn spec_for(shape: usize, wiring_seed: u64) -> MultibutterflySpec {
 
 fn run_engine(
     kind: EngineKind,
+    shards: usize,
     spec: &MultibutterflySpec,
     base: &SimConfig,
     load: &Workload,
 ) -> (Vec<MessageOutcome>, Vec<Vec<RouterStats>>, bool, usize) {
     let config = SimConfig {
         engine: kind,
+        shards,
         ..base.clone()
     };
     let mut sim = NetworkSim::new(spec, &config).expect("valid spec");
@@ -123,9 +128,9 @@ fn run_engine(
 
 fn assert_equivalent(spec: &MultibutterflySpec, base: &SimConfig, load: &Workload) {
     let (flat_out, flat_stats, flat_idle, flat_words) =
-        run_engine(EngineKind::Flat, spec, base, load);
+        run_engine(EngineKind::Flat, 1, spec, base, load);
     let (ref_out, ref_stats, ref_idle, ref_words) =
-        run_engine(EngineKind::Reference, spec, base, load);
+        run_engine(EngineKind::Reference, 1, spec, base, load);
     assert_eq!(
         flat_out, ref_out,
         "MessageOutcome sequences diverged between engines"
@@ -136,6 +141,28 @@ fn assert_equivalent(spec: &MultibutterflySpec, base: &SimConfig, load: &Workloa
     );
     assert_eq!(flat_idle, ref_idle, "fabric idleness diverged");
     assert_eq!(flat_words, ref_words, "payload word accounting diverged");
+    // The sharded flat tick is an execution strategy, not a semantic
+    // change: every shard count (including 0 = host auto) must be
+    // bit-identical to the single-threaded flat run.
+    for shards in [2usize, 4, 0] {
+        let (out, stats, idle, words) = run_engine(EngineKind::Flat, shards, spec, base, load);
+        assert_eq!(
+            out, flat_out,
+            "MessageOutcome sequences diverged at shards={shards}"
+        );
+        assert_eq!(
+            stats, flat_stats,
+            "per-router counter totals diverged at shards={shards}"
+        );
+        assert_eq!(
+            idle, flat_idle,
+            "fabric idleness diverged at shards={shards}"
+        );
+        assert_eq!(
+            words, flat_words,
+            "payload word accounting diverged at shards={shards}"
+        );
+    }
 }
 
 proptest! {

@@ -1,4 +1,4 @@
-//! The 21 paper artifacts, as registry entries.
+//! The 22 paper artifacts, as registry entries.
 //!
 //! Each module moves one historical binary's logic behind a
 //! [`metro_harness::Artifact`]: the run function builds the human
@@ -27,6 +27,7 @@ pub mod ablation_reclaim;
 pub mod ablation_selection;
 pub mod cascade_sim;
 pub mod chaos;
+pub mod estimate_bench;
 pub mod fattree_budget;
 pub mod fault_sweep;
 pub mod fig1;
@@ -69,5 +70,6 @@ pub fn registry() -> Registry {
     r.register(message_sizes::artifact());
     r.register(tick_bench::artifact());
     r.register(shard_bench::artifact());
+    r.register(estimate_bench::artifact());
     r
 }

@@ -1,0 +1,10 @@
+//! Thin shim over the `estimate_bench` artifact in the metro registry;
+//! matches its sibling benches. Prefer
+//! `cargo run --release -p metro-bench --bin metro -- run estimate_bench`.
+
+fn main() {
+    std::process::exit(metro_harness::cli::shim(
+        &metro_bench::registry(),
+        "estimate_bench",
+    ));
+}

@@ -35,15 +35,16 @@ fn usage() -> String {
      --engine both, the default) bit-identical behaviour on the Flat\n\
      and Reference tick engines. With --shards N (N > 1), every\n\
      campaign additionally replays on the sharded Flat engine and must\n\
-     be bit-identical to the single-threaded run, telemetry included.\n"
+     be bit-identical to the single-threaded run, telemetry included.\n\
+     The analytic estimator is not cycle-accurate and is rejected.\n"
         .to_string()
 }
 
-/// Which engines a chaos run exercises.
+/// Which engines a chaos run exercises: one cycle-accurate engine, or
+/// the paired flat+reference divergence audit (the default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EngineChoice {
-    Flat,
-    Reference,
+    One(EngineKind),
     Both,
 }
 
@@ -80,14 +81,23 @@ pub fn main(args: &[String]) -> i32 {
                 Err(e) => return arg_error(&e),
             },
             "--engine" => match it.next().map(String::as_str) {
-                Some("flat") => engine = EngineChoice::Flat,
-                Some("reference") => engine = EngineChoice::Reference,
                 Some("both") => engine = EngineChoice::Both,
-                other => {
-                    return arg_error(&format!(
-                        "--engine expects flat|reference|both, got {other:?}"
-                    ))
-                }
+                Some(name) => match EngineKind::from_name(name) {
+                    Some(k) if k.is_cycle_accurate() => engine = EngineChoice::One(k),
+                    Some(k) => {
+                        return arg_error(&format!(
+                            "--engine {}: chaos invariants are cycle-exact; \
+                             the analytic estimator cannot run them",
+                            k.name()
+                        ))
+                    }
+                    None => {
+                        return arg_error(&format!(
+                            "--engine expects flat|reference|both, got {name:?}"
+                        ))
+                    }
+                },
+                None => return arg_error("--engine needs a value"),
             },
             other => return arg_error(&format!("unknown flag {other:?}")),
         }
@@ -136,8 +146,7 @@ fn run_storm(
         let seed = base_seed.wrapping_add(k);
         let campaign = ChaosCampaign::generate(&spec, seed).map_err(|e| e.to_string())?;
         let report = match engine {
-            EngineChoice::Flat => run_campaign(&campaign, EngineKind::Flat),
-            EngineChoice::Reference => run_campaign(&campaign, EngineKind::Reference),
+            EngineChoice::One(k) => run_campaign(&campaign, k),
             EngineChoice::Both => run_campaign_paired(&campaign),
         }
         .map_err(|e| format!("campaign seed {seed:#x}: {e}"))?;
@@ -155,8 +164,7 @@ fn run_storm(
     let total_sends: usize = reports.iter().map(|r| r.sends).sum();
     let total_masks: u64 = reports.iter().map(|r| r.masks_applied).sum();
     let engines = match engine {
-        EngineChoice::Flat => "flat",
-        EngineChoice::Reference => "reference",
+        EngineChoice::One(k) => k.name(),
         EngineChoice::Both => "flat+reference",
     };
     let mut fields = vec![
@@ -247,7 +255,7 @@ mod tests {
     #[test]
     fn run_storm_records_results_and_manifest() {
         let (dir, results) = temp_results("run");
-        let summary = run_storm(1, 3, EngineChoice::Flat, 1, &results).unwrap();
+        let summary = run_storm(1, 3, EngineChoice::One(EngineKind::Flat), 1, &results).unwrap();
         assert!(summary.contains("all invariants held"));
 
         let doc = Json::parse(&std::fs::read_to_string(results.root().join("chaos.json")).unwrap())
@@ -268,7 +276,7 @@ mod tests {
     #[test]
     fn a_sharded_storm_holds_shard_identity() {
         let (dir, results) = temp_results("sharded");
-        let summary = run_storm(1, 3, EngineChoice::Flat, 4, &results).unwrap();
+        let summary = run_storm(1, 3, EngineChoice::One(EngineKind::Flat), 4, &results).unwrap();
         assert!(summary.contains("shard-identical at 4 shards"));
         let doc = Json::parse(&std::fs::read_to_string(results.root().join("chaos.json")).unwrap())
             .unwrap();
@@ -280,6 +288,8 @@ mod tests {
     fn bad_flags_are_rejected() {
         assert_eq!(main(&["--campaigns".into()]), 2);
         assert_eq!(main(&["--engine".into(), "warp".into()]), 2);
+        // A real engine name that is not cycle-accurate is rejected too.
+        assert_eq!(main(&["--engine".into(), "analytic".into()]), 2);
         assert_eq!(main(&["--shards".into(), "0".into()]), 2);
         assert_eq!(main(&["--frobnicate".into()]), 2);
         assert_eq!(main(&["--help".into()]), 0);

@@ -1,0 +1,132 @@
+//! Differential validation of the analytic estimator: every scenario in
+//! the checked-in corpus is replayed cycle-accurately on the flat
+//! engine and estimated analytically, and the estimator's latency
+//! quantiles must stay within bounds (p50 ≤15%, p95 ≤25%) of the
+//! ground truth — the accuracy contract CI enforces.
+
+use metro_sim::engine::analytic::estimate_latency;
+use metro_sim::scenario::{codec, run_scenario, Scenario, WorkloadSpec};
+use metro_sim::LatencyStats;
+use std::path::PathBuf;
+
+/// Maximum relative error at the median.
+const P50_BOUND: f64 = 0.15;
+/// Maximum relative error at the 95th percentile.
+const P95_BOUND: f64 = 0.25;
+
+fn corpus() -> Vec<(String, Scenario)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("scenarios/ directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).unwrap();
+            (name, codec::from_text(&text).unwrap())
+        })
+        .collect()
+}
+
+fn rel_err(estimate: u64, truth: u64) -> f64 {
+    if truth == 0 {
+        return if estimate == 0 { 0.0 } else { f64::INFINITY };
+    }
+    (estimate as f64 - truth as f64).abs() / truth as f64
+}
+
+/// Ground-truth total-latency quantiles from a cycle-accurate replay:
+/// the load point for `Load` workloads, the outcome stream for `Sends`.
+fn truth_quantiles(scenario: &Scenario) -> (u64, u64) {
+    let result = run_scenario(scenario).expect("corpus scenario must replay");
+    match &result.point {
+        Some(p) => (p.p50_latency, p.p95_latency),
+        None => {
+            let mut h = LatencyStats::new();
+            for o in &result.outcomes {
+                h.record(o.total_latency());
+            }
+            (h.percentile(50.0), h.percentile(95.0))
+        }
+    }
+}
+
+#[test]
+fn estimator_tracks_the_flat_engine_across_the_corpus() {
+    let mut violations = Vec::new();
+    for (name, scenario) in corpus() {
+        let mut est = estimate_latency(&scenario).expect("corpus scenario must estimate");
+        let (est_p50, est_p95) = (
+            est.total_latency.percentile(50.0),
+            est.total_latency.percentile(95.0),
+        );
+        let (true_p50, true_p95) = truth_quantiles(&scenario);
+        let (e50, e95) = (rel_err(est_p50, true_p50), rel_err(est_p95, true_p95));
+        println!(
+            "{name:>14}: p50 {est_p50:>4} vs {true_p50:>4} ({:>5.1}%)  p95 {est_p95:>4} vs {true_p95:>4} ({:>5.1}%)",
+            e50 * 100.0,
+            e95 * 100.0
+        );
+        if e50 > P50_BOUND {
+            violations.push(format!(
+                "{name}: p50 estimate {est_p50} vs truth {true_p50} ({:.1}% > {:.0}%)",
+                e50 * 100.0,
+                P50_BOUND * 100.0
+            ));
+        }
+        if e95 > P95_BOUND {
+            violations.push(format!(
+                "{name}: p95 estimate {est_p95} vs truth {true_p95} ({:.1}% > {:.0}%)",
+                e95 * 100.0,
+                P95_BOUND * 100.0
+            ));
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "estimator out of bounds:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn analytic_scenarios_dispatch_through_run_scenario() {
+    // Flipping a corpus scenario's engine to analytic must route
+    // run_scenario to the estimator and reproduce estimate_latency's
+    // result exactly.
+    let (_, mut scenario) = corpus()
+        .into_iter()
+        .find(|(name, _)| name == "figure1")
+        .expect("figure1 in corpus");
+    scenario.sim.engine = metro_sim::EngineKind::Analytic;
+    let via_run = run_scenario(&scenario).unwrap();
+    let direct = estimate_latency(&scenario).unwrap();
+    assert_eq!(via_run, direct.result);
+    assert!(via_run.delivered > 0);
+}
+
+#[test]
+fn estimator_counts_match_the_load_replay() {
+    // The estimator replays the exact arrival streams, so for Load
+    // scenarios its message population must be close to the flat
+    // engine's (small slack: in-flight boundary effects).
+    for (name, scenario) in corpus() {
+        if !matches!(scenario.workload, WorkloadSpec::Load { .. }) {
+            continue;
+        }
+        let est = estimate_latency(&scenario).unwrap();
+        let truth = run_scenario(&scenario).unwrap();
+        let (e, t) = (
+            est.result.outcomes.len() as f64,
+            truth.outcomes.len() as f64,
+        );
+        assert!(
+            (e - t).abs() / t < 0.1,
+            "{name}: estimated {e} outcomes vs {t} simulated"
+        );
+    }
+}

@@ -61,6 +61,7 @@ impl RandomSource {
         Self::new(z ^ (z >> 31))
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         // xorshift64*
         let mut x = self.state;
@@ -76,6 +77,7 @@ impl RandomSource {
     /// # Panics
     ///
     /// Panics if `n > 64`.
+    #[inline]
     pub fn bits(&mut self, n: u32) -> u64 {
         assert!(n <= 64, "cannot draw more than 64 bits at once");
         if n == 0 {
@@ -94,6 +96,7 @@ impl RandomSource {
     /// # Panics
     ///
     /// Panics if `bound == 0`.
+    #[inline]
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "cannot draw an index from an empty range");
         if bound == 1 {

@@ -322,13 +322,7 @@ impl ChaosReport {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("seed", Json::from(self.seed)),
-            (
-                "engine",
-                Json::from(match self.engine {
-                    EngineKind::Flat => "flat",
-                    EngineKind::Reference => "reference",
-                }),
-            ),
+            ("engine", Json::from(self.engine.name())),
             ("events", Json::from(self.events)),
             ("sends", Json::from(self.sends)),
             ("total_retries", Json::from(self.total_retries)),
@@ -416,7 +410,9 @@ fn probe(
 /// # Errors
 ///
 /// Returns the first [`ChaosViolation`], or a boxed error for topology
-/// failures.
+/// failures. Chaos invariants are cycle-exact, so a
+/// non-cycle-accurate engine ([`EngineKind::Analytic`]) is rejected
+/// with [`crate::engine::NotCycleAccurate`] before any event runs.
 pub fn run_campaign(
     campaign: &ChaosCampaign,
     engine: EngineKind,
@@ -692,6 +688,17 @@ mod tests {
         assert!(!a.events.is_empty());
         let c = ChaosCampaign::generate(&spec, 8).unwrap();
         assert_ne!(a, c, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn the_analytic_engine_is_rejected_with_a_typed_error() {
+        let spec = MultibutterflySpec::figure1();
+        let campaign = ChaosCampaign::generate(&spec, 7).unwrap();
+        let err = run_campaign(&campaign, EngineKind::Analytic).unwrap_err();
+        let typed = err
+            .downcast_ref::<crate::engine::NotCycleAccurate>()
+            .expect("NotCycleAccurate, not a panic or stringly error");
+        assert_eq!(typed.engine, EngineKind::Analytic);
     }
 
     #[test]

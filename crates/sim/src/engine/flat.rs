@@ -1,0 +1,313 @@
+//! The allocation-free flat engine: double-buffered channel arenas
+//! walked with precomputed slot indices.
+//!
+//! One copy of every registered channel value lives in a flat arena
+//! indexed by [`FlatLinks`]'s slot scheme; the engine keeps two — `cur`
+//! (read by components this cycle) and `next` (written by wires for the
+//! coming cycle) — and swaps them once per tick. The steady-state step
+//! performs no heap allocation, and fault state is resolved into flat
+//! tables in [`Engine::apply_faults`] so the hot path never queries the
+//! fault set. With `SimConfig::shards > 1` the same dataflow fans out
+//! across cores through [`super::shard`], bit-identically.
+
+use super::{boundary_delay, shard::ShardState, Engine, StepCtx};
+use crate::network::SimConfig;
+use crate::shard::ShardPlan;
+use crate::wire::Wire;
+use metro_core::Word;
+use metro_topo::fault::FaultSet;
+use metro_topo::flatlinks::{FlatLinks, FlatTarget};
+use metro_topo::graph::LinkId;
+use metro_topo::multibutterfly::Multibutterfly;
+
+/// One copy of every registered channel value in the network, indexed
+/// by the flat slot scheme of [`FlatLinks`].
+#[derive(Debug, Clone)]
+pub(crate) struct ChannelArena {
+    /// Forward-lane word arriving at each router forward port (fslot).
+    pub(crate) fwd_in: Vec<Word>,
+    /// Reverse-lane word arriving at each router backward port (bslot).
+    pub(crate) rev_in: Vec<Word>,
+    /// BCB arriving at each router backward port (bslot).
+    pub(crate) bcb_in: Vec<bool>,
+    /// Reverse-lane word arriving at each endpoint output port
+    /// (ep slot).
+    pub(crate) ep_out_rev: Vec<Word>,
+    /// BCB arriving at each endpoint output port (ep slot).
+    pub(crate) ep_out_bcb: Vec<bool>,
+    /// Forward-lane word arriving at each endpoint input port (ep slot).
+    pub(crate) ep_in_fwd: Vec<Word>,
+}
+
+impl ChannelArena {
+    fn idle(links: &FlatLinks) -> Self {
+        Self {
+            fwd_in: vec![Word::Empty; links.n_fwd_slots()],
+            rev_in: vec![Word::Empty; links.n_bwd_slots()],
+            bcb_in: vec![false; links.n_bwd_slots()],
+            ep_out_rev: vec![Word::Empty; links.n_ep_slots()],
+            ep_out_bcb: vec![false; links.n_ep_slots()],
+            ep_in_fwd: vec![Word::Empty; links.n_ep_slots()],
+        }
+    }
+}
+
+/// Component outputs computed during the current tick, before the wires
+/// consume them. Preallocated once; every slot is overwritten each
+/// cycle.
+#[derive(Debug, Clone)]
+pub(crate) struct DriveBus {
+    /// Forward-lane word each router drives out of a backward port
+    /// (bslot).
+    pub(crate) out_bwd: Vec<Word>,
+    /// Reverse-lane word each router drives out of a forward port
+    /// (fslot).
+    pub(crate) out_fwd: Vec<Word>,
+    /// BCB each router drives out of a forward port (fslot).
+    pub(crate) out_bcb: Vec<bool>,
+    /// Forward-lane word each endpoint drives into the network
+    /// (ep slot).
+    pub(crate) ep_out_fwd: Vec<Word>,
+    /// Reverse-lane reply each endpoint drives at its input side
+    /// (ep slot).
+    pub(crate) ep_in_rev: Vec<Word>,
+}
+
+impl DriveBus {
+    fn idle(links: &FlatLinks) -> Self {
+        Self {
+            out_bwd: vec![Word::Empty; links.n_bwd_slots()],
+            out_fwd: vec![Word::Empty; links.n_fwd_slots()],
+            out_bcb: vec![false; links.n_fwd_slots()],
+            ep_out_fwd: vec![Word::Empty; links.n_ep_slots()],
+            ep_in_rev: vec![Word::Empty; links.n_ep_slots()],
+        }
+    }
+}
+
+/// The allocation-free tick engine: flat arenas + precomputed slots.
+#[derive(Debug, Clone)]
+pub struct FlatEngine {
+    pub(crate) links: FlatLinks,
+    pub(crate) cur: ChannelArena,
+    pub(crate) next: ChannelArena,
+    pub(crate) bus: DriveBus,
+    /// Injection wires, one per endpoint slot.
+    pub(crate) inj_wires: Vec<Wire>,
+    /// Inter-stage / delivery wires, one per backward slot.
+    pub(crate) stage_wires: Vec<Wire>,
+    /// Dead-router flags, flat router numbering; synced from the fault
+    /// set in [`Engine::apply_faults`] so the step path never queries
+    /// the fault set.
+    pub(crate) router_dead: Vec<bool>,
+    /// Per-wire [`Wire::is_transparent`] flags (zero delay, no fault):
+    /// the step path copies slots directly instead of calling
+    /// `advance`. Transparency only changes when faults change, so
+    /// these are rebuilt in [`Engine::apply_faults`], never per tick.
+    pub(crate) inj_transparent: Vec<bool>,
+    pub(crate) stage_transparent: Vec<bool>,
+    /// Sharded-step state when `SimConfig.shards` resolved to more
+    /// than one shard; `None` runs the classic single-threaded step.
+    pub(crate) shard: Option<Box<ShardState>>,
+}
+
+impl FlatEngine {
+    /// Builds the flat engine for `topo` under `config`, resolving the
+    /// shard knob (0 = host parallelism, capped at the router count).
+    #[must_use]
+    pub(crate) fn build(topo: &Multibutterfly, config: &SimConfig) -> Self {
+        let links = FlatLinks::build(topo);
+        let inj_wires: Vec<Wire> = (0..links.n_ep_slots())
+            .map(|_| Wire::new(boundary_delay(config, 0)))
+            .collect();
+        let stage_wires: Vec<Wire> = (0..topo.stages())
+            .flat_map(|s| {
+                let n = topo.routers_in_stage(s) * topo.stage_spec(s).backward_ports;
+                std::iter::repeat_n(boundary_delay(config, s + 1), n)
+            })
+            .map(Wire::new)
+            .collect();
+        let inj_transparent = inj_wires.iter().map(Wire::is_transparent).collect();
+        let stage_transparent = stage_wires.iter().map(Wire::is_transparent).collect();
+        // Resolve the shard knob: 0 = host parallelism, then cap at
+        // the router count (a shard without routers is pure overhead);
+        // one effective shard means the classic single-threaded step.
+        let requested = match config.shards {
+            0 => metro_harness::default_jobs().get(),
+            n => n,
+        };
+        let effective = requested.min(links.n_routers()).max(1);
+        let shard = (effective > 1).then(|| {
+            Box::new(ShardState {
+                plan: ShardPlan::build(&links, effective),
+                pool: None,
+                fwd_inj: vec![Word::Empty; links.n_ep_slots()],
+                fwd_stage: vec![Word::Empty; links.n_bwd_slots()],
+            })
+        });
+        Self {
+            cur: ChannelArena::idle(&links),
+            next: ChannelArena::idle(&links),
+            bus: DriveBus::idle(&links),
+            inj_wires,
+            stage_wires,
+            router_dead: vec![false; links.n_routers()],
+            inj_transparent,
+            stage_transparent,
+            shard,
+            links,
+        }
+    }
+
+    /// The single-threaded flat cycle: endpoints and routers read
+    /// registered inputs from the `cur` arena and drive the bus; wires
+    /// consume the bus and write every slot of the `next` arena; the
+    /// arenas swap. The swap is sound because every linked slot is
+    /// written every cycle (unlinked slots stay `Empty` in both
+    /// buffers), and nothing here allocates.
+    fn step_single(&mut self, ctx: StepCtx<'_>) {
+        let Self {
+            links,
+            cur,
+            next,
+            bus,
+            inj_wires,
+            stage_wires,
+            router_dead,
+            inj_transparent,
+            stage_transparent,
+            shard: _,
+        } = self;
+        let ep = links.ep_ports();
+
+        // 1. Endpoints compute their outputs from last cycle's inputs.
+        for (e, endpoint) in ctx.endpoints.iter_mut().enumerate() {
+            let lo = e * ep;
+            let hi = lo + ep;
+            endpoint.tick_into(
+                ctx.now,
+                &cur.ep_out_rev[lo..hi],
+                &cur.ep_out_bcb[lo..hi],
+                &cur.ep_in_fwd[lo..hi],
+                &mut bus.ep_out_fwd[lo..hi],
+                &mut bus.ep_in_rev[lo..hi],
+            );
+        }
+
+        // 2. Routers compute their outputs.
+        for (s, stage) in ctx.routers.iter_mut().enumerate() {
+            let nf = links.forward_ports(s);
+            let nb = links.backward_ports(s);
+            for (r, router) in stage.iter_mut().enumerate() {
+                let f0 = links.fslot(s, r, 0);
+                let b0 = links.bslot(s, r, 0);
+                if router_dead[links.router_index(s, r)] {
+                    bus.out_bwd[b0..b0 + nb].fill(Word::Empty);
+                    bus.out_fwd[f0..f0 + nf].fill(Word::Empty);
+                    bus.out_bcb[f0..f0 + nf].fill(false);
+                    continue;
+                }
+                router.tick_into(
+                    &cur.fwd_in[f0..f0 + nf],
+                    &cur.rev_in[b0..b0 + nb],
+                    &cur.bcb_in[b0..b0 + nb],
+                    &mut bus.out_bwd[b0..b0 + nb],
+                    &mut bus.out_fwd[f0..f0 + nf],
+                    &mut bus.out_bcb[f0..f0 + nf],
+                );
+            }
+        }
+
+        // 3. Wires advance, writing every slot of the next arena.
+        // Transparent wires (zero delay, fault-free — the common RN1
+        // boundary) are identity functions: copy bus slots straight into
+        // the next arena and never touch the `Wire` state.
+        for (i, wire) in inj_wires.iter_mut().enumerate() {
+            let t = links.inj_target(i);
+            let (fwd_o, rev_o, bcb_o) = if inj_transparent[i] {
+                (bus.ep_out_fwd[i], bus.out_fwd[t], bus.out_bcb[t])
+            } else {
+                wire.advance(bus.ep_out_fwd[i], bus.out_fwd[t], bus.out_bcb[t])
+            };
+            next.fwd_in[t] = fwd_o;
+            next.ep_out_rev[i] = rev_o;
+            next.ep_out_bcb[i] = bcb_o;
+        }
+        for (j, wire) in stage_wires.iter_mut().enumerate() {
+            match links.bwd_target(j) {
+                FlatTarget::Fwd(t) => {
+                    let t = t as usize;
+                    let (fwd_o, rev_o, bcb_o) = if stage_transparent[j] {
+                        (bus.out_bwd[j], bus.out_fwd[t], bus.out_bcb[t])
+                    } else {
+                        wire.advance(bus.out_bwd[j], bus.out_fwd[t], bus.out_bcb[t])
+                    };
+                    next.fwd_in[t] = fwd_o;
+                    next.rev_in[j] = rev_o;
+                    next.bcb_in[j] = bcb_o;
+                }
+                FlatTarget::Endpoint(i) => {
+                    let i = i as usize;
+                    let (fwd_o, rev_o) = if stage_transparent[j] {
+                        (bus.out_bwd[j], bus.ep_in_rev[i])
+                    } else {
+                        let (f, r, _) = wire.advance(bus.out_bwd[j], bus.ep_in_rev[i], false);
+                        (f, r)
+                    };
+                    next.ep_in_fwd[i] = fwd_o;
+                    next.rev_in[j] = rev_o;
+                    next.bcb_in[j] = false;
+                }
+            }
+        }
+        std::mem::swap(cur, next);
+    }
+}
+
+impl Engine for FlatEngine {
+    fn step(&mut self, ctx: StepCtx<'_>) {
+        if self.shard.is_some() {
+            super::shard::step_sharded(self, ctx);
+        } else {
+            self.step_single(ctx);
+        }
+    }
+
+    fn wires_quiet(&self) -> bool {
+        self.inj_wires
+            .iter()
+            .chain(self.stage_wires.iter())
+            .all(Wire::is_quiet)
+    }
+
+    fn probe_wire(&self, stage: usize, router: usize, b: usize) -> Wire {
+        self.stage_wires[self.links.bslot(stage, router, b)].clone()
+    }
+
+    fn apply_faults(&mut self, topo: &Multibutterfly, faults: &FaultSet) {
+        // Resolve the fault set into flat tables here, once, instead
+        // of querying it every step.
+        for s in 0..topo.stages() {
+            for r in 0..topo.routers_in_stage(s) {
+                self.router_dead[self.links.router_index(s, r)] = faults.router_dead(s, r);
+                for b in 0..topo.stage_spec(s).backward_ports {
+                    self.stage_wires[self.links.bslot(s, r, b)]
+                        .set_fault(faults.link_fault(LinkId::new(s, r, b)));
+                }
+            }
+        }
+        // Transparency follows the fault set; refresh the cached flags
+        // in the same pass.
+        for (t, w) in self.stage_transparent.iter_mut().zip(&self.stage_wires) {
+            *t = w.is_transparent();
+        }
+    }
+
+    fn shards(&self) -> usize {
+        self.shard.as_ref().map_or(1, |s| s.plan.shards())
+    }
+
+    fn clone_box(&self) -> Box<dyn Engine> {
+        Box::new(self.clone())
+    }
+}

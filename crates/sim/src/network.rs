@@ -4,7 +4,13 @@
 //! position, one [`crate::wire::Wire`] per port-level link, and
 //! one [`crate::endpoint::Endpoint`] per network endpoint, and
 //! advances everything synchronously from a central clock — pipelined
-//! circuit switching exactly as the paper's §3 describes.
+//! circuit switching exactly as the paper's §3 describes. The
+//! per-cycle dataflow itself lives behind the sealed
+//! [`Engine`](crate::engine::Engine) seam ([`crate::engine`]); this
+//! module owns orchestration only: construction, workload injection,
+//! the clock, telemetry sync, outcome harvest, and fault application.
+//! The self-healing loop is a sibling orchestration concern in
+//! [`crate::healing`].
 //!
 //! Components are Moore machines with respect to the data lanes (their
 //! outputs depend on registered state), so the per-cycle order —
@@ -13,38 +19,22 @@
 //! latency, which only makes fast reclamation marginally slower than
 //! silicon (conservative).
 
-use crate::endpoint::{AttemptEvidence, Endpoint, EndpointConfig, EndpointIo};
-use crate::message::{FailureKind, MessageOutcome};
-use crate::shard::ShardPlan;
+use crate::endpoint::{Endpoint, EndpointConfig};
+use crate::engine::flat::FlatEngine;
+use crate::engine::reference::ReferenceEngine;
+use crate::engine::{boundary_delay, Engine, NotCycleAccurate, StepCtx};
+use crate::message::MessageOutcome;
 use crate::stats::NetworkStats;
-use crate::wire::Wire;
 use metro_core::header::HeaderPlan;
 use metro_core::{
-    ArchParams, BwdIn, FwdIn, PortMode, RandomSource, Router, RouterConfig, SelectionPolicy,
-    StreamChecksum, TickOutput, Word,
+    ArchParams, RandomSource, Router, RouterConfig, SelectionPolicy, StreamChecksum, Word,
 };
-use metro_harness::TickPool;
-use metro_scan::boundary::test_wire;
-use metro_scan::diagnosis::{diagnose_attempt, expected_stage_checksums, AttemptDiagnosis};
-use metro_telemetry::{RouterCounter, TelemetryRegistry, TelemetrySnapshot};
+use metro_telemetry::{TelemetryRegistry, TelemetrySnapshot};
 use metro_topo::fault::FaultSet;
-use metro_topo::flatlinks::{FlatLinks, FlatTarget};
-use metro_topo::graph::{LinkId, LinkTarget};
+use metro_topo::graph::LinkId;
 use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec};
 
-/// Which tick engine drives the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EngineKind {
-    /// Flat double-buffered channel arenas walked with precomputed slot
-    /// indices ([`metro_topo::flatlinks`]); the steady-state tick path
-    /// performs no heap allocation. The default.
-    #[default]
-    Flat,
-    /// The original nested-`Vec` engine, rebuilt buffers each tick.
-    /// Retained as the golden reference for equivalence testing and
-    /// before/after benchmarking.
-    Reference,
-}
+pub use crate::engine::EngineKind;
 
 /// Simulator configuration: the implementation parameters shared by
 /// every router in the network plus protocol knobs.
@@ -80,9 +70,15 @@ pub struct SimConfig {
     pub endpoint: EndpointConfig,
     /// Master seed: router randomness, endpoint port choice, backoff.
     pub seed: u64,
-    /// Which tick engine drives the fabric. Both engines are
-    /// cycle-for-cycle equivalent (see the golden-equivalence tests);
-    /// [`EngineKind::Flat`] is simply faster.
+    /// Which engine drives the fabric. The cycle engines ([`Flat`] and
+    /// [`Reference`]) are cycle-for-cycle equivalent (see the
+    /// golden-equivalence tests); [`EngineKind::Flat`] is simply
+    /// faster. [`EngineKind::Analytic`] is not a cycle engine and is
+    /// rejected by [`NetworkSim::new`] — scenario replay dispatches it
+    /// to the estimator instead.
+    ///
+    /// [`Flat`]: EngineKind::Flat
+    /// [`Reference`]: EngineKind::Reference
     pub engine: EngineKind,
     /// Cycles between telemetry syncs (clamped to ≥ 1): how often the
     /// registry copies router counters, feeds the trace, and extends
@@ -136,363 +132,16 @@ impl Default for SimConfig {
     }
 }
 
-/// One copy of every registered channel value in the network, indexed
-/// by the flat slot scheme of [`FlatLinks`]. The flat engine keeps two
-/// of these — `cur` (read by components this cycle) and `next` (written
-/// by wires for the coming cycle) — and swaps them once per tick.
-#[derive(Debug, Clone)]
-struct ChannelArena {
-    /// Forward-lane word arriving at each router forward port (fslot).
-    fwd_in: Vec<Word>,
-    /// Reverse-lane word arriving at each router backward port (bslot).
-    rev_in: Vec<Word>,
-    /// BCB arriving at each router backward port (bslot).
-    bcb_in: Vec<bool>,
-    /// Reverse-lane word arriving at each endpoint output port
-    /// (ep slot).
-    ep_out_rev: Vec<Word>,
-    /// BCB arriving at each endpoint output port (ep slot).
-    ep_out_bcb: Vec<bool>,
-    /// Forward-lane word arriving at each endpoint input port (ep slot).
-    ep_in_fwd: Vec<Word>,
-}
-
-impl ChannelArena {
-    fn idle(links: &FlatLinks) -> Self {
-        Self {
-            fwd_in: vec![Word::Empty; links.n_fwd_slots()],
-            rev_in: vec![Word::Empty; links.n_bwd_slots()],
-            bcb_in: vec![false; links.n_bwd_slots()],
-            ep_out_rev: vec![Word::Empty; links.n_ep_slots()],
-            ep_out_bcb: vec![false; links.n_ep_slots()],
-            ep_in_fwd: vec![Word::Empty; links.n_ep_slots()],
-        }
-    }
-}
-
-/// Component outputs computed during the current tick, before the wires
-/// consume them. Preallocated once; every slot is overwritten each
-/// cycle.
-#[derive(Debug, Clone)]
-struct DriveBus {
-    /// Forward-lane word each router drives out of a backward port
-    /// (bslot).
-    out_bwd: Vec<Word>,
-    /// Reverse-lane word each router drives out of a forward port
-    /// (fslot).
-    out_fwd: Vec<Word>,
-    /// BCB each router drives out of a forward port (fslot).
-    out_bcb: Vec<bool>,
-    /// Forward-lane word each endpoint drives into the network
-    /// (ep slot).
-    ep_out_fwd: Vec<Word>,
-    /// Reverse-lane reply each endpoint drives at its input side
-    /// (ep slot).
-    ep_in_rev: Vec<Word>,
-}
-
-impl DriveBus {
-    fn idle(links: &FlatLinks) -> Self {
-        Self {
-            out_bwd: vec![Word::Empty; links.n_bwd_slots()],
-            out_fwd: vec![Word::Empty; links.n_fwd_slots()],
-            out_bcb: vec![false; links.n_fwd_slots()],
-            ep_out_fwd: vec![Word::Empty; links.n_ep_slots()],
-            ep_in_rev: vec![Word::Empty; links.n_ep_slots()],
-        }
-    }
-}
-
-/// The allocation-free tick engine: flat arenas + precomputed slots.
-#[derive(Debug, Clone)]
-struct FlatEngine {
-    links: FlatLinks,
-    cur: ChannelArena,
-    next: ChannelArena,
-    bus: DriveBus,
-    /// Injection wires, one per endpoint slot.
-    inj_wires: Vec<Wire>,
-    /// Inter-stage / delivery wires, one per backward slot.
-    stage_wires: Vec<Wire>,
-    /// Dead-router flags, flat router numbering; synced from the fault
-    /// set in [`NetworkSim::apply_faults`] so the tick path never
-    /// queries the fault set.
-    router_dead: Vec<bool>,
-    /// Per-wire [`Wire::is_transparent`] flags (zero delay, no fault):
-    /// the tick path copies slots directly instead of calling `advance`.
-    /// Transparency only changes when faults change, so these are
-    /// rebuilt in [`NetworkSim::apply_faults`], never per tick.
-    inj_transparent: Vec<bool>,
-    stage_transparent: Vec<bool>,
-    /// Sharded-tick state when `SimConfig.shards` resolved to more
-    /// than one shard; `None` runs the classic single-threaded tick.
-    shard: Option<Box<ShardState>>,
-}
-
-/// Everything the sharded flat tick needs beyond the engine itself:
-/// the topology partition, the persistent worker pool, and the
-/// forward-lane staging buffers wires park cross-shard words in
-/// between the wire and gather phases.
-#[derive(Debug)]
-struct ShardState {
-    plan: ShardPlan,
-    /// Created lazily on the first sharded tick (so merely *building*
-    /// a sharded sim spawns no threads) and intentionally not cloned —
-    /// a cloned sim respins its own pool on its next tick.
-    pool: Option<TickPool>,
-    /// Forward-lane word each injection wire produced this cycle,
-    /// indexed by endpoint slot; the gather phase routes it to the
-    /// target stage-0 forward slot (which may live on another shard).
-    fwd_inj: Vec<Word>,
-    /// Forward-lane word each inter-stage/delivery wire produced this
-    /// cycle, indexed by backward slot.
-    fwd_stage: Vec<Word>,
-}
-
-impl Clone for ShardState {
-    fn clone(&self) -> Self {
-        Self {
-            plan: self.plan.clone(),
-            pool: None,
-            fwd_inj: self.fwd_inj.clone(),
-            fwd_stage: self.fwd_stage.clone(),
-        }
-    }
-}
-
-/// Splits `slice` at a shard plan's cut points (a nondecreasing
-/// `(shards + 1)`-entry array covering `0..slice.len()`), returning one
-/// disjoint mutable subslice per shard — the lock-free write partition
-/// the sharded tick hands its workers.
-fn split_by_cuts<'a, T>(mut slice: &'a mut [T], cuts: &[usize]) -> Vec<&'a mut [T]> {
-    let mut out = Vec::with_capacity(cuts.len().saturating_sub(1));
-    let mut prev = 0usize;
-    for &c in &cuts[1..] {
-        let (head, tail) = slice.split_at_mut(c - prev);
-        out.push(head);
-        slice = tail;
-        prev = c;
-    }
-    out
-}
-
-/// Phase-1 work package: one shard's endpoints and routers read the
-/// shared `cur` arena (last-tick state only — the Moore-machine
-/// property that makes partitioned ticking exact) and drive this
-/// shard's disjoint bus regions.
-struct CompShard<'a> {
-    now: u64,
-    ep: usize,
-    /// First endpoint index / endpoint slot / forward slot / backward
-    /// slot this shard owns (global-to-local offsets for the split bus
-    /// slices below).
-    ep_base: usize,
-    eps0: usize,
-    f0: usize,
-    b0: usize,
-    links: &'a FlatLinks,
-    cur: &'a ChannelArena,
-    router_dead: &'a [bool],
-    endpoints: &'a mut [Endpoint],
-    /// `(stage, first in-stage router index, routers)` segments tiling
-    /// this shard's flat router range.
-    routers: Vec<(usize, usize, &'a mut [Router])>,
-    ep_out_fwd: &'a mut [Word],
-    ep_in_rev: &'a mut [Word],
-    out_bwd: &'a mut [Word],
-    out_fwd: &'a mut [Word],
-    out_bcb: &'a mut [bool],
-}
-
-impl CompShard<'_> {
-    fn run(&mut self) {
-        let ep = self.ep;
-        for (i, endpoint) in self.endpoints.iter_mut().enumerate() {
-            let g = (self.ep_base + i) * ep;
-            let l = g - self.eps0;
-            endpoint.tick_into(
-                self.now,
-                &self.cur.ep_out_rev[g..g + ep],
-                &self.cur.ep_out_bcb[g..g + ep],
-                &self.cur.ep_in_fwd[g..g + ep],
-                &mut self.ep_out_fwd[l..l + ep],
-                &mut self.ep_in_rev[l..l + ep],
-            );
-        }
-        for (s, r0, routers) in &mut self.routers {
-            let (s, r0) = (*s, *r0);
-            let nf = self.links.forward_ports(s);
-            let nb = self.links.backward_ports(s);
-            for (i, router) in routers.iter_mut().enumerate() {
-                let r = r0 + i;
-                let fl = self.links.fslot(s, r, 0) - self.f0;
-                let bl = self.links.bslot(s, r, 0) - self.b0;
-                let fg = fl + self.f0;
-                let bg = bl + self.b0;
-                if self.router_dead[self.links.router_index(s, r)] {
-                    self.out_bwd[bl..bl + nb].fill(Word::Empty);
-                    self.out_fwd[fl..fl + nf].fill(Word::Empty);
-                    self.out_bcb[fl..fl + nf].fill(false);
-                    continue;
-                }
-                router.tick_into(
-                    &self.cur.fwd_in[fg..fg + nf],
-                    &self.cur.rev_in[bg..bg + nb],
-                    &self.cur.bcb_in[bg..bg + nb],
-                    &mut self.out_bwd[bl..bl + nb],
-                    &mut self.out_fwd[fl..fl + nf],
-                    &mut self.out_bcb[fl..fl + nf],
-                );
-            }
-        }
-    }
-}
-
-/// Phase-2 work package: this shard's wires read the whole bus
-/// (complete after the phase-1 barrier) and write the reverse/BCB
-/// lanes straight into the shard's own `next` regions — a wire's
-/// backward slot and endpoint slot are its owner's by construction.
-/// Only the forward lane can cross shards, so it is parked in the
-/// staging buffers for the gather phase.
-struct WireShard<'a> {
-    eps0: usize,
-    b0: usize,
-    links: &'a FlatLinks,
-    bus: &'a DriveBus,
-    inj_transparent: &'a [bool],
-    stage_transparent: &'a [bool],
-    inj_wires: &'a mut [Wire],
-    stage_wires: &'a mut [Wire],
-    next_ep_out_rev: &'a mut [Word],
-    next_ep_out_bcb: &'a mut [bool],
-    next_rev_in: &'a mut [Word],
-    next_bcb_in: &'a mut [bool],
-    fwd_inj: &'a mut [Word],
-    fwd_stage: &'a mut [Word],
-}
-
-impl WireShard<'_> {
-    fn run(&mut self) {
-        for (l, wire) in self.inj_wires.iter_mut().enumerate() {
-            let i = self.eps0 + l;
-            let t = self.links.inj_target(i);
-            let (fwd_o, rev_o, bcb_o) = if self.inj_transparent[i] {
-                (
-                    self.bus.ep_out_fwd[i],
-                    self.bus.out_fwd[t],
-                    self.bus.out_bcb[t],
-                )
-            } else {
-                wire.advance(
-                    self.bus.ep_out_fwd[i],
-                    self.bus.out_fwd[t],
-                    self.bus.out_bcb[t],
-                )
-            };
-            self.fwd_inj[l] = fwd_o;
-            self.next_ep_out_rev[l] = rev_o;
-            self.next_ep_out_bcb[l] = bcb_o;
-        }
-        for (l, wire) in self.stage_wires.iter_mut().enumerate() {
-            let j = self.b0 + l;
-            match self.links.bwd_target(j) {
-                FlatTarget::Fwd(t) => {
-                    let t = t as usize;
-                    let (fwd_o, rev_o, bcb_o) = if self.stage_transparent[j] {
-                        (
-                            self.bus.out_bwd[j],
-                            self.bus.out_fwd[t],
-                            self.bus.out_bcb[t],
-                        )
-                    } else {
-                        wire.advance(
-                            self.bus.out_bwd[j],
-                            self.bus.out_fwd[t],
-                            self.bus.out_bcb[t],
-                        )
-                    };
-                    self.fwd_stage[l] = fwd_o;
-                    self.next_rev_in[l] = rev_o;
-                    self.next_bcb_in[l] = bcb_o;
-                }
-                FlatTarget::Endpoint(i) => {
-                    let i = i as usize;
-                    let (fwd_o, rev_o) = if self.stage_transparent[j] {
-                        (self.bus.out_bwd[j], self.bus.ep_in_rev[i])
-                    } else {
-                        let (f, r, _) =
-                            wire.advance(self.bus.out_bwd[j], self.bus.ep_in_rev[i], false);
-                        (f, r)
-                    };
-                    self.fwd_stage[l] = fwd_o;
-                    self.next_rev_in[l] = rev_o;
-                    self.next_bcb_in[l] = false;
-                }
-            }
-        }
-    }
-}
-
-/// Phase-3 work package: copy staged forward-lane words (complete
-/// after the phase-2 barrier) into the forward-input and
-/// endpoint-input slots this shard owns, walking the plan's
-/// precomputed target-owner gather lists.
-struct GatherShard<'a> {
-    f0: usize,
-    eps0: usize,
-    fwd_from_inj: &'a [(u32, u32)],
-    fwd_from_bwd: &'a [(u32, u32)],
-    ep_in_from_bwd: &'a [(u32, u32)],
-    fwd_inj: &'a [Word],
-    fwd_stage: &'a [Word],
-    next_fwd_in: &'a mut [Word],
-    next_ep_in_fwd: &'a mut [Word],
-}
-
-impl GatherShard<'_> {
-    fn run(&mut self) {
-        for &(t, i) in self.fwd_from_inj {
-            self.next_fwd_in[t as usize - self.f0] = self.fwd_inj[i as usize];
-        }
-        for &(t, j) in self.fwd_from_bwd {
-            self.next_fwd_in[t as usize - self.f0] = self.fwd_stage[j as usize];
-        }
-        for &(i, j) in self.ep_in_from_bwd {
-            self.next_ep_in_fwd[i as usize - self.eps0] = self.fwd_stage[j as usize];
-        }
-    }
-}
-
-/// The original engine: nested `Vec` buffers rebuilt each tick, with
-/// per-tick topology and fault lookups.
-#[derive(Debug, Clone)]
-struct ReferenceEngine {
-    inj_wires: Vec<Vec<Wire>>,
-    stage_wires: Vec<Vec<Vec<Wire>>>,
-    fwd_in: Vec<Vec<Vec<Word>>>,
-    rev_in: Vec<Vec<Vec<Word>>>,
-    bcb_in: Vec<Vec<Vec<bool>>>,
-    ep_out_rev: Vec<Vec<Word>>,
-    ep_out_bcb: Vec<Vec<bool>>,
-    ep_in_fwd: Vec<Vec<Word>>,
-}
-
-#[derive(Debug, Clone)]
-enum EngineState {
-    Flat(Box<FlatEngine>),
-    Reference(Box<ReferenceEngine>),
-}
-
 /// A complete METRO network under simulation.
 #[derive(Debug, Clone)]
 pub struct NetworkSim {
-    topo: Multibutterfly,
-    config: SimConfig,
-    plan: HeaderPlan,
-    routers: Vec<Vec<Router>>,
-    endpoints: Vec<Endpoint>,
-    engine: EngineState,
-    faults: FaultSet,
+    pub(crate) topo: Multibutterfly,
+    pub(crate) config: SimConfig,
+    pub(crate) plan: HeaderPlan,
+    pub(crate) routers: Vec<Vec<Router>>,
+    pub(crate) endpoints: Vec<Endpoint>,
+    pub(crate) engine: Box<dyn Engine>,
+    pub(crate) faults: FaultSet,
     now: u64,
     outcomes: Vec<MessageOutcome>,
     stats: NetworkStats,
@@ -503,10 +152,10 @@ pub struct NetworkSim {
     registry: TelemetryRegistry,
     /// Links the self-healing layer has masked (both port ends
     /// disabled), diagnosis-driven — never read from the fault set.
-    healed_links: Vec<LinkId>,
+    pub(crate) healed_links: Vec<LinkId>,
     /// Injection ports the self-healing layer has masked at their
     /// endpoints, as `(endpoint, output_port)`.
-    healed_injections: Vec<(usize, usize)>,
+    pub(crate) healed_injections: Vec<(usize, usize)>,
 }
 
 impl NetworkSim {
@@ -517,11 +166,19 @@ impl NetworkSim {
     ///
     /// Propagates topology validation errors; router parameter errors
     /// surface as [`metro_core::ParamError`] converted to a topology
-    /// boundary error message via panic-free construction.
+    /// boundary error message via panic-free construction. A
+    /// non-cycle-accurate engine ([`EngineKind::Analytic`]) is
+    /// rejected with [`NotCycleAccurate`] — there is no network to
+    /// tick; use [`crate::engine::analytic::estimate_scenario`].
     pub fn new(
         spec: &MultibutterflySpec,
         config: &SimConfig,
     ) -> Result<Self, Box<dyn std::error::Error>> {
+        if !config.engine.is_cycle_accurate() {
+            return Err(Box::new(NotCycleAccurate {
+                engine: config.engine,
+            }));
+        }
         let topo = Multibutterfly::build(spec)?;
         if let Some(d) = &config.stage_wire_delays {
             assert_eq!(
@@ -530,12 +187,7 @@ impl NetworkSim {
                 "stage_wire_delays must cover every boundary (stages + 1)"
             );
         }
-        let boundary_delay = |b: usize| -> usize {
-            config
-                .stage_wire_delays
-                .as_ref()
-                .map_or(config.wire_delay, |d| d[b])
-        };
+        let bd = |b: usize| boundary_delay(config, b);
         let plan = topo.header_plan(config.width, config.header_words);
         let master = RandomSource::new(config.seed);
 
@@ -550,7 +202,7 @@ impl NetworkSim {
                 config.header_words,
                 config.pipestages,
             )?
-            .with_max_turn_delay(boundary_delay(s).max(boundary_delay(s + 1)).max(7))?;
+            .with_max_turn_delay(bd(s).max(bd(s + 1)).max(7))?;
             // Program every port's variable turn delay with the wire's
             // pipeline depth (paper §5.1) — the routers use it to size
             // the post-reversal settle window.
@@ -559,10 +211,10 @@ impl NetworkSim {
                 .with_swallow_all(config.header_words == 0 && plan.swallow()[s])
                 .with_fast_reclaim_all(config.fast_reclaim);
             for f in 0..st.forward_ports {
-                builder = builder.with_forward_turn_delay(f, boundary_delay(s));
+                builder = builder.with_forward_turn_delay(f, bd(s));
             }
             for b in 0..st.backward_ports {
-                builder = builder.with_backward_turn_delay(b, boundary_delay(s + 1));
+                builder = builder.with_backward_turn_delay(b, bd(s + 1));
             }
             let router_config = builder.build()?;
             let mut stage = Vec::with_capacity(topo.routers_in_stage(s));
@@ -589,94 +241,10 @@ impl NetworkSim {
             })
             .collect();
 
-        let engine = match config.engine {
-            EngineKind::Flat => {
-                let links = FlatLinks::build(&topo);
-                let inj_wires: Vec<Wire> = (0..links.n_ep_slots())
-                    .map(|_| Wire::new(boundary_delay(0)))
-                    .collect();
-                let stage_wires: Vec<Wire> = (0..topo.stages())
-                    .flat_map(|s| {
-                        let n = topo.routers_in_stage(s) * topo.stage_spec(s).backward_ports;
-                        std::iter::repeat_n(boundary_delay(s + 1), n)
-                    })
-                    .map(Wire::new)
-                    .collect();
-                let inj_transparent = inj_wires.iter().map(Wire::is_transparent).collect();
-                let stage_transparent = stage_wires.iter().map(Wire::is_transparent).collect();
-                // Resolve the shard knob: 0 = host parallelism, then
-                // cap at the router count (a shard without routers is
-                // pure overhead); one effective shard means the
-                // classic single-threaded tick.
-                let requested = match config.shards {
-                    0 => metro_harness::default_jobs().get(),
-                    n => n,
-                };
-                let effective = requested.min(links.n_routers()).max(1);
-                let shard = (effective > 1).then(|| {
-                    Box::new(ShardState {
-                        plan: ShardPlan::build(&links, effective),
-                        pool: None,
-                        fwd_inj: vec![Word::Empty; links.n_ep_slots()],
-                        fwd_stage: vec![Word::Empty; links.n_bwd_slots()],
-                    })
-                });
-                EngineState::Flat(Box::new(FlatEngine {
-                    cur: ChannelArena::idle(&links),
-                    next: ChannelArena::idle(&links),
-                    bus: DriveBus::idle(&links),
-                    inj_wires,
-                    stage_wires,
-                    router_dead: vec![false; links.n_routers()],
-                    inj_transparent,
-                    stage_transparent,
-                    shard,
-                    links,
-                }))
-            }
-            EngineKind::Reference => EngineState::Reference(Box::new(ReferenceEngine {
-                inj_wires: (0..topo.endpoints())
-                    .map(|_| (0..ep).map(|_| Wire::new(boundary_delay(0))).collect())
-                    .collect(),
-                stage_wires: (0..topo.stages())
-                    .map(|s| {
-                        (0..topo.routers_in_stage(s))
-                            .map(|_| {
-                                (0..topo.stage_spec(s).backward_ports)
-                                    .map(|_| Wire::new(boundary_delay(s + 1)))
-                                    .collect()
-                            })
-                            .collect()
-                    })
-                    .collect(),
-                fwd_in: (0..topo.stages())
-                    .map(|s| {
-                        vec![
-                            vec![Word::Empty; topo.stage_spec(s).forward_ports];
-                            topo.routers_in_stage(s)
-                        ]
-                    })
-                    .collect(),
-                rev_in: (0..topo.stages())
-                    .map(|s| {
-                        vec![
-                            vec![Word::Empty; topo.stage_spec(s).backward_ports];
-                            topo.routers_in_stage(s)
-                        ]
-                    })
-                    .collect(),
-                bcb_in: (0..topo.stages())
-                    .map(|s| {
-                        vec![
-                            vec![false; topo.stage_spec(s).backward_ports];
-                            topo.routers_in_stage(s)
-                        ]
-                    })
-                    .collect(),
-                ep_out_rev: vec![vec![Word::Empty; ep]; topo.endpoints()],
-                ep_out_bcb: vec![vec![false; ep]; topo.endpoints()],
-                ep_in_fwd: vec![vec![Word::Empty; ep]; topo.endpoints()],
-            })),
+        let engine: Box<dyn Engine> = match config.engine {
+            EngineKind::Flat => Box::new(FlatEngine::build(&topo, config)),
+            EngineKind::Reference => Box::new(ReferenceEngine::build(&topo, config)),
+            EngineKind::Analytic => unreachable!("rejected above"),
         };
 
         let routers_per_stage: Vec<usize> = (0..topo.stages())
@@ -879,13 +447,17 @@ impl NetworkSim {
         None
     }
 
-    /// Advances the whole network one clock cycle.
+    /// Advances the whole network one clock cycle: the engine steps
+    /// the dataflow, then the orchestrator syncs telemetry and
+    /// harvests outcomes.
     pub fn tick(&mut self) {
-        match &self.engine {
-            EngineState::Flat(eng) if eng.shard.is_some() => self.tick_flat_sharded(),
-            EngineState::Flat(_) => self.tick_flat(),
-            EngineState::Reference(_) => self.tick_reference(),
-        }
+        self.engine.step(StepCtx {
+            now: self.now,
+            topo: &self.topo,
+            faults: &self.faults,
+            routers: &mut self.routers,
+            endpoints: &mut self.endpoints,
+        });
         self.after_tick();
     }
 
@@ -893,382 +465,7 @@ impl NetworkSim {
     /// single-threaded path — either engine — is active).
     #[must_use]
     pub fn shards(&self) -> usize {
-        match &self.engine {
-            EngineState::Flat(eng) => eng.shard.as_ref().map_or(1, |s| s.plan.shards()),
-            EngineState::Reference(_) => 1,
-        }
-    }
-
-    /// The flat engine's cycle: endpoints and routers read registered
-    /// inputs from the `cur` arena and drive the bus; wires consume the
-    /// bus and write every slot of the `next` arena; the arenas swap.
-    /// The swap is sound because every linked slot is written every
-    /// cycle (unlinked slots stay `Empty` in both buffers), and nothing
-    /// here allocates.
-    fn tick_flat(&mut self) {
-        let EngineState::Flat(eng) = &mut self.engine else {
-            unreachable!("tick_flat requires the flat engine");
-        };
-        let FlatEngine {
-            links,
-            cur,
-            next,
-            bus,
-            inj_wires,
-            stage_wires,
-            router_dead,
-            inj_transparent,
-            stage_transparent,
-            shard: _,
-        } = &mut **eng;
-        let ep = links.ep_ports();
-
-        // 1. Endpoints compute their outputs from last cycle's inputs.
-        for (e, endpoint) in self.endpoints.iter_mut().enumerate() {
-            let lo = e * ep;
-            let hi = lo + ep;
-            endpoint.tick_into(
-                self.now,
-                &cur.ep_out_rev[lo..hi],
-                &cur.ep_out_bcb[lo..hi],
-                &cur.ep_in_fwd[lo..hi],
-                &mut bus.ep_out_fwd[lo..hi],
-                &mut bus.ep_in_rev[lo..hi],
-            );
-        }
-
-        // 2. Routers compute their outputs.
-        for (s, stage) in self.routers.iter_mut().enumerate() {
-            let nf = links.forward_ports(s);
-            let nb = links.backward_ports(s);
-            for (r, router) in stage.iter_mut().enumerate() {
-                let f0 = links.fslot(s, r, 0);
-                let b0 = links.bslot(s, r, 0);
-                if router_dead[links.router_index(s, r)] {
-                    bus.out_bwd[b0..b0 + nb].fill(Word::Empty);
-                    bus.out_fwd[f0..f0 + nf].fill(Word::Empty);
-                    bus.out_bcb[f0..f0 + nf].fill(false);
-                    continue;
-                }
-                router.tick_into(
-                    &cur.fwd_in[f0..f0 + nf],
-                    &cur.rev_in[b0..b0 + nb],
-                    &cur.bcb_in[b0..b0 + nb],
-                    &mut bus.out_bwd[b0..b0 + nb],
-                    &mut bus.out_fwd[f0..f0 + nf],
-                    &mut bus.out_bcb[f0..f0 + nf],
-                );
-            }
-        }
-
-        // 3. Wires advance, writing every slot of the next arena.
-        // Transparent wires (zero delay, fault-free — the common RN1
-        // boundary) are identity functions: copy bus slots straight into
-        // the next arena and never touch the `Wire` state.
-        for (i, wire) in inj_wires.iter_mut().enumerate() {
-            let t = links.inj_target(i);
-            let (fwd_o, rev_o, bcb_o) = if inj_transparent[i] {
-                (bus.ep_out_fwd[i], bus.out_fwd[t], bus.out_bcb[t])
-            } else {
-                wire.advance(bus.ep_out_fwd[i], bus.out_fwd[t], bus.out_bcb[t])
-            };
-            next.fwd_in[t] = fwd_o;
-            next.ep_out_rev[i] = rev_o;
-            next.ep_out_bcb[i] = bcb_o;
-        }
-        for (j, wire) in stage_wires.iter_mut().enumerate() {
-            match links.bwd_target(j) {
-                FlatTarget::Fwd(t) => {
-                    let t = t as usize;
-                    let (fwd_o, rev_o, bcb_o) = if stage_transparent[j] {
-                        (bus.out_bwd[j], bus.out_fwd[t], bus.out_bcb[t])
-                    } else {
-                        wire.advance(bus.out_bwd[j], bus.out_fwd[t], bus.out_bcb[t])
-                    };
-                    next.fwd_in[t] = fwd_o;
-                    next.rev_in[j] = rev_o;
-                    next.bcb_in[j] = bcb_o;
-                }
-                FlatTarget::Endpoint(i) => {
-                    let i = i as usize;
-                    let (fwd_o, rev_o) = if stage_transparent[j] {
-                        (bus.out_bwd[j], bus.ep_in_rev[i])
-                    } else {
-                        let (f, r, _) = wire.advance(bus.out_bwd[j], bus.ep_in_rev[i], false);
-                        (f, r)
-                    };
-                    next.ep_in_fwd[i] = fwd_o;
-                    next.rev_in[j] = rev_o;
-                    next.bcb_in[j] = false;
-                }
-            }
-        }
-        std::mem::swap(cur, next);
-    }
-
-    /// The sharded flat cycle: the same component → wire dataflow as
-    /// [`Self::tick_flat`], fanned out over the shard plan's disjoint
-    /// slot ranges with a pool barrier between phases. Phase 1 ticks
-    /// each shard's endpoints and routers into its bus regions; phase
-    /// 2 advances each shard's wires, writing reverse/BCB lanes
-    /// directly into owned `next` regions and staging forward-lane
-    /// words; phase 3 gathers staged words to their (possibly remote)
-    /// target slots via the plan's precomputed lists. Every component
-    /// and wire is ticked exactly once by exactly one shard, all
-    /// randomness stays inside per-component RNGs, and `after_tick`'s
-    /// telemetry/harvest walk remains sequential in canonical slot
-    /// order — which is why any shard count is bit-identical to one.
-    fn tick_flat_sharded(&mut self) {
-        let EngineState::Flat(eng) = &mut self.engine else {
-            unreachable!("tick_flat_sharded requires the flat engine");
-        };
-        let FlatEngine {
-            links,
-            cur,
-            next,
-            bus,
-            inj_wires,
-            stage_wires,
-            router_dead,
-            inj_transparent,
-            stage_transparent,
-            shard,
-        } = &mut **eng;
-        let state = shard.as_mut().expect("sharded tick requires a shard plan");
-        let ShardState {
-            plan,
-            pool,
-            fwd_inj,
-            fwd_stage,
-        } = &mut **state;
-        let n = plan.shards();
-        let pool = &*pool.get_or_insert_with(|| {
-            TickPool::new(std::num::NonZeroUsize::new(n).expect("shard count >= 1"))
-        });
-        let now = self.now;
-        let ep = links.ep_ports();
-        let links = &*links;
-        let router_dead = &router_dead[..];
-
-        // Phase 1: components drive the bus.
-        {
-            let cur = &*cur;
-            let mut eps_it = split_by_cuts(&mut self.endpoints, &plan.ep_cut).into_iter();
-            // Tile each shard's flat router range into per-stage
-            // segments (shard ranges are contiguous in flat router
-            // order, so this is one linear walk).
-            let mut segs: Vec<Vec<(usize, usize, &mut [Router])>> =
-                (0..n).map(|_| Vec::new()).collect();
-            {
-                let mut k = 0usize;
-                let mut flat_base = 0usize;
-                for (s, stage) in self.routers.iter_mut().enumerate() {
-                    let stage_len = stage.len();
-                    let mut rest: &mut [Router] = stage;
-                    let mut offset = 0usize;
-                    while !rest.is_empty() {
-                        while plan.router_cut[k + 1] <= flat_base + offset {
-                            k += 1;
-                        }
-                        let take = (plan.router_cut[k + 1] - (flat_base + offset)).min(rest.len());
-                        let (head, tail) = rest.split_at_mut(take);
-                        segs[k].push((s, offset, head));
-                        offset += take;
-                        rest = tail;
-                    }
-                    flat_base += stage_len;
-                }
-            }
-            let mut segs_it = segs.into_iter();
-            let mut ep_out_fwd_it = split_by_cuts(&mut bus.ep_out_fwd, &plan.eps_cut).into_iter();
-            let mut ep_in_rev_it = split_by_cuts(&mut bus.ep_in_rev, &plan.eps_cut).into_iter();
-            let mut out_bwd_it = split_by_cuts(&mut bus.out_bwd, &plan.b_cut).into_iter();
-            let mut out_fwd_it = split_by_cuts(&mut bus.out_fwd, &plan.f_cut).into_iter();
-            let mut out_bcb_it = split_by_cuts(&mut bus.out_bcb, &plan.f_cut).into_iter();
-            let pkgs: Vec<std::sync::Mutex<CompShard>> = (0..n)
-                .map(|k| {
-                    std::sync::Mutex::new(CompShard {
-                        now,
-                        ep,
-                        ep_base: plan.ep_cut[k],
-                        eps0: plan.eps_cut[k],
-                        f0: plan.f_cut[k],
-                        b0: plan.b_cut[k],
-                        links,
-                        cur,
-                        router_dead,
-                        endpoints: eps_it.next().expect("one endpoint part per shard"),
-                        routers: segs_it.next().expect("one segment list per shard"),
-                        ep_out_fwd: ep_out_fwd_it.next().expect("one bus part per shard"),
-                        ep_in_rev: ep_in_rev_it.next().expect("one bus part per shard"),
-                        out_bwd: out_bwd_it.next().expect("one bus part per shard"),
-                        out_fwd: out_fwd_it.next().expect("one bus part per shard"),
-                        out_bcb: out_bcb_it.next().expect("one bus part per shard"),
-                    })
-                })
-                .collect();
-            pool.run(|w| pkgs[w].try_lock().expect("disjoint shard package").run());
-        }
-
-        // Phase 2: wires consume the completed bus.
-        {
-            let bus = &*bus;
-            let inj_transparent = &inj_transparent[..];
-            let stage_transparent = &stage_transparent[..];
-            let ChannelArena {
-                rev_in,
-                bcb_in,
-                ep_out_rev,
-                ep_out_bcb,
-                ..
-            } = &mut *next;
-            let mut inj_it = split_by_cuts(inj_wires, &plan.eps_cut).into_iter();
-            let mut stage_it = split_by_cuts(stage_wires, &plan.b_cut).into_iter();
-            let mut rev_it = split_by_cuts(rev_in, &plan.b_cut).into_iter();
-            let mut bcb_it = split_by_cuts(bcb_in, &plan.b_cut).into_iter();
-            let mut eor_it = split_by_cuts(ep_out_rev, &plan.eps_cut).into_iter();
-            let mut eob_it = split_by_cuts(ep_out_bcb, &plan.eps_cut).into_iter();
-            let mut finj_it = split_by_cuts(fwd_inj, &plan.eps_cut).into_iter();
-            let mut fstage_it = split_by_cuts(fwd_stage, &plan.b_cut).into_iter();
-            let pkgs: Vec<std::sync::Mutex<WireShard>> = (0..n)
-                .map(|k| {
-                    std::sync::Mutex::new(WireShard {
-                        eps0: plan.eps_cut[k],
-                        b0: plan.b_cut[k],
-                        links,
-                        bus,
-                        inj_transparent,
-                        stage_transparent,
-                        inj_wires: inj_it.next().expect("one wire part per shard"),
-                        stage_wires: stage_it.next().expect("one wire part per shard"),
-                        next_ep_out_rev: eor_it.next().expect("one arena part per shard"),
-                        next_ep_out_bcb: eob_it.next().expect("one arena part per shard"),
-                        next_rev_in: rev_it.next().expect("one arena part per shard"),
-                        next_bcb_in: bcb_it.next().expect("one arena part per shard"),
-                        fwd_inj: finj_it.next().expect("one staging part per shard"),
-                        fwd_stage: fstage_it.next().expect("one staging part per shard"),
-                    })
-                })
-                .collect();
-            pool.run(|w| pkgs[w].try_lock().expect("disjoint shard package").run());
-        }
-
-        // Phase 3: gather staged forward-lane words to their targets.
-        {
-            let fwd_inj = &fwd_inj[..];
-            let fwd_stage = &fwd_stage[..];
-            let ChannelArena {
-                fwd_in, ep_in_fwd, ..
-            } = &mut *next;
-            let mut fin_it = split_by_cuts(fwd_in, &plan.f_cut).into_iter();
-            let mut eif_it = split_by_cuts(ep_in_fwd, &plan.eps_cut).into_iter();
-            let pkgs: Vec<std::sync::Mutex<GatherShard>> = (0..n)
-                .map(|k| {
-                    std::sync::Mutex::new(GatherShard {
-                        f0: plan.f_cut[k],
-                        eps0: plan.eps_cut[k],
-                        fwd_from_inj: &plan.fwd_from_inj[k],
-                        fwd_from_bwd: &plan.fwd_from_bwd[k],
-                        ep_in_from_bwd: &plan.ep_in_from_bwd[k],
-                        fwd_inj,
-                        fwd_stage,
-                        next_fwd_in: fin_it.next().expect("one arena part per shard"),
-                        next_ep_in_fwd: eif_it.next().expect("one arena part per shard"),
-                    })
-                })
-                .collect();
-            pool.run(|w| pkgs[w].try_lock().expect("disjoint shard package").run());
-        }
-
-        std::mem::swap(cur, next);
-    }
-
-    /// The original engine's cycle, kept verbatim: per-tick buffer
-    /// allocation, topology lookups, and fault-set queries.
-    fn tick_reference(&mut self) {
-        let EngineState::Reference(eng) = &mut self.engine else {
-            unreachable!("tick_reference requires the reference engine");
-        };
-        let stages = self.topo.stages();
-        let ep = self.topo.endpoint_ports();
-
-        // 1. Endpoints compute their outputs from last cycle's inputs.
-        let mut ep_drive = Vec::with_capacity(self.endpoints.len());
-        for e in 0..self.endpoints.len() {
-            let io = EndpointIo {
-                out_rev_in: eng.ep_out_rev[e].clone(),
-                out_bcb_in: eng.ep_out_bcb[e].clone(),
-                in_fwd_in: eng.ep_in_fwd[e].clone(),
-            };
-            ep_drive.push(self.endpoints[e].tick(self.now, &io));
-        }
-
-        // 2. Routers compute their outputs.
-        let mut router_out: Vec<Vec<TickOutput>> = Vec::with_capacity(stages);
-        for s in 0..stages {
-            let st = self.topo.stage_spec(s);
-            let mut stage_out = Vec::with_capacity(self.routers[s].len());
-            for r in 0..self.routers[s].len() {
-                if self.faults.router_dead(s, r) {
-                    stage_out.push(TickOutput {
-                        bwd: vec![Word::Empty; st.backward_ports],
-                        fwd: vec![Word::Empty; st.forward_ports],
-                        bcb: vec![false; st.forward_ports],
-                    });
-                    continue;
-                }
-                let fwd = FwdIn::data(&eng.fwd_in[s][r]);
-                let bwd = BwdIn::new(&eng.rev_in[s][r], &eng.bcb_in[s][r]);
-                stage_out.push(self.routers[s][r].tick(&fwd, &bwd));
-            }
-            router_out.push(stage_out);
-        }
-
-        // 3. Wires advance; next-cycle input buffers are rebuilt.
-        for (e, drive) in ep_drive.iter().enumerate() {
-            for p in 0..ep {
-                let (r0, f0) = self.topo.injection(e, p);
-                let (fwd_o, rev_o, bcb_o) = eng.inj_wires[e][p].advance(
-                    drive.out_fwd[p],
-                    router_out[0][r0].fwd[f0],
-                    router_out[0][r0].bcb[f0],
-                );
-                eng.fwd_in[0][r0][f0] = fwd_o;
-                eng.ep_out_rev[e][p] = rev_o;
-                eng.ep_out_bcb[e][p] = bcb_o;
-            }
-        }
-        for s in 0..stages {
-            let st = self.topo.stage_spec(s);
-            for r in 0..self.routers[s].len() {
-                for b in 0..st.backward_ports {
-                    let fault = self.faults.link_fault(LinkId::new(s, r, b));
-                    eng.stage_wires[s][r][b].set_fault(fault);
-                    match self.topo.link(s, r, b) {
-                        LinkTarget::Router { router, port } => {
-                            let (fwd_o, rev_o, bcb_o) = eng.stage_wires[s][r][b].advance(
-                                router_out[s][r].bwd[b],
-                                router_out[s + 1][router].fwd[port],
-                                router_out[s + 1][router].bcb[port],
-                            );
-                            eng.fwd_in[s + 1][router][port] = fwd_o;
-                            eng.rev_in[s][r][b] = rev_o;
-                            eng.bcb_in[s][r][b] = bcb_o;
-                        }
-                        LinkTarget::Endpoint { endpoint, port } => {
-                            let (fwd_o, rev_o, _) = eng.stage_wires[s][r][b].advance(
-                                router_out[s][r].bwd[b],
-                                ep_drive[endpoint].in_rev[port],
-                                false,
-                            );
-                            eng.ep_in_fwd[endpoint][port] = fwd_o;
-                            eng.rev_in[s][r][b] = rev_o;
-                            eng.bcb_in[s][r][b] = false;
-                        }
-                    }
-                }
-            }
-        }
+        self.engine.shards()
     }
 
     /// Sync telemetry, then harvest completed transactions (shared by
@@ -1352,20 +549,7 @@ impl NetworkSim {
                 ports_idle && router.in_use_vector().iter().all(|&u| !u)
             })
         });
-        let wires_quiet = match &self.engine {
-            EngineState::Flat(eng) => eng
-                .inj_wires
-                .iter()
-                .chain(eng.stage_wires.iter())
-                .all(Wire::is_quiet),
-            EngineState::Reference(eng) => eng
-                .inj_wires
-                .iter()
-                .flatten()
-                .chain(eng.stage_wires.iter().flatten().flatten())
-                .all(Wire::is_quiet),
-        };
-        routers_idle && wires_quiet
+        routers_idle && self.engine.wires_quiet()
     }
 
     /// Direct access to an endpoint (for workload injection and
@@ -1394,289 +578,13 @@ impl NetworkSim {
             self.endpoints[e].set_dead(faults.endpoint_dead(e));
         }
         self.faults = faults;
-        // The flat engine resolves the fault set into its flat tables
-        // here, once, instead of querying it every tick.
-        if let EngineState::Flat(eng) = &mut self.engine {
-            for s in 0..self.topo.stages() {
-                for r in 0..self.topo.routers_in_stage(s) {
-                    eng.router_dead[eng.links.router_index(s, r)] = self.faults.router_dead(s, r);
-                    for b in 0..self.topo.stage_spec(s).backward_ports {
-                        eng.stage_wires[eng.links.bslot(s, r, b)]
-                            .set_fault(self.faults.link_fault(LinkId::new(s, r, b)));
-                    }
-                }
-            }
-            // Transparency follows the fault set; refresh the cached
-            // flags in the same pass.
-            for (t, w) in eng.stage_transparent.iter_mut().zip(&eng.stage_wires) {
-                *t = w.is_transparent();
-            }
-        }
+        self.engine.apply_faults(&self.topo, &self.faults);
     }
 
     /// The active fault set.
     #[must_use]
     pub fn faults(&self) -> &FaultSet {
         &self.faults
-    }
-
-    /// Turns the self-healing loop on or off at runtime (see
-    /// [`SimConfig::self_heal`]). Turning it off also drops any
-    /// not-yet-processed evidence; applied masks stay in force.
-    pub fn set_self_heal(&mut self, on: bool) {
-        self.config.self_heal = on;
-        for e in &mut self.endpoints {
-            e.set_collect_evidence(on);
-        }
-    }
-
-    /// Links the self-healing layer has masked so far (both port ends
-    /// disabled), in masking order. Diagnosis-driven: derived from
-    /// reply evidence and behavioral wire probes, never from the
-    /// injected fault set.
-    #[must_use]
-    pub fn healed_links(&self) -> &[LinkId] {
-        &self.healed_links
-    }
-
-    /// Injection ports the self-healing layer has masked at their
-    /// endpoints, as `(endpoint, output_port)` pairs.
-    #[must_use]
-    pub fn healed_injections(&self) -> &[(usize, usize)] {
-        &self.healed_injections
-    }
-
-    /// Drains the endpoints' failed-attempt evidence and runs each item
-    /// through diagnosis and masking.
-    fn process_evidence(&mut self) {
-        let mut evidence: Vec<AttemptEvidence> = Vec::new();
-        for e in &mut self.endpoints {
-            evidence.extend(e.take_evidence());
-        }
-        for ev in &evidence {
-            self.heal_from(ev);
-        }
-    }
-
-    /// Runs one piece of failed-attempt evidence through the scan
-    /// diagnosis ([`diagnose_attempt`]) and applies any resulting mask
-    /// to the live router configurations — the paper's §5.3 loop
-    /// (detect → localize → disable) closed online, while the network
-    /// carries traffic.
-    fn heal_from(&mut self, ev: &AttemptEvidence) {
-        // Any failed attempt arriving after the first mask counts as a
-        // post-masking retry, attributed to the entry router.
-        if !self.healed_links.is_empty() || !self.healed_injections.is_empty() {
-            let (r0, _) = self.topo.injection(ev.src, ev.port);
-            self.routers[0][r0].note_event(RouterCounter::RetriesAfterMask);
-        }
-        // Blocking and fast reclamation are congestion, not faults.
-        if matches!(
-            ev.kind,
-            FailureKind::Blocked { .. } | FailureKind::FastReclaimed
-        ) {
-            return;
-        }
-
-        // Reconstruct the path the attempt switched: entry router from
-        // the injection map, then one hop per STATUS-reported backward
-        // port.
-        let mut ports_taken = Vec::with_capacity(ev.record.statuses.len());
-        for s in &ev.record.statuses {
-            match s.port() {
-                Some(p) => ports_taken.push(p),
-                None => break,
-            }
-        }
-        let (entry, f0) = self.topo.injection(ev.src, ev.port);
-        let mut routers_on_path = vec![entry];
-        let mut fwd_ports = vec![f0];
-        for (s, &b) in ports_taken.iter().enumerate() {
-            match self.topo.link(s, routers_on_path[s], b) {
-                LinkTarget::Router { router, port } => {
-                    routers_on_path.push(router);
-                    fwd_ports.push(port);
-                }
-                LinkTarget::Endpoint { .. } => break,
-            }
-        }
-
-        // Expected transit checksums, recomputed from what the NIC
-        // actually sent (the source knows its own stream).
-        let digits = self.topo.route_digits(ev.dest);
-        let header_len = self.plan.pack(&digits).len().min(ev.stream.len());
-        let payload: Vec<u16> = ev.stream[header_len..]
-            .iter()
-            .filter_map(|w| match w {
-                Word::Data(v) => Some(*v),
-                _ => None,
-            })
-            .collect();
-        let expected = expected_stage_checksums(
-            &self.plan,
-            &digits,
-            &payload,
-            self.config.width,
-            self.config.header_words,
-        );
-        let delivery_failed = matches!(ev.kind, FailureKind::Corrupt | FailureKind::NoAck);
-        match diagnose_attempt(
-            &expected,
-            &ev.record.checksums,
-            &ports_taken,
-            &fwd_ports,
-            delivery_failed,
-        ) {
-            AttemptDiagnosis::Corruption(plan) => {
-                let ds = plan.downstream_stage;
-                if ds < routers_on_path.len() {
-                    let dr = routers_on_path[ds];
-                    self.routers[ds][dr].note_event(RouterCounter::ChecksumMismatches);
-                    match (plan.upstream_stage, plan.upstream_backward_port) {
-                        (Some(us), Some(ub)) => {
-                            self.mask_link_ends(us, routers_on_path[us], ub);
-                        }
-                        _ => self.mask_injection(ev.src, ev.port),
-                    }
-                }
-            }
-            AttemptDiagnosis::DeliveryBoundary {
-                stage,
-                backward_port,
-            } => {
-                // ACK_CORRUPT is the destination's end-to-end checksum
-                // catching the corruption past the last transit
-                // checksum — count it where it was detected.
-                if stage < routers_on_path.len() {
-                    let r = routers_on_path[stage];
-                    self.routers[stage][r].note_event(RouterCounter::ChecksumMismatches);
-                    self.mask_link_ends(stage, r, backward_port);
-                }
-            }
-            AttemptDiagnosis::NeedsSweep => self.sweep_and_mask(ev),
-            AttemptDiagnosis::Inconclusive => {}
-        }
-    }
-
-    /// Disables both port ends of the link out of `(stage, router)`'s
-    /// backward port `b` in the live configurations (paper §5.1:
-    /// "Disabled faults are masked"). Refuses to sever an endpoint's
-    /// last unmasked delivery link — redundancy, not reachability, is
-    /// what masking spends. Idempotent per link.
-    fn mask_link_ends(&mut self, stage: usize, router: usize, b: usize) {
-        let link = LinkId::new(stage, router, b);
-        if self.healed_links.contains(&link) {
-            return;
-        }
-        if let LinkTarget::Endpoint { endpoint, .. } = self.topo.link(stage, router, b) {
-            if self.delivery_links_left(endpoint) <= 1 {
-                return;
-            }
-        }
-        let mut cfg = self.routers[stage][router].config().clone();
-        cfg.set_backward_mode(b, PortMode::DisabledDriven);
-        self.routers[stage][router].apply_config(cfg);
-        if let LinkTarget::Router { router: dr, port } = self.topo.link(stage, router, b) {
-            let mut cfg = self.routers[stage + 1][dr].config().clone();
-            cfg.set_forward_mode(port, PortMode::DisabledDriven);
-            self.routers[stage + 1][dr].apply_config(cfg);
-        }
-        self.healed_links.push(link);
-    }
-
-    /// Masks one endpoint injection port (the endpoint refuses to mask
-    /// its last unmasked port).
-    fn mask_injection(&mut self, endpoint: usize, port: usize) {
-        if self.endpoints[endpoint].mask_out_port(port)
-            && !self.healed_injections.contains(&(endpoint, port))
-        {
-            self.healed_injections.push((endpoint, port));
-        }
-    }
-
-    /// How many delivery links into `endpoint` the healer has not yet
-    /// masked.
-    fn delivery_links_left(&self, endpoint: usize) -> usize {
-        let s = self.topo.stages() - 1;
-        let mut left = 0;
-        for r in 0..self.topo.routers_in_stage(s) {
-            for b in 0..self.topo.stage_spec(s).backward_ports {
-                let to_endpoint = matches!(
-                    self.topo.link(s, r, b),
-                    LinkTarget::Endpoint { endpoint: e, .. } if e == endpoint
-                );
-                if to_endpoint && !self.healed_links.contains(&LinkId::new(s, r, b)) {
-                    left += 1;
-                }
-            }
-        }
-        left
-    }
-
-    /// No reversal evidence at all: a dead element ate the stream.
-    /// Sweeps every inter-stage wire with the boundary-scan test
-    /// vectors (paper §5.1 — vectors across the suspect wires while the
-    /// rest of the network carries traffic) and masks the links that
-    /// fail. When every wire passes and the entry port itself never
-    /// showed life, the silent element is the first hop: the endpoint
-    /// stops injecting there.
-    fn sweep_and_mask(&mut self, ev: &AttemptEvidence) {
-        let mut found = Vec::new();
-        for s in 0..self.topo.stages() {
-            for r in 0..self.topo.routers_in_stage(s) {
-                for b in 0..self.topo.stage_spec(s).backward_ports {
-                    if self.healed_links.contains(&LinkId::new(s, r, b)) {
-                        continue;
-                    }
-                    if !self.probe_wire_passes(s, r, b) {
-                        found.push((s, r, b));
-                    }
-                }
-            }
-        }
-        if found.is_empty() {
-            if !ev.entry_alive {
-                self.mask_injection(ev.src, ev.port);
-            }
-            return;
-        }
-        for (s, r, b) in found {
-            self.mask_link_ends(s, r, b);
-        }
-    }
-
-    /// Behaviorally probes one inter-stage wire with the boundary-scan
-    /// test vectors (paper §5.1 EXTEST): each vector is driven through
-    /// a clone of the wire as a data word and the emerging word
-    /// compared against what was driven. The clone leaves live traffic
-    /// untouched; the flush models the port pair being quiesced before
-    /// the test. No oracle: the verdict comes from the wire's observed
-    /// behavior, not the fault set.
-    fn probe_wire_passes(&self, s: usize, r: usize, b: usize) -> bool {
-        let mut probe = match &self.engine {
-            EngineState::Flat(eng) => eng.stage_wires[eng.links.bslot(s, r, b)].clone(),
-            EngineState::Reference(eng) => eng.stage_wires[s][r][b].clone(),
-        };
-        probe.flush();
-        let w = self.config.width.min(16);
-        test_wire(w, |bits| {
-            let value = bits
-                .iter()
-                .enumerate()
-                .fold(0u16, |acc, (i, &bit)| acc | (u16::from(bit) << i));
-            let (mut out, _, _) = probe.advance(Word::Data(value), Word::Empty, false);
-            for _ in 0..probe.delay() {
-                if out != Word::Empty {
-                    break;
-                }
-                out = probe.advance(Word::Empty, Word::Empty, false).0;
-            }
-            match out {
-                Word::Data(v) => (0..w).map(|i| (v >> i) & 1 == 1).collect(),
-                _ => vec![false; w],
-            }
-        })
-        .passed()
     }
 
     /// Statistics accumulated since the last [`NetworkSim::reset_stats`].
@@ -1721,634 +629,6 @@ impl NetworkSim {
             }
         }
         let latency = self.stats.total_latency.summary();
-        let engine = match self.config.engine {
-            EngineKind::Flat => "flat",
-            EngineKind::Reference => "reference",
-        };
-        TelemetrySnapshot::from_registry(name, engine, self.now, &reg, latency)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::message::ACK_OK;
-    use metro_telemetry::RouterCounter;
-
-    fn fig1_sim() -> NetworkSim {
-        NetworkSim::new(&MultibutterflySpec::figure1(), &SimConfig::default()).unwrap()
-    }
-
-    #[test]
-    fn single_message_delivers_intact() {
-        let mut sim = fig1_sim();
-        let payload: Vec<u16> = (0..19).map(|k| (k * 7 + 1) as u16 & 0xFF).collect();
-        let outcome = sim.send_and_wait(3, 12, &payload, 400).expect("delivery");
-        assert_eq!(outcome.payload_delivered, payload);
-        assert_eq!(outcome.retries, 0);
-        assert!(outcome.failures.is_empty());
-    }
-
-    #[test]
-    fn every_endpoint_pair_communicates() {
-        let mut sim = fig1_sim();
-        for src in 0..16 {
-            let dest = (src + 7) % 16;
-            let payload = [src as u16, dest as u16];
-            let o = sim
-                .send_and_wait(src, dest, &payload, 400)
-                .unwrap_or_else(|| panic!("{src} -> {dest} failed"));
-            assert_eq!(o.payload_delivered, payload);
-        }
-    }
-
-    #[test]
-    fn unloaded_latency_is_stable_and_small() {
-        let mut sim = fig1_sim();
-        let payload = [1u16; 19];
-        let a = sim.send_and_wait(0, 9, &payload, 400).unwrap();
-        let b = sim.send_and_wait(0, 9, &payload, 400).unwrap();
-        assert_eq!(a.network_latency(), b.network_latency());
-        // Figure 3's deeper network measures 28 cycles; this 3-stage,
-        // 16-endpoint network with 19-word payloads should be in the
-        // same regime (stream ~22 words + ~6 cycles turnaround).
-        assert!(
-            (25..40).contains(&(a.network_latency() as usize)),
-            "unloaded latency {} out of expected range",
-            a.network_latency()
-        );
-    }
-
-    #[test]
-    fn ack_code_round_trips() {
-        let mut sim = fig1_sim();
-        sim.send(2, 11, &[9, 9, 9]);
-        sim.run(300);
-        let outs = sim.drain_outcomes();
-        assert_eq!(outs.len(), 1);
-        // The record captured ACK_OK (success path).
-        assert!(outs[0].failures.is_empty());
-        let _ = ACK_OK;
-    }
-
-    #[test]
-    fn concurrent_messages_all_deliver() {
-        let mut sim = fig1_sim();
-        for src in 0..16 {
-            sim.send(src, (src + 5) % 16, &[src as u16; 8]);
-        }
-        let mut cycles = 0;
-        while !sim.is_quiescent() && cycles < 5000 {
-            sim.tick();
-            cycles += 1;
-        }
-        let outs = sim.drain_outcomes();
-        assert_eq!(outs.len(), 16, "all 16 messages must complete");
-        for o in &outs {
-            assert!(o.total_latency() < 2000);
-        }
-    }
-
-    #[test]
-    fn contention_causes_retries_but_no_loss() {
-        let mut sim = fig1_sim();
-        // Everyone hammers endpoint 0: heavy contention at the last
-        // stages; stochastic retry must eventually deliver all.
-        for src in 1..16 {
-            sim.send(src, 0, &[src as u16; 4]);
-        }
-        let mut cycles = 0;
-        while !sim.is_quiescent() && cycles < 20_000 {
-            sim.tick();
-            cycles += 1;
-        }
-        let outs = sim.drain_outcomes();
-        assert_eq!(outs.len(), 15);
-        let total_retries: usize = outs.iter().map(|o| o.retries).sum();
-        assert!(total_retries > 0, "hotspot must cause blocking/retry");
-    }
-
-    #[test]
-    fn dead_router_is_routed_around() {
-        let mut sim = fig1_sim();
-        let mut faults = FaultSet::new();
-        faults.kill_router(1, 2);
-        sim.apply_faults(faults);
-        for src in 0..16 {
-            let o = sim.send_and_wait(src, (src + 3) % 16, &[7, 7], 3000);
-            assert!(o.is_some(), "src {src} failed around dead router");
-        }
-    }
-
-    #[test]
-    fn corrupting_link_is_detected_and_avoided() {
-        let mut sim = fig1_sim();
-        // Corrupt one of endpoint 4's route's stage-0 links.
-        let digits = sim.topology().route_digits(9);
-        let (r0, _) = sim.topology().injection(4, 0);
-        let st0 = sim.topology().stage_spec(0);
-        let mut faults = FaultSet::new();
-        faults.break_link(
-            LinkId::new(0, r0, digits[0] * st0.dilation),
-            metro_topo::fault::FaultKind::CorruptData { xor: 0x04 },
-        );
-        sim.apply_faults(faults);
-        let o = sim
-            .send_and_wait(4, 9, &[1, 2, 3, 4], 4000)
-            .expect("delivered");
-        assert_eq!(o.payload_delivered, vec![1, 2, 3, 4]);
-    }
-
-    #[test]
-    fn detailed_reclamation_reports_blocked_stage() {
-        let config = SimConfig {
-            fast_reclaim: false,
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        for src in 1..16 {
-            sim.send(src, 0, &[1, 2]);
-        }
-        let mut cycles = 0;
-        while !sim.is_quiescent() && cycles < 30_000 {
-            sim.tick();
-            cycles += 1;
-        }
-        let outs = sim.drain_outcomes();
-        assert_eq!(outs.len(), 15);
-        let blocked = outs
-            .iter()
-            .flat_map(|o| &o.failures)
-            .filter(|f| matches!(f, crate::message::FailureKind::Blocked { .. }))
-            .count();
-        assert!(blocked > 0, "detailed mode must report Blocked failures");
-    }
-
-    #[test]
-    fn figure3_network_simulates() {
-        let mut sim =
-            NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default()).unwrap();
-        let payload: Vec<u16> = (0..19).map(|k| k as u16).collect();
-        let o = sim.send_and_wait(0, 63, &payload, 500).expect("delivery");
-        assert_eq!(o.payload_delivered, payload);
-        // Paper: "The unloaded message latency is 28 clock cycles from
-        // message injection to acknowledgment receipt."
-        assert!(
-            (24..36).contains(&(o.network_latency() as usize)),
-            "figure 3 unloaded latency {} should be near 28",
-            o.network_latency()
-        );
-    }
-
-    #[test]
-    fn heterogeneous_wire_delays_deliver_with_expected_latency() {
-        // Short wires near the endpoints, a long middle boundary — the
-        // §5.1 variable-turn-delay scenario.
-        let config = SimConfig {
-            stage_wire_delays: Some(vec![0, 3, 1, 0]),
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        let o = sim.send_and_wait(0, 9, &[4; 10], 2_000).expect("delivery");
-        assert_eq!(o.payload_delivered, vec![4; 10]);
-        // Baseline with all-zero wires for comparison.
-        let mut base =
-            NetworkSim::new(&MultibutterflySpec::figure1(), &SimConfig::default()).unwrap();
-        let b = base.send_and_wait(0, 9, &[4; 10], 2_000).unwrap();
-        // Extra round-trip cost ≈ 2 × (3 + 1) = 8 cycles.
-        let delta = o.network_latency() as i64 - b.network_latency() as i64;
-        assert!(
-            (6..=12).contains(&delta),
-            "expected ~8 extra cycles, got {delta}"
-        );
-    }
-
-    #[test]
-    #[should_panic(expected = "stages + 1")]
-    fn wrong_boundary_count_is_rejected() {
-        let config = SimConfig {
-            stage_wire_delays: Some(vec![0, 1]),
-            ..SimConfig::default()
-        };
-        let _ = NetworkSim::new(&MultibutterflySpec::figure1(), &config);
-    }
-
-    #[test]
-    fn extra_stage_randomizer_network_delivers() {
-        let mut sim = NetworkSim::new(
-            &MultibutterflySpec::figure3_extra_stage(),
-            &SimConfig::default(),
-        )
-        .unwrap();
-        // The radix-1 front stage consumes no digits; the header plan
-        // still packs 6 bits into one byte.
-        assert_eq!(sim.header_plan().header_words(), 1);
-        for dest in [0, 21, 63] {
-            let payload = [dest as u16, 0xAA];
-            let o = sim.send_and_wait(5, dest, &payload, 2_000);
-            match o {
-                Some(o) => assert_eq!(o.payload_delivered, payload, "dest {dest}"),
-                None => panic!("dest {dest} failed"),
-            }
-        }
-        // The extra stage adds one hop to the unloaded path.
-        let base = {
-            let mut b =
-                NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default()).unwrap();
-            b.send_and_wait(5, 60, &[1; 19], 2_000)
-                .unwrap()
-                .network_latency()
-        };
-        let extra = sim
-            .send_and_wait(5, 60, &[1; 19], 2_000)
-            .unwrap()
-            .network_latency();
-        assert!(
-            (1..=4).contains(&(extra as i64 - base as i64)),
-            "one extra hop, got {base} -> {extra}"
-        );
-    }
-
-    #[test]
-    fn conversation_reverses_the_circuit_multiple_times() {
-        use crate::endpoint::{EndpointConfig, ReplyPolicy};
-        let config = SimConfig {
-            endpoint: EndpointConfig {
-                reply: ReplyPolicy::Conversation,
-                ..EndpointConfig::default()
-            },
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        let segments: [&[u16]; 3] = [&[1, 2, 3], &[4, 5], &[6, 7, 8, 9]];
-        sim.send_conversation(2, 13, &segments);
-        let mut cycles = 0;
-        while !sim.is_quiescent() && cycles < 3_000 {
-            sim.tick();
-            cycles += 1;
-        }
-        let outs = sim.drain_outcomes();
-        assert_eq!(outs.len(), 1, "conversation must complete");
-        assert_eq!(outs[0].retries, 0);
-        // Every segment arrived intact, in order, at the destination.
-        let delivered = sim.endpoint_mut(13).take_delivered();
-        assert_eq!(delivered.len(), 3);
-        for (d, seg) in delivered.iter().zip(segments.iter()) {
-            assert_eq!(&d.payload[..], *seg);
-        }
-        // One grant per stage for the whole conversation (a single
-        // circuit), but three forward reversals per stage (one per
-        // segment's TURN).
-        let grants = sim.router_stat_total(|s| s.grants);
-        let turns = sim.router_stat_total(|s| s.turns);
-        assert_eq!(grants, 3, "one circuit");
-        assert_eq!(turns, 9, "three reversals per router");
-    }
-
-    #[test]
-    fn conversation_under_congestion_retries_whole_exchange() {
-        use crate::endpoint::{EndpointConfig, ReplyPolicy};
-        let config = SimConfig {
-            endpoint: EndpointConfig {
-                reply: ReplyPolicy::Conversation,
-                ..EndpointConfig::default()
-            },
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        for src in 0..8 {
-            let a: &[u16] = &[src as u16];
-            let b: &[u16] = &[src as u16 + 100];
-            sim.send_conversation(src, 15, &[a, b]);
-        }
-        let mut cycles = 0;
-        while !sim.is_quiescent() && cycles < 60_000 {
-            sim.tick();
-            cycles += 1;
-        }
-        let outs = sim.drain_outcomes();
-        assert_eq!(outs.len(), 8, "all conversations must complete");
-        // 8 sources × 2 segments each delivered.
-        assert_eq!(sim.endpoint_mut(15).take_delivered().len(), 16);
-    }
-
-    #[test]
-    fn trace_records_the_connection_lifecycle() {
-        let mut sim = fig1_sim();
-        sim.enable_trace(0);
-        sim.send_and_wait(0, 9, &[1, 2, 3], 400).expect("delivery");
-        let trace = sim.trace().unwrap();
-        use crate::trace::TraceEvent;
-        let grants = trace.of_kind(|e| matches!(e, TraceEvent::Granted { .. }));
-        let turns = trace.of_kind(|e| matches!(e, TraceEvent::Turned { .. }));
-        let drops = trace.of_kind(|e| matches!(e, TraceEvent::Dropped { .. }));
-        let done = trace.of_kind(|e| matches!(e, TraceEvent::Completed { .. }));
-        assert_eq!(grants.len(), 3, "one grant per stage");
-        assert_eq!(turns.len(), 3, "one reversal per stage");
-        assert_eq!(drops.len(), 3, "one release per stage");
-        assert_eq!(done.len(), 1);
-        // Lifecycle ordering: grants strictly before turns before drops.
-        assert!(grants.iter().map(|r| r.at).max() < turns.iter().map(|r| r.at).min());
-        assert!(turns.iter().map(|r| r.at).max() < drops.iter().map(|r| r.at).min());
-    }
-
-    #[test]
-    fn deterministic_replay() {
-        let run = || {
-            let mut sim = fig1_sim();
-            for src in 0..16 {
-                sim.send(src, (src + 9) % 16, &[3; 6]);
-            }
-            sim.run(600);
-            let mut outs = sim.drain_outcomes();
-            outs.sort_by_key(|o| (o.src, o.completed_at));
-            outs.iter()
-                .map(|o| (o.src, o.dest, o.completed_at, o.retries))
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn pipelined_setup_hw1_works_end_to_end() {
-        let config = SimConfig {
-            header_words: 1,
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        let o = sim.send_and_wait(1, 14, &[5, 6, 7], 500).expect("delivery");
-        assert_eq!(o.payload_delivered, vec![5, 6, 7]);
-    }
-
-    #[test]
-    fn deeper_pipelines_still_deliver() {
-        let config = SimConfig {
-            pipestages: 2,
-            wire_delay: 1,
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        let o = sim.send_and_wait(6, 2, &[8; 10], 800).expect("delivery");
-        assert_eq!(o.payload_delivered, vec![8; 10]);
-        // Latency grows with the extra pipeline depth.
-        assert!(o.network_latency() > 30);
-    }
-
-    #[test]
-    fn reset_stats_zeroes_every_registry_slot() {
-        let mut sim = fig1_sim();
-        for src in 0..16 {
-            sim.send(src, (src + 3) % 16, &[src as u16; 6]);
-        }
-        sim.run(300);
-        let total_before = sim.telemetry().counters().total(RouterCounter::Opens);
-        assert!(total_before > 0, "traffic must register");
-
-        sim.reset_stats();
-        let reg = sim.telemetry();
-        for ((stage, router), cell) in reg.counters().iter() {
-            assert!(
-                cell.is_zero(),
-                "registry slot r{stage}.{router} not zeroed by reset_stats"
-            );
-        }
-        for ((stage, router), cell) in reg.deltas().iter() {
-            assert!(
-                cell.is_zero(),
-                "delta slot r{stage}.{router} survived reset"
-            );
-        }
-        assert_eq!(reg.syncs(), 0, "series history restarts");
-
-        // Routers keep cumulative counters — the registry rebases so
-        // post-reset observation measures only post-reset traffic.
-        sim.send(0, 9, &[1, 2, 3]);
-        sim.run(300);
-        let opens_after = sim.telemetry().counters().total(RouterCounter::Opens);
-        assert!(opens_after > 0 && opens_after < total_before);
-    }
-
-    #[test]
-    fn trace_interval_zero_clamps_to_every_cycle() {
-        let mut sim = fig1_sim();
-        sim.set_trace_interval(0);
-        assert_eq!(sim.telemetry().interval(), 1, "0 clamps to 1");
-        sim.enable_trace(0);
-        sim.send(4, 13, &[7; 5]);
-        sim.run(300);
-        let grants = sim
-            .trace()
-            .unwrap()
-            .of_kind(|e| matches!(e, crate::trace::TraceEvent::Granted { .. }));
-        assert!(!grants.is_empty(), "tracing still observes events");
-    }
-
-    #[test]
-    fn telemetry_snapshot_leaves_registry_cadence_undisturbed() {
-        let mut sim = fig1_sim();
-        sim.send(2, 8, &[3; 4]);
-        sim.run(200);
-        let syncs_before = sim.telemetry().syncs();
-        let snap = sim.telemetry_snapshot("probe");
-        assert_eq!(snap.cycles, sim.now());
-        assert!(snap.counters.total(RouterCounter::Opens) > 0);
-        // Snapshotting syncs a clone: the live registry's sync count and
-        // deltas are untouched.
-        assert_eq!(sim.telemetry().syncs(), syncs_before);
-    }
-
-    #[test]
-    fn self_healing_masks_a_corrupting_link_from_evidence_alone() {
-        let config = SimConfig {
-            self_heal: true,
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        // Corrupt one of endpoint 4's route's stage-0 links; the healer
-        // only ever sees the reply evidence, never this fault set.
-        let digits = sim.topology().route_digits(9);
-        let (r0, _) = sim.topology().injection(4, 0);
-        let bad = LinkId::new(0, r0, digits[0] * sim.topology().stage_spec(0).dilation);
-        let mut faults = FaultSet::new();
-        faults.break_link(bad, metro_topo::fault::FaultKind::CorruptData { xor: 0x04 });
-        sim.apply_faults(faults);
-        for _ in 0..20 {
-            let o = sim
-                .send_and_wait(4, 9, &[1, 2, 3, 4], 4000)
-                .expect("delivered despite the corrupting link");
-            assert_eq!(o.payload_delivered, vec![1, 2, 3, 4]);
-            if sim.healed_links().contains(&bad) {
-                break;
-            }
-        }
-        assert!(
-            sim.healed_links().contains(&bad),
-            "diagnosis must name the faulted link, healed {:?}",
-            sim.healed_links()
-        );
-        // The loop's work shows up in the telemetry spine: a mismatch
-        // detected, both port ends masked, and the masked state exercised
-        // by later retries.
-        let snap = sim.telemetry_snapshot("heal");
-        assert!(snap.counters.total(RouterCounter::ChecksumMismatches) > 0);
-        assert!(snap.counters.total(RouterCounter::MasksApplied) >= 2);
-        // Traffic keeps flowing after the mask.
-        let o = sim
-            .send_and_wait(4, 9, &[9, 8, 7], 4000)
-            .expect("delivered");
-        assert_eq!(o.payload_delivered, vec![9, 8, 7]);
-    }
-
-    #[test]
-    fn self_healing_masks_a_dead_link_where_the_trail_goes_cold() {
-        let config = SimConfig {
-            self_heal: true,
-            endpoint: EndpointConfig {
-                timeout: 120,
-                ..EndpointConfig::default()
-            },
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        let digits = sim.topology().route_digits(9);
-        let (r0, _) = sim.topology().injection(4, 0);
-        let bad = LinkId::new(0, r0, digits[0] * sim.topology().stage_spec(0).dilation);
-        let mut faults = FaultSet::new();
-        faults.break_link(bad, metro_topo::fault::FaultKind::Dead);
-        sim.apply_faults(faults);
-        // A dead link eats the forward stream, but the routers before
-        // it still reverse and report clean status + checksums — the
-        // trail simply goes cold (`NoAck` with truncated evidence).
-        // Diagnosis pins the fault on the link past the last reporting
-        // router and masks exactly the dead link.
-        for _ in 0..10 {
-            let o = sim
-                .send_and_wait(4, 9, &[5, 6], 8000)
-                .expect("retries route around the dead link");
-            assert_eq!(o.payload_delivered, vec![5, 6]);
-            if sim.healed_links().contains(&bad) {
-                break;
-            }
-        }
-        assert!(
-            sim.healed_links().contains(&bad),
-            "diagnosis must localize the dead link, healed {:?}",
-            sim.healed_links()
-        );
-    }
-
-    #[test]
-    fn self_healing_masks_the_injection_port_into_a_dead_entry_router() {
-        let config = SimConfig {
-            self_heal: true,
-            endpoint: EndpointConfig {
-                timeout: 120,
-                ..EndpointConfig::default()
-            },
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        let (r0, _) = sim.topology().injection(4, 0);
-        let mut faults = FaultSet::new();
-        faults.kill_router(0, r0);
-        sim.apply_faults(faults);
-        // A dead entry router swallows the stream before any status word
-        // is generated: the record is empty and no reverse activity is
-        // ever seen. The wire sweep finds every link electrically sound,
-        // so the only remaining suspect is the injection port itself.
-        for _ in 0..10 {
-            let o = sim
-                .send_and_wait(4, 9, &[7, 7], 8000)
-                .expect("retries route around the dead entry router");
-            assert_eq!(o.payload_delivered, vec![7, 7]);
-            if sim.healed_injections().contains(&(4, 0)) {
-                break;
-            }
-        }
-        assert!(
-            sim.healed_injections().contains(&(4, 0)),
-            "the sweep must fall back to masking the injection port, healed {:?}",
-            sim.healed_injections()
-        );
-        assert!(
-            sim.healed_links().is_empty(),
-            "no inter-stage link is actually faulty, healed {:?}",
-            sim.healed_links()
-        );
-    }
-
-    #[test]
-    fn self_healing_is_engine_equivalent() {
-        let run = |engine: EngineKind| {
-            let config = SimConfig {
-                self_heal: true,
-                endpoint: EndpointConfig {
-                    timeout: 150,
-                    ..EndpointConfig::default()
-                },
-                engine,
-                ..SimConfig::default()
-            };
-            let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-            let mut faults = FaultSet::new();
-            faults.break_link(
-                LinkId::new(1, 2, 1),
-                metro_topo::fault::FaultKind::CorruptData { xor: 0x11 },
-            );
-            faults.break_link(LinkId::new(0, 5, 2), metro_topo::fault::FaultKind::Dead);
-            sim.apply_faults(faults);
-            for src in 0..16 {
-                sim.send(src, (src + 11) % 16, &[src as u16; 5]);
-            }
-            sim.run(6_000);
-            let mut outs: Vec<_> = sim
-                .drain_outcomes()
-                .iter()
-                .map(|o| (o.src, o.dest, o.completed_at, o.retries, o.status))
-                .collect();
-            outs.sort_unstable();
-            (outs, sim.healed_links().to_vec())
-        };
-        let flat = run(EngineKind::Flat);
-        let reference = run(EngineKind::Reference);
-        assert_eq!(flat.0, reference.0, "outcome streams must match");
-        assert_eq!(flat.1, reference.1, "healing decisions must match");
-    }
-
-    #[test]
-    fn unreachable_destination_exhausts_attempts_and_quiesces() {
-        use crate::message::DeliveryStatus;
-        // A dead destination can never acknowledge: without an attempt
-        // budget the source would retry forever (the livelock case the
-        // give-up path exists for).
-        let config = SimConfig {
-            endpoint: EndpointConfig {
-                timeout: 120,
-                max_retries: 3,
-                ..EndpointConfig::default()
-            },
-            ..SimConfig::default()
-        };
-        let mut sim = NetworkSim::new(&MultibutterflySpec::figure1(), &config).unwrap();
-        let mut faults = FaultSet::new();
-        faults.kill_endpoint(9);
-        sim.apply_faults(faults);
-        sim.send(4, 9, &[1, 2]);
-        let mut cycles = 0;
-        while !sim.is_quiescent() && cycles < 30_000 {
-            sim.tick();
-            cycles += 1;
-        }
-        assert!(
-            sim.is_quiescent(),
-            "the attempt budget must end the livelock"
-        );
-        let outs = sim.drain_outcomes();
-        assert_eq!(outs.len(), 1, "the give-up is an outcome, not a loss");
-        match outs[0].status {
-            DeliveryStatus::Undeliverable { attempts } => assert_eq!(attempts, 3),
-            DeliveryStatus::Delivered => panic!("cannot deliver to a dead endpoint"),
-        }
-        assert_eq!(outs[0].retries, 3);
+        TelemetrySnapshot::from_registry(name, self.config.engine.name(), self.now, &reg, latency)
     }
 }

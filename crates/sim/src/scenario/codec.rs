@@ -330,13 +330,7 @@ fn enc_sim(sim: &SimConfig) -> Json {
         ),
         ("endpoint", enc_endpoint(&sim.endpoint)),
         ("seed", enc_seed(sim.seed)),
-        (
-            "engine",
-            Json::from(match sim.engine {
-                EngineKind::Flat => "flat",
-                EngineKind::Reference => "reference",
-            }),
-        ),
+        ("engine", Json::from(sim.engine.name())),
         ("telemetry_every", Json::from(sim.telemetry_every)),
     ];
     // Conditional emission keeps pre-healing scenario files byte-stable.
@@ -391,10 +385,13 @@ fn dec_sim(doc: &Json, path: &str) -> Result<SimConfig, CodecError> {
         other => return err(&sel_path, format!("unknown selection policy {other:?}")),
     };
     let engine_path = format!("{path}.engine");
-    let engine = match dec_str(get(doc, "engine", path)?, &engine_path)? {
-        "flat" => EngineKind::Flat,
-        "reference" => EngineKind::Reference,
-        other => return err(&engine_path, format!("unknown engine {other:?}")),
+    let engine_name = dec_str(get(doc, "engine", path)?, &engine_path)?;
+    // One canonical spelling per kind (`EngineKind::name`); "analytic"
+    // decodes like any other — cycle-accuracy is enforced where it
+    // matters (NetworkSim construction, chaos campaigns), not here.
+    let engine = match EngineKind::from_name(engine_name) {
+        Some(k) => k,
+        None => return err(&engine_path, format!("unknown engine {engine_name:?}")),
     };
     Ok(SimConfig {
         width: dec_usize(get(doc, "width", path)?, &format!("{path}.width"))?,
@@ -1084,6 +1081,31 @@ mod tests {
         let old_doc = encode(&old);
         assert!(old_doc.render().find("shards").is_none());
         assert_eq!(decode(&old_doc).unwrap().sim.shards, 1);
+    }
+
+    #[test]
+    fn every_engine_name_round_trips_byte_stably() {
+        // The codec and EngineKind::{name, from_name} must agree on one
+        // spelling per kind — including "analytic", which decodes here
+        // even though cycle-accurate contexts reject it later.
+        for kind in EngineKind::ALL {
+            let mut s = rich_scenario();
+            s.sim.engine = kind;
+            let doc = encode(&s);
+            let text = doc.render();
+            assert!(text.contains(&format!("\"engine\": \"{}\"", kind.name())));
+            assert_eq!(decode(&doc).unwrap().sim.engine, kind);
+            assert_eq!(encode(&from_text(&text).unwrap()).render(), text);
+        }
+
+        // A name outside the canonical set names its path in the error.
+        let mut doc = encode(&rich_scenario());
+        let mut sim = doc.get("sim").unwrap().clone();
+        sim.set("engine", Json::from("warp"));
+        doc.set("sim", sim);
+        let e = decode(&doc).unwrap_err();
+        assert_eq!(e.path, "scenario.sim.engine");
+        assert!(e.message.contains("warp"), "{e}");
     }
 
     #[test]

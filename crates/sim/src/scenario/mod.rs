@@ -304,10 +304,19 @@ fn apply_due_injections(
 /// reproducibility contract behind `scenarios/*.json` and the manifest's
 /// `scenario_hash`.
 ///
+/// A scenario naming [`EngineKind::Analytic`](crate::EngineKind::Analytic)
+/// is dispatched to the estimator
+/// ([`estimate_scenario`](crate::engine::analytic::estimate_scenario))
+/// instead of a cycle-accurate replay; the result has the same shape
+/// but is a prediction, not a simulation.
+///
 /// # Errors
 ///
 /// Propagates topology validation errors.
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::error::Error>> {
+    if scenario.sim.engine == crate::engine::EngineKind::Analytic {
+        return crate::engine::analytic::estimate_scenario(scenario);
+    }
     run_scenario_with_sim(scenario).map(|(result, _sim)| result)
 }
 
@@ -320,7 +329,10 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::
 ///
 /// # Errors
 ///
-/// Propagates topology validation errors.
+/// Propagates topology validation errors. Because this entry point
+/// must hand back a live [`NetworkSim`], an analytic-engine scenario is
+/// rejected with [`crate::engine::NotCycleAccurate`] — use
+/// [`run_scenario`], which dispatches it to the estimator.
 pub fn run_scenario_with_sim(
     scenario: &Scenario,
 ) -> Result<(ScenarioResult, NetworkSim), Box<dyn std::error::Error>> {

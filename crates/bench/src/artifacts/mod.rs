@@ -1,4 +1,4 @@
-//! The 22 paper artifacts, as registry entries.
+//! The 23 paper artifacts, as registry entries.
 //!
 //! Each module moves one historical binary's logic behind a
 //! [`metro_harness::Artifact`]: the run function builds the human
@@ -42,6 +42,7 @@ pub mod table4;
 pub mod table5;
 pub mod tick_bench;
 pub mod traffic_patterns;
+pub mod workload_bench;
 
 /// Builds the registry of every paper artifact, in the order the
 /// paper presents them (figures, tables, robustness, ablations,
@@ -70,6 +71,7 @@ pub fn registry() -> Registry {
     r.register(message_sizes::artifact());
     r.register(tick_bench::artifact());
     r.register(shard_bench::artifact());
+    r.register(workload_bench::artifact());
     r.register(estimate_bench::artifact());
     r
 }

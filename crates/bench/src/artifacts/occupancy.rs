@@ -3,9 +3,9 @@
 //! traffic — §4's "random selection … frees the source from knowing the
 //! actual details of the redundant paths", made visible.
 
-use metro_core::RandomSource;
 use metro_harness::{par_map, Artifact, ArtifactOutput, Json, RunCtx};
-use metro_sim::traffic::{LoadGenerator, TrafficPattern};
+use metro_sim::traffic::TrafficPattern;
+use metro_sim::workload::{ArrivalProcess, RateMap, StreamRecipe, StreamSeeds};
 use metro_sim::{NetworkSim, SimConfig};
 use metro_topo::multibutterfly::MultibutterflySpec;
 use std::fmt::Write as _;
@@ -15,18 +15,28 @@ fn simulate(pattern: &TrafficPattern, cycles: u64) -> NetworkSim {
         .expect("figure 3 spec is valid");
     let n = sim.topology().endpoints();
     let stream_words = sim.stream_for(0, &[0; 19]).len();
-    let mut pattern_rng = RandomSource::new(0xACC);
-    let mut gens: Vec<LoadGenerator> = (0..n)
-        .map(|e| LoadGenerator::new(0.3, stream_words, 0x0CC + e as u64))
-        .collect();
+    let recipe = StreamRecipe {
+        arrival: &ArrivalProcess::Bernoulli,
+        rates: &RateMap::Uniform,
+        pattern,
+        load: 0.3,
+        stream_words,
+        payload_words: 19,
+        endpoints: n,
+        // Historical seeds for this bench, predating StreamSeeds::load:
+        // a raw (un-salted) pattern seed and consecutive stream seeds.
+        seeds: StreamSeeds {
+            pattern_seed: 0xACC,
+            stream_base: 0x0CC,
+            stream_stride: 1,
+        },
+    };
+    let mut driver = recipe.driver();
     let payload: Vec<u16> = (0..19).map(|k| k as u16).collect();
-    for _ in 0..cycles {
-        for (e, g) in gens.iter_mut().enumerate() {
-            if g.arrival() {
-                let dest = pattern.destination(e, n, &mut pattern_rng);
-                sim.send(e, dest, &payload);
-            }
-        }
+    for cycle in 0..cycles {
+        driver.poll(cycle, |a| {
+            sim.send(a.src, a.dest, &payload);
+        });
         sim.tick();
     }
     sim

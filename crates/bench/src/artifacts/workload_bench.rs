@@ -1,0 +1,184 @@
+//! Workload-subsystem throughput: the Flat engine's cycles per
+//! wall-clock second under the driver-generated arrival streams, at one
+//! matched mean offered load.
+//!
+//! Two cells: uniform Bernoulli arrivals (the Figure 3 baseline) versus
+//! a bursty on/off hotspot (the adversarial end of the workload
+//! catalog). Both offer the same long-run load, so the delta isolates
+//! what traffic *shape* — not volume — costs the simulator: a hotspot
+//! piles retries and blocked circuits into the victim's subtree, and
+//! burstiness clumps the arrivals the driver must replay. Full runs
+//! refresh the repo-root `BENCH_workload.json` trajectory file for the
+//! perf guard.
+
+use metro_harness::{Artifact, ArtifactOutput, Json, ResultsDir, RunCtx};
+use metro_sim::traffic::TrafficPattern;
+use metro_sim::workload::{ArrivalProcess, RateMap, StreamRecipe, StreamSeeds};
+use metro_sim::{NetworkSim, SimConfig};
+use metro_topo::multibutterfly::MultibutterflySpec;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Matched mean offered load for both cells.
+const LOAD: f64 = 0.2;
+/// Offered payload per message, in words (the paper's 20-byte message).
+const PAYLOAD_WORDS: usize = 19;
+/// Stream seed base for the timed runs.
+const SEED: u64 = 0xB41C;
+
+struct Cell {
+    label: &'static str,
+    pattern: TrafficPattern,
+    arrival: ArrivalProcess,
+}
+
+fn cells() -> [Cell; 2] {
+    [
+        Cell {
+            label: "uniform bernoulli",
+            pattern: TrafficPattern::Uniform,
+            arrival: ArrivalProcess::Bernoulli,
+        },
+        Cell {
+            label: "15% hotspot, on/off",
+            pattern: TrafficPattern::Hotspot {
+                target: 0,
+                percent: 15,
+            },
+            arrival: ArrivalProcess::OnOff {
+                burst_mean: 60,
+                idle_mean: 120,
+            },
+        },
+    ]
+}
+
+fn measure(cell: &Cell, warmup: u64, measured: u64) -> (f64, usize, NetworkSim) {
+    let mut sim = NetworkSim::new(&MultibutterflySpec::figure3(), &SimConfig::default())
+        .expect("figure 3 spec is valid");
+    let n = sim.topology().endpoints();
+    let stream_words = sim.stream_for(0, &[0; PAYLOAD_WORDS]).len();
+    let recipe = StreamRecipe {
+        arrival: &cell.arrival,
+        rates: &RateMap::Uniform,
+        pattern: &cell.pattern,
+        load: LOAD,
+        stream_words,
+        payload_words: PAYLOAD_WORDS,
+        endpoints: n,
+        seeds: StreamSeeds::load(SEED),
+    };
+    let mut driver = recipe.driver();
+    let payload: Vec<u16> = (0..PAYLOAD_WORDS as u16).collect();
+    for cycle in 0..warmup {
+        driver.poll(cycle, |a| {
+            sim.send(a.src, a.dest, &payload);
+        });
+        sim.tick();
+    }
+    sim.drain_outcomes();
+    let start = Instant::now();
+    for cycle in warmup..warmup + measured {
+        driver.poll(cycle, |a| {
+            sim.send(a.src, a.dest, &payload);
+        });
+        sim.tick();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let delivered = sim.drain_outcomes().len();
+    (measured as f64 / elapsed, delivered, sim)
+}
+
+/// Registry entry.
+#[must_use]
+pub fn artifact() -> Artifact {
+    Artifact {
+        name: "workload_bench",
+        description: "flat-engine throughput, uniform vs bursty hotspot at matched load (cycles/s)",
+        quick_profile: "500 warm-up + 2k measured cycles (no BENCH_workload.json refresh)",
+        full_profile: "1k warm-up + 8k measured cycles, refreshes BENCH_workload.json",
+        run,
+    }
+}
+
+fn run(ctx: &RunCtx) -> Result<ArtifactOutput, String> {
+    let (warmup, measured) = if ctx.quick {
+        (500u64, 2_000u64)
+    } else {
+        (1_000, 8_000)
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Workload-driver throughput: figure 3 fabric, load {LOAD} ===\n"
+    );
+    let _ = writeln!(
+        out,
+        "warm-up {warmup} cycles, measured {measured} cycles, \
+         {PAYLOAD_WORDS}-word messages\n"
+    );
+
+    // The runs are timed, so they go strictly sequentially — sharing
+    // cores between two timed runs would corrupt both readings.
+    let mut rows = Vec::new();
+    let mut rates = Vec::new();
+    let mut last_sim = None;
+    for cell in &cells() {
+        let (rate, done, sim) = measure(cell, warmup, measured);
+        let _ = writeln!(
+            out,
+            "{:<22}: {rate:>12.0} cycles/s  ({done} messages completed)",
+            cell.label
+        );
+        rows.push(Json::obj([
+            ("workload", Json::from(cell.label)),
+            ("burstiness", Json::from(cell.arrival.burstiness())),
+            ("cycles_per_sec", Json::from(rate)),
+            ("messages_completed", Json::from(done)),
+        ]));
+        rates.push(rate);
+        last_sim = Some(sim);
+    }
+
+    let hotspot_cost = rates[0] / rates[1];
+    let _ = writeln!(
+        out,
+        "\nuniform/hotspot rate ratio : {hotspot_cost:.2}x \
+         (traffic shape, not volume — both cells offer load {LOAD})"
+    );
+
+    let json = Json::obj([
+        ("benchmark", Json::from("workload_throughput")),
+        ("topology", Json::from("figure3")),
+        ("load", Json::from(LOAD)),
+        ("warmup_cycles", Json::from(warmup)),
+        ("measured_cycles", Json::from(measured)),
+        ("payload_words", Json::from(PAYLOAD_WORDS)),
+        ("cells", Json::Arr(rows)),
+        ("hotspot_cost", Json::from(hotspot_cost)),
+    ]);
+
+    if !ctx.quick {
+        // The trajectory file lives at the repo root (one benchmark, one
+        // file) but goes through the same validated writer as results/.
+        let root = ResultsDir::new(".");
+        root.write_json("BENCH_workload", &json)
+            .map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "\nwrote BENCH_workload.json");
+    }
+
+    let mut sim = last_sim.expect("both cells ran");
+    Ok(ArtifactOutput {
+        human: out,
+        json,
+        points: 2,
+        params: Json::obj([
+            ("warmup_cycles", Json::from(warmup)),
+            ("measured_cycles", Json::from(measured)),
+            ("load", Json::from(LOAD)),
+        ]),
+        scenario: None,
+        telemetry: Some(sim.telemetry_snapshot("workload_bench").to_json()),
+    })
+}

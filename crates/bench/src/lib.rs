@@ -39,6 +39,7 @@
 //! | `message_sizes` | size sweeps and implementation crossovers |
 //! | `tick_bench` | simulator engine throughput (flat vs reference) |
 //! | `shard_bench` | sharded flat-engine throughput at 1/2/4 shards (metro1k) |
+//! | `workload_bench` | flat-engine throughput, uniform vs bursty hotspot traffic |
 //! | `estimate_bench` | analytic estimator vs flat engine on metro1k |
 //!
 //! Criterion benches (`cargo bench`) cover the same artifacts at
@@ -55,7 +56,7 @@ pub mod scenarios;
 use metro_harness::{Json, Registry, ResultsDir, ResultsError};
 use metro_sim::experiment::{FaultSweepPoint, LoadPoint};
 
-/// Builds the full artifact registry (all 22 paper artifacts).
+/// Builds the full artifact registry (all 23 paper artifacts).
 #[must_use]
 pub fn registry() -> Registry {
     artifacts::registry()
@@ -291,9 +292,9 @@ mod tests {
     }
 
     #[test]
-    fn registry_holds_all_twenty_two_artifacts() {
+    fn registry_holds_all_twenty_three_artifacts() {
         let r = registry();
-        assert_eq!(r.len(), 22);
+        assert_eq!(r.len(), 23);
         for name in [
             "fig1",
             "fig3",
@@ -305,6 +306,7 @@ mod tests {
             "chaos",
             "tick_bench",
             "shard_bench",
+            "workload_bench",
             "estimate_bench",
             "scaling",
         ] {

@@ -13,6 +13,7 @@ use metro_harness::Json;
 use metro_sim::experiment::SweepConfig;
 use metro_sim::network::SimConfig;
 use metro_sim::scenario::{codec, FaultInjection, RepairSet, Scenario, SendSpec, WorkloadSpec};
+use metro_sim::workload::{ArrivalProcess, RateMap, TraceEntry};
 use metro_sim::TrafficPattern;
 use metro_topo::fattree::{FatTree, FatTreeSpec};
 use metro_topo::fault::{FaultKind, FaultSet};
@@ -72,6 +73,8 @@ pub fn load_scenario(name: &str, cfg: &SweepConfig, load: f64) -> Scenario {
         injections: Vec::new(),
         workload: WorkloadSpec::Load {
             pattern: cfg.pattern.clone(),
+            arrival: cfg.arrival.clone(),
+            rates: cfg.rates.clone(),
             load,
             payload_words: cfg.payload_words,
             warmup: cfg.warmup,
@@ -88,7 +91,7 @@ pub fn emit(scenario: &Scenario) -> Json {
 }
 
 /// The names of the checked-in corpus scenarios, in `scenarios/` order.
-pub const NAMED: [&str; 9] = [
+pub const NAMED: [&str; 11] = [
     "figure1",
     "figure3_load",
     "table4_hw0",
@@ -97,7 +100,9 @@ pub const NAMED: [&str; 9] = [
     "fault_masking",
     "chaos_smoke",
     "fattree",
+    "hotspot_burst",
     "metro1k",
+    "trace_replay",
 ];
 
 /// A small deterministic send schedule spreading `count` messages of
@@ -225,6 +230,36 @@ pub fn named(name: &str) -> Option<Scenario> {
                 2_500,
             ))
         }
+        // The workload subsystem's bursty cell: Figure 1's network
+        // under an on/off arrival process (duty cycle 1/3) aimed 15%
+        // at a single hotspot, with a mild linear per-endpoint rate
+        // skew. Exercises schema-2 workload fields, the burstiness
+        // bucket in the analytic estimator, and heterogeneous rates on
+        // every engine.
+        "hotspot_burst" => Some(Scenario {
+            name: "hotspot_burst".to_string(),
+            topology: MultibutterflySpec::figure1(),
+            sim: SimConfig::default(),
+            seed: 0xB0B5,
+            faults: FaultSet::new(),
+            injections: Vec::new(),
+            workload: WorkloadSpec::Load {
+                pattern: TrafficPattern::Hotspot {
+                    target: 9,
+                    percent: 15,
+                },
+                arrival: ArrivalProcess::OnOff {
+                    burst_mean: 60,
+                    idle_mean: 120,
+                },
+                rates: RateMap::PerEndpoint((0..16).map(|e| 0.7 + 0.04 * f64::from(e)).collect()),
+                load: 0.2,
+                payload_words: 19,
+                warmup: 300,
+                measure: 1_200,
+                drain: 600,
+            },
+        }),
         // The sharded-engine workhorse: a 1024-endpoint, 5-stage,
         // 1536-router fabric (radix 4 throughout, dilation 2 in the
         // four wide stages) under a short uniform load window. The
@@ -255,11 +290,45 @@ pub fn named(name: &str) -> Option<Scenario> {
             injections: Vec::new(),
             workload: WorkloadSpec::Load {
                 pattern: TrafficPattern::Uniform,
+                arrival: ArrivalProcess::Bernoulli,
+                rates: RateMap::Uniform,
                 load: 0.15,
                 payload_words: 8,
                 warmup: 100,
                 measure: 400,
                 drain: 300,
+            },
+        }),
+        // A recorded-arrival replay on Figure 1's network: sixty
+        // timestamped `(cycle, src, dest, payload)` entries spread over
+        // ~900 cycles, replayed identically by the cycle engines and
+        // the analytic estimator. The trace is the workload — `load`
+        // and `pattern` are carried but unused.
+        "trace_replay" => Some(Scenario {
+            name: "trace_replay".to_string(),
+            topology: MultibutterflySpec::figure1(),
+            sim: SimConfig::default(),
+            seed: 0x7ACE,
+            faults: FaultSet::new(),
+            injections: Vec::new(),
+            workload: WorkloadSpec::Load {
+                pattern: TrafficPattern::Uniform,
+                arrival: ArrivalProcess::Trace(
+                    (0..60)
+                        .map(|k| TraceEntry {
+                            at: (k as u64) * 15 + (k as u64 % 4),
+                            src: (k * 7) % 16,
+                            dest: (k * 7 + 3 + k % 5) % 16,
+                            payload_words: 1 + k % 19,
+                        })
+                        .collect(),
+                ),
+                rates: RateMap::Uniform,
+                load: 0.2,
+                payload_words: 19,
+                warmup: 100,
+                measure: 1_000,
+                drain: 400,
             },
         }),
         _ => None,
@@ -313,6 +382,8 @@ mod tests {
                 drain,
                 payload_words,
                 pattern,
+                arrival,
+                rates,
             } => {
                 assert_eq!(*load, 0.25);
                 assert_eq!(*warmup, cfg.warmup);
@@ -320,6 +391,8 @@ mod tests {
                 assert_eq!(*drain, cfg.drain);
                 assert_eq!(*payload_words, cfg.payload_words);
                 assert_eq!(pattern, &TrafficPattern::Uniform);
+                assert_eq!(arrival, &ArrivalProcess::Bernoulli);
+                assert_eq!(rates, &RateMap::Uniform);
             }
             WorkloadSpec::Sends { .. } => panic!("expected a Load workload"),
         }

@@ -38,7 +38,7 @@ use crate::message::{DeliveryStatus, FailureKind, MessageOutcome};
 use crate::network::SimConfig;
 use crate::scenario::{Scenario, ScenarioResult, SendSpec, WorkloadSpec};
 use crate::stats::LatencyStats;
-use crate::traffic::LoadGenerator;
+use crate::workload::{StreamRecipe, StreamSeeds};
 use metro_core::header::HeaderPlan;
 use metro_core::RandomSource;
 use metro_topo::multibutterfly::MultibutterflySpec;
@@ -70,18 +70,25 @@ pub struct ClusterKey {
     pub load_bucket: u8,
     /// Active-fault pressure: fault count clamped to 0..=8.
     pub fault_bucket: u8,
+    /// Arrival burstiness (peak-to-mean rate ratio,
+    /// [`crate::workload::ArrivalProcess::burstiness`]), rounded and
+    /// clamped to 1..=8. Bucket 1 (memoryless / trace arrivals) leaves
+    /// the model exactly as it was before burstiness existed.
+    pub burst_bucket: u8,
 }
 
 impl ClusterKey {
     /// Clusters one stage under the given offered load (fraction of
-    /// injection capacity) and active-fault count.
+    /// injection capacity), active-fault count, and arrival burstiness
+    /// (peak-to-mean ratio; 1.0 for memoryless arrivals).
     #[must_use]
-    pub fn new(dilation: usize, load: f64, faults: usize) -> Self {
+    pub fn new(dilation: usize, load: f64, faults: usize, burstiness: f64) -> Self {
         let load_bucket = (load.clamp(0.0, 1.0) * 10.0).round() as u8;
         Self {
             dilation,
             load_bucket,
             fault_bucket: faults.min(8) as u8,
+            burst_bucket: burstiness.clamp(1.0, 8.0).round() as u8,
         }
     }
 
@@ -114,7 +121,15 @@ impl StageModel {
     /// cycle-accurate replays of the checked-in scenario corpus.
     #[must_use]
     pub fn for_cluster(key: ClusterKey) -> Self {
-        let rho = key.load();
+        // Bursty sources spend their duty cycle at burstiness × the
+        // mean rate, but sources burst independently, so fabric-wide
+        // contention grows with a damped image of the peak-to-mean
+        // ratio rather than the full ratio (calibrated against
+        // cycle-accurate replays of the bursty corpus scenarios).
+        // Bucket 1 (memoryless) reduces to the plain bucket-center
+        // load, keeping pre-burstiness models bit-identical.
+        let burst_factor = 1.0 + (f64::from(key.burst_bucket) - 1.0) / 8.0;
+        let rho = (key.load() * burst_factor).min(1.0);
         // Multipath (dilated) stages absorb most contention: the
         // allocator can place a stream on any of `d` distinct copies.
         // The single-path delivery stage is where streams to one
@@ -159,7 +174,13 @@ struct FabricModel {
 }
 
 impl FabricModel {
-    fn new(spec: &MultibutterflySpec, config: &SimConfig, load: f64, faults: usize) -> Self {
+    fn new(
+        spec: &MultibutterflySpec,
+        config: &SimConfig,
+        load: f64,
+        faults: usize,
+        burstiness: f64,
+    ) -> Self {
         let digit_bits: Vec<usize> = spec.stages.iter().map(|st| st.digit_bits()).collect();
         let plan = HeaderPlan::new(&digit_bits, config.width, config.header_words);
         let stages = spec.stages.len();
@@ -168,7 +189,9 @@ impl FabricModel {
         let models = spec
             .stages
             .iter()
-            .map(|st| StageModel::for_cluster(ClusterKey::new(st.dilation, load, faults)))
+            .map(|st| {
+                StageModel::for_cluster(ClusterKey::new(st.dilation, load, faults, burstiness))
+            })
             .collect();
         Self {
             header_words: plan.header_words(),
@@ -300,21 +323,7 @@ pub fn estimate_latency(
     scenario: &Scenario,
 ) -> Result<LatencyEstimate, Box<dyn std::error::Error>> {
     match &scenario.workload {
-        WorkloadSpec::Load {
-            pattern: _,
-            load,
-            payload_words,
-            warmup,
-            measure,
-            drain,
-        } => Ok(estimate_load(
-            scenario,
-            *load,
-            *payload_words,
-            *warmup,
-            *measure,
-            *drain,
-        )),
+        WorkloadSpec::Load { .. } => Ok(estimate_load(scenario)),
         WorkloadSpec::Sends { sends, cycles } => Ok(estimate_sends(scenario, sends, *cycles)),
     }
 }
@@ -340,70 +349,67 @@ fn fault_pressure(scenario: &Scenario) -> usize {
 }
 
 /// The estimator's replay of a `Load` workload: arrivals are drawn from
-/// the *exact* per-endpoint [`LoadGenerator`] streams the cycle engines
-/// use (same seeds, same draws), so message counts and request times
-/// match the simulation; only each message's service time is sampled
-/// from the fabric model instead of simulated.
-fn estimate_load(
-    scenario: &Scenario,
-    load: f64,
-    payload_words: usize,
-    warmup: u64,
-    measure: u64,
-    drain: u64,
-) -> LatencyEstimate {
+/// the *exact* per-endpoint streams the cycle engines use — the shared
+/// [`StreamRecipe::schedule`] rebuilds them from the same seeds and
+/// draws — so message counts and request times match the simulation;
+/// only each message's service time is sampled from the fabric model
+/// instead of simulated.
+fn estimate_load(scenario: &Scenario) -> LatencyEstimate {
+    let WorkloadSpec::Load {
+        pattern,
+        arrival,
+        rates,
+        load,
+        payload_words,
+        warmup,
+        measure,
+        drain,
+    } = &scenario.workload
+    else {
+        unreachable!("estimate_load is only dispatched for Load workloads");
+    };
+    let (load, payload_words) = (*load, *payload_words);
+    let (warmup, measure, drain) = (*warmup, *measure, *drain);
     let n = scenario.topology.endpoints;
     let faults = fault_pressure(scenario);
-    let fabric = FabricModel::new(&scenario.topology, &scenario.sim, load, faults);
+    let total = warmup + measure;
+    // The cluster key wants the *offered* load. For generated arrivals
+    // that is the spec's load field; for a trace the field is carried
+    // but the trace itself is the workload, so measure the channel
+    // utilization the recorded entries actually offer.
+    let model_load = match arrival {
+        crate::workload::ArrivalProcess::Trace(entries) => {
+            let offered: u64 = entries
+                .iter()
+                .filter(|e| e.at < total)
+                .map(|e| e.payload_words as u64)
+                .sum();
+            offered as f64 / (n as u64 * total.max(1)) as f64
+        }
+        _ => load,
+    };
+    let fabric = FabricModel::new(
+        &scenario.topology,
+        &scenario.sim,
+        model_load,
+        faults,
+        arrival.burstiness(),
+    );
     let stream_words = fabric.stream_words(payload_words) as usize;
 
-    // Exact arrival replay: same generator seeds as run_scenario.
-    let mut arrivals: Vec<(u64, usize)> = Vec::new();
-    let total = warmup + measure;
-    // Endpoint-major replay, four generators abreast: one generator's
-    // draw sequence is a serial xorshift dependency chain (~7 cycles
-    // per draw of pure latency), but the generators are mutually
-    // independent, so stepping four per loop iteration lets the CPU
-    // overlap four chains and sets the pace by throughput instead.
-    // The (cycle, endpoint) sort restores exactly the order a
-    // cycle-major sweep would produce — generators draw independently,
-    // so the interleaving cannot change any stream.
-    let mk = |e: usize| {
-        LoadGenerator::new(
-            load,
-            stream_words,
-            scenario.seed.wrapping_add(e as u64 * 7919),
-        )
+    // Exact arrival replay: the same recipe (seeds, draws, sort order)
+    // run_scenario's driver polls, precomputed over the offered window.
+    let recipe = StreamRecipe {
+        arrival,
+        rates,
+        pattern,
+        load,
+        stream_words,
+        payload_words,
+        endpoints: n,
+        seeds: StreamSeeds::load(scenario.seed),
     };
-    let mut e = 0;
-    while e + 4 <= n {
-        let (mut g0, mut g1, mut g2, mut g3) = (mk(e), mk(e + 1), mk(e + 2), mk(e + 3));
-        for cycle in 0..total {
-            if g0.arrival() {
-                arrivals.push((cycle, e));
-            }
-            if g1.arrival() {
-                arrivals.push((cycle, e + 1));
-            }
-            if g2.arrival() {
-                arrivals.push((cycle, e + 2));
-            }
-            if g3.arrival() {
-                arrivals.push((cycle, e + 3));
-            }
-        }
-        e += 4;
-    }
-    while e < n {
-        let mut gen = mk(e);
-        for cycle in 0..total {
-            if gen.arrival() {
-                arrivals.push((cycle, e));
-            }
-        }
-        e += 1;
-    }
-    arrivals.sort_unstable();
+    let arrivals = recipe.schedule(total);
 
     let horizon = total + drain;
     let mut src_free = vec![0u64; n];
@@ -415,15 +421,16 @@ fn estimate_load(
     let mut in_flight = 0u64;
     let master = RandomSource::new(scenario.seed ^ SAMPLE_SALT);
     let mut fault_acc = 0.0;
-    for (i, &(requested_at, src)) in arrivals.iter().enumerate() {
+    for (i, a) in arrivals.iter().enumerate() {
+        let (requested_at, src) = (a.at, a.src);
         let mut rng = master.derive(i as u64);
         // Closed-loop NIC: one outstanding message per source, so a new
         // request waits for the previous completion (this queueing is
         // where load-dependent total latency mostly comes from).
         let first_injection_at =
             (requested_at + fabric.nic_turnaround).max(src_free[src] + fabric.nic_turnaround);
-        let (penalty, failures) = fabric.sample_penalty(&mut rng, payload_words, &mut fault_acc);
-        let network = fabric.base_network(payload_words) + penalty;
+        let (penalty, failures) = fabric.sample_penalty(&mut rng, a.payload_words, &mut fault_acc);
+        let network = fabric.base_network(a.payload_words) + penalty;
         let completed_at = first_injection_at + network;
         src_free[src] = completed_at;
         if completed_at > horizon {
@@ -444,7 +451,7 @@ fn estimate_load(
             completed_at,
             retries: failures.len(),
             failures,
-            payload_words,
+            payload_words: a.payload_words,
             payload_delivered: Vec::new(),
             reply_received: Vec::new(),
             failure_records: Vec::new(),
@@ -491,7 +498,7 @@ fn estimate_sends(scenario: &Scenario, sends: &[SendSpec], cycles: u64) -> Laten
     let faults = fault_pressure(scenario);
     // Scripted workloads are sparse; cluster them in the lightest load
     // bucket and let fault pressure drive the stochastic term.
-    let fabric = FabricModel::new(&scenario.topology, &scenario.sim, 0.0, faults);
+    let fabric = FabricModel::new(&scenario.topology, &scenario.sim, 0.0, faults, 1.0);
 
     let mut queue: Vec<SendSpec> = sends.to_vec();
     queue.sort_by_key(|s| s.at);
@@ -564,33 +571,56 @@ mod tests {
         // changing a bucket boundary silently re-clusters every stage,
         // so the mapping is pinned here.
         assert_eq!(
-            ClusterKey::new(2, 0.4, 0),
+            ClusterKey::new(2, 0.4, 0, 1.0),
             ClusterKey {
                 dilation: 2,
                 load_bucket: 4,
-                fault_bucket: 0
+                fault_bucket: 0,
+                burst_bucket: 1
             }
         );
-        assert_eq!(ClusterKey::new(1, 0.15, 3).load_bucket, 2);
-        assert_eq!(ClusterKey::new(1, 0.14, 3).load_bucket, 1);
-        assert_eq!(ClusterKey::new(1, 2.0, 99).load_bucket, 10);
-        assert_eq!(ClusterKey::new(1, 2.0, 99).fault_bucket, 8);
+        assert_eq!(ClusterKey::new(1, 0.15, 3, 1.0).load_bucket, 2);
+        assert_eq!(ClusterKey::new(1, 0.14, 3, 1.0).load_bucket, 1);
+        assert_eq!(ClusterKey::new(1, 2.0, 99, 1.0).load_bucket, 10);
+        assert_eq!(ClusterKey::new(1, 2.0, 99, 1.0).fault_bucket, 8);
+        // Burstiness buckets: memoryless pins to 1, bursty sources
+        // round their peak-to-mean ratio, clamped at 8.
+        assert_eq!(ClusterKey::new(1, 0.4, 0, 1.0).burst_bucket, 1);
+        assert_eq!(ClusterKey::new(1, 0.4, 0, 3.0).burst_bucket, 3);
+        assert_eq!(ClusterKey::new(1, 0.4, 0, 25.0).burst_bucket, 8);
         // Same key -> bit-identical model.
         assert_eq!(
-            StageModel::for_cluster(ClusterKey::new(2, 0.4, 1)),
-            StageModel::for_cluster(ClusterKey::new(2, 0.4, 1)),
+            StageModel::for_cluster(ClusterKey::new(2, 0.4, 1, 1.0)),
+            StageModel::for_cluster(ClusterKey::new(2, 0.4, 1, 1.0)),
+        );
+        // Burst bucket 1 leaves the model exactly where the
+        // pre-burstiness estimator had it (BENCH_estimate pins depend
+        // on this).
+        assert_eq!(
+            StageModel::for_cluster(ClusterKey::new(1, 0.4, 0, 1.0)).block_probability,
+            0.55 * 0.4
         );
     }
 
     #[test]
     fn dilated_stages_block_less_than_delivery_stages() {
-        let dilated = StageModel::for_cluster(ClusterKey::new(2, 0.4, 0));
-        let delivery = StageModel::for_cluster(ClusterKey::new(1, 0.4, 0));
+        let dilated = StageModel::for_cluster(ClusterKey::new(2, 0.4, 0, 1.0));
+        let delivery = StageModel::for_cluster(ClusterKey::new(1, 0.4, 0, 1.0));
         assert!(dilated.block_probability < delivery.block_probability);
         // No load, no faults -> fully deterministic stage.
-        let quiet = StageModel::for_cluster(ClusterKey::new(2, 0.0, 0));
+        let quiet = StageModel::for_cluster(ClusterKey::new(2, 0.0, 0, 1.0));
         assert_eq!(quiet.block_probability, 0.0);
         assert_eq!(quiet.fault_retry_probability, 0.0);
+    }
+
+    #[test]
+    fn burstier_clusters_block_more_until_saturation() {
+        let calm = StageModel::for_cluster(ClusterKey::new(1, 0.2, 0, 1.0));
+        let bursty = StageModel::for_cluster(ClusterKey::new(1, 0.2, 0, 4.0));
+        assert!(bursty.block_probability > calm.block_probability);
+        // The effective load saturates at capacity.
+        let saturated = StageModel::for_cluster(ClusterKey::new(1, 0.9, 0, 8.0));
+        assert_eq!(saturated.block_probability, 0.55);
     }
 
     #[test]
@@ -600,6 +630,7 @@ mod tests {
             &SimConfig::default(),
             0.0,
             0,
+            1.0,
         );
         // 1 header word + 19 payload + checksum + TURN = 22 words,
         // plus 3 pipestages out and back: the paper's ~28 cycles.

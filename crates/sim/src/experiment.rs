@@ -26,7 +26,8 @@
 
 use crate::endpoint::EndpointConfig;
 use crate::network::{NetworkSim, SimConfig};
-use crate::traffic::{LoadGenerator, TrafficPattern};
+use crate::traffic::TrafficPattern;
+use crate::workload::{ArrivalProcess, RateMap, StreamRecipe, StreamSeeds};
 use metro_core::RandomSource;
 use metro_harness::par_map;
 use metro_telemetry::TelemetrySnapshot;
@@ -65,6 +66,10 @@ pub struct SweepConfig {
     pub payload_words: usize,
     /// Destination pattern.
     pub pattern: TrafficPattern,
+    /// Arrival process at each endpoint.
+    pub arrival: ArrivalProcess,
+    /// Per-endpoint offered-load multipliers.
+    pub rates: RateMap,
     /// Warmup cycles excluded from statistics.
     pub warmup: u64,
     /// Measured cycles.
@@ -86,6 +91,8 @@ impl SweepConfig {
             sim: SimConfig::default(),
             payload_words: 19,
             pattern: TrafficPattern::Uniform,
+            arrival: ArrivalProcess::Bernoulli,
+            rates: RateMap::Uniform,
             warmup: 2_000,
             measure: 12_000,
             drain: 3_000,
@@ -101,6 +108,8 @@ impl SweepConfig {
             sim: SimConfig::default(),
             payload_words: 19,
             pattern: TrafficPattern::Uniform,
+            arrival: ArrivalProcess::Bernoulli,
+            rates: RateMap::Uniform,
             warmup: 500,
             measure: 3_000,
             drain: 1_000,
@@ -174,10 +183,17 @@ fn run_load_sim(cfg: &SweepConfig, load: f64) -> (NetworkSim, usize) {
     let mut sim = NetworkSim::new(&cfg.spec, &cfg.sim).expect("valid spec");
     let n = sim.topology().endpoints();
     let stream_words = sim.stream_for(0, &vec![0; cfg.payload_words]).len();
-    let mut pattern_rng = RandomSource::new(cfg.seed ^ 0xABCD);
-    let mut generators: Vec<LoadGenerator> = (0..n)
-        .map(|e| LoadGenerator::new(load, stream_words, cfg.seed.wrapping_add(e as u64 * 7919)))
-        .collect();
+    let recipe = StreamRecipe {
+        arrival: &cfg.arrival,
+        rates: &cfg.rates,
+        pattern: &cfg.pattern,
+        load,
+        stream_words,
+        payload_words: cfg.payload_words,
+        endpoints: n,
+        seeds: StreamSeeds::load(cfg.seed),
+    };
+    let mut driver = recipe.driver();
     let payload: Vec<u16> = (0..cfg.payload_words).map(|k| k as u16).collect();
 
     let total = cfg.warmup + cfg.measure;
@@ -185,12 +201,9 @@ fn run_load_sim(cfg: &SweepConfig, load: f64) -> (NetworkSim, usize) {
         if cycle == cfg.warmup {
             sim.reset_stats();
         }
-        for (e, gen) in generators.iter_mut().enumerate() {
-            if gen.arrival() {
-                let dest = cfg.pattern.destination(e, n, &mut pattern_rng);
-                sim.send(e, dest, &payload);
-            }
-        }
+        driver.poll(cycle, |a| {
+            sim.send(a.src, a.dest, &payload);
+        });
         sim.tick();
     }
     // Drain: stop offering, let in-flight messages finish counting.
@@ -308,22 +321,26 @@ fn run_fault_sim(
     faults.kill_random_links(&links, dead_links, &mut fault_rng);
     sim.apply_faults(faults);
 
-    let mut pattern_rng = RandomSource::new(cfg.seed ^ 0xABCD);
-    let mut generators: Vec<LoadGenerator> = (0..n)
-        .map(|e| LoadGenerator::new(load, stream_words, cfg.seed.wrapping_add(e as u64 * 104729)))
-        .collect();
+    let recipe = StreamRecipe {
+        arrival: &cfg.arrival,
+        rates: &cfg.rates,
+        pattern: &cfg.pattern,
+        load,
+        stream_words,
+        payload_words: cfg.payload_words,
+        endpoints: n,
+        seeds: StreamSeeds::fault(cfg.seed),
+    };
+    let mut driver = recipe.driver();
     let payload: Vec<u16> = (0..cfg.payload_words).map(|k| k as u16).collect();
     let total = cfg.warmup + cfg.measure;
     for cycle in 0..total {
         if cycle == cfg.warmup {
             sim.reset_stats();
         }
-        for (e, gen) in generators.iter_mut().enumerate() {
-            if gen.arrival() {
-                let dest = cfg.pattern.destination(e, n, &mut pattern_rng);
-                sim.send(e, dest, &payload);
-            }
-        }
+        driver.poll(cycle, |a| {
+            sim.send(a.src, a.dest, &payload);
+        });
         sim.tick();
     }
     for _ in 0..cfg.drain {

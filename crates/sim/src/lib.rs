@@ -29,7 +29,8 @@
 //! | [`engine`] | the sealed engine seam: flat, sharded, reference, analytic |
 //! | [`network`] | the assembled, tickable network (orchestration) |
 //! | [`healing`] | the online self-healing loop (diagnosis → masking) |
-//! | [`traffic`] | workload patterns and load control |
+//! | [`traffic`] | destination patterns (uniform, hotspot, permutations) |
+//! | [`workload`] | arrival processes, rate maps, and the shared workload driver |
 //! | [`stats`] | latency/throughput/retry statistics |
 //! | [`experiment`] | load sweeps and fault sweeps (Figure 3 and §6.2) |
 //! | [`scenario`] | declarative, serializable run descriptions + differential fuzzing |
@@ -56,6 +57,7 @@ pub mod stats;
 pub mod trace;
 pub mod traffic;
 pub mod wire;
+pub mod workload;
 
 pub use chaos::{ChaosCampaign, ChaosReport, ChaosViolation, StormEvent};
 pub use endpoint::{AttemptEvidence, EndpointConfig, ReplyPolicy};
@@ -67,4 +69,5 @@ pub use scenario::{
 };
 pub use stats::{LatencyStats, NetworkStats};
 pub use trace::{TraceEvent, TraceLog, TraceRecord};
-pub use traffic::TrafficPattern;
+pub use traffic::{TrafficError, TrafficPattern};
+pub use workload::{ArrivalProcess, RateMap, TraceEntry, WorkloadDriver, WorkloadError};

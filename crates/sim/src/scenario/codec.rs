@@ -21,15 +21,38 @@ use super::{FaultInjection, RepairSet, Scenario, SendSpec, WorkloadSpec};
 use crate::endpoint::{EndpointConfig, ReplyPolicy};
 use crate::network::{EngineKind, SimConfig};
 use crate::traffic::TrafficPattern;
+use crate::workload::{ArrivalProcess, RateMap, TraceEntry};
 use metro_core::SelectionPolicy;
 use metro_harness::Json;
 use metro_topo::fault::{FaultKind, FaultSet};
 use metro_topo::graph::LinkId;
 use metro_topo::multibutterfly::{MultibutterflySpec, StageSpec, WiringStyle};
 
-/// Scenario schema version written into (and required of) every
-/// document.
-pub const SCENARIO_SCHEMA: u64 = 1;
+/// The newest scenario schema version this build writes and reads.
+/// Decode accepts `1..=SCENARIO_SCHEMA`; encode emits the *oldest*
+/// version that can express the scenario ([`schema_for`]), so corpus
+/// files using only schema-1 features keep their canonical bytes — and
+/// their `scenario_hash` — across the bump.
+///
+/// Version history:
+/// * **1** — original schema: Bernoulli-only `load` workloads.
+/// * **2** — workload subsystem: `arrival` processes (`on_off`,
+///   `trace`) and per-endpoint `rates` on `load` workloads.
+pub const SCENARIO_SCHEMA: u64 = 2;
+
+/// The oldest schema version that can express `scenario` — what
+/// [`encode`] stamps into the document.
+#[must_use]
+fn schema_for(scenario: &Scenario) -> u64 {
+    match &scenario.workload {
+        WorkloadSpec::Load { arrival, rates, .. }
+            if *arrival != ArrivalProcess::Bernoulli || *rates != RateMap::Uniform =>
+        {
+            2
+        }
+        _ => 1,
+    }
+}
 
 /// A scenario decode failure: where in the document and what went
 /// wrong.
@@ -677,24 +700,106 @@ fn dec_pattern(doc: &Json, path: &str) -> Result<TrafficPattern, CodecError> {
     }
 }
 
+fn enc_arrival(arrival: &ArrivalProcess) -> Json {
+    match arrival {
+        ArrivalProcess::Bernoulli => Json::obj([("kind", Json::from("bernoulli"))]),
+        ArrivalProcess::OnOff {
+            burst_mean,
+            idle_mean,
+        } => Json::obj([
+            ("kind", Json::from("on_off")),
+            ("burst_mean", Json::from(*burst_mean)),
+            ("idle_mean", Json::from(*idle_mean)),
+        ]),
+        ArrivalProcess::Trace(entries) => Json::obj([
+            ("kind", Json::from("trace")),
+            (
+                "entries",
+                Json::arr(entries.iter().map(|e| {
+                    Json::obj([
+                        ("at", Json::from(e.at)),
+                        ("src", Json::from(e.src)),
+                        ("dest", Json::from(e.dest)),
+                        ("payload_words", Json::from(e.payload_words)),
+                    ])
+                })),
+            ),
+        ]),
+    }
+}
+
+fn dec_arrival(doc: &Json, path: &str) -> Result<ArrivalProcess, CodecError> {
+    let kind_path = format!("{path}.kind");
+    match dec_str(get(doc, "kind", path)?, &kind_path)? {
+        "bernoulli" => {
+            check_fields(doc, &["kind"], path)?;
+            Ok(ArrivalProcess::Bernoulli)
+        }
+        "on_off" => {
+            check_fields(doc, &["kind", "burst_mean", "idle_mean"], path)?;
+            Ok(ArrivalProcess::OnOff {
+                burst_mean: dec_u64(get(doc, "burst_mean", path)?, &format!("{path}.burst_mean"))?,
+                idle_mean: dec_u64(get(doc, "idle_mean", path)?, &format!("{path}.idle_mean"))?,
+            })
+        }
+        "trace" => {
+            check_fields(doc, &["kind", "entries"], path)?;
+            let entries_path = format!("{path}.entries");
+            let items = dec_arr(get(doc, "entries", path)?, &entries_path)?;
+            let mut entries = Vec::with_capacity(items.len());
+            for (i, e) in items.iter().enumerate() {
+                let ep = format!("{entries_path}[{i}]");
+                check_fields(e, &["at", "src", "dest", "payload_words"], &ep)?;
+                entries.push(TraceEntry {
+                    at: dec_u64(get(e, "at", &ep)?, &format!("{ep}.at"))?,
+                    src: dec_usize(get(e, "src", &ep)?, &format!("{ep}.src"))?,
+                    dest: dec_usize(get(e, "dest", &ep)?, &format!("{ep}.dest"))?,
+                    payload_words: dec_usize(
+                        get(e, "payload_words", &ep)?,
+                        &format!("{ep}.payload_words"),
+                    )?,
+                });
+            }
+            Ok(ArrivalProcess::Trace(entries))
+        }
+        other => err(&kind_path, format!("unknown arrival process {other:?}")),
+    }
+}
+
 fn enc_workload(workload: &WorkloadSpec) -> Json {
     match workload {
         WorkloadSpec::Load {
             pattern,
+            arrival,
+            rates,
             load,
             payload_words,
             warmup,
             measure,
             drain,
-        } => Json::obj([
-            ("kind", Json::from("load")),
-            ("pattern", enc_pattern(pattern)),
-            ("load", Json::from(*load)),
-            ("payload_words", Json::from(*payload_words)),
-            ("warmup", Json::from(*warmup)),
-            ("measure", Json::from(*measure)),
-            ("drain", Json::from(*drain)),
-        ]),
+        } => {
+            let mut fields = vec![
+                ("kind", Json::from("load")),
+                ("pattern", enc_pattern(pattern)),
+            ];
+            // Conditional emission keeps schema-1 corpus files (and
+            // their scenario_hash) byte-stable: the defaults are never
+            // written out.
+            if *arrival != ArrivalProcess::Bernoulli {
+                fields.push(("arrival", enc_arrival(arrival)));
+            }
+            if let RateMap::PerEndpoint(rates) = rates {
+                fields.push(("rates", Json::arr(rates.iter().map(|&r| Json::from(r)))));
+            }
+            fields.extend([
+                ("load", Json::from(*load)),
+                ("payload_words", Json::from(*payload_words)),
+                ("warmup", Json::from(*warmup)),
+                ("measure", Json::from(*measure)),
+                ("drain", Json::from(*drain)),
+            ]);
+            Json::obj(fields)
+        }
         WorkloadSpec::Sends { sends, cycles } => Json::obj([
             ("kind", Json::from("sends")),
             ("cycles", Json::from(*cycles)),
@@ -716,7 +821,12 @@ fn enc_workload(workload: &WorkloadSpec) -> Json {
     }
 }
 
-fn dec_workload(doc: &Json, path: &str) -> Result<WorkloadSpec, CodecError> {
+fn dec_workload(
+    doc: &Json,
+    path: &str,
+    endpoints: usize,
+    schema: u64,
+) -> Result<WorkloadSpec, CodecError> {
     let kind_path = format!("{path}.kind");
     match dec_str(get(doc, "kind", path)?, &kind_path)? {
         "load" => {
@@ -725,6 +835,8 @@ fn dec_workload(doc: &Json, path: &str) -> Result<WorkloadSpec, CodecError> {
                 &[
                     "kind",
                     "pattern",
+                    "arrival",
+                    "rates",
                     "load",
                     "payload_words",
                     "warmup",
@@ -733,8 +845,42 @@ fn dec_workload(doc: &Json, path: &str) -> Result<WorkloadSpec, CodecError> {
                 ],
                 path,
             )?;
-            Ok(WorkloadSpec::Load {
+            // Schema gate: the workload-subsystem fields only exist
+            // from schema 2 — a schema-1 document carrying them is
+            // mislabelled, not merely old.
+            if schema < 2 {
+                for key in ["arrival", "rates"] {
+                    if doc.get(key).is_some() {
+                        return err(
+                            &format!("{path}.{key}"),
+                            format!(
+                                "field {key:?} requires scenario schema 2 \
+                                 (document declares {schema})"
+                            ),
+                        );
+                    }
+                }
+            }
+            let arrival = match doc.get("arrival") {
+                Some(a) => dec_arrival(a, &format!("{path}.arrival"))?,
+                None => ArrivalProcess::Bernoulli,
+            };
+            let rates = match doc.get("rates") {
+                Some(r) => {
+                    let rates_path = format!("{path}.rates");
+                    let items = dec_arr(r, &rates_path)?;
+                    let mut rates = Vec::with_capacity(items.len());
+                    for (i, v) in items.iter().enumerate() {
+                        rates.push(dec_f64(v, &format!("{rates_path}[{i}]"))?);
+                    }
+                    RateMap::PerEndpoint(rates)
+                }
+                None => RateMap::Uniform,
+            };
+            let spec = WorkloadSpec::Load {
                 pattern: dec_pattern(get(doc, "pattern", path)?, &format!("{path}.pattern"))?,
+                arrival,
+                rates,
                 load: dec_f64(get(doc, "load", path)?, &format!("{path}.load"))?,
                 payload_words: dec_usize(
                     get(doc, "payload_words", path)?,
@@ -743,7 +889,16 @@ fn dec_workload(doc: &Json, path: &str) -> Result<WorkloadSpec, CodecError> {
                 warmup: dec_u64(get(doc, "warmup", path)?, &format!("{path}.warmup"))?,
                 measure: dec_u64(get(doc, "measure", path)?, &format!("{path}.measure"))?,
                 drain: dec_u64(get(doc, "drain", path)?, &format!("{path}.drain"))?,
-            })
+            };
+            // Shape validation against the document's own topology:
+            // out-of-range hotspots/permutation entries, self-targeting
+            // traces, malformed rate maps, and transpose/bit-reversal
+            // on non-power-of-two endpoint counts are decode errors,
+            // not latent run-time mis-mappings.
+            if let Err(e) = spec.validate(endpoints) {
+                return err(path, e.to_string());
+            }
+            Ok(spec)
         }
         "sends" => {
             check_fields(doc, &["kind", "cycles", "sends"], path)?;
@@ -785,7 +940,7 @@ fn dec_workload(doc: &Json, path: &str) -> Result<WorkloadSpec, CodecError> {
 #[must_use]
 pub fn encode(scenario: &Scenario) -> Json {
     Json::obj([
-        ("scenario_schema", Json::from(SCENARIO_SCHEMA)),
+        ("scenario_schema", Json::from(schema_for(scenario))),
         ("name", Json::from(scenario.name.as_str())),
         ("topology", enc_topology(&scenario.topology)),
         ("sim", enc_sim(&scenario.sim)),
@@ -809,7 +964,10 @@ pub fn encode(scenario: &Scenario) -> Json {
 }
 
 /// Decodes a scenario document, rejecting unknown fields and schema
-/// versions other than [`SCENARIO_SCHEMA`].
+/// versions outside `1..=`[`SCENARIO_SCHEMA`]. Older in-range versions
+/// decode with their era's defaults (schema 1: Bernoulli arrivals,
+/// uniform rates), so every pre-bump corpus file parses to an identical
+/// in-memory scenario.
 ///
 /// # Errors
 ///
@@ -833,10 +991,10 @@ pub fn decode(doc: &Json) -> Result<Scenario, CodecError> {
         get(doc, "scenario_schema", "scenario")?,
         "scenario.scenario_schema",
     )?;
-    if schema != SCENARIO_SCHEMA {
+    if schema == 0 || schema > SCENARIO_SCHEMA {
         return err(
             "scenario.scenario_schema",
-            format!("unsupported schema version {schema} (this build reads {SCENARIO_SCHEMA})"),
+            format!("unsupported schema version {schema} (this build reads 1..={SCENARIO_SCHEMA})"),
         );
     }
     let injections_path = "scenario.injections";
@@ -857,14 +1015,23 @@ pub fn decode(doc: &Json) -> Result<Scenario, CodecError> {
             },
         });
     }
+    // Topology decodes first: the workload decoder validates patterns,
+    // rate maps, and trace entries against the endpoint count.
+    let topology = dec_topology(get(doc, "topology", "scenario")?, "scenario.topology")?;
+    let workload = dec_workload(
+        get(doc, "workload", "scenario")?,
+        "scenario.workload",
+        topology.endpoints,
+        schema,
+    )?;
     Ok(Scenario {
         name: dec_str(get(doc, "name", "scenario")?, "scenario.name")?.to_string(),
-        topology: dec_topology(get(doc, "topology", "scenario")?, "scenario.topology")?,
+        topology,
         sim: dec_sim(get(doc, "sim", "scenario")?, "scenario.sim")?,
         seed: dec_seed(get(doc, "seed", "scenario")?, "scenario.seed")?,
         faults: dec_faults(get(doc, "faults", "scenario")?, "scenario.faults")?,
         injections,
-        workload: dec_workload(get(doc, "workload", "scenario")?, "scenario.workload")?,
+        workload,
     })
 }
 
@@ -936,6 +1103,8 @@ mod tests {
                     target: 0,
                     percent: 30,
                 },
+                arrival: ArrivalProcess::Bernoulli,
+                rates: RateMap::Uniform,
                 load: 0.35,
                 payload_words: 19,
                 warmup: 100,
@@ -1111,15 +1280,254 @@ mod tests {
     #[test]
     fn wrong_schema_version_is_rejected() {
         let mut doc = encode(&rich_scenario());
-        doc.set("scenario_schema", Json::from(2u64));
+        doc.set("scenario_schema", Json::from(3u64));
         let e = decode(&doc).unwrap_err();
         assert!(e.message.contains("unsupported schema version"), "{e}");
+        doc.set("scenario_schema", Json::from(0u64));
+        assert!(decode(&doc).is_err());
         // And a missing version is equally fatal.
         let Json::Obj(pairs) = &mut doc else {
             unreachable!()
         };
         pairs.retain(|(k, _)| k != "scenario_schema");
         assert!(decode(&doc).is_err());
+    }
+
+    #[test]
+    fn legacy_workloads_still_encode_as_schema_one() {
+        // A scenario using only schema-1 features must keep its
+        // pre-bump bytes — and therefore its scenario_hash — so the
+        // corpus and every recorded manifest entry survive the bump.
+        let s = rich_scenario();
+        let text = encode(&s).render();
+        assert!(text.contains("\"scenario_schema\": 1"), "{text}");
+        assert!(!text.contains("arrival"), "{text}");
+        assert!(!text.contains("rates"), "{text}");
+        // New workload features push the document to schema 2.
+        let mut bursty = rich_scenario();
+        let WorkloadSpec::Load { arrival, .. } = &mut bursty.workload else {
+            unreachable!()
+        };
+        *arrival = ArrivalProcess::OnOff {
+            burst_mean: 60,
+            idle_mean: 120,
+        };
+        let text = encode(&bursty).render();
+        assert!(text.contains("\"scenario_schema\": 2"), "{text}");
+        assert!(text.contains("\"arrival\""), "{text}");
+    }
+
+    #[test]
+    fn schema_one_fixture_decodes_to_the_same_scenario() {
+        // A verbatim pre-bump document (schema 1, no workload-subsystem
+        // fields). Decoding must produce exactly the scenario the old
+        // build produced — pinned by hash equality against the
+        // in-memory construction.
+        let fixture = r#"{
+            "scenario_schema": 1,
+            "name": "legacy",
+            "topology": {
+                "endpoints": 16, "endpoint_ports": 2,
+                "stages": [
+                    {"forward_ports": 4, "backward_ports": 4, "dilation": 2},
+                    {"forward_ports": 4, "backward_ports": 4, "dilation": 2},
+                    {"forward_ports": 4, "backward_ports": 4, "dilation": 1}
+                ],
+                "wiring": "randomized", "seed": "0x10"
+            },
+            "sim": {
+                "width": 8, "header_words": 0, "pipestages": 1,
+                "wire_delay": 0, "stage_wire_delays": null,
+                "fast_reclaim": true, "selection": "random",
+                "endpoint": {
+                    "reply": {"kind": "ack"}, "timeout": 600,
+                    "open_timeout": 32, "retry_backoff_max": 3,
+                    "max_retries": 0, "max_concurrent": 1,
+                    "capture_failure_records": false
+                },
+                "seed": "0x7ea1", "engine": "flat", "telemetry_every": 1
+            },
+            "seed": "0x5eed",
+            "faults": {"routers": [], "links": [], "endpoints": []},
+            "injections": [],
+            "workload": {
+                "kind": "load",
+                "pattern": {"kind": "uniform"},
+                "load": 0.25, "payload_words": 19,
+                "warmup": 100, "measure": 400, "drain": 200
+            }
+        }"#;
+        let decoded = from_text(fixture).unwrap();
+        let expected = Scenario {
+            name: "legacy".to_string(),
+            topology: MultibutterflySpec::figure1().with_seed(0x10),
+            sim: SimConfig {
+                seed: 0x7EA1,
+                ..SimConfig::default()
+            },
+            seed: 0x5EED,
+            faults: FaultSet::new(),
+            injections: Vec::new(),
+            workload: WorkloadSpec::Load {
+                pattern: TrafficPattern::Uniform,
+                arrival: ArrivalProcess::Bernoulli,
+                rates: RateMap::Uniform,
+                load: 0.25,
+                payload_words: 19,
+                warmup: 100,
+                measure: 400,
+                drain: 200,
+            },
+        };
+        assert_eq!(decoded, expected);
+        assert_eq!(scenario_hash(&decoded), scenario_hash(&expected));
+        // Re-encoding a schema-1 document must not rewrite it to
+        // schema 2.
+        assert!(encode(&decoded).render().contains("\"scenario_schema\": 1"));
+    }
+
+    #[test]
+    fn schema_one_documents_cannot_smuggle_workload_fields() {
+        // arrival/rates on a document that declares schema 1 is a
+        // mislabelled file, not a back-compat case.
+        let mut s = rich_scenario();
+        let WorkloadSpec::Load { arrival, .. } = &mut s.workload else {
+            unreachable!()
+        };
+        *arrival = ArrivalProcess::OnOff {
+            burst_mean: 10,
+            idle_mean: 10,
+        };
+        let mut doc = encode(&s);
+        doc.set("scenario_schema", Json::from(1u64));
+        let e = decode(&doc).unwrap_err();
+        assert_eq!(e.path, "scenario.workload.arrival");
+        assert!(e.message.contains("requires scenario schema 2"), "{e}");
+    }
+
+    #[test]
+    fn new_workload_variants_round_trip_byte_stably() {
+        let mut s = rich_scenario();
+        s.workload = WorkloadSpec::Load {
+            pattern: TrafficPattern::Uniform,
+            arrival: ArrivalProcess::OnOff {
+                burst_mean: 60,
+                idle_mean: 120,
+            },
+            rates: RateMap::PerEndpoint((0..16).map(|e| 0.5 + e as f64 / 16.0).collect()),
+            load: 0.2,
+            payload_words: 19,
+            warmup: 100,
+            measure: 400,
+            drain: 200,
+        };
+        let doc = encode(&s);
+        assert_eq!(decode(&doc).unwrap(), s);
+        let text = doc.render();
+        assert_eq!(encode(&from_text(&text).unwrap()).render(), text);
+
+        let mut t = rich_scenario();
+        t.workload = WorkloadSpec::Load {
+            pattern: TrafficPattern::Uniform,
+            arrival: ArrivalProcess::Trace(vec![
+                TraceEntry {
+                    at: 5,
+                    src: 0,
+                    dest: 9,
+                    payload_words: 3,
+                },
+                TraceEntry {
+                    at: 250,
+                    src: 9,
+                    dest: 1,
+                    payload_words: 19,
+                },
+            ]),
+            rates: RateMap::Uniform,
+            load: 0.2,
+            payload_words: 19,
+            warmup: 50,
+            measure: 500,
+            drain: 200,
+        };
+        let doc = encode(&t);
+        assert_eq!(decode(&doc).unwrap(), t);
+        let text = doc.render();
+        assert_eq!(encode(&from_text(&text).unwrap()).render(), text);
+    }
+
+    #[test]
+    fn unknown_workload_and_arrival_kinds_name_their_path() {
+        let mut doc = encode(&rich_scenario());
+        let mut wl = doc.get("workload").unwrap().clone();
+        wl.set("kind", Json::from("flood"));
+        doc.set("workload", wl);
+        let e = decode(&doc).unwrap_err();
+        assert_eq!(e.path, "scenario.workload.kind");
+        assert!(e.message.contains("flood"), "{e}");
+
+        let mut s = rich_scenario();
+        let WorkloadSpec::Load { arrival, .. } = &mut s.workload else {
+            unreachable!()
+        };
+        *arrival = ArrivalProcess::OnOff {
+            burst_mean: 10,
+            idle_mean: 10,
+        };
+        let mut doc = encode(&s);
+        let mut wl = doc.get("workload").unwrap().clone();
+        let mut arr = wl.get("arrival").unwrap().clone();
+        arr.set("kind", Json::from("poisson"));
+        wl.set("arrival", arr);
+        doc.set("workload", wl);
+        let e = decode(&doc).unwrap_err();
+        assert_eq!(e.path, "scenario.workload.arrival.kind");
+        assert!(e.message.contains("poisson"), "{e}");
+    }
+
+    #[test]
+    fn malformed_workload_shapes_are_decode_errors() {
+        // Out-of-range permutation entry.
+        let mut s = rich_scenario();
+        let n = s.topology.endpoints;
+        let mut perm: Vec<usize> = (0..n).map(|i| (i + 1) % n).collect();
+        let WorkloadSpec::Load { pattern, .. } = &mut s.workload else {
+            unreachable!()
+        };
+        perm[3] = n + 5;
+        *pattern = TrafficPattern::Permutation(perm.clone());
+        let e = decode(&encode(&s)).unwrap_err();
+        assert_eq!(e.path, "scenario.workload");
+        assert!(e.message.contains("outside"), "{e}");
+        // Self-targeting permutation entry.
+        perm[3] = 3;
+        let WorkloadSpec::Load { pattern, .. } = &mut s.workload else {
+            unreachable!()
+        };
+        *pattern = TrafficPattern::Permutation(perm);
+        let e = decode(&encode(&s)).unwrap_err();
+        assert!(e.message.contains("itself"), "{e}");
+        // Self-targeting trace entry.
+        let mut t = rich_scenario();
+        let WorkloadSpec::Load { arrival, .. } = &mut t.workload else {
+            unreachable!()
+        };
+        *arrival = ArrivalProcess::Trace(vec![TraceEntry {
+            at: 0,
+            src: 2,
+            dest: 2,
+            payload_words: 1,
+        }]);
+        let e = decode(&encode(&t)).unwrap_err();
+        assert!(e.message.contains("itself"), "{e}");
+        // Rate map of the wrong length.
+        let mut r = rich_scenario();
+        let WorkloadSpec::Load { rates, .. } = &mut r.workload else {
+            unreachable!()
+        };
+        *rates = RateMap::PerEndpoint(vec![1.0; 3]);
+        let e = decode(&encode(&r)).unwrap_err();
+        assert!(e.message.contains("entries"), "{e}");
     }
 
     #[test]

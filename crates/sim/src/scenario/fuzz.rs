@@ -14,6 +14,8 @@
 
 use super::{codec, run_scenario, FaultInjection, RepairSet, Scenario, SendSpec, WorkloadSpec};
 use crate::network::{EngineKind, SimConfig};
+use crate::traffic::TrafficPattern;
+use crate::workload::{ArrivalProcess, RateMap, TraceEntry};
 use metro_core::RandomSource;
 use metro_topo::fault::{FaultKind, FaultSet};
 use metro_topo::graph::LinkId;
@@ -114,18 +116,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
         Vec::new()
     };
 
-    let n_sends = 1 + rng.index(7);
-    let sends = (0..n_sends)
-        .map(|_| {
-            let words = rng.index(10);
-            SendSpec {
-                at: rng.bits(8), // 0..256
-                src: rng.index(n),
-                dest: rng.index(n),
-                payload: (0..words).map(|_| rng.bits(8) as u16).collect(),
-            }
-        })
-        .collect();
+    let workload = random_workload(&mut rng, n, cycles);
 
     Scenario {
         name: format!("fuzz-{seed:#x}"),
@@ -134,7 +125,95 @@ pub fn random_scenario(seed: u64) -> Scenario {
         seed: rng.bits(64),
         faults,
         injections,
-        workload: WorkloadSpec::Sends { sends, cycles },
+        workload,
+    }
+}
+
+/// Draws one workload for a fuzz scenario. Scripted sends remain the
+/// bulk of the space (they exercise exact payload contents and tight
+/// schedules), but all three open-loop arrival processes — Bernoulli,
+/// OnOff, Trace — are generated often enough that a 25-case CI campaign
+/// differentially exercises every process on every engine
+/// (`fuzz_covers_every_arrival_process` pins this).
+fn random_workload(rng: &mut RandomSource, n: usize, cycles: u64) -> WorkloadSpec {
+    match rng.index(8) {
+        kind @ (0 | 1) => {
+            let arrival = if kind == 0 {
+                ArrivalProcess::Bernoulli
+            } else {
+                ArrivalProcess::OnOff {
+                    burst_mean: 1 + rng.index(64) as u64,
+                    idle_mean: 1 + rng.index(128) as u64,
+                }
+            };
+            let pattern = match rng.index(4) {
+                0 => TrafficPattern::Hotspot {
+                    target: rng.index(n),
+                    percent: rng.index(40),
+                },
+                1 => {
+                    // A rotation is always a valid self-target-free
+                    // permutation.
+                    let k = 1 + rng.index(n - 1);
+                    TrafficPattern::Permutation((0..n).map(|s| (s + k) % n).collect())
+                }
+                _ => TrafficPattern::Uniform,
+            };
+            let rates = if rng.index(3) == 0 {
+                RateMap::PerEndpoint((0..n).map(|_| rng.index(200) as f64 / 100.0).collect())
+            } else {
+                RateMap::Uniform
+            };
+            WorkloadSpec::Load {
+                pattern,
+                arrival,
+                rates,
+                load: 0.05 + rng.index(31) as f64 / 100.0,
+                payload_words: 1 + rng.index(10),
+                warmup: 64 + rng.bits(6),
+                measure: 256 + rng.bits(8),
+                drain: 256 + rng.bits(7),
+            }
+        }
+        2 => {
+            let entries = (0..1 + rng.index(11))
+                .map(|_| {
+                    let src = rng.index(n);
+                    TraceEntry {
+                        at: rng.index(600) as u64,
+                        src,
+                        // Offset by 1..n modulo n: never self-targeting.
+                        dest: (src + 1 + rng.index(n - 1)) % n,
+                        payload_words: 1 + rng.index(10),
+                    }
+                })
+                .collect();
+            WorkloadSpec::Load {
+                pattern: TrafficPattern::Uniform,
+                arrival: ArrivalProcess::Trace(entries),
+                rates: RateMap::Uniform,
+                load: 0.2,
+                payload_words: 4,
+                warmup: 64,
+                measure: 600 + rng.bits(8),
+                drain: 256,
+            }
+        }
+        _ => {
+            let n_sends = 1 + rng.index(7);
+            let sends = (0..n_sends)
+                .map(|_| {
+                    let words = rng.index(10);
+                    SendSpec {
+                        at: rng.bits(8), // 0..256
+                        src: rng.index(n),
+                        dest: rng.index(n),
+                        payload: (0..words).map(|_| rng.bits(8) as u16).collect(),
+                    }
+                })
+                .collect();
+            WorkloadSpec::Sends { sends, cycles }
+        }
     }
 }
 
@@ -180,6 +259,17 @@ pub fn differential_check(scenario: &Scenario) -> Result<(), String> {
             scenario.name,
             (a.delivered, a.abandoned, a.payload_words, a.fabric_idle),
             (b.delivered, b.abandoned, b.payload_words, b.fabric_idle),
+        ));
+    }
+    // The analytic engine is exercised differentially too: it must
+    // accept every fuzzed workload (all three arrival processes) and
+    // estimate it deterministically.
+    let e1 = crate::engine::analytic::estimate_scenario(&flat).map_err(|e| e.to_string())?;
+    let e2 = crate::engine::analytic::estimate_scenario(&flat).map_err(|e| e.to_string())?;
+    if e1 != e2 {
+        return Err(format!(
+            "analytic estimates diverged across two runs of {:?}",
+            scenario.name
         ));
     }
     Ok(())
@@ -298,6 +388,29 @@ mod tests {
         // suite (tests/scenario_differential.rs); this is the unit-level
         // smoke.
         assert_eq!(fuzz_campaign(0x5EED, 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn fuzz_covers_every_arrival_process() {
+        // The CI scenario job runs `fuzz --count 25 --seed 0xC1`; those
+        // exact 25 cases must differentially exercise scripted sends
+        // and all three open-loop arrival processes.
+        let (mut sends, mut bernoulli, mut on_off, mut trace) = (0, 0, 0, 0);
+        for i in 0..25u64 {
+            let seed = crate::experiment::point_seed(0xC1, i);
+            match random_scenario(seed).workload {
+                WorkloadSpec::Sends { .. } => sends += 1,
+                WorkloadSpec::Load { arrival, .. } => match arrival {
+                    ArrivalProcess::Bernoulli => bernoulli += 1,
+                    ArrivalProcess::OnOff { .. } => on_off += 1,
+                    ArrivalProcess::Trace(_) => trace += 1,
+                },
+            }
+        }
+        assert!(
+            sends > 0 && bernoulli > 0 && on_off > 0 && trace > 0,
+            "CI fuzz coverage hole: sends={sends} bernoulli={bernoulli} on_off={on_off} trace={trace}"
+        );
     }
 
     #[test]

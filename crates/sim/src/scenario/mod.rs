@@ -24,8 +24,8 @@ pub mod fuzz;
 use crate::experiment::LoadPoint;
 use crate::message::MessageOutcome;
 use crate::network::{NetworkSim, SimConfig};
-use crate::traffic::{LoadGenerator, TrafficPattern};
-use metro_core::RandomSource;
+use crate::traffic::TrafficPattern;
+use crate::workload::{ArrivalProcess, RateMap, StreamRecipe, StreamSeeds, WorkloadError};
 use metro_harness::Json;
 use metro_topo::fault::FaultSet;
 use metro_topo::graph::LinkId;
@@ -47,15 +47,23 @@ pub struct SendSpec {
 /// What traffic the scenario offers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WorkloadSpec {
-    /// Open-loop load: Bernoulli arrivals at `load` on every endpoint
+    /// Open-loop load: stochastic arrivals at `load` on every endpoint
     /// with destinations drawn from `pattern` — the workload of the
     /// paper's Figure 3 and §6.2 sweeps. All randomness derives from
     /// the scenario's workload seed exactly as
     /// [`crate::experiment::run_load_point`] derives it, so a scenario
     /// at load `l` reproduces the equivalent sweep point bit for bit.
+    /// The `arrival` process and per-endpoint `rates` generalize the
+    /// historical Bernoulli-at-one-rate workload; with
+    /// [`ArrivalProcess::Bernoulli`] and [`RateMap::Uniform`] the
+    /// streams are bit-identical to every pre-existing recording.
     Load {
-        /// Destination pattern.
+        /// Destination pattern (ignored when `arrival` is a trace).
         pattern: TrafficPattern,
+        /// Arrival process at each endpoint.
+        arrival: ArrivalProcess,
+        /// Per-endpoint offered-load multipliers.
+        rates: RateMap,
         /// Offered load (fraction of injection capacity).
         load: f64,
         /// Payload words per message.
@@ -75,6 +83,32 @@ pub enum WorkloadSpec {
         /// Total cycles to run.
         cycles: u64,
     },
+}
+
+impl WorkloadSpec {
+    /// Validates the workload against the topology it will drive:
+    /// pattern/endpoint-count fit, rate-map shape, dwell and trace
+    /// sanity. Called by [`NetworkSim::from_scenario`] so a malformed
+    /// workload is a typed build-time error, never a silently
+    /// mis-mapped run.
+    ///
+    /// # Errors
+    ///
+    /// See [`WorkloadError`].
+    pub fn validate(&self, endpoints: usize) -> Result<(), WorkloadError> {
+        if let Self::Load {
+            pattern,
+            arrival,
+            rates,
+            ..
+        } = self
+        {
+            pattern.validate(endpoints)?;
+            arrival.validate(endpoints)?;
+            rates.validate(endpoints)?;
+        }
+        Ok(())
+    }
 }
 
 /// Timed repairs riding on a fault injection: the named elements are
@@ -181,6 +215,7 @@ impl NetworkSim {
     /// Propagates topology validation errors from [`NetworkSim::new`].
     pub fn from_scenario(scenario: &Scenario) -> Result<Self, Box<dyn std::error::Error>> {
         let mut sim = NetworkSim::new(&scenario.topology, &scenario.sim)?;
+        scenario.workload.validate(sim.topology().endpoints())?;
         if !scenario.faults.is_empty() {
             sim.apply_faults(scenario.faults.clone());
         }
@@ -346,6 +381,8 @@ pub fn run_scenario_with_sim(
     match &scenario.workload {
         WorkloadSpec::Load {
             pattern,
+            arrival,
+            rates,
             load,
             payload_words,
             warmup,
@@ -353,16 +390,17 @@ pub fn run_scenario_with_sim(
             drain,
         } => {
             let stream_words = sim.stream_for(0, &vec![0; *payload_words]).len();
-            let mut pattern_rng = RandomSource::new(scenario.seed ^ 0xABCD);
-            let mut generators: Vec<LoadGenerator> = (0..n)
-                .map(|e| {
-                    LoadGenerator::new(
-                        *load,
-                        stream_words,
-                        scenario.seed.wrapping_add(e as u64 * 7919),
-                    )
-                })
-                .collect();
+            let recipe = StreamRecipe {
+                arrival,
+                rates,
+                pattern,
+                load: *load,
+                stream_words,
+                payload_words: *payload_words,
+                endpoints: n,
+                seeds: StreamSeeds::load(scenario.seed),
+            };
+            let mut driver = recipe.driver();
             let payload: Vec<u16> = (0..*payload_words).map(|k| k as u16).collect();
             let total = warmup + measure;
             for cycle in 0..total {
@@ -370,12 +408,15 @@ pub fn run_scenario_with_sim(
                     sim.reset_stats();
                 }
                 apply_due_injections(&mut sim, &mut pending, &mut active, cycle);
-                for (e, gen) in generators.iter_mut().enumerate() {
-                    if gen.arrival() {
-                        let dest = pattern.destination(e, n, &mut pattern_rng);
-                        sim.send(e, dest, &payload);
+                driver.poll(cycle, |a| {
+                    if a.payload_words == payload.len() {
+                        sim.send(a.src, a.dest, &payload);
+                    } else {
+                        // Trace entries may carry their own sizes.
+                        let p: Vec<u16> = (0..a.payload_words).map(|k| k as u16).collect();
+                        sim.send(a.src, a.dest, &p);
                     }
-                }
+                });
                 sim.tick();
             }
             for cycle in total..total + drain {
@@ -495,6 +536,8 @@ mod tests {
             injections: Vec::new(),
             workload: WorkloadSpec::Load {
                 pattern: cfg.pattern.clone(),
+                arrival: ArrivalProcess::Bernoulli,
+                rates: RateMap::Uniform,
                 load: 0.2,
                 payload_words: cfg.payload_words,
                 warmup: cfg.warmup,

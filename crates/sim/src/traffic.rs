@@ -1,9 +1,10 @@
-//! Workload patterns and load control.
+//! Destination patterns for generated traffic.
 //!
 //! Figure 3 uses "randomly distributed, 20-byte message traffic"; the
 //! additional patterns here (hotspot, transpose, bit-reversal) are the
 //! standard adversaries for multistage networks and drive the ablation
-//! benches.
+//! benches. Arrival processes and load control live in
+//! [`crate::workload`].
 
 use metro_core::RandomSource;
 
@@ -30,7 +31,129 @@ pub enum TrafficPattern {
     Permutation(Vec<usize>),
 }
 
+/// A pattern that does not fit the topology it was asked to drive —
+/// the typed rejection raised at scenario build time instead of
+/// silently mis-mapping destinations mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficError {
+    /// Transpose/bit-reversal index arithmetic only permutes correctly
+    /// when the endpoint count is a power of two.
+    NonPowerOfTwoEndpoints {
+        /// The offending endpoint count.
+        endpoints: usize,
+    },
+    /// A hotspot aimed outside the topology.
+    HotspotTargetOutOfRange {
+        /// The configured hot destination.
+        target: usize,
+        /// Endpoints in the topology.
+        endpoints: usize,
+    },
+    /// A permutation vector of the wrong length.
+    PermutationLength {
+        /// Endpoints in the topology.
+        expected: usize,
+        /// Entries in the vector.
+        got: usize,
+    },
+    /// A permutation entry naming a destination outside the topology.
+    PermutationOutOfRange {
+        /// The offending source index.
+        src: usize,
+        /// Its mapped destination.
+        dest: usize,
+        /// Endpoints in the topology.
+        endpoints: usize,
+    },
+    /// A permutation entry mapping a source to itself — the NIC
+    /// protocol has no self-delivery path.
+    PermutationSelfTarget {
+        /// The self-mapping source index.
+        src: usize,
+    },
+}
+
+impl std::fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonPowerOfTwoEndpoints { endpoints } => write!(
+                f,
+                "transpose/bit-reversal patterns need a power-of-two endpoint count, got {endpoints}"
+            ),
+            Self::HotspotTargetOutOfRange { target, endpoints } => {
+                write!(f, "hotspot target {target} outside 0..{endpoints}")
+            }
+            Self::PermutationLength { expected, got } => {
+                write!(f, "permutation has {got} entries for {expected} endpoints")
+            }
+            Self::PermutationOutOfRange {
+                src,
+                dest,
+                endpoints,
+            } => write!(
+                f,
+                "permutation maps {src} -> {dest} outside 0..{endpoints}"
+            ),
+            Self::PermutationSelfTarget { src } => {
+                write!(f, "permutation maps {src} to itself")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {}
+
 impl TrafficPattern {
+    /// Validates the pattern against an endpoint count — rejecting the
+    /// combinations whose [`Self::destination`] arithmetic would
+    /// silently mis-map (transpose/bit-reversal on non-power-of-two
+    /// counts) or address outside the topology.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrafficError`].
+    pub fn validate(&self, endpoints: usize) -> Result<(), TrafficError> {
+        match self {
+            Self::Uniform => Ok(()),
+            Self::Hotspot { target, .. } => {
+                if *target >= endpoints {
+                    return Err(TrafficError::HotspotTargetOutOfRange {
+                        target: *target,
+                        endpoints,
+                    });
+                }
+                Ok(())
+            }
+            Self::Transpose | Self::BitReversal => {
+                if !endpoints.is_power_of_two() {
+                    return Err(TrafficError::NonPowerOfTwoEndpoints { endpoints });
+                }
+                Ok(())
+            }
+            Self::Permutation(p) => {
+                if p.len() != endpoints {
+                    return Err(TrafficError::PermutationLength {
+                        expected: endpoints,
+                        got: p.len(),
+                    });
+                }
+                for (src, &dest) in p.iter().enumerate() {
+                    if dest >= endpoints {
+                        return Err(TrafficError::PermutationOutOfRange {
+                            src,
+                            dest,
+                            endpoints,
+                        });
+                    }
+                    if dest == src {
+                        return Err(TrafficError::PermutationSelfTarget { src });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Chooses a destination for a message from `src` among
     /// `endpoints`, using `rng` for the stochastic patterns.
     ///
@@ -75,36 +198,6 @@ impl TrafficPattern {
             }
             Self::Permutation(p) => p[src],
         }
-    }
-}
-
-/// Bernoulli message arrivals at a configured offered load.
-///
-/// Offered load is expressed as the fraction of each source's injection
-/// capacity: a source at load 1.0 would stream messages back to back.
-/// With messages of `stream_words` words (header + payload + checksum +
-/// TURN), the per-cycle arrival probability is `load / stream_words`.
-#[derive(Debug, Clone)]
-pub struct LoadGenerator {
-    threshold: u64,
-    rng: RandomSource,
-}
-
-impl LoadGenerator {
-    /// Creates a generator for the given offered load (0.0–1.0+) and
-    /// message stream length.
-    #[must_use]
-    pub fn new(load: f64, stream_words: usize, seed: u64) -> Self {
-        let p = (load / stream_words.max(1) as f64).clamp(0.0, 1.0);
-        Self {
-            threshold: (p * (u32::MAX as f64 + 1.0)) as u64,
-            rng: RandomSource::new(seed),
-        }
-    }
-
-    /// Whether a new message arrives this cycle.
-    pub fn arrival(&mut self) -> bool {
-        self.rng.bits(32) < self.threshold
     }
 }
 
@@ -170,16 +263,49 @@ mod tests {
     }
 
     #[test]
-    fn load_generator_rate_is_calibrated() {
-        let mut g = LoadGenerator::new(0.5, 25, 7);
-        let arrivals = (0..100_000).filter(|_| g.arrival()).count();
-        // Expected p = 0.02 -> ~2000 arrivals.
-        assert!((1700..2300).contains(&arrivals), "got {arrivals}");
-    }
-
-    #[test]
-    fn zero_load_never_arrives() {
-        let mut g = LoadGenerator::new(0.0, 25, 7);
-        assert!((0..10_000).filter(|_| g.arrival()).count() == 0);
+    fn validate_rejects_misfitting_patterns() {
+        assert!(TrafficPattern::Uniform.validate(12).is_ok());
+        assert!(TrafficPattern::Transpose.validate(16).is_ok());
+        assert_eq!(
+            TrafficPattern::Transpose.validate(12),
+            Err(TrafficError::NonPowerOfTwoEndpoints { endpoints: 12 })
+        );
+        assert_eq!(
+            TrafficPattern::BitReversal.validate(20),
+            Err(TrafficError::NonPowerOfTwoEndpoints { endpoints: 20 })
+        );
+        assert_eq!(
+            TrafficPattern::Hotspot {
+                target: 16,
+                percent: 30
+            }
+            .validate(16),
+            Err(TrafficError::HotspotTargetOutOfRange {
+                target: 16,
+                endpoints: 16
+            })
+        );
+        assert_eq!(
+            TrafficPattern::Permutation(vec![1, 0]).validate(3),
+            Err(TrafficError::PermutationLength {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            TrafficPattern::Permutation(vec![1, 2, 5]).validate(3),
+            Err(TrafficError::PermutationOutOfRange {
+                src: 2,
+                dest: 5,
+                endpoints: 3
+            })
+        );
+        assert_eq!(
+            TrafficPattern::Permutation(vec![1, 1, 0]).validate(3),
+            Err(TrafficError::PermutationSelfTarget { src: 1 })
+        );
+        assert!(TrafficPattern::Permutation(vec![1, 2, 0])
+            .validate(3)
+            .is_ok());
     }
 }

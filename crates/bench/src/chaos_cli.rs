@@ -206,6 +206,7 @@ fn run_storm(
             ]),
             scenario_hash: None,
             telemetry_hash: None,
+            failure: None,
         })
         .map_err(|e| e.to_string())?;
 

@@ -1,8 +1,12 @@
 //! The `metro scenario` verb: run, dump, validate, and fuzz
-//! declarative scenario files.
+//! declarative scenario files — and `metro resume`, which continues an
+//! interrupted checkpointed run bit-identically.
 //!
 //! ```text
 //! metro scenario run scenarios/figure1.json     # replay + record
+//! metro scenario run scenarios/figure1.json --checkpoint-every 64 \
+//!                                           --checkpoint-dir checkpoints
+//! metro resume checkpoints/figure1.ckpt.json   # continue after a crash
 //! metro scenario dump figure3_load              # print a corpus scenario
 //! metro scenario validate scenarios/*.json      # byte-stable round-trip check
 //! metro scenario fuzz --count 25 --seed 7       # differential Flat vs Reference
@@ -12,28 +16,55 @@
 //! writes `results/scenario_<name>.json`, and appends a manifest record
 //! carrying the scenario's canonical hash — the same reproducibility
 //! trail `metro run` leaves for registry artifacts.
+//!
+//! With `--checkpoint-every K`, the runner additionally snapshots the
+//! complete machine state every K cycles to
+//! `<checkpoint-dir>/<name>.ckpt.json` (atomic temp+fsync+rename, so a
+//! crash can never leave a torn checkpoint). `metro resume <ckpt>`
+//! rebuilds the run from the snapshot and finishes it; the resumed
+//! result document is byte-identical to the uninterrupted run's.
 
 use crate::scenarios;
 use metro_harness::log;
 use metro_harness::results::{git_describe, unix_time_now, ResultsDir, RunRecord};
 use metro_harness::Json;
+use metro_sim::checkpoint::{resume_scenario_with, run_scenario_resumable, Checkpoint};
 use metro_sim::scenario::fuzz::{fuzz_campaign, shard_fuzz_campaign};
-use metro_sim::scenario::{codec, run_scenario};
+use metro_sim::scenario::{codec, ScenarioResult};
+use metro_sim::CheckpointSink;
+use std::path::PathBuf;
 use std::time::Instant;
 
 fn usage() -> String {
     "usage: metro scenario <command>\n\
      \n\
      commands:\n\
-     \x20 run <file.json> [--shards N]\n\
+     \x20 run <file.json> [--shards N] [--checkpoint-every K] [--checkpoint-dir D]\n\
      \x20                           replay a scenario file, record the result\n\
-     \x20                           (--shards overrides the file's shard count)\n\
+     \x20                           (--shards overrides the file's shard count;\n\
+     \x20                           --checkpoint-every K snapshots resumable\n\
+     \x20                           state every K cycles into --checkpoint-dir,\n\
+     \x20                           default `checkpoints`)\n\
      \x20 dump <name>               print a corpus scenario (see `dump --list`)\n\
      \x20 validate <file.json>...   check byte-stable JSON round-trips\n\
      \x20 fuzz [--count N] [--seed S] [--shards N]\n\
      \x20                           differential campaign: Flat vs Reference,\n\
-     \x20                           or (with --shards) sharded vs single-thread\n"
+     \x20                           or (with --shards) sharded vs single-thread\n\
+     \n\
+     see also: metro resume <file.ckpt.json> — continue an interrupted\n\
+     checkpointed run; the finished result is byte-identical to the\n\
+     uninterrupted run's\n"
         .to_string()
+}
+
+/// Periodic on-disk checkpointing policy for `run`/`resume`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointOpts {
+    /// Snapshot every this many completed cycles.
+    pub every: u64,
+    /// Directory the checkpoint file lands in
+    /// (`<dir>/<scenario-name>.ckpt.json`, overwritten atomically).
+    pub dir: PathBuf,
 }
 
 /// Entry point for `metro scenario <args…>`; returns the process exit
@@ -57,35 +88,118 @@ pub fn main(args: &[String]) -> i32 {
     }
 }
 
-fn cmd_run(args: &[String], results: &ResultsDir) -> i32 {
-    let Some(path) = args.first() else {
-        log::error("metro scenario run: missing scenario file");
-        return 2;
-    };
+/// Parses the flags shared by `scenario run` and `resume`: `--shards`,
+/// `--checkpoint-every`, `--checkpoint-dir`.
+fn parse_run_flags(
+    verb: &str,
+    args: &[String],
+) -> Result<(Option<usize>, Option<CheckpointOpts>), i32> {
     let mut shards = None;
-    let mut it = args[1..].iter();
+    let mut every = None;
+    let mut dir = None;
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--shards" => match it.next().map(|s| s.parse::<usize>()) {
                 Some(Ok(v)) => shards = Some(v),
                 _ => {
-                    log::error("metro scenario run: --shards needs a count (0 = host auto)");
-                    return 2;
+                    log::error(&format!("{verb}: --shards needs a count (0 = host auto)"));
+                    return Err(2);
+                }
+            },
+            "--checkpoint-every" => match it.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(v)) if v > 0 => every = Some(v),
+                _ => {
+                    log::error(&format!(
+                        "{verb}: --checkpoint-every needs a positive cycle count"
+                    ));
+                    return Err(2);
+                }
+            },
+            "--checkpoint-dir" => match it.next() {
+                Some(d) => dir = Some(PathBuf::from(d)),
+                None => {
+                    log::error(&format!("{verb}: --checkpoint-dir needs a directory"));
+                    return Err(2);
                 }
             },
             other => {
-                log::error(&format!("metro scenario run: unknown flag {other:?}"));
-                return 2;
+                log::error(&format!("{verb}: unknown flag {other:?}"));
+                return Err(2);
             }
         }
     }
-    match run_file_with_shards(path, results, shards) {
+    let checkpoint = match (every, dir) {
+        (Some(every), dir) => Some(CheckpointOpts {
+            every,
+            dir: dir.unwrap_or_else(|| PathBuf::from("checkpoints")),
+        }),
+        (None, Some(_)) => {
+            log::error(&format!(
+                "{verb}: --checkpoint-dir needs --checkpoint-every to enable checkpointing"
+            ));
+            return Err(2);
+        }
+        (None, None) => None,
+    };
+    Ok((shards, checkpoint))
+}
+
+fn cmd_run(args: &[String], results: &ResultsDir) -> i32 {
+    let Some(path) = args.first() else {
+        log::error("metro scenario run: missing scenario file");
+        return 2;
+    };
+    let (shards, checkpoint) = match parse_run_flags("metro scenario run", &args[1..]) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    match run_file_with_options(path, results, shards, checkpoint.as_ref()) {
         Ok(summary) => {
             log::output(&summary);
             0
         }
         Err(e) => {
             log::error(&format!("metro scenario run: {e}"));
+            1
+        }
+    }
+}
+
+/// Entry point for `metro resume <ckpt>`; returns the process exit
+/// code.
+#[must_use]
+pub fn resume_main(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        log::error(
+            "metro resume: missing checkpoint file\n\
+             usage: metro resume <file.ckpt.json> [--shards N] \
+             [--checkpoint-every K] [--checkpoint-dir D]",
+        );
+        return 2;
+    };
+    if matches!(path.as_str(), "--help" | "-h" | "help") {
+        log::output(
+            "usage: metro resume <file.ckpt.json> [--shards N] \
+             [--checkpoint-every K] [--checkpoint-dir D]\n\
+             \n\
+             continues an interrupted `metro scenario run --checkpoint-every`\n\
+             run from its latest snapshot; the finished result document is\n\
+             byte-identical to the uninterrupted run's\n",
+        );
+        return 0;
+    }
+    let (shards, checkpoint) = match parse_run_flags("metro resume", &args[1..]) {
+        Ok(parsed) => parsed,
+        Err(code) => return code,
+    };
+    match resume_file(path, &ResultsDir::standard(), shards, checkpoint.as_ref()) {
+        Ok(summary) => {
+            log::output(&summary);
+            0
+        }
+        Err(e) => {
+            log::error(&format!("metro resume: {e}"));
             1
         }
     }
@@ -117,6 +231,43 @@ pub fn run_file_with_shards(
     results: &ResultsDir,
     shards: Option<usize>,
 ) -> Result<String, String> {
+    run_file_with_options(path, results, shards, None)
+}
+
+/// The checkpoint file a scenario's periodic snapshots land in.
+fn checkpoint_path(opts: &CheckpointOpts, scenario_name: &str) -> PathBuf {
+    opts.dir.join(format!("{scenario_name}.ckpt.json"))
+}
+
+/// A periodic-checkpoint hook writing `<dir>/<name>.ckpt.json`
+/// atomically (temp + fsync + rename via the results layer), so an
+/// interrupted write can never leave a torn checkpoint — the previous
+/// complete snapshot survives.
+fn checkpoint_writer(
+    opts: &CheckpointOpts,
+) -> impl FnMut(&Checkpoint) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = ResultsDir::new(opts.dir.clone());
+    move |ckpt: &Checkpoint| {
+        let file = format!("{}.ckpt.json", ckpt.scenario.name);
+        dir.write_text(&file, &ckpt.to_json().render())?;
+        Ok(())
+    }
+}
+
+/// [`run_file_with_shards`] plus optional periodic checkpointing
+/// (`--checkpoint-every` / `--checkpoint-dir`).
+///
+/// # Errors
+///
+/// As [`run_file`]; additionally, a checkpoint that cannot be
+/// persisted aborts the run (a checkpoint that cannot be written is
+/// not crash safety).
+pub fn run_file_with_options(
+    path: &str,
+    results: &ResultsDir,
+    shards: Option<usize>,
+    checkpoint: Option<&CheckpointOpts>,
+) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     let mut scenario = codec::from_text(&text).map_err(|e| e.to_string())?;
     let hash = codec::scenario_hash(&scenario);
@@ -125,13 +276,114 @@ pub fn run_file_with_shards(
     }
 
     let started = Instant::now();
-    let result = run_scenario(&scenario).map_err(|e| e.to_string())?;
+    let mut write_ckpt = checkpoint.map(checkpoint_writer);
+    let hook = match (&mut write_ckpt, checkpoint) {
+        (Some(sink), Some(opts)) => Some(CheckpointSink {
+            every: opts.every,
+            sink,
+        }),
+        _ => None,
+    };
+    let (result, _sim) =
+        run_scenario_resumable(&scenario, None, hook).map_err(|e| e.to_string())?;
     let wall = started.elapsed().as_secs_f64();
 
-    let stem = format!("scenario_{}", scenario.name);
+    let mut summary = record_scenario_result(
+        &scenario.name,
+        &hash,
+        &result,
+        results,
+        wall,
+        Json::obj([("source", Json::from(path))]),
+    )?;
+    if let Some(opts) = checkpoint {
+        summary.push_str(&format!(
+            "  checkpointed every {} cycles to {}\n",
+            opts.every,
+            checkpoint_path(opts, &scenario.name).display()
+        ));
+    }
+    Ok(summary)
+}
+
+/// Continues an interrupted checkpointed run to completion and records
+/// the result exactly as [`run_file`] would have: same results
+/// document (byte-identical to the uninterrupted run's), same manifest
+/// trail. With `checkpoint` options the resumed run keeps taking
+/// periodic snapshots, so a resume can itself be interrupted and
+/// resumed.
+///
+/// The recorded scenario hash is the *embedded* scenario's hash; a
+/// `--shards` override here (like on `run`) changes only the execution
+/// strategy, not the recorded hash or the result bytes.
+///
+/// # Errors
+///
+/// Returns a description of the first failure: unreadable or corrupt
+/// checkpoint, state-restore mismatch, or a results write error.
+pub fn resume_file(
+    path: &str,
+    results: &ResultsDir,
+    shards: Option<usize>,
+    checkpoint: Option<&CheckpointOpts>,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let mut ckpt = Checkpoint::from_text(&text)?;
+    let hash = codec::scenario_hash(&ckpt.scenario);
+    let resumed_at = ckpt.cycle;
+    let phase = ckpt.phase;
+    if let Some(n) = shards {
+        ckpt.scenario.sim.shards = n;
+    }
+
+    let started = Instant::now();
+    let mut write_ckpt = checkpoint.map(checkpoint_writer);
+    let hook = match (&mut write_ckpt, checkpoint) {
+        (Some(sink), Some(opts)) => Some(CheckpointSink {
+            every: opts.every,
+            sink,
+        }),
+        _ => None,
+    };
+    let (result, _sim) = resume_scenario_with(&ckpt, hook).map_err(|e| e.to_string())?;
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut summary = record_scenario_result(
+        &ckpt.scenario.name,
+        &hash,
+        &result,
+        results,
+        wall,
+        Json::obj([
+            ("source", Json::from(path)),
+            ("resumed_at_cycle", Json::from(resumed_at)),
+            ("resumed_phase", Json::from(phase.name())),
+        ]),
+    )?;
+    summary.insert_str(
+        0,
+        &format!("resumed at cycle {resumed_at} ({} phase)\n", phase.name()),
+    );
+    Ok(summary)
+}
+
+/// The shared tail of `run` and `resume`: writes
+/// `results/scenario_<name>.json`, appends the manifest record, and
+/// renders the human summary. The results document depends only on the
+/// scenario and its outcome — not on how the run was segmented — which
+/// is what makes straight and resumed runs byte-identical on disk.
+fn record_scenario_result(
+    name: &str,
+    hash: &str,
+    result: &ScenarioResult,
+    results: &ResultsDir,
+    wall: f64,
+    params: Json,
+) -> Result<String, String> {
+    let stem = format!("scenario_{name}");
     let doc = Json::obj([
-        ("scenario", Json::from(scenario.name.as_str())),
-        ("scenario_hash", Json::from(hash.as_str())),
+        ("scenario", Json::from(name)),
+        ("scenario_hash", Json::from(hash)),
         ("result", result.to_json()),
     ]);
     let out_path = results.write_json(&stem, &doc).map_err(|e| e.to_string())?;
@@ -144,16 +396,16 @@ pub fn run_file_with_shards(
             points: usize::from(result.point.is_some()),
             jobs: 1,
             quick: false,
-            params: Json::obj([("source", Json::from(path))]),
-            scenario_hash: Some(hash.clone()),
+            params,
+            scenario_hash: Some(hash.to_string()),
             telemetry_hash: None,
+            failure: None,
         })
         .map_err(|e| e.to_string())?;
 
     let mut summary = String::new();
     summary.push_str(&format!(
-        "scenario {:?} ({hash})\n  outcomes {}  delivered {}  abandoned {}  payload words {}  fabric idle {}\n",
-        scenario.name,
+        "scenario {name:?} ({hash})\n  outcomes {}  delivered {}  abandoned {}  payload words {}  fabric idle {}\n",
         result.outcomes.len(),
         result.delivered,
         result.abandoned,
@@ -368,6 +620,74 @@ mod tests {
         )
         .unwrap();
         assert_eq!(again, doc, "scenario replay must be reproducible");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_to_a_byte_identical_result() {
+        let dir = temp_dir("resume");
+        let s = crate::scenarios::named("figure1").unwrap();
+        let file = dir.join("figure1.json");
+        std::fs::write(&file, codec::encode(&s).render()).unwrap();
+
+        // The uninterrupted reference run.
+        let straight = ResultsDir::new(dir.join("straight"));
+        run_file(file.to_str().unwrap(), &straight).unwrap();
+        let reference =
+            std::fs::read_to_string(straight.root().join("scenario_figure1.json")).unwrap();
+
+        // A checkpointed run: the latest snapshot lands in ckpts/.
+        let opts = CheckpointOpts {
+            every: 64,
+            dir: dir.join("ckpts"),
+        };
+        let checkpointed = ResultsDir::new(dir.join("checkpointed"));
+        let summary =
+            run_file_with_options(file.to_str().unwrap(), &checkpointed, None, Some(&opts))
+                .unwrap();
+        assert!(
+            summary.contains("checkpointed every 64 cycles"),
+            "{summary}"
+        );
+        let ckpt_file = opts.dir.join("figure1.ckpt.json");
+        assert!(ckpt_file.exists(), "periodic snapshot written");
+
+        // Pretend the checkpointed run crashed after its last snapshot:
+        // resume from the file into a fresh results directory. The
+        // resumed result document must be byte-identical to the
+        // uninterrupted run's.
+        let resumed = ResultsDir::new(dir.join("resumed"));
+        let summary = resume_file(ckpt_file.to_str().unwrap(), &resumed, None, None).unwrap();
+        assert!(summary.starts_with("resumed at cycle"), "{summary}");
+        let resumed_doc =
+            std::fs::read_to_string(resumed.root().join("scenario_figure1.json")).unwrap();
+        assert_eq!(resumed_doc, reference, "resume must be bit-identical");
+
+        // The resumed run's manifest records where it picked up.
+        let manifest = resumed.read_manifest().unwrap();
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap();
+        let params = runs[0].get("params").unwrap();
+        assert!(params.get("resumed_at_cycle").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_a_torn_checkpoint() {
+        let dir = temp_dir("torn");
+        let s = crate::scenarios::named("figure1").unwrap();
+        let file = dir.join("figure1.json");
+        std::fs::write(&file, codec::encode(&s).render()).unwrap();
+        let opts = CheckpointOpts {
+            every: 64,
+            dir: dir.join("ckpts"),
+        };
+        let results = ResultsDir::new(dir.join("results"));
+        run_file_with_options(file.to_str().unwrap(), &results, None, Some(&opts)).unwrap();
+        let ckpt_file = opts.dir.join("figure1.ckpt.json");
+        let text = std::fs::read_to_string(&ckpt_file).unwrap();
+        std::fs::write(&ckpt_file, &text[..text.len() / 2]).unwrap();
+        let err = resume_file(ckpt_file.to_str().unwrap(), &results, None, None).unwrap_err();
+        assert!(!err.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

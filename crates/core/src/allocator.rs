@@ -14,6 +14,7 @@
 
 use crate::config::RouterConfig;
 use crate::rng::RandomSource;
+use metro_telemetry::state::{StateError, StateReader, StateWriter};
 
 /// The `n`-th set bit of `mask` (0-indexed from the least significant
 /// end). The caller guarantees `n < mask.count_ones()`.
@@ -274,6 +275,74 @@ impl Allocator {
                 self.in_use &= !(1u64 << b);
             }
         }
+    }
+
+    /// Appends the allocation state (owners, IN-USE word, round-robin
+    /// cursors) to a checkpoint stream. The policy and the arbitration
+    /// scratch buffer are construction-derived and not written.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.owner.len());
+        for o in &self.owner {
+            match o {
+                Some(fwd) => {
+                    w.bool(true);
+                    w.usize(*fwd);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u64(self.in_use);
+        w.usize(self.rr_next.len());
+        for &n in &self.rr_next {
+            w.usize(n);
+        }
+    }
+
+    /// Overwrites the allocation state from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] on port-count mismatch or an IN-USE
+    /// word inconsistent with the owner table.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let shape = |detail: String| StateError::BadValue {
+            section: String::from("allocator"),
+            detail,
+        };
+        let n = r.usize()?;
+        if n != self.owner.len() {
+            return Err(shape(format!(
+                "saved {n} backward ports, allocator holds {}",
+                self.owner.len()
+            )));
+        }
+        for o in &mut self.owner {
+            *o = if r.bool()? { Some(r.usize()?) } else { None };
+        }
+        self.in_use = r.u64()?;
+        let expected: u64 = self
+            .owner
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(b, _)| 1u64 << b)
+            .sum();
+        if self.in_use != expected {
+            return Err(shape(String::from(
+                "IN-USE word disagrees with the owner table",
+            )));
+        }
+        let rr = r.usize()?;
+        if rr != self.rr_next.len() {
+            return Err(shape(format!(
+                "saved {rr} round-robin cursors, allocator holds {}",
+                self.rr_next.len()
+            )));
+        }
+        for n in &mut self.rr_next {
+            *n = r.usize()?;
+        }
+        Ok(())
     }
 }
 

@@ -6,9 +6,17 @@
 //! where corruption entered the stream (paper §5.1, "Connection
 //! Reversal").
 //!
-//! The model uses a Fletcher-16-style position-sensitive checksum over
-//! the `w`-bit data words of a stream. Position sensitivity matters: a
-//! plain sum would miss word-swap faults.
+//! The model uses a CRC-16 (XMODEM polynomial `0x1021`) over the
+//! `w`-bit data words of a stream. Position sensitivity matters: a
+//! plain sum would miss word-swap faults. A Fletcher-16 (mod 255) sum
+//! is not enough either — it is linear in the byte deltas, so a stuck
+//! link XORing the *same* bit into every word aliases whenever the
+//! flip directions balance: corrupting `[0x9C, 0x4E, 0xEB, 0xF0]`
+//! with `xor = 0x10` yields deltas −16, +16, +16, −16, which cancel
+//! in both Fletcher sums and deliver silently (chaos campaign seed
+//! `0x57b0` found exactly this). The CRC's polynomial division spreads
+//! each delta across the register, so constant-XOR patterns cannot
+//! cancel positionally.
 
 use crate::word::Word;
 
@@ -36,11 +44,34 @@ use crate::word::Word;
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct StreamChecksum {
-    sum1: u16,
-    sum2: u16,
+    crc: u16,
 }
 
-const MOD: u32 = 255;
+/// The CRC-16/XMODEM polynomial (x¹⁶ + x¹² + x⁵ + 1).
+const POLY: u16 = 0x1021;
+
+/// Per-byte CRC step table, built at compile time. This runs once per
+/// forwarded data word in every router — the single most frequent
+/// arithmetic in the simulator — so the division is precomputed.
+const CRC_TABLE: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut byte = 0usize;
+    while byte < 256 {
+        let mut crc = (byte as u16) << 8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[byte] = crc;
+        byte += 1;
+    }
+    table
+};
 
 impl StreamChecksum {
     /// Creates an empty checksum.
@@ -58,31 +89,18 @@ impl StreamChecksum {
         }
     }
 
-    /// Absorbs a raw data value.
+    /// Absorbs a raw data value (low byte first, then high byte).
     #[inline]
     pub fn absorb_value(&mut self, v: u16) {
-        // Fletcher over the two bytes of the (≤16-bit) word. Since
-        // 256 ≡ 1 (mod 255), folding the high byte into the low byte
-        // plus one conditional subtract computes the residue exactly
-        // for the ≤ 509 intermediate sums that arise here — the same
-        // value the division produced, without the division. This runs
-        // once per forwarded data word in every router, the single most
-        // frequent arithmetic in the simulator.
-        #[inline]
-        fn mod255(x: u32) -> u16 {
-            let folded = (x >> 8) + (x & 0xFF);
-            (if folded >= MOD { folded - MOD } else { folded }) as u16
-        }
-        for byte in [(v & 0xFF) as u32, (v >> 8) as u32] {
-            self.sum1 = mod255(u32::from(self.sum1) + byte);
-            self.sum2 = mod255(u32::from(self.sum2) + u32::from(self.sum1));
+        for byte in [(v & 0xFF) as u8, (v >> 8) as u8] {
+            self.crc = (self.crc << 8) ^ CRC_TABLE[usize::from((self.crc >> 8) as u8 ^ byte)];
         }
     }
 
     /// The current checksum value.
     #[must_use]
     pub fn value(&self) -> u16 {
-        (self.sum2 << 8) | self.sum1
+        self.crc
     }
 
     /// Checksums an entire slice of words in one call.
@@ -109,6 +127,17 @@ impl StreamChecksum {
     pub fn reset(&mut self) {
         *self = Self::new();
     }
+
+    /// Rebuilds the running state from a [`Self::value`] reading.
+    ///
+    /// The CRC register *is* the whole state, so this inversion is
+    /// exact: `StreamChecksum::from_value(c.value()) == c` for any
+    /// reachable checksum state. Checkpoint restore depends on that
+    /// property.
+    #[must_use]
+    pub fn from_value(value: u16) -> Self {
+        Self { crc: value }
+    }
 }
 
 #[cfg(test)]
@@ -121,21 +150,40 @@ mod tests {
     }
 
     #[test]
-    fn folded_residue_matches_division() {
-        // `absorb_value` computes `% 255` by byte-folding; pin it to the
-        // straightforward division it replaced, over a stride of the
-        // word space and across accumulated state.
-        let mut folded = StreamChecksum::new();
-        let (mut s1, mut s2) = (0u32, 0u32);
-        for v in (0..=u16::MAX).step_by(97) {
-            folded.absorb_value(v);
-            for byte in [u32::from(v & 0xFF), u32::from(v >> 8)] {
-                s1 = (s1 + byte) % 255;
-                s2 = (s2 + s1) % 255;
+    fn table_crc_matches_bitwise_reference() {
+        // The table-driven step must compute the same CRC-16/XMODEM
+        // remainder as the straightforward bit-at-a-time division, over
+        // a stride of the word space and across accumulated state.
+        fn bitwise(crc: u16, byte: u8) -> u16 {
+            let mut crc = crc ^ (u16::from(byte) << 8);
+            for _ in 0..8 {
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ POLY
+                } else {
+                    crc << 1
+                };
             }
-            let expected = ((s2 as u16) << 8) | s1 as u16;
-            assert_eq!(folded.value(), expected, "diverged at word {v}");
+            crc
         }
+        let mut table_driven = StreamChecksum::new();
+        let mut reference = 0u16;
+        for v in (0..=u16::MAX).step_by(97) {
+            table_driven.absorb_value(v);
+            reference = bitwise(reference, (v & 0xFF) as u8);
+            reference = bitwise(reference, (v >> 8) as u8);
+            assert_eq!(table_driven.value(), reference, "diverged at word {v}");
+        }
+    }
+
+    #[test]
+    fn detects_balanced_constant_xor_corruption() {
+        // Chaos seed 0x57b0: a stuck link XORed 0x10 into every word of
+        // this payload. The bit-4 flip directions balance (−16, +16,
+        // +16, −16), which cancels in a Fletcher-16 (mod 255) sum — the
+        // corruption delivered silently. The CRC must tell them apart.
+        let clean = StreamChecksum::over_values([0x9C, 0x4E, 0xEB, 0xF0]);
+        let corrupted = StreamChecksum::over_values([0x8C, 0x5E, 0xFB, 0xE0]);
+        assert_ne!(clean, corrupted, "balanced constant-XOR pattern aliased");
     }
 
     #[test]
@@ -188,5 +236,23 @@ mod tests {
         let full = StreamChecksum::over_values([5, 5, 5]);
         let short = StreamChecksum::over_values([5, 5]);
         assert_ne!(full, short);
+    }
+
+    #[test]
+    fn from_value_inverts_value_exactly() {
+        // Walk a long absorb sequence; at every prefix the packed value
+        // must reconstruct the identical running state.
+        let mut c = StreamChecksum::new();
+        for v in (0..=u16::MAX).step_by(251) {
+            c.absorb_value(v);
+            let rebuilt = StreamChecksum::from_value(c.value());
+            assert_eq!(rebuilt, c, "reconstruction diverged after word {v}");
+            // And the rebuilt state keeps absorbing identically.
+            let mut a = c;
+            let mut b = rebuilt;
+            a.absorb_value(0x1234);
+            b.absorb_value(0x1234);
+            assert_eq!(a, b);
+        }
     }
 }

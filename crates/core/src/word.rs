@@ -143,6 +143,26 @@ pub mod phit {
             _ => return None,
         })
     }
+
+    /// Packs a word into one checkpoint cell: the control field in bits
+    /// 16..19 above the full 16-bit data field. Unlike [`encode`], the
+    /// data is not masked — a checkpoint must preserve the word exactly
+    /// as it sits in a pipeline register.
+    #[must_use]
+    pub fn pack(word: Word) -> u64 {
+        let (c, d) = encode(word, 0xFFFF);
+        (u64::from(c) << 16) | u64::from(d)
+    }
+
+    /// Inverts [`pack`]; `None` for cells with stray high bits or the
+    /// reserved control code.
+    #[must_use]
+    pub fn unpack(cell: u64) -> Option<Word> {
+        if cell >> 19 != 0 {
+            return None;
+        }
+        decode((cell >> 16) as u8, cell as u16)
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +232,27 @@ mod tests {
     #[test]
     fn phit_reserved_code_is_rejected() {
         assert_eq!(phit::decode(0b111, 0), None);
+    }
+
+    #[test]
+    fn pack_roundtrip_preserves_full_width_data() {
+        for w in [
+            Word::Empty,
+            Word::Data(0xFFFF),
+            Word::DataIdle,
+            Word::Turn,
+            Word::Drop,
+            Word::Status(StatusWord::connected(5)),
+            Word::Checksum(0xBEEF),
+        ] {
+            assert_eq!(phit::unpack(phit::pack(w)), Some(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn unpack_rejects_stray_high_bits() {
+        assert_eq!(phit::unpack(1u64 << 19), None);
+        assert_eq!(phit::unpack(0b111 << 16), None);
     }
 
     #[test]

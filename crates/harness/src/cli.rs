@@ -13,10 +13,12 @@
 //! flags (`--quick`, `--dot`, …) onto the same path.
 
 use crate::artifact::{Registry, RunCtx};
+use crate::json::Json;
 use crate::log::{self, Verbosity};
 use crate::results::{git_describe, unix_time_now, RunRecord};
+use crate::supervisor::Supervisor;
 use std::num::NonZeroUsize;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A parsed `metro` invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +37,10 @@ pub enum Command {
         jobs: Option<NonZeroUsize>,
         /// Debug-level harness narration (`--verbose`).
         verbose: bool,
+        /// Watchdog deadline per artifact attempt (`--deadline SECS`).
+        deadline: Option<Duration>,
+        /// Supervised re-runs after a failure (`--retries N`).
+        retries: u32,
         /// Unrecognized flags, passed through to artifacts.
         flags: Vec<String>,
     },
@@ -56,6 +62,8 @@ pub fn parse_args(registry: &Registry, args: &[String]) -> Command {
             let mut json = false;
             let mut jobs = None;
             let mut verbose = false;
+            let mut deadline = None;
+            let mut retries = 0u32;
             let mut flags = Vec::new();
             let mut it = it.peekable();
             while let Some(a) = it.next() {
@@ -73,6 +81,34 @@ pub fn parse_args(registry: &Registry, args: &[String]) -> Command {
                             Err(_) => {
                                 return Command::Help(Some(format!(
                                     "--jobs needs a positive integer, got {v:?}"
+                                )))
+                            }
+                        }
+                    }
+                    "--deadline" => {
+                        let Some(v) = it.next() else {
+                            return Command::Help(Some("--deadline needs a value".to_string()));
+                        };
+                        match v.parse::<f64>() {
+                            Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                                deadline = Some(Duration::from_secs_f64(secs));
+                            }
+                            _ => {
+                                return Command::Help(Some(format!(
+                                    "--deadline needs positive seconds, got {v:?}"
+                                )))
+                            }
+                        }
+                    }
+                    "--retries" => {
+                        let Some(v) = it.next() else {
+                            return Command::Help(Some("--retries needs a value".to_string()));
+                        };
+                        match v.parse::<u32>() {
+                            Ok(n) => retries = n,
+                            Err(_) => {
+                                return Command::Help(Some(format!(
+                                    "--retries needs a non-negative integer, got {v:?}"
                                 )))
                             }
                         }
@@ -102,6 +138,8 @@ pub fn parse_args(registry: &Registry, args: &[String]) -> Command {
                 json,
                 jobs,
                 verbose,
+                deadline,
+                retries,
                 flags,
             }
         }
@@ -142,20 +180,32 @@ pub fn usage() -> String {
      \x20 --json       print the machine-readable document instead of the report\n\
      \x20 --jobs N     worker threads for sweep points (default: host parallelism)\n\
      \x20 --verbose    debug-level harness narration (sidecar paths, hashes)\n\
+     \x20 --deadline S watchdog: abandon an artifact attempt after S seconds\n\
+     \x20 --retries N  re-run a failed artifact up to N times (deterministic replay)\n\
      \n\
      every run writes results/<artifact>.json and appends to results/manifest.json;\n\
-     simulation-backed artifacts add .scenario.json and .telemetry.json sidecars\n"
+     simulation-backed artifacts add .scenario.json and .telemetry.json sidecars.\n\
+     a panicking, timed-out, or failing artifact is quarantined: the sweep\n\
+     continues and the manifest records a typed failure entry\n"
         .to_string()
 }
 
-/// Runs one artifact end to end: execute, print, write
+/// Runs one artifact end to end under supervision: execute (panics
+/// caught, deadline enforced, retries per [`RunCtx`]), print, write
 /// `results/<name>.json`, append the manifest record. Returns the
 /// artifact's wall-clock seconds.
 ///
+/// A failed artifact is **quarantined**, not fatal: the typed failure
+/// (panic payload / timeout / error, attempt count) is appended to the
+/// manifest so a `metro run --all` sweep continues past it with an
+/// audit trail. The `--inject-panic` flag is the supervision
+/// self-test hook: it makes the artifact panic before running, so CI
+/// can assert the quarantine path end to end.
+///
 /// # Errors
 ///
-/// Returns a description if the artifact itself fails or the results
-/// layer cannot write.
+/// Returns a description if the artifact was quarantined or the
+/// results layer cannot write.
 pub fn run_one(
     registry: &Registry,
     name: &str,
@@ -165,9 +215,44 @@ pub fn run_one(
     let artifact = registry
         .get(name)
         .ok_or_else(|| format!("unknown artifact {name:?}"))?;
+    let supervisor = Supervisor {
+        deadline: ctx.deadline,
+        retries: ctx.retries,
+        ..Supervisor::default()
+    };
+    let run_fn = artifact.run;
+    let worker_ctx = ctx.clone();
     let started = Instant::now();
-    let output = (artifact.run)(ctx).map_err(|e| format!("artifact {name} failed: {e}"))?;
+    let outcome = supervisor.supervise(name, None, move || {
+        assert!(
+            !worker_ctx.flag("--inject-panic"),
+            "injected panicking point (--inject-panic)"
+        );
+        run_fn(&worker_ctx)
+    });
     let wall = started.elapsed().as_secs_f64();
+    let output = match outcome {
+        Ok(output) => output,
+        Err(failure) => {
+            let record = RunRecord {
+                artifact: name.to_string(),
+                git: git_describe(),
+                unix_time: unix_time_now(),
+                wall_seconds: wall,
+                points: 0,
+                jobs: ctx.jobs.get(),
+                quick: ctx.quick,
+                params: Json::obj::<&str>([]),
+                scenario_hash: None,
+                telemetry_hash: None,
+                failure: Some(failure.clone()),
+            };
+            ctx.results
+                .append_manifest(&record)
+                .map_err(|e| e.to_string())?;
+            return Err(format!("artifact {name} quarantined: {failure}"));
+        }
+    };
 
     if print_json {
         log::output(&output.json.render());
@@ -214,6 +299,7 @@ pub fn run_one(
         params: output.params,
         scenario_hash,
         telemetry_hash,
+        failure: None,
     };
     ctx.results
         .append_manifest(&record)
@@ -256,6 +342,8 @@ pub fn main_with(registry: &Registry) -> i32 {
             json,
             jobs,
             verbose,
+            deadline,
+            retries,
             flags,
         } => {
             if verbose {
@@ -266,6 +354,8 @@ pub fn main_with(registry: &Registry) -> i32 {
                 jobs: jobs.unwrap_or_else(crate::executor::default_jobs),
                 flags,
                 results: crate::results::ResultsDir::standard(),
+                deadline,
+                retries,
             };
             let mut failures = 0usize;
             for (i, name) in names.iter().enumerate() {
@@ -305,10 +395,21 @@ pub fn main_with(registry: &Registry) -> i32 {
 pub fn shim(registry: &Registry, name: &str) -> i32 {
     let mut ctx = RunCtx::new();
     ctx.jobs = crate::executor::default_jobs();
-    for a in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => ctx.quick = true,
             "--verbose" => log::set_verbosity(Verbosity::Verbose),
+            "--deadline" => {
+                ctx.deadline = args
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|s| *s > 0.0 && s.is_finite())
+                    .map(std::time::Duration::from_secs_f64);
+            }
+            "--retries" => {
+                ctx.retries = args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+            }
             other => ctx.flags.push(other.to_string()),
         }
     }
@@ -366,14 +467,51 @@ mod tests {
                 json,
                 jobs,
                 verbose,
+                deadline,
+                retries,
                 flags,
             } => {
                 assert_eq!(names, vec!["fig3"]);
                 assert!(quick && !json && !verbose);
                 assert_eq!(jobs.map(NonZeroUsize::get), Some(4));
+                assert_eq!(deadline, None);
+                assert_eq!(retries, 0);
                 assert!(flags.is_empty());
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_supervision_flags() {
+        let cmd = parse_args(
+            &registry(),
+            &s(&["run", "fig3", "--deadline", "2.5", "--retries", "3"]),
+        );
+        match cmd {
+            Command::Run {
+                deadline, retries, ..
+            } => {
+                assert_eq!(deadline, Some(std::time::Duration::from_secs_f64(2.5)));
+                assert_eq!(retries, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_supervision_values_are_usage_errors() {
+        for bad in [
+            &["run", "fig3", "--deadline", "0"][..],
+            &["run", "fig3", "--deadline", "soon"],
+            &["run", "fig3", "--deadline"],
+            &["run", "fig3", "--retries", "-1"],
+            &["run", "fig3", "--retries"],
+        ] {
+            assert!(
+                matches!(parse_args(&registry(), &s(bad)), Command::Help(Some(_))),
+                "{bad:?}"
+            );
         }
     }
 
@@ -432,5 +570,90 @@ mod tests {
     fn list_renders_every_artifact() {
         let text = render_list(&registry());
         assert!(text.contains("fig3") && text.contains("table3"));
+    }
+
+    fn panicking_run(_: &RunCtx) -> Result<ArtifactOutput, String> {
+        panic!("artifact exploded mid-sweep")
+    }
+
+    fn temp_ctx(tag: &str) -> RunCtx {
+        let mut ctx = RunCtx::new();
+        ctx.results = crate::results::ResultsDir::new(
+            std::env::temp_dir().join(format!("metro-cli-{tag}-{}", std::process::id())),
+        );
+        let _ = std::fs::remove_dir_all(ctx.results.root());
+        ctx
+    }
+
+    #[test]
+    fn a_panicking_artifact_is_quarantined_in_the_manifest() {
+        let mut r = registry();
+        r.register(Artifact {
+            name: "boom",
+            description: "",
+            quick_profile: "",
+            full_profile: "",
+            run: panicking_run,
+        });
+        let ctx = temp_ctx("quarantine");
+        let err = run_one(&r, "boom", &ctx, false).unwrap_err();
+        assert!(err.contains("quarantined"), "{err}");
+        let manifest = ctx.results.read_manifest().unwrap();
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap();
+        let failure = runs[0].get("failure").expect("typed failure recorded");
+        assert_eq!(failure.get("kind").and_then(Json::as_str), Some("panic"));
+        assert_eq!(
+            failure.get("detail").and_then(Json::as_str),
+            Some("artifact exploded mid-sweep")
+        );
+        assert_eq!(failure.get("attempts").and_then(Json::as_f64), Some(1.0));
+        let _ = std::fs::remove_dir_all(ctx.results.root());
+    }
+
+    #[test]
+    fn inject_panic_exercises_the_quarantine_path() {
+        // The CI smoke hook: a healthy artifact plus --inject-panic
+        // must land in the manifest as a quarantined panic entry.
+        let mut ctx = temp_ctx("inject");
+        ctx.flags.push("--inject-panic".to_string());
+        let err = run_one(&registry(), "fig3", &ctx, false).unwrap_err();
+        assert!(err.contains("quarantined"), "{err}");
+        let manifest = ctx.results.read_manifest().unwrap();
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap();
+        let failure = runs[0].get("failure").expect("typed failure recorded");
+        assert_eq!(failure.get("kind").and_then(Json::as_str), Some("panic"));
+        assert!(failure
+            .get("detail")
+            .and_then(Json::as_str)
+            .is_some_and(|d| d.contains("--inject-panic")));
+        let _ = std::fs::remove_dir_all(ctx.results.root());
+    }
+
+    #[test]
+    fn retries_recover_a_transient_artifact_without_a_manifest_failure() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        fn flaky_run(_: &RunCtx) -> Result<ArtifactOutput, String> {
+            if CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient wobble");
+            }
+            ok_run(&RunCtx::new())
+        }
+        let mut r = Registry::new();
+        r.register(Artifact {
+            name: "flaky",
+            description: "",
+            quick_profile: "",
+            full_profile: "",
+            run: flaky_run,
+        });
+        let mut ctx = temp_ctx("retry");
+        ctx.retries = 1;
+        run_one(&r, "flaky", &ctx, false).expect("second attempt succeeds");
+        assert_eq!(CALLS.load(Ordering::SeqCst), 2);
+        let manifest = ctx.results.read_manifest().unwrap();
+        let runs = manifest.get("runs").and_then(Json::as_arr).unwrap();
+        assert!(runs[0].get("failure").is_none(), "recovered run is clean");
+        let _ = std::fs::remove_dir_all(ctx.results.root());
     }
 }

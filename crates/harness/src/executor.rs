@@ -66,6 +66,58 @@ where
         .collect()
 }
 
+/// A panic captured from one quarantined sweep point: which item
+/// panicked and what the panic payload said.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PointPanic {
+    /// Index of the item whose `f` invocation panicked.
+    pub index: usize,
+    /// The panic payload, rendered (`&str`/`String` payloads verbatim,
+    /// anything else as a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for PointPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "point {} panicked: {}", self.index, self.payload)
+    }
+}
+
+/// Renders a `catch_unwind` payload: the `&str` or `String` message
+/// when the panic carried one, a placeholder otherwise.
+#[must_use]
+pub fn panic_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`par_map`] with per-point quarantine: each `f` invocation runs
+/// under `catch_unwind`, so one panicking point yields an
+/// `Err(PointPanic)` in its slot instead of killing the whole sweep.
+/// The other points still run to completion, in input order.
+///
+/// The sweep caller decides what a quarantined point means — the
+/// harness CLI records it as a typed failure in the run manifest
+/// (see `crate::supervisor`).
+pub fn try_par_map<T, R, F>(jobs: NonZeroUsize, items: &[T], f: F) -> Vec<Result<R, PointPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map(jobs, items, |i, item| {
+        std::panic::catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|p| PointPanic {
+            index: i,
+            payload: panic_payload(p.as_ref()),
+        })
+    })
+}
+
 /// How many times a barrier waiter spins before yielding the CPU.
 ///
 /// Kept deliberately small: on an oversubscribed host (more shards
@@ -455,6 +507,36 @@ mod tests {
     }
 
     #[test]
+    fn try_par_map_quarantines_panicking_points() {
+        let items: Vec<u64> = (0..17).collect();
+        for n in [1, 4] {
+            let out = try_par_map(jobs(n), &items, |_, &v| {
+                assert!(v % 5 != 3, "injected failure at {v}");
+                v * 2
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i);
+                    assert!(p.payload.contains("injected failure"), "{p}");
+                } else {
+                    assert_eq!(*r, Ok(i as u64 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn panic_payload_renders_str_and_string_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("plain str")).unwrap_err();
+        assert_eq!(panic_payload(p.as_ref()), "plain str");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_payload(p.as_ref()), "formatted 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_payload(p.as_ref()), "non-string panic payload");
+    }
+
+    #[test]
     fn tick_pool_worker_panic_poisons_the_round_but_not_the_pool() {
         let pool = TickPool::new(jobs(2));
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -469,5 +551,47 @@ mod tests {
             ok.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn tick_pool_leader_panic_poisons_the_round_but_not_the_pool() {
+        // The leader (participant 0) runs the job inline on the calling
+        // thread; its panic must unwind through run() while still
+        // releasing the pooled workers for the next round.
+        let pool = TickPool::new(jobs(3));
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|w| {
+                assert!(w != 0, "injected leader failure");
+            });
+        }));
+        assert!(caught.is_err(), "leader panic must surface from run()");
+        let ok = AtomicUsize::new(0);
+        pool.run(|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn tick_pool_survives_repeated_poisoned_rounds() {
+        // Several consecutive poisoned rounds, interleaved with clean
+        // ones: the poison flag must reset every round, never latch.
+        let pool = TickPool::new(jobs(2));
+        let clean_rounds = AtomicUsize::new(0);
+        for round in 0..6usize {
+            if round % 2 == 0 {
+                let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    pool.run(|w| {
+                        assert!(w == 0, "poisoned round {round}");
+                    });
+                }));
+                assert!(caught.is_err(), "round {round} must poison");
+            } else {
+                pool.run(|_| {
+                    clean_rounds.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(clean_rounds.load(Ordering::Relaxed), 3 * 2);
     }
 }

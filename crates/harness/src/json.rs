@@ -456,13 +456,19 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one full UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
+                    // Consume the whole run of plain bytes up to the
+                    // next quote or escape and append it as one slice.
+                    // Validating only the run keeps parsing linear:
+                    // multi-megabyte strings (checkpoint state blocks)
+                    // would otherwise re-validate the entire remaining
+                    // input per character.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = s.chars().next().expect("non-empty by peek");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -562,6 +568,19 @@ mod tests {
     #[test]
     fn parses_unicode_escapes_and_surrogates() {
         assert_eq!(Json::parse(r#""€ 😀""#).unwrap(), Json::from("€ 😀"));
+    }
+
+    #[test]
+    fn parses_multimegabyte_strings_in_linear_time() {
+        // Checkpoint files carry multi-megabyte hex state strings; the
+        // string scanner must stay linear (a per-character re-validation
+        // of the remaining input turns this test into a multi-minute
+        // hang rather than milliseconds).
+        let big = "0123456789abcdef".repeat(128 * 1024); // 2 MiB
+        let doc = format!("{{\"state\": \"{big}\", \"tail\": \"é\\n\"}}");
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("state").and_then(Json::as_str), Some(&big[..]));
+        assert_eq!(parsed.get("tail").and_then(Json::as_str), Some("é\n"));
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //! * [`results`] — the results layer: one `results/<artifact>.json`
 //!   per run plus `results/manifest.json` recording artifact name, git
 //!   revision, wall-clock, point count, worker count, and parameters.
+//! * [`supervisor`] — crash-safe artifact execution: panics caught and
+//!   quarantined as typed manifest failures, watchdog deadlines, and
+//!   deterministic retries (`--deadline`, `--retries`).
 //! * [`cli`] — argument parsing and the runner shared by the `metro`
 //!   binary and the legacy one-artifact shims.
 //!
@@ -42,9 +45,11 @@ pub mod executor;
 pub mod json;
 pub mod log;
 pub mod results;
+pub mod supervisor;
 
 pub use artifact::{Artifact, ArtifactOutput, Registry, RunCtx};
-pub use executor::{default_jobs, par_map, TickPool};
+pub use executor::{default_jobs, panic_payload, par_map, try_par_map, PointPanic, TickPool};
 pub use json::Json;
 pub use log::Verbosity;
 pub use results::{ResultsDir, ResultsError, RunRecord};
+pub use supervisor::{FailureKind, PointFailure, Supervisor};

@@ -93,6 +93,10 @@ pub struct RunRecord {
     /// Canonical hash of the run's telemetry snapshot sidecar
     /// (`results/<artifact>.telemetry.json`), when one was exported.
     pub telemetry_hash: Option<String>,
+    /// Present when the run was quarantined by the supervisor instead
+    /// of completing: how it failed (panic payload, timeout, error),
+    /// how many attempts were made, and the point seed when known.
+    pub failure: Option<crate::supervisor::PointFailure>,
 }
 
 impl RunRecord {
@@ -112,6 +116,9 @@ impl RunRecord {
         }
         if let Some(hash) = &self.telemetry_hash {
             doc.set("telemetry_hash", Json::from(hash.as_str()));
+        }
+        if let Some(failure) = &self.failure {
+            doc.set("failure", failure.to_json());
         }
         doc
     }
@@ -150,8 +157,71 @@ impl ResultsDir {
         })
     }
 
+    /// Replaces `path` atomically: the contents land in a hidden
+    /// same-directory temp file, are fsynced, and are renamed over the
+    /// target. A crash (power loss, `kill -9`, panic) at any point
+    /// leaves either the complete old file or the complete new file —
+    /// never a truncated or interleaved one. Stale temp files from an
+    /// earlier interrupted write of the same target are swept first.
+    fn write_atomic(&self, path: &Path, contents: &str) -> Result<(), ResultsError> {
+        use std::io::Write as _;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let io = |p: &Path, source| ResultsError::Io {
+            path: p.to_path_buf(),
+            source,
+        };
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .ok_or_else(|| {
+                io(
+                    path,
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "unnamed results file"),
+                )
+            })?
+            .to_string();
+        // Recovery from an earlier interrupted write: orphaned temps
+        // for this target are garbage by construction (the rename
+        // never happened), so clear them out.
+        let stale_prefix = format!(".{name}.tmp-");
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for entry in entries.flatten() {
+                if entry
+                    .file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with(&stale_prefix))
+                {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        let tmp = path.with_file_name(format!(
+            "{stale_prefix}{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp).map_err(|e| io(&tmp, e))?;
+            file.write_all(contents.as_bytes())
+                .map_err(|e| io(&tmp, e))?;
+            // Flush to stable storage before the rename publishes the
+            // file: otherwise a crash could expose an empty rename
+            // target.
+            file.sync_all().map_err(|e| io(&tmp, e))?;
+            drop(file);
+            std::fs::rename(&tmp, path).map_err(|e| io(path, e))
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
+    }
+
     /// Writes `<stem>.json`, round-trip-validating the rendered
-    /// document first. Creates the directory if missing.
+    /// document first. Creates the directory if missing. The write is
+    /// atomic (temp file + fsync + rename): an interrupted run never
+    /// leaves a truncated document behind.
     ///
     /// # Errors
     ///
@@ -172,15 +242,13 @@ impl ResultsDir {
                 detail: "document did not survive a write/parse round-trip".to_string(),
             });
         }
-        std::fs::write(&path, text).map_err(|source| ResultsError::Io {
-            path: path.clone(),
-            source,
-        })?;
+        self.write_atomic(&path, &text)?;
         Ok(path)
     }
 
     /// Writes a plain-text artifact (CSV, DOT, …) under the results
-    /// root, creating the directory if missing.
+    /// root, creating the directory if missing. Atomic, like
+    /// [`ResultsDir::write_json`].
     ///
     /// # Errors
     ///
@@ -188,10 +256,7 @@ impl ResultsDir {
     pub fn write_text(&self, file_name: &str, contents: &str) -> Result<PathBuf, ResultsError> {
         self.ensure_root()?;
         let path = self.root.join(file_name);
-        std::fs::write(&path, contents).map_err(|source| ResultsError::Io {
-            path: path.clone(),
-            source,
-        })?;
+        self.write_atomic(&path, contents)?;
         Ok(path)
     }
 
@@ -297,7 +362,35 @@ mod tests {
             params: Json::obj([("load", Json::from(0.3))]),
             scenario_hash: None,
             telemetry_hash: None,
+            failure: None,
         }
+    }
+
+    #[test]
+    fn a_quarantined_run_records_its_typed_failure() {
+        let dir = tmp("failure");
+        let mut rec = record("chaos");
+        rec.points = 0;
+        rec.failure = Some(crate::supervisor::PointFailure {
+            kind: crate::supervisor::FailureKind::Panic,
+            detail: "index out of bounds".to_string(),
+            seed: Some(0x57b0),
+            attempts: 2,
+        });
+        dir.append_manifest(&rec).unwrap();
+        let manifest = dir.read_manifest().unwrap();
+        let failure = manifest.get("runs").and_then(Json::as_arr).unwrap()[0]
+            .get("failure")
+            .cloned()
+            .expect("failure object recorded");
+        assert_eq!(failure.get("kind").and_then(Json::as_str), Some("panic"));
+        assert_eq!(
+            failure.get("detail").and_then(Json::as_str),
+            Some("index out of bounds")
+        );
+        assert_eq!(failure.get("seed").and_then(Json::as_str), Some("0x57b0"));
+        assert_eq!(failure.get("attempts").and_then(Json::as_f64), Some(2.0));
+        let _ = std::fs::remove_dir_all(dir.root());
     }
 
     #[test]
@@ -380,6 +473,38 @@ mod tests {
             }
             other => panic!("expected Parse error, got {other:?}"),
         }
+        let _ = std::fs::remove_dir_all(dir.root());
+    }
+
+    #[test]
+    fn interrupted_writes_leave_the_old_file_and_are_swept() {
+        let dir = tmp("atomic");
+        let doc = Json::obj([("generation", Json::from(1u64))]);
+        dir.write_json("run", &doc).unwrap();
+
+        // Simulate a writer killed mid-write: a partial temp file for
+        // the same target, never renamed.
+        let orphan = dir.root().join(".run.json.tmp-99999-0");
+        std::fs::write(&orphan, "{\"generation\": 2, \"truncat").unwrap();
+
+        // The published file is still the complete old version.
+        let text = std::fs::read_to_string(dir.root().join("run.json")).unwrap();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+
+        // The next write sweeps the orphan and publishes atomically.
+        let doc2 = Json::obj([("generation", Json::from(3u64))]);
+        dir.write_json("run", &doc2).unwrap();
+        assert!(!orphan.exists(), "stale temp file survived the sweep");
+        let text = std::fs::read_to_string(dir.root().join("run.json")).unwrap();
+        assert_eq!(Json::parse(&text).unwrap(), doc2);
+
+        // No temp droppings remain after a clean write.
+        let leftovers: Vec<_> = std::fs::read_dir(dir.root())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_str().is_some_and(|n| n.contains(".tmp-")))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         let _ = std::fs::remove_dir_all(dir.root());
     }
 

@@ -748,6 +748,24 @@ mod tests {
     }
 
     #[test]
+    fn seed_0x57b0_checksum_aliasing_regression() {
+        // This campaign injects `CorruptData { xor: 0x10 }` on a link
+        // whose probe payload flips bit 4 in balanced directions — a
+        // pattern the old Fletcher-16 end-to-end checksum could not
+        // see (the deltas cancel mod 255), so the corrupted payload
+        // was acknowledged and delivered silently. The CRC-16 stream
+        // checksum detects it, the probe retries, and every invariant
+        // holds on both engines.
+        let spec = MultibutterflySpec::figure1();
+        let campaign = ChaosCampaign::generate(&spec, 0x57b0).unwrap();
+        assert!(campaign
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::CorruptData { xor: 0x10 })));
+        run_campaign_paired(&campaign).expect("seed 0x57b0 must not deliver silent corruption");
+    }
+
+    #[test]
     fn chaos_storm_sweeps_seeds() {
         let spec = MultibutterflySpec::figure1();
         let reports = chaos_storm(&spec, 0x57AB, 2).expect("all campaigns hold");

@@ -1,0 +1,865 @@
+//! Crash-safe checkpoints: a schema-versioned envelope capturing a
+//! scenario run mid-flight, and a resumable runner that continues one
+//! bit-identically.
+//!
+//! A checkpoint is taken at a **tick boundary** — after `sim.tick()`
+//! for some cycle `c`, before anything of cycle `c + 1` happens — and
+//! records three things:
+//!
+//! 1. the **scenario** itself (embedded verbatim, plus its
+//!    `scenario_hash`), so a checkpoint file is self-contained: resume
+//!    needs no side channel to the original `scenarios/*.json`;
+//! 2. the **runner position** (`phase`, `cycle`): which loop of
+//!    [`run_scenario_resumable`] was executing and how many cycles had
+//!    completed;
+//! 3. the **machine state** as one flat word stream
+//!    ([`NetworkSim::save_state`] followed, for `Load` workloads, by
+//!    the [`WorkloadDriver`]'s stream positions), hex-chunked into the
+//!    JSON document.
+//!
+//! The envelope follows the scenario codec's conventions exactly:
+//! unknown fields are rejected at every object level, the schema
+//! version is checked first, and `checkpoint_hash` is the FNV-1a
+//! digest of the rest of the document — a corrupt or truncated file
+//! fails loudly at decode, never as a silently divergent resume.
+//!
+//! Because every component snapshot is taken at a tick boundary and
+//! the sharded engine rewrites its `next` arena completely each tick,
+//! a checkpoint is **shard-count-agnostic**: a run checkpointed under
+//! `shards = 4` resumes bit-identically under `shards = 1` and vice
+//! versa. The bit-identity contract — run `N` cycles, checkpoint,
+//! restore, run `M` more ≡ run `N + M` straight — is proven by the
+//! `checkpoint_identity` proptest suite in `tests/`.
+
+use crate::network::NetworkSim;
+use crate::scenario::codec::{self, check_fields, dec_arr, dec_str, dec_u64, err, get, CodecError};
+use crate::scenario::{apply_due_injections, Scenario, ScenarioResult, WorkloadSpec};
+use crate::workload::{StreamRecipe, StreamSeeds, WorkloadDriver};
+use metro_harness::Json;
+use metro_telemetry::{StateError, StateReader, StateWriter};
+
+/// The newest checkpoint schema version this build writes and reads.
+///
+/// Version history:
+/// * **1** — original schema: embedded scenario, `(phase, cycle)`
+///   runner position, hex-chunked state words.
+pub const CHECKPOINT_SCHEMA: u64 = 1;
+
+/// Hex characters per `"state"` array entry. Chunking keeps lines
+/// editor- and diff-friendly; the chunk boundaries carry no meaning.
+const HEX_CHUNK: usize = 4096;
+
+/// Which loop of the scenario runner a checkpoint was taken in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPhase {
+    /// The driven portion: warmup + measurement for `Load` workloads,
+    /// the whole scripted schedule for `Sends`.
+    Main,
+    /// The post-measurement drain loop (`Load` workloads only).
+    Drain,
+}
+
+impl RunPhase {
+    /// The canonical document spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RunPhase::Main => "main",
+            RunPhase::Drain => "drain",
+        }
+    }
+
+    /// Parses the canonical spelling back.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "main" => Some(RunPhase::Main),
+            "drain" => Some(RunPhase::Drain),
+            _ => None,
+        }
+    }
+}
+
+/// A complete, self-contained snapshot of one scenario run at a tick
+/// boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The scenario being run, embedded verbatim.
+    pub scenario: Scenario,
+    /// Which runner loop was executing.
+    pub phase: RunPhase,
+    /// Cycles completed — equivalently, the next cycle index to run.
+    pub cycle: u64,
+    /// The flat state words: [`NetworkSim::save_state`], then (for
+    /// `Load` workloads) [`WorkloadDriver::save_state`].
+    pub state: Vec<u64>,
+}
+
+impl Checkpoint {
+    /// Snapshots a live run. `driver` must be given exactly when the
+    /// scenario's workload is [`WorkloadSpec::Load`].
+    #[must_use]
+    pub fn capture(
+        scenario: &Scenario,
+        sim: &NetworkSim,
+        driver: Option<&WorkloadDriver>,
+        phase: RunPhase,
+        cycle: u64,
+    ) -> Self {
+        let mut w = StateWriter::new();
+        sim.save_state(&mut w);
+        if let Some(d) = driver {
+            d.save_state(&mut w);
+        }
+        Self {
+            scenario: scenario.clone(),
+            phase,
+            cycle,
+            state: w.into_words(),
+        }
+    }
+
+    /// Restores the captured machine state into a freshly built sim
+    /// (and driver, for `Load` workloads). The sim must come from
+    /// [`NetworkSim::from_scenario`] on this checkpoint's scenario.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] on a corrupt or mismatched state stream.
+    pub fn restore_into(
+        &self,
+        sim: &mut NetworkSim,
+        driver: Option<&mut WorkloadDriver>,
+    ) -> Result<(), StateError> {
+        let mut r = StateReader::new(&self.state);
+        sim.restore_state(&mut r)?;
+        if let Some(d) = driver {
+            d.restore_state(&mut r)?;
+        }
+        r.finish()
+    }
+
+    /// Encodes the checkpoint as a schema-versioned JSON document. Key
+    /// order, hex chunking, and the trailing `checkpoint_hash` are all
+    /// fixed, so equal checkpoints render byte-identically — a resumed
+    /// run's later checkpoints match the straight run's byte for byte.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj([
+            ("checkpoint_schema", Json::from(CHECKPOINT_SCHEMA)),
+            ("scenario", codec::encode(&self.scenario)),
+            (
+                "scenario_hash",
+                Json::from(codec::scenario_hash(&self.scenario)),
+            ),
+            (
+                "runner",
+                Json::obj([
+                    ("phase", Json::from(self.phase.name())),
+                    ("cycle", Json::from(self.cycle)),
+                ]),
+            ),
+            (
+                "state",
+                Json::arr(state_chunks(&self.state).into_iter().map(Json::from)),
+            ),
+        ]);
+        // The digest covers everything above it; appending it last
+        // keeps "hash the document minus this field" well-defined.
+        doc.set(
+            "checkpoint_hash",
+            Json::from(format!("{:#018x}", doc.canonical_hash())),
+        );
+        doc
+    }
+
+    /// Decodes a checkpoint document: schema gate, digest check,
+    /// embedded-scenario decode (with its own hash cross-checked),
+    /// runner-position sanity, state words.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] naming the offending field.
+    pub fn from_json(doc: &Json) -> Result<Self, CodecError> {
+        check_fields(
+            doc,
+            &[
+                "checkpoint_schema",
+                "scenario",
+                "scenario_hash",
+                "runner",
+                "state",
+                "checkpoint_hash",
+            ],
+            "checkpoint",
+        )?;
+        let schema = dec_u64(
+            get(doc, "checkpoint_schema", "checkpoint")?,
+            "checkpoint.checkpoint_schema",
+        )?;
+        if schema == 0 || schema > CHECKPOINT_SCHEMA {
+            return err(
+                "checkpoint.checkpoint_schema",
+                format!(
+                    "unsupported schema version {schema} \
+                     (this build reads 1..={CHECKPOINT_SCHEMA})"
+                ),
+            );
+        }
+        // Integrity first: a flipped bit anywhere in the document is a
+        // digest mismatch, not a subtly different restored machine.
+        let declared = dec_str(
+            get(doc, "checkpoint_hash", "checkpoint")?,
+            "checkpoint.checkpoint_hash",
+        )?;
+        let mut stripped = doc.clone();
+        if let Json::Obj(pairs) = &mut stripped {
+            pairs.retain(|(k, _)| k != "checkpoint_hash");
+        }
+        let actual = format!("{:#018x}", stripped.canonical_hash());
+        if declared != actual {
+            return err(
+                "checkpoint.checkpoint_hash",
+                format!("digest mismatch: document hashes to {actual}, header says {declared}"),
+            );
+        }
+        let scenario =
+            codec::decode(get(doc, "scenario", "checkpoint")?).map_err(|e| CodecError {
+                path: format!("checkpoint.{}", e.path),
+                message: e.message,
+            })?;
+        let declared_scenario = dec_str(
+            get(doc, "scenario_hash", "checkpoint")?,
+            "checkpoint.scenario_hash",
+        )?;
+        let actual_scenario = codec::scenario_hash(&scenario);
+        if declared_scenario != actual_scenario {
+            return err(
+                "checkpoint.scenario_hash",
+                format!(
+                    "embedded scenario hashes to {actual_scenario}, \
+                     header says {declared_scenario}"
+                ),
+            );
+        }
+        let runner = get(doc, "runner", "checkpoint")?;
+        check_fields(runner, &["phase", "cycle"], "checkpoint.runner")?;
+        let phase_name = dec_str(
+            get(runner, "phase", "checkpoint.runner")?,
+            "checkpoint.runner.phase",
+        )?;
+        let Some(phase) = RunPhase::from_name(phase_name) else {
+            return err(
+                "checkpoint.runner.phase",
+                format!("unknown run phase {phase_name:?}"),
+            );
+        };
+        let cycle = dec_u64(
+            get(runner, "cycle", "checkpoint.runner")?,
+            "checkpoint.runner.cycle",
+        )?;
+        validate_position(&scenario, phase, cycle)?;
+        let state = dec_state(get(doc, "state", "checkpoint")?, "checkpoint.state")?;
+        Ok(Self {
+            scenario,
+            phase,
+            cycle,
+            state,
+        })
+    }
+
+    /// Parses and decodes a checkpoint from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON parse diagnostic or the decode error as a
+    /// string.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&doc).map_err(|e| e.to_string())
+    }
+}
+
+/// Rejects runner positions the scenario's own loops could never have
+/// produced — a mislabelled or hand-mangled file, caught at decode.
+fn validate_position(scenario: &Scenario, phase: RunPhase, cycle: u64) -> Result<(), CodecError> {
+    match &scenario.workload {
+        WorkloadSpec::Load {
+            warmup,
+            measure,
+            drain,
+            ..
+        } => {
+            let total = warmup + measure;
+            let ok = match phase {
+                RunPhase::Main => cycle <= total,
+                RunPhase::Drain => cycle >= total && cycle <= total + drain,
+            };
+            if !ok {
+                return err(
+                    "checkpoint.runner.cycle",
+                    format!(
+                        "cycle {cycle} is outside the {} phase of a \
+                         warmup={warmup} measure={measure} drain={drain} workload",
+                        phase.name()
+                    ),
+                );
+            }
+        }
+        WorkloadSpec::Sends { cycles, .. } => {
+            if phase == RunPhase::Drain {
+                return err(
+                    "checkpoint.runner.phase",
+                    "a scripted workload has no drain phase",
+                );
+            }
+            if cycle > *cycles {
+                return err(
+                    "checkpoint.runner.cycle",
+                    format!("cycle {cycle} is beyond the schedule's {cycles} cycles"),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the state words as fixed-width hex, split into chunks.
+fn state_chunks(words: &[u64]) -> Vec<String> {
+    let mut hex = String::with_capacity(words.len() * 16);
+    for &w in words {
+        use std::fmt::Write as _;
+        let _ = write!(hex, "{w:016x}");
+    }
+    if hex.is_empty() {
+        return Vec::new();
+    }
+    hex.as_bytes()
+        .chunks(HEX_CHUNK)
+        // Chunk boundaries land on ASCII hex digits, never mid-UTF-8.
+        .map(|c| String::from_utf8(c.to_vec()).expect("hex is ASCII"))
+        .collect()
+}
+
+/// Reassembles the state words from the document's hex chunks.
+fn dec_state(doc: &Json, path: &str) -> Result<Vec<u64>, CodecError> {
+    let chunks = dec_arr(doc, path)?;
+    let mut hex = String::new();
+    for (i, c) in chunks.iter().enumerate() {
+        hex.push_str(dec_str(c, &format!("{path}[{i}]"))?);
+    }
+    if !hex.len().is_multiple_of(16) {
+        return err(
+            path,
+            format!(
+                "{} hex digits is not a whole number of 64-bit words",
+                hex.len()
+            ),
+        );
+    }
+    (0..hex.len() / 16)
+        .map(|i| {
+            u64::from_str_radix(&hex[i * 16..(i + 1) * 16], 16).map_err(|_| CodecError {
+                path: path.to_string(),
+                message: format!("word {i} is not hex"),
+            })
+        })
+        .collect()
+}
+
+/// A checkpoint receiver: called with each periodic snapshot; an error
+/// aborts the run (a checkpoint that cannot be persisted is not crash
+/// safety).
+pub type SinkFn<'a> = dyn FnMut(&Checkpoint) -> Result<(), Box<dyn std::error::Error>> + 'a;
+
+/// A periodic checkpoint request for [`run_scenario_resumable`].
+pub struct CheckpointSink<'a> {
+    /// Take a checkpoint every this many completed cycles (0 disables).
+    pub every: u64,
+    /// Receives each checkpoint as it is taken; an error aborts the
+    /// run (a checkpoint that cannot be persisted is not crash safety).
+    pub sink: &'a mut SinkFn<'a>,
+}
+
+impl std::fmt::Debug for CheckpointSink<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointSink")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+fn take_checkpoint(
+    hook: &mut Option<CheckpointSink<'_>>,
+    scenario: &Scenario,
+    sim: &NetworkSim,
+    driver: Option<&WorkloadDriver>,
+    phase: RunPhase,
+    cycle: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(h) = hook.as_mut() else {
+        return Ok(());
+    };
+    if h.every == 0 || !cycle.is_multiple_of(h.every) {
+        return Ok(());
+    }
+    let ckpt = Checkpoint::capture(scenario, sim, driver, phase, cycle);
+    (h.sink)(&ckpt)
+}
+
+/// Resumes a checkpointed run to completion: rebuilds the sim (and
+/// driver) from the embedded scenario, restores the captured state,
+/// and re-enters the runner loop at the recorded position. The result
+/// is bit-identical to the run the checkpoint interrupted.
+///
+/// # Errors
+///
+/// Propagates topology validation and state-restore errors.
+pub fn resume_scenario(
+    ckpt: &Checkpoint,
+) -> Result<(ScenarioResult, NetworkSim), Box<dyn std::error::Error>> {
+    run_scenario_resumable(&ckpt.scenario, Some(ckpt), None)
+}
+
+/// [`resume_scenario`], continuing to take periodic checkpoints — the
+/// engine behind `metro resume` when the original run asked for
+/// `--checkpoint-every`.
+///
+/// # Errors
+///
+/// Propagates topology validation, state-restore, and sink errors.
+pub fn resume_scenario_with(
+    ckpt: &Checkpoint,
+    hook: Option<CheckpointSink<'_>>,
+) -> Result<(ScenarioResult, NetworkSim), Box<dyn std::error::Error>> {
+    run_scenario_resumable(&ckpt.scenario, Some(ckpt), hook)
+}
+
+/// The scenario runner, generalized over a start position and a
+/// checkpoint hook. `run_scenario_with_sim` is exactly
+/// `run_scenario_resumable(scenario, None, None)`; `metro resume`
+/// enters here through [`resume_scenario`].
+///
+/// Invariants that make resume bit-identical:
+///
+/// * Checkpoints happen only at tick boundaries, after `sim.tick()`
+///   for cycle `c`, recorded as `cycle = c + 1` — the state every
+///   component snapshot assumes.
+/// * The runner's injection bookkeeping (`active`, `pending`) is
+///   **replayed**, not snapshotted: every injection with `at <
+///   start_cycle` merges before the loop re-enters. The sim-side
+///   fault tables come from the checkpoint itself
+///   ([`NetworkSim::restore_state`] re-applies the saved fault set),
+///   so the two stay in lock-step with the straight run.
+/// * `Sends` schedules are likewise replayed by retaining only the
+///   entries the interrupted run had not yet consumed
+///   (`at >= start_cycle`).
+///
+/// # Errors
+///
+/// Propagates topology validation errors; an analytic-engine scenario
+/// is rejected by [`NetworkSim::from_scenario`]. A `resume` checkpoint
+/// whose state stream does not fit the scenario-built machine is a
+/// [`StateError`].
+pub fn run_scenario_resumable(
+    scenario: &Scenario,
+    resume: Option<&Checkpoint>,
+    mut hook: Option<CheckpointSink<'_>>,
+) -> Result<(ScenarioResult, NetworkSim), Box<dyn std::error::Error>> {
+    let mut sim = NetworkSim::from_scenario(scenario)?;
+    let n = sim.topology().endpoints();
+    let mut active = scenario.faults.clone();
+    let mut pending = scenario.injections.clone();
+    pending.sort_by_key(|i| i.at);
+    let (start_phase, start_cycle) = match resume {
+        Some(c) => (c.phase, c.cycle),
+        None => (RunPhase::Main, 0),
+    };
+    // Replay the injection schedule up to the resume point. The loop
+    // below applies injections with `at <= now` at the start of cycle
+    // `now`, so everything with `at < start_cycle` has already merged.
+    while pending.first().is_some_and(|i| i.at < start_cycle) {
+        let injection = pending.remove(0);
+        active.merge(&injection.faults);
+        injection.repairs.apply_to(&mut active);
+    }
+
+    let mut point = None;
+    match &scenario.workload {
+        WorkloadSpec::Load {
+            pattern,
+            arrival,
+            rates,
+            load,
+            payload_words,
+            warmup,
+            measure,
+            drain,
+        } => {
+            let stream_words = sim.stream_for(0, &vec![0; *payload_words]).len();
+            let recipe = StreamRecipe {
+                arrival,
+                rates,
+                pattern,
+                load: *load,
+                stream_words,
+                payload_words: *payload_words,
+                endpoints: n,
+                seeds: StreamSeeds::load(scenario.seed),
+            };
+            let mut driver = recipe.driver();
+            if let Some(c) = resume {
+                c.restore_into(&mut sim, Some(&mut driver))?;
+            }
+            let payload: Vec<u16> = (0..*payload_words).map(|k| k as u16).collect();
+            let total = warmup + measure;
+            let main_start = match start_phase {
+                RunPhase::Main => start_cycle,
+                RunPhase::Drain => total,
+            };
+            for cycle in main_start..total {
+                if cycle == *warmup {
+                    sim.reset_stats();
+                }
+                apply_due_injections(&mut sim, &mut pending, &mut active, cycle);
+                driver.poll(cycle, |a| {
+                    if a.payload_words == payload.len() {
+                        sim.send(a.src, a.dest, &payload);
+                    } else {
+                        // Trace entries may carry their own sizes.
+                        let p: Vec<u16> = (0..a.payload_words).map(|k| k as u16).collect();
+                        sim.send(a.src, a.dest, &p);
+                    }
+                });
+                sim.tick();
+                take_checkpoint(
+                    &mut hook,
+                    scenario,
+                    &sim,
+                    Some(&driver),
+                    RunPhase::Main,
+                    cycle + 1,
+                )?;
+            }
+            let drain_start = match start_phase {
+                RunPhase::Drain => start_cycle,
+                RunPhase::Main => total,
+            };
+            for cycle in drain_start..total + drain {
+                if sim.is_quiescent() {
+                    break;
+                }
+                apply_due_injections(&mut sim, &mut pending, &mut active, cycle);
+                sim.tick();
+                take_checkpoint(
+                    &mut hook,
+                    scenario,
+                    &sim,
+                    Some(&driver),
+                    RunPhase::Drain,
+                    cycle + 1,
+                )?;
+            }
+            let stats = sim.stats_mut();
+            let delivered = stats.delivered;
+            point = Some(crate::experiment::LoadPoint {
+                offered: *load,
+                accepted: delivered as f64 * stream_words as f64 / *measure as f64 / n as f64,
+                mean_latency: stats.total_latency.mean(),
+                p50_latency: stats.total_latency.percentile(50.0),
+                p95_latency: stats.total_latency.percentile(95.0),
+                mean_network_latency: stats.network_latency.mean(),
+                retries_per_message: stats.retries_per_message(),
+                delivered,
+            });
+        }
+        WorkloadSpec::Sends { sends, cycles } => {
+            if let Some(c) = resume {
+                c.restore_into(&mut sim, None)?;
+            }
+            let mut queue = sends.clone();
+            queue.sort_by_key(|s| s.at);
+            // Sends with `at <= now` are consumed at the start of cycle
+            // `now`, so the interrupted run had drained everything
+            // scheduled before `start_cycle`.
+            queue.retain(|s| s.at >= start_cycle);
+            for now in start_cycle..*cycles {
+                while let Some(s) = queue.first() {
+                    if s.at > now {
+                        break;
+                    }
+                    let s = queue.remove(0);
+                    sim.send(s.src % n, s.dest % n, &s.payload);
+                }
+                apply_due_injections(&mut sim, &mut pending, &mut active, now);
+                sim.tick();
+                take_checkpoint(&mut hook, scenario, &sim, None, RunPhase::Main, now + 1)?;
+            }
+        }
+    }
+
+    let outcomes = sim.drain_outcomes();
+    let payload_words = outcomes.iter().map(|o| o.payload_words).sum();
+    let fabric_idle = sim.fabric_idle();
+    let telemetry_every = sim.telemetry().interval();
+    let stats = sim.stats_mut();
+    let result = ScenarioResult {
+        delivered: stats.delivered,
+        abandoned: stats.abandoned,
+        point,
+        payload_words,
+        fabric_idle,
+        telemetry_every,
+        outcomes,
+    };
+    Ok((result, sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_scenario, SendSpec};
+    use crate::traffic::TrafficPattern;
+    use crate::workload::{ArrivalProcess, RateMap};
+    use metro_topo::fault::{FaultKind, FaultSet};
+    use metro_topo::graph::LinkId;
+    use metro_topo::multibutterfly::MultibutterflySpec;
+
+    fn load_scenario() -> Scenario {
+        let mut faults = FaultSet::new();
+        faults.break_link(LinkId::new(0, 1, 0), FaultKind::CorruptData { xor: 0x10 });
+        let mut injected = FaultSet::new();
+        injected.kill_router(1, 2);
+        Scenario {
+            name: "ckpt-load".to_string(),
+            topology: MultibutterflySpec::figure1(),
+            sim: crate::network::SimConfig::default(),
+            seed: 0xC4A7,
+            faults,
+            injections: vec![crate::scenario::FaultInjection {
+                at: 150,
+                faults: injected,
+                repairs: crate::scenario::RepairSet::default(),
+            }],
+            workload: WorkloadSpec::Load {
+                pattern: TrafficPattern::Uniform,
+                arrival: ArrivalProcess::Bernoulli,
+                rates: RateMap::Uniform,
+                load: 0.3,
+                payload_words: 7,
+                warmup: 100,
+                measure: 300,
+                drain: 200,
+            },
+        }
+    }
+
+    /// Runs with a single mid-run checkpoint at `at` and returns
+    /// (straight result, checkpoint).
+    fn checkpoint_at(scenario: &Scenario, at: u64) -> (ScenarioResult, Checkpoint) {
+        let mut taken = None;
+        let mut sink = |c: &Checkpoint| {
+            if c.cycle == at {
+                taken = Some(c.clone());
+            }
+            Ok(())
+        };
+        let (result, _sim) = run_scenario_resumable(
+            scenario,
+            None,
+            Some(CheckpointSink {
+                every: at,
+                sink: &mut sink,
+            }),
+        )
+        .unwrap();
+        (result, taken.expect("checkpoint at requested cycle"))
+    }
+
+    #[test]
+    fn resumed_run_matches_the_straight_run_exactly() {
+        let s = load_scenario();
+        // Checkpoint mid-warmup, mid-measure (after the injection), and
+        // straddling the stats reset.
+        for at in [60, 100, 250] {
+            let (straight, ckpt) = checkpoint_at(&s, at);
+            assert_eq!(ckpt.phase, RunPhase::Main);
+            let (resumed, _sim) = resume_scenario(&ckpt).unwrap();
+            assert_eq!(resumed, straight, "resume at cycle {at} diverged");
+        }
+    }
+
+    #[test]
+    fn resume_crosses_the_drain_boundary() {
+        let s = load_scenario();
+        // every=401 fires first at cycle 401 — inside the drain loop
+        // (total = 400) unless the fabric went quiescent immediately.
+        let mut taken = None;
+        let mut sink = |c: &Checkpoint| {
+            taken.get_or_insert_with(|| c.clone());
+            Ok(())
+        };
+        let (straight, _sim) = run_scenario_resumable(
+            &s,
+            None,
+            Some(CheckpointSink {
+                every: 401,
+                sink: &mut sink,
+            }),
+        )
+        .unwrap();
+        let ckpt = taken.expect("drain-phase checkpoint");
+        assert_eq!(ckpt.phase, RunPhase::Drain);
+        let (resumed, _sim) = resume_scenario(&ckpt).unwrap();
+        assert_eq!(resumed, straight);
+    }
+
+    #[test]
+    fn scripted_runs_resume_identically() {
+        let sends = vec![
+            SendSpec {
+                at: 0,
+                src: 1,
+                dest: 6,
+                payload: vec![1, 2, 3],
+            },
+            SendSpec {
+                at: 90,
+                src: 3,
+                dest: 0,
+                payload: vec![9; 5],
+            },
+            SendSpec {
+                at: 400,
+                src: 5,
+                dest: 2,
+                payload: vec![4],
+            },
+        ];
+        let s = Scenario::scripted("ckpt-sends", MultibutterflySpec::small8(), sends, 1_200);
+        for at in [50, 100, 600] {
+            let (straight, ckpt) = checkpoint_at(&s, at);
+            let (resumed, _sim) = resume_scenario(&ckpt).unwrap();
+            assert_eq!(resumed, straight, "resume at cycle {at} diverged");
+        }
+    }
+
+    #[test]
+    fn a_resumed_runs_later_checkpoints_match_the_straight_runs() {
+        let s = load_scenario();
+        let mut straight_ckpts = Vec::new();
+        let mut sink = |c: &Checkpoint| {
+            straight_ckpts.push(c.to_json().render());
+            Ok(())
+        };
+        let (_r, _sim) = run_scenario_resumable(
+            &s,
+            None,
+            Some(CheckpointSink {
+                every: 100,
+                sink: &mut sink,
+            }),
+        )
+        .unwrap();
+        assert!(straight_ckpts.len() >= 4, "{}", straight_ckpts.len());
+        // Resume from the first checkpoint and compare every later one
+        // byte for byte.
+        let first = Checkpoint::from_text(&straight_ckpts[0]).unwrap();
+        let mut resumed_ckpts = Vec::new();
+        let mut sink = |c: &Checkpoint| {
+            resumed_ckpts.push(c.to_json().render());
+            Ok(())
+        };
+        let (_r, _sim) = resume_scenario_with(
+            &first,
+            Some(CheckpointSink {
+                every: 100,
+                sink: &mut sink,
+            }),
+        )
+        .unwrap();
+        assert_eq!(resumed_ckpts, straight_ckpts[1..].to_vec());
+    }
+
+    #[test]
+    fn envelope_round_trips_byte_stably() {
+        let s = load_scenario();
+        let (_straight, ckpt) = checkpoint_at(&s, 120);
+        let doc = ckpt.to_json();
+        let back = Checkpoint::from_json(&doc).unwrap();
+        assert_eq!(back, ckpt);
+        let text = doc.render();
+        assert_eq!(back.to_json().render(), text);
+        assert_eq!(Checkpoint::from_text(&text).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn corrupt_documents_fail_the_digest_check() {
+        let s = load_scenario();
+        let (_straight, ckpt) = checkpoint_at(&s, 80);
+        let text = ckpt.to_json().render();
+        // Flip one state digit (the first chunk's first hex char that
+        // has a distinct flip partner).
+        let tag = "\"state\": [";
+        let i = text.find(tag).unwrap() + tag.len() + 6;
+        let orig = text.as_bytes()[i] as char;
+        let flipped = if orig == '0' { '1' } else { '0' };
+        let mut bytes = text.clone().into_bytes();
+        bytes[i] = flipped as u8;
+        let corrupt = String::from_utf8(bytes).unwrap();
+        let e = Checkpoint::from_text(&corrupt).unwrap_err();
+        assert!(e.contains("digest mismatch"), "{e}");
+    }
+
+    #[test]
+    fn unknown_fields_and_bad_positions_are_rejected() {
+        let s = load_scenario();
+        let (_straight, ckpt) = checkpoint_at(&s, 80);
+        let mut doc = ckpt.to_json();
+        doc.set("surprise", Json::from(1u64));
+        // Re-stamp the digest so the unknown field itself is reached.
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "checkpoint_hash");
+        }
+        let h = format!("{:#018x}", doc.canonical_hash());
+        doc.set("checkpoint_hash", Json::from(h));
+        let e = Checkpoint::from_json(&doc).unwrap_err();
+        assert!(e.message.contains("surprise"), "{e:?}");
+
+        // A runner position the workload could never produce.
+        let mut bad = ckpt.clone();
+        bad.cycle = 10_000;
+        let e = Checkpoint::from_json(&bad.to_json()).unwrap_err();
+        assert_eq!(e.path, "checkpoint.runner.cycle");
+
+        // Drain phase on a scripted workload.
+        let scripted = Scenario::scripted("x", MultibutterflySpec::small8(), vec![], 100);
+        let (_r, mut sc) = checkpoint_at(&scripted, 50);
+        sc.phase = RunPhase::Drain;
+        let e = Checkpoint::from_json(&sc.to_json()).unwrap_err();
+        assert_eq!(e.path, "checkpoint.runner.phase");
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let s = load_scenario();
+        let (_straight, ckpt) = checkpoint_at(&s, 80);
+        let mut doc = ckpt.to_json();
+        doc.set("checkpoint_schema", Json::from(2u64));
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "checkpoint_hash");
+        }
+        let h = format!("{:#018x}", doc.canonical_hash());
+        doc.set("checkpoint_hash", Json::from(h));
+        let e = Checkpoint::from_json(&doc).unwrap_err();
+        assert!(e.message.contains("unsupported schema version"), "{e:?}");
+    }
+
+    #[test]
+    fn run_scenario_with_sim_is_the_unresumed_runner() {
+        let s = load_scenario();
+        let plain = run_scenario(&s).unwrap();
+        let (via_resumable, _sim) = run_scenario_resumable(&s, None, None).unwrap();
+        assert_eq!(plain, via_resumable);
+    }
+}

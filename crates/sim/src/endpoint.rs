@@ -20,10 +20,64 @@
 //! latency (paper §5.1, DATA-IDLE use 1).
 
 use crate::message::{
-    DeliveryRecord, DeliveryStatus, FailureKind, MessageOutcome, ACK_CORRUPT, ACK_OK,
+    read_u16s, save_u16s, DeliveryRecord, DeliveryStatus, FailureKind, MessageOutcome, ACK_CORRUPT,
+    ACK_OK,
 };
+use metro_core::word::phit;
 use metro_core::{RandomSource, StreamChecksum, Word};
+use metro_telemetry::{StateError, StateReader, StateWriter};
 use std::collections::VecDeque;
+
+fn bad(detail: String) -> StateError {
+    StateError::BadValue {
+        section: String::from("endpoint"),
+        detail,
+    }
+}
+
+fn save_stream(w: &mut StateWriter, stream: &[Word]) {
+    w.usize(stream.len());
+    for &word in stream {
+        w.u64(phit::pack(word));
+    }
+}
+
+fn read_stream(r: &mut StateReader<'_>) -> Result<Vec<Word>, StateError> {
+    let n = r.usize()?;
+    if n > r.remaining() {
+        return Err(bad(format!("{n}-word stream exceeds the checkpoint")));
+    }
+    (0..n)
+        .map(|_| {
+            let cell = r.u64()?;
+            phit::unpack(cell).ok_or_else(|| bad(format!("{cell:#x} is not a packed word")))
+        })
+        .collect()
+}
+
+fn save_streams(w: &mut StateWriter, streams: &[Vec<Word>]) {
+    w.usize(streams.len());
+    for s in streams {
+        save_stream(w, s);
+    }
+}
+
+fn read_streams(r: &mut StateReader<'_>) -> Result<Vec<Vec<Word>>, StateError> {
+    let n = r.usize()?;
+    if n > r.remaining() {
+        return Err(bad(format!("{n}-stream list exceeds the checkpoint")));
+    }
+    (0..n).map(|_| read_stream(r)).collect()
+}
+
+/// Reads a `n > remaining`-guarded element count for a list restore.
+fn read_count(r: &mut StateReader<'_>, what: &str) -> Result<usize, StateError> {
+    let n = r.usize()?;
+    if n > r.remaining() {
+        return Err(bad(format!("{n}-entry {what} list exceeds the checkpoint")));
+    }
+    Ok(n)
+}
 
 /// How a destination responds once a message has fully arrived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -904,6 +958,326 @@ impl Endpoint {
     }
 }
 
+impl ActiveMessage {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.dest);
+        w.usize(self.payload_words);
+        save_stream(w, &self.stream);
+        w.usize(self.pending_segments.len());
+        for seg in &self.pending_segments {
+            save_stream(w, seg);
+        }
+        save_streams(w, &self.all_segments);
+        w.u64(self.requested_at);
+        w.opt_u64(self.first_injection_at);
+        w.u64(self.attempt_started_at);
+        w.usize(self.retries);
+        w.usize(self.failures.len());
+        for f in &self.failures {
+            f.save_state(w);
+        }
+        self.record.save_state(w);
+        w.usize(self.failure_records.len());
+        for (port, record) in &self.failure_records {
+            w.usize(*port);
+            record.save_state(w);
+        }
+        w.usize(self.port);
+        w.opt_u64(self.success_at);
+        w.bool(self.saw_reverse_activity);
+    }
+
+    fn restore_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let dest = r.usize()?;
+        let payload_words = r.usize()?;
+        let stream = read_stream(r)?;
+        let n = read_count(r, "pending-segment")?;
+        let pending_segments = (0..n).map(|_| read_stream(r)).collect::<Result<_, _>>()?;
+        let all_segments = read_streams(r)?;
+        let requested_at = r.u64()?;
+        let first_injection_at = r.opt_u64()?;
+        let attempt_started_at = r.u64()?;
+        let retries = r.usize()?;
+        let n = read_count(r, "failure")?;
+        let failures = (0..n)
+            .map(|_| FailureKind::restore_state(r))
+            .collect::<Result<_, _>>()?;
+        let record = DeliveryRecord::restore_state(r)?;
+        let n = read_count(r, "failure-record")?;
+        let failure_records = (0..n)
+            .map(|_| Ok((r.usize()?, DeliveryRecord::restore_state(r)?)))
+            .collect::<Result<_, StateError>>()?;
+        Ok(Self {
+            dest,
+            payload_words,
+            stream,
+            pending_segments,
+            all_segments,
+            requested_at,
+            first_injection_at,
+            attempt_started_at,
+            retries,
+            failures,
+            record,
+            failure_records,
+            port: r.usize()?,
+            success_at: r.opt_u64()?,
+            saw_reverse_activity: r.bool()?,
+        })
+    }
+}
+
+impl TxEngine {
+    fn save_state(&self, w: &mut StateWriter) {
+        match self.state {
+            TxState::Idle => w.u64(0),
+            TxState::Backoff { until } => {
+                w.u64(1);
+                w.u64(until);
+            }
+            TxState::Sending { idx } => {
+                w.u64(2);
+                w.usize(idx);
+            }
+            TxState::Awaiting => w.u64(3),
+            TxState::Aborting { step } => {
+                w.u64(4);
+                w.usize(step);
+            }
+        }
+        w.u64(self.gap_until);
+        match &self.active {
+            None => w.bool(false),
+            Some(msg) => {
+                w.bool(true);
+                msg.save_state(w);
+            }
+        }
+    }
+
+    fn restore_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let state = match r.u64()? {
+            0 => TxState::Idle,
+            1 => TxState::Backoff { until: r.u64()? },
+            2 => TxState::Sending { idx: r.usize()? },
+            3 => TxState::Awaiting,
+            4 => TxState::Aborting { step: r.usize()? },
+            k => return Err(bad(format!("{k} is not a transmit state"))),
+        };
+        let gap_until = r.u64()?;
+        let active = if r.bool()? {
+            Some(Box::new(ActiveMessage::restore_state(r)?))
+        } else {
+            None
+        };
+        if active.is_none() && !matches!(state, TxState::Idle) {
+            return Err(bad(String::from(
+                "a non-idle transmit state requires an active message",
+            )));
+        }
+        Ok(Self {
+            state,
+            active,
+            gap_until,
+        })
+    }
+}
+
+impl RxState {
+    fn save_state(&self, w: &mut StateWriter) {
+        match self {
+            RxState::Idle => w.u64(0),
+            RxState::Receiving {
+                payload,
+                expected,
+                cksum,
+            } => {
+                w.u64(1);
+                save_u16s(w, payload);
+                w.opt_u64(expected.map(u64::from));
+                w.u64(u64::from(cksum.value()));
+            }
+            RxState::Replying { queue } => {
+                w.u64(2);
+                w.usize(queue.len());
+                for &word in queue {
+                    w.u64(phit::pack(word));
+                }
+            }
+        }
+    }
+
+    fn restore_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.u64()? {
+            0 => RxState::Idle,
+            1 => {
+                let payload = read_u16s(r).map_err(|e| bad(e.to_string()))?;
+                let expected = match r.opt_u64()? {
+                    None => None,
+                    Some(v) => Some(
+                        u16::try_from(v)
+                            .map_err(|_| bad(format!("checksum {v} overflows 16 bits")))?,
+                    ),
+                };
+                let sum = r.u64()?;
+                let sum = u16::try_from(sum)
+                    .map_err(|_| bad(format!("checksum state {sum} overflows 16 bits")))?;
+                RxState::Receiving {
+                    payload,
+                    expected,
+                    cksum: StreamChecksum::from_value(sum),
+                }
+            }
+            2 => {
+                let n = read_count(r, "reply-queue")?;
+                let mut queue = VecDeque::with_capacity(n);
+                for _ in 0..n {
+                    let cell = r.u64()?;
+                    queue.push_back(
+                        phit::unpack(cell)
+                            .ok_or_else(|| bad(format!("{cell:#x} is not a packed word")))?,
+                    );
+                }
+                RxState::Replying { queue }
+            }
+            k => return Err(bad(format!("{k} is not a receive state"))),
+        })
+    }
+}
+
+impl Endpoint {
+    /// Appends the endpoint's complete mutable state to a checkpoint
+    /// stream: the RNG, every transmit engine (including in-flight
+    /// messages and retry budgets), the waiting queue, the receive
+    /// engines, unharvested outcome/delivery/evidence logs, and the
+    /// healing port masks. Identity and configuration (`id`, port
+    /// counts, `EndpointConfig`) are rebuilt from the scenario; the
+    /// `dead` flag is owned by the fault set, re-applied before restore.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.section("endpoint");
+        w.u64(self.rng.state_bits());
+        w.usize(self.engines.len());
+        for eng in &self.engines {
+            eng.save_state(w);
+        }
+        w.usize(self.queue.len());
+        for q in &self.queue {
+            w.usize(q.dest);
+            w.usize(q.payload_words);
+            save_streams(w, &q.segments);
+            w.u64(q.requested_at);
+        }
+        w.usize(self.rx.len());
+        for rx in &self.rx {
+            rx.save_state(w);
+        }
+        w.usize(self.completed.len());
+        for o in &self.completed {
+            o.save_state(w);
+        }
+        w.usize(self.abandoned.len());
+        for o in &self.abandoned {
+            o.save_state(w);
+        }
+        w.usize(self.delivered.len());
+        for d in &self.delivered {
+            save_u16s(w, &d.payload);
+            w.u64(d.at);
+        }
+        w.usize(self.evidence.len());
+        for ev in &self.evidence {
+            w.usize(ev.src);
+            w.usize(ev.dest);
+            w.usize(ev.port);
+            ev.kind.save_state(w);
+            ev.record.save_state(w);
+            save_stream(w, &ev.stream);
+            w.bool(ev.entry_alive);
+        }
+        for &m in &self.port_masked {
+            w.bool(m);
+        }
+    }
+
+    /// Overwrites the endpoint's mutable state from a checkpoint
+    /// stream ([`Endpoint::save_state`]'s inverse).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] on a shape mismatch (engine or port counts differ
+    /// from the scenario-built endpoint) or a corrupt stream.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        r.section("endpoint")?;
+        self.rng = RandomSource::from_state_bits(r.u64()?);
+        let n = r.usize()?;
+        if n != self.engines.len() {
+            return Err(bad(format!(
+                "saved {n} transmit engines, endpoint has {}",
+                self.engines.len()
+            )));
+        }
+        for eng in &mut self.engines {
+            *eng = TxEngine::restore_state(r)?;
+        }
+        let n = read_count(r, "queued-message")?;
+        self.queue = (0..n)
+            .map(|_| {
+                Ok(QueuedMessage {
+                    dest: r.usize()?,
+                    payload_words: r.usize()?,
+                    segments: read_streams(r)?,
+                    requested_at: r.u64()?,
+                })
+            })
+            .collect::<Result<_, StateError>>()?;
+        let n = r.usize()?;
+        if n != self.rx.len() {
+            return Err(bad(format!(
+                "saved {n} receive engines, endpoint has {}",
+                self.rx.len()
+            )));
+        }
+        for rx in &mut self.rx {
+            *rx = RxState::restore_state(r)?;
+        }
+        let n = read_count(r, "completed-outcome")?;
+        self.completed = (0..n)
+            .map(|_| MessageOutcome::restore_state(r))
+            .collect::<Result<_, _>>()?;
+        let n = read_count(r, "abandoned-outcome")?;
+        self.abandoned = (0..n)
+            .map(|_| MessageOutcome::restore_state(r))
+            .collect::<Result<_, _>>()?;
+        let n = read_count(r, "delivery")?;
+        self.delivered = (0..n)
+            .map(|_| {
+                Ok(Delivered {
+                    payload: read_u16s(r)?,
+                    at: r.u64()?,
+                })
+            })
+            .collect::<Result<_, StateError>>()?;
+        let n = read_count(r, "evidence")?;
+        self.evidence = (0..n)
+            .map(|_| {
+                Ok(AttemptEvidence {
+                    src: r.usize()?,
+                    dest: r.usize()?,
+                    port: r.usize()?,
+                    kind: FailureKind::restore_state(r)?,
+                    record: DeliveryRecord::restore_state(r)?,
+                    stream: read_stream(r)?,
+                    entry_alive: r.bool()?,
+                })
+            })
+            .collect::<Result<_, StateError>>()?;
+        for m in &mut self.port_masked {
+            *m = r.bool()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1157,6 +1531,58 @@ mod tests {
             "figure 3 restriction: one entering port at a time"
         );
         assert_eq!(e.queue_len(), 1);
+    }
+
+    #[test]
+    fn save_restore_resumes_mid_message_bit_identically() {
+        let cfg = EndpointConfig {
+            timeout: 9,
+            retry_backoff_max: 3,
+            ..EndpointConfig::default()
+        };
+        // Drive an endpoint mid-retry-storm (idle inputs: every attempt
+        // times out, exercising the RNG, backoff, and abort paths),
+        // checkpoint, restore into a fresh twin, and lock-step both.
+        let mut live = Endpoint::new(0, 2, 2, cfg, 77);
+        live.enqueue(3, vec![1, 2], stream_for(&[1, 2]), 0);
+        live.enqueue(5, vec![9], stream_for(&[9]), 4);
+        for now in 0..20 {
+            live.tick(now, &EndpointIo::idle(2, 2));
+        }
+        let mut w = StateWriter::new();
+        live.save_state(&mut w);
+        let words = w.into_words();
+
+        let mut twin = Endpoint::new(0, 2, 2, cfg, 77);
+        let mut r = StateReader::new(&words);
+        twin.restore_state(&mut r).expect("restore");
+        r.finish().expect("no trailing state");
+
+        for now in 20..80 {
+            let io = EndpointIo::idle(2, 2);
+            assert_eq!(live.tick(now, &io), twin.tick(now, &io), "cycle {now}");
+        }
+        assert_eq!(live.take_completed(), twin.take_completed());
+        assert_eq!(live.take_abandoned(), twin.take_abandoned());
+        assert_eq!(live.queue_len(), twin.queue_len());
+    }
+
+    #[test]
+    fn restore_rejects_an_engine_count_mismatch() {
+        let mut one = Endpoint::new(0, 2, 2, EndpointConfig::default(), 7);
+        let mut w = StateWriter::new();
+        one.save_state(&mut w);
+        let words = w.into_words();
+        let two = EndpointConfig {
+            max_concurrent: 2,
+            ..EndpointConfig::default()
+        };
+        let mut other = Endpoint::new(0, 2, 2, two, 7);
+        let mut r = StateReader::new(&words);
+        assert!(other.restore_state(&mut r).is_err());
+        // And the original still restores cleanly.
+        let mut r = StateReader::new(&words);
+        one.restore_state(&mut r).expect("self-restore");
     }
 
     #[test]

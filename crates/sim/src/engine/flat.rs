@@ -14,11 +14,65 @@ use super::{boundary_delay, shard::ShardState, Engine, StepCtx};
 use crate::network::SimConfig;
 use crate::shard::ShardPlan;
 use crate::wire::Wire;
+use metro_core::word::phit;
 use metro_core::Word;
+use metro_telemetry::{StateError, StateReader, StateWriter};
 use metro_topo::fault::FaultSet;
 use metro_topo::flatlinks::{FlatLinks, FlatTarget};
 use metro_topo::graph::LinkId;
 use metro_topo::multibutterfly::Multibutterfly;
+
+/// Appends a word lane to a checkpoint stream (length-prefixed packed
+/// cells). Shared by both engines' snapshots.
+pub(crate) fn save_words(w: &mut StateWriter, lane: &[Word]) {
+    w.usize(lane.len());
+    for &word in lane {
+        w.u64(phit::pack(word));
+    }
+}
+
+/// Overwrites a word lane from a checkpoint stream, in place.
+pub(crate) fn restore_words(r: &mut StateReader<'_>, lane: &mut [Word]) -> Result<(), StateError> {
+    let bad = |detail: String| StateError::BadValue {
+        section: String::from("arena"),
+        detail,
+    };
+    let n = r.usize()?;
+    if n != lane.len() {
+        return Err(bad(format!(
+            "saved lane of {n}, engine holds {}",
+            lane.len()
+        )));
+    }
+    for word in lane.iter_mut() {
+        let cell = r.u64()?;
+        *word = phit::unpack(cell).ok_or_else(|| bad(format!("{cell:#x} is not a packed word")))?;
+    }
+    Ok(())
+}
+
+/// Appends a BCB lane to a checkpoint stream.
+pub(crate) fn save_flags(w: &mut StateWriter, lane: &[bool]) {
+    w.usize(lane.len());
+    for &b in lane {
+        w.bool(b);
+    }
+}
+
+/// Overwrites a BCB lane from a checkpoint stream, in place.
+pub(crate) fn restore_flags(r: &mut StateReader<'_>, lane: &mut [bool]) -> Result<(), StateError> {
+    let n = r.usize()?;
+    if n != lane.len() {
+        return Err(StateError::BadValue {
+            section: String::from("arena"),
+            detail: format!("saved lane of {n}, engine holds {}", lane.len()),
+        });
+    }
+    for b in lane.iter_mut() {
+        *b = r.bool()?;
+    }
+    Ok(())
+}
 
 /// One copy of every registered channel value in the network, indexed
 /// by the flat slot scheme of [`FlatLinks`].
@@ -49,6 +103,24 @@ impl ChannelArena {
             ep_out_bcb: vec![false; links.n_ep_slots()],
             ep_in_fwd: vec![Word::Empty; links.n_ep_slots()],
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        save_words(w, &self.fwd_in);
+        save_words(w, &self.rev_in);
+        save_flags(w, &self.bcb_in);
+        save_words(w, &self.ep_out_rev);
+        save_flags(w, &self.ep_out_bcb);
+        save_words(w, &self.ep_in_fwd);
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        restore_words(r, &mut self.fwd_in)?;
+        restore_words(r, &mut self.rev_in)?;
+        restore_flags(r, &mut self.bcb_in)?;
+        restore_words(r, &mut self.ep_out_rev)?;
+        restore_flags(r, &mut self.ep_out_bcb)?;
+        restore_words(r, &mut self.ep_in_fwd)
     }
 }
 
@@ -309,5 +381,50 @@ impl Engine for FlatEngine {
 
     fn clone_box(&self) -> Box<dyn Engine> {
         Box::new(self.clone())
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.section("flateng");
+        self.cur.save_state(w);
+        self.next.save_state(w);
+        w.usize(self.inj_wires.len());
+        for wire in &self.inj_wires {
+            wire.save_state(w);
+        }
+        w.usize(self.stage_wires.len());
+        for wire in &self.stage_wires {
+            wire.save_state(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let bad = |detail: String| StateError::BadValue {
+            section: String::from("flateng"),
+            detail,
+        };
+        r.section("flateng")?;
+        self.cur.restore_state(r)?;
+        self.next.restore_state(r)?;
+        let n_inj = r.usize()?;
+        if n_inj != self.inj_wires.len() {
+            return Err(bad(format!(
+                "saved {n_inj} injection wires, engine holds {}",
+                self.inj_wires.len()
+            )));
+        }
+        for wire in &mut self.inj_wires {
+            wire.restore_state(r)?;
+        }
+        let n_stage = r.usize()?;
+        if n_stage != self.stage_wires.len() {
+            return Err(bad(format!(
+                "saved {n_stage} stage wires, engine holds {}",
+                self.stage_wires.len()
+            )));
+        }
+        for wire in &mut self.stage_wires {
+            wire.restore_state(r)?;
+        }
+        Ok(())
     }
 }

@@ -206,6 +206,27 @@ pub trait Engine: sealed::Sealed + std::fmt::Debug + Send {
     ///
     /// [`NetworkSim`]: crate::network::NetworkSim
     fn clone_box(&self) -> Box<dyn Engine>;
+
+    /// Appends the engine's mutable channel state (arenas and wires)
+    /// to a checkpoint stream. Scratch that is fully rewritten every
+    /// tick (drive buses, shard staging, worker pools) is not state
+    /// and is not written — which is also why a checkpoint taken at a
+    /// tick boundary is shard-count-agnostic.
+    fn save_state(&self, w: &mut metro_telemetry::StateWriter);
+
+    /// Overwrites the engine's channel state from a checkpoint stream.
+    /// Callers must re-apply the active fault set via
+    /// [`Engine::apply_faults`] *before* restoring, so wire fault
+    /// fields and transparency caches are already consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`metro_telemetry::StateError`] on shape mismatch or a corrupt
+    /// stream.
+    fn restore_state(
+        &mut self,
+        r: &mut metro_telemetry::StateReader<'_>,
+    ) -> Result<(), metro_telemetry::StateError>;
 }
 
 impl Clone for Box<dyn Engine> {

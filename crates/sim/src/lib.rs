@@ -34,6 +34,7 @@
 //! | [`stats`] | latency/throughput/retry statistics |
 //! | [`experiment`] | load sweeps and fault sweeps (Figure 3 and §6.2) |
 //! | [`scenario`] | declarative, serializable run descriptions + differential fuzzing |
+//! | [`checkpoint`] | crash-safe checkpoint envelopes and the resumable runner |
 //! | [`chaos`] | randomized fault-storm campaigns with hard self-healing invariants |
 
 #![forbid(unsafe_code)]
@@ -45,6 +46,7 @@
 #![warn(clippy::too_many_lines)]
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod endpoint;
 pub mod engine;
 pub mod experiment;
@@ -60,6 +62,10 @@ pub mod wire;
 pub mod workload;
 
 pub use chaos::{ChaosCampaign, ChaosReport, ChaosViolation, StormEvent};
+pub use checkpoint::{
+    resume_scenario, resume_scenario_with, run_scenario_resumable, Checkpoint, CheckpointSink,
+    RunPhase, CHECKPOINT_SCHEMA,
+};
 pub use endpoint::{AttemptEvidence, EndpointConfig, ReplyPolicy};
 pub use experiment::{FaultSweepPoint, LoadPoint, SweepConfig};
 pub use message::{DeliveryRecord, DeliveryStatus, FailureKind, MessageOutcome};

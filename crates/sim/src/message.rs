@@ -1,6 +1,34 @@
 //! Messages and delivery records.
 
 use metro_core::StatusWord;
+use metro_telemetry::{StateError, StateReader, StateWriter};
+
+fn bad(detail: String) -> StateError {
+    StateError::BadValue {
+        section: String::from("message"),
+        detail,
+    }
+}
+
+pub(crate) fn read_u16(r: &mut StateReader<'_>) -> Result<u16, StateError> {
+    let v = r.u64()?;
+    u16::try_from(v).map_err(|_| bad(format!("{v} overflows a 16-bit field")))
+}
+
+pub(crate) fn save_u16s(w: &mut StateWriter, vals: &[u16]) {
+    w.usize(vals.len());
+    for &v in vals {
+        w.u64(u64::from(v));
+    }
+}
+
+pub(crate) fn read_u16s(r: &mut StateReader<'_>) -> Result<Vec<u16>, StateError> {
+    let n = r.usize()?;
+    if n > r.remaining() {
+        return Err(bad(format!("{n}-entry list exceeds the stream")));
+    }
+    (0..n).map(|_| read_u16(r)).collect()
+}
 
 /// The acknowledgment code a destination returns for an intact message.
 pub const ACK_OK: u16 = 0x5A;
@@ -27,6 +55,34 @@ pub enum FailureKind {
     Timeout,
 }
 
+impl FailureKind {
+    /// Appends the failure kind to a checkpoint stream.
+    pub(crate) fn save_state(self, w: &mut StateWriter) {
+        match self {
+            FailureKind::Blocked { stage } => {
+                w.u64(0);
+                w.usize(stage);
+            }
+            FailureKind::FastReclaimed => w.u64(1),
+            FailureKind::Corrupt => w.u64(2),
+            FailureKind::NoAck => w.u64(3),
+            FailureKind::Timeout => w.u64(4),
+        }
+    }
+
+    /// Reads a failure kind back from a checkpoint stream.
+    pub(crate) fn restore_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.u64()? {
+            0 => FailureKind::Blocked { stage: r.usize()? },
+            1 => FailureKind::FastReclaimed,
+            2 => FailureKind::Corrupt,
+            3 => FailureKind::NoAck,
+            4 => FailureKind::Timeout,
+            k => return Err(bad(format!("{k} is not a failure kind"))),
+        })
+    }
+}
+
 /// How a message transaction ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum DeliveryStatus {
@@ -47,6 +103,28 @@ impl DeliveryStatus {
     #[must_use]
     pub fn is_delivered(self) -> bool {
         matches!(self, DeliveryStatus::Delivered)
+    }
+}
+
+impl DeliveryStatus {
+    pub(crate) fn save_state(self, w: &mut StateWriter) {
+        match self {
+            DeliveryStatus::Delivered => w.u64(0),
+            DeliveryStatus::Undeliverable { attempts } => {
+                w.u64(1);
+                w.usize(attempts);
+            }
+        }
+    }
+
+    pub(crate) fn restore_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        Ok(match r.u64()? {
+            0 => DeliveryStatus::Delivered,
+            1 => DeliveryStatus::Undeliverable {
+                attempts: r.usize()?,
+            },
+            k => return Err(bad(format!("{k} is not a delivery status"))),
+        })
     }
 }
 
@@ -105,6 +183,70 @@ impl MessageOutcome {
     pub fn network_latency(&self) -> u64 {
         self.completed_at - self.first_injection_at
     }
+
+    /// Appends the full outcome to a checkpoint stream.
+    pub(crate) fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.src);
+        w.usize(self.dest);
+        w.u64(self.requested_at);
+        w.u64(self.first_injection_at);
+        w.u64(self.completed_at);
+        w.usize(self.retries);
+        w.usize(self.failures.len());
+        for f in &self.failures {
+            f.save_state(w);
+        }
+        w.usize(self.payload_words);
+        save_u16s(w, &self.payload_delivered);
+        save_u16s(w, &self.reply_received);
+        w.usize(self.failure_records.len());
+        for (port, record) in &self.failure_records {
+            w.usize(*port);
+            record.save_state(w);
+        }
+        self.status.save_state(w);
+    }
+
+    /// Reads an outcome back from a checkpoint stream.
+    pub(crate) fn restore_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let src = r.usize()?;
+        let dest = r.usize()?;
+        let requested_at = r.u64()?;
+        let first_injection_at = r.u64()?;
+        let completed_at = r.u64()?;
+        let retries = r.usize()?;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(bad(format!("{n}-entry failure list exceeds the stream")));
+        }
+        let failures = (0..n)
+            .map(|_| FailureKind::restore_state(r))
+            .collect::<Result<_, _>>()?;
+        let payload_words = r.usize()?;
+        let payload_delivered = read_u16s(r)?;
+        let reply_received = read_u16s(r)?;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(bad(format!("{n}-entry record list exceeds the stream")));
+        }
+        let failure_records = (0..n)
+            .map(|_| Ok((r.usize()?, DeliveryRecord::restore_state(r)?)))
+            .collect::<Result<_, StateError>>()?;
+        Ok(Self {
+            src,
+            dest,
+            requested_at,
+            first_injection_at,
+            completed_at,
+            retries,
+            failures,
+            payload_words,
+            payload_delivered,
+            reply_received,
+            failure_records,
+            status: DeliveryStatus::restore_state(r)?,
+        })
+    }
 }
 
 /// A record of one *attempt*'s reply as collected by the source: the
@@ -136,6 +278,41 @@ impl DeliveryRecord {
         self.checksums.clear();
         self.ack = None;
         self.reply_words.clear();
+    }
+
+    /// Appends the record to a checkpoint stream.
+    pub(crate) fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.statuses.len());
+        for s in &self.statuses {
+            w.u64(u64::from(s.encode()));
+        }
+        save_u16s(w, &self.checksums);
+        w.opt_u64(self.ack.map(u64::from));
+        save_u16s(w, &self.reply_words);
+    }
+
+    /// Reads a record back from a checkpoint stream.
+    pub(crate) fn restore_state(r: &mut StateReader<'_>) -> Result<Self, StateError> {
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(bad(format!("{n}-entry status list exceeds the stream")));
+        }
+        let statuses = (0..n)
+            .map(|_| Ok(StatusWord::decode(read_u16(r)?)))
+            .collect::<Result<_, StateError>>()?;
+        let checksums = read_u16s(r)?;
+        let ack = match r.opt_u64()? {
+            None => None,
+            Some(v) => {
+                Some(u16::try_from(v).map_err(|_| bad(format!("ack {v} overflows 16 bits")))?)
+            }
+        };
+        Ok(Self {
+            statuses,
+            checksums,
+            ack,
+            reply_words: read_u16s(r)?,
+        })
     }
 }
 

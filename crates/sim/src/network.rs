@@ -29,8 +29,8 @@ use metro_core::header::HeaderPlan;
 use metro_core::{
     ArchParams, RandomSource, Router, RouterConfig, SelectionPolicy, StreamChecksum, Word,
 };
-use metro_telemetry::{TelemetryRegistry, TelemetrySnapshot};
-use metro_topo::fault::FaultSet;
+use metro_telemetry::{StateError, StateReader, StateWriter, TelemetryRegistry, TelemetrySnapshot};
+use metro_topo::fault::{FaultKind, FaultSet};
 use metro_topo::graph::LinkId;
 use metro_topo::multibutterfly::{Multibutterfly, MultibutterflySpec};
 
@@ -615,6 +615,127 @@ impl NetworkSim {
         self.routers.iter().flatten().map(|r| f(&r.stats())).sum()
     }
 
+    /// Appends the complete mutable simulation state to a checkpoint
+    /// stream: the clock, the active fault set, healing decisions,
+    /// every router and endpoint, the engine's channel arenas and
+    /// wires, accumulated statistics, unharvested outcomes, and the
+    /// telemetry registry. Construction-derived state (topology, header
+    /// plan, configuration) and the optional trace log are not written
+    /// — a resumed run rebuilds the former from the scenario and starts
+    /// a fresh trace.
+    ///
+    /// A checkpoint taken at a tick boundary is shard-count-agnostic:
+    /// engines write every next-tick slot every cycle, so none of the
+    /// shard staging state is live between ticks.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.section("network");
+        w.u64(self.now);
+        w.u64(self.stats_from);
+        save_fault_set(w, &self.faults);
+        w.usize(self.healed_links.len());
+        for l in &self.healed_links {
+            w.usize(l.stage);
+            w.usize(l.router);
+            w.usize(l.port);
+        }
+        w.usize(self.healed_injections.len());
+        for &(e, p) in &self.healed_injections {
+            w.usize(e);
+            w.usize(p);
+        }
+        w.usize(self.routers.len());
+        for stage in &self.routers {
+            w.usize(stage.len());
+            for router in stage {
+                router.save_state(w);
+            }
+        }
+        w.usize(self.endpoints.len());
+        for endpoint in &self.endpoints {
+            endpoint.save_state(w);
+        }
+        self.engine.save_state(w);
+        self.stats.save_state(w);
+        w.usize(self.outcomes.len());
+        for o in &self.outcomes {
+            o.save_state(w);
+        }
+        self.registry.save_state(w);
+    }
+
+    /// Overwrites the mutable simulation state from a checkpoint stream
+    /// ([`NetworkSim::save_state`]'s inverse). The simulation must have
+    /// been freshly built from the same scenario (topology, config, and
+    /// seed), in any shard configuration. The saved fault set is
+    /// re-applied through [`NetworkSim::apply_faults`] *before* the
+    /// component state is overwritten, so engine fault tables and
+    /// endpoint dead flags are consistent by the time wire contents
+    /// land.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] on any shape mismatch (the checkpoint was taken
+    /// on a different topology or configuration) or a corrupt stream.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let bad = |detail: String| StateError::BadValue {
+            section: String::from("network"),
+            detail,
+        };
+        r.section("network")?;
+        self.now = r.u64()?;
+        self.stats_from = r.u64()?;
+        let faults = restore_fault_set(r)?;
+        self.apply_faults(faults);
+        let n = r.usize()?;
+        self.healed_links = (0..n)
+            .map(|_| Ok(LinkId::new(r.usize()?, r.usize()?, r.usize()?)))
+            .collect::<Result<_, StateError>>()?;
+        let n = r.usize()?;
+        self.healed_injections = (0..n)
+            .map(|_| Ok((r.usize()?, r.usize()?)))
+            .collect::<Result<_, StateError>>()?;
+        let n = r.usize()?;
+        if n != self.routers.len() {
+            return Err(bad(format!(
+                "saved {n} router stages, network has {}",
+                self.routers.len()
+            )));
+        }
+        for stage in &mut self.routers {
+            let n = r.usize()?;
+            if n != stage.len() {
+                return Err(bad(format!(
+                    "saved {n} routers in a stage of {}",
+                    stage.len()
+                )));
+            }
+            for router in stage {
+                router.restore_state(r)?;
+            }
+        }
+        let n = r.usize()?;
+        if n != self.endpoints.len() {
+            return Err(bad(format!(
+                "saved {n} endpoints, network has {}",
+                self.endpoints.len()
+            )));
+        }
+        for endpoint in &mut self.endpoints {
+            endpoint.restore_state(r)?;
+        }
+        self.engine.restore_state(r)?;
+        self.stats.restore_state(r)?;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(bad(format!("{n}-entry outcome list exceeds the stream")));
+        }
+        self.outcomes = (0..n)
+            .map(|_| MessageOutcome::restore_state(r))
+            .collect::<Result<_, _>>()?;
+        self.registry.restore_state(r)?;
+        Ok(())
+    }
+
     /// Freezes the current telemetry into a schema-versioned snapshot:
     /// registry counters brought up to date with the live router cells
     /// (without disturbing the sync cadence), the total-latency
@@ -631,4 +752,83 @@ impl NetworkSim {
         let latency = self.stats.total_latency.summary();
         TelemetrySnapshot::from_registry(name, self.config.engine.name(), self.now, &reg, latency)
     }
+}
+
+/// Appends a fault set to a checkpoint stream in sorted order — the
+/// set's hash containers iterate nondeterministically, and checkpoints
+/// must be byte-stable.
+pub(crate) fn save_fault_set(w: &mut StateWriter, faults: &FaultSet) {
+    w.section("faults");
+    let mut routers: Vec<(usize, usize)> = faults.dead_routers().collect();
+    routers.sort_unstable();
+    w.usize(routers.len());
+    for (s, r) in routers {
+        w.usize(s);
+        w.usize(r);
+    }
+    let mut links: Vec<(LinkId, FaultKind)> = faults.faulty_links().collect();
+    links.sort_unstable_by_key(|(l, _)| (l.stage, l.router, l.port));
+    w.usize(links.len());
+    for (l, kind) in links {
+        w.usize(l.stage);
+        w.usize(l.router);
+        w.usize(l.port);
+        match kind {
+            FaultKind::Dead => w.u64(0),
+            FaultKind::CorruptData { xor } => {
+                w.u64(1);
+                w.u64(u64::from(xor));
+            }
+            FaultKind::Intermittent { xor, period } => {
+                w.u64(2);
+                w.u64(u64::from(xor));
+                w.u64(u64::from(period));
+            }
+        }
+    }
+    let mut endpoints: Vec<usize> = faults.dead_endpoints().collect();
+    endpoints.sort_unstable();
+    w.usize(endpoints.len());
+    for e in endpoints {
+        w.usize(e);
+    }
+}
+
+/// Reads a fault set back from a checkpoint stream.
+pub(crate) fn restore_fault_set(r: &mut StateReader<'_>) -> Result<FaultSet, StateError> {
+    let bad = |detail: String| StateError::BadValue {
+        section: String::from("faults"),
+        detail,
+    };
+    let read_u16 = |r: &mut StateReader<'_>| -> Result<u16, StateError> {
+        let v = r.u64()?;
+        u16::try_from(v).map_err(|_| bad(format!("{v} overflows an XOR mask")))
+    };
+    r.section("faults")?;
+    let mut faults = FaultSet::new();
+    for _ in 0..r.usize()? {
+        let (s, router) = (r.usize()?, r.usize()?);
+        faults.kill_router(s, router);
+    }
+    for _ in 0..r.usize()? {
+        let link = LinkId::new(r.usize()?, r.usize()?, r.usize()?);
+        let kind = match r.u64()? {
+            0 => FaultKind::Dead,
+            1 => FaultKind::CorruptData { xor: read_u16(r)? },
+            2 => {
+                let xor = read_u16(r)?;
+                let period = r.u64()?;
+                let period = u32::try_from(period)
+                    .map_err(|_| bad(format!("{period} overflows a fault period")))?;
+                FaultKind::Intermittent { xor, period }
+            }
+            k => return Err(bad(format!("{k} is not a fault kind"))),
+        };
+        faults.break_link(link, kind);
+    }
+    for _ in 0..r.usize()? {
+        let e = r.usize()?;
+        faults.kill_endpoint(e);
+    }
+    Ok(faults)
 }

@@ -76,7 +76,7 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn err<T>(path: &str, message: impl Into<String>) -> Result<T, CodecError> {
+pub(crate) fn err<T>(path: &str, message: impl Into<String>) -> Result<T, CodecError> {
     Err(CodecError {
         path: path.to_string(),
         message: message.into(),
@@ -84,7 +84,7 @@ fn err<T>(path: &str, message: impl Into<String>) -> Result<T, CodecError> {
 }
 
 /// Rejects keys outside the allowed set — the schema-drift tripwire.
-fn check_fields(doc: &Json, allowed: &[&str], path: &str) -> Result<(), CodecError> {
+pub(crate) fn check_fields(doc: &Json, allowed: &[&str], path: &str) -> Result<(), CodecError> {
     let Json::Obj(pairs) = doc else {
         return err(path, "expected an object");
     };
@@ -96,7 +96,7 @@ fn check_fields(doc: &Json, allowed: &[&str], path: &str) -> Result<(), CodecErr
     Ok(())
 }
 
-fn get<'a>(doc: &'a Json, key: &str, path: &str) -> Result<&'a Json, CodecError> {
+pub(crate) fn get<'a>(doc: &'a Json, key: &str, path: &str) -> Result<&'a Json, CodecError> {
     match doc.get(key) {
         Some(v) => Ok(v),
         None => err(path, format!("missing field {key:?}")),
@@ -116,7 +116,7 @@ fn dec_f64(doc: &Json, path: &str) -> Result<f64, CodecError> {
         .or_else(|()| err(path, "expected a number"))
 }
 
-fn dec_u64(doc: &Json, path: &str) -> Result<u64, CodecError> {
+pub(crate) fn dec_u64(doc: &Json, path: &str) -> Result<u64, CodecError> {
     let v = dec_f64(doc, path)?;
     if v.fract() != 0.0 || !(0.0..9.0e15).contains(&v) {
         return err(path, format!("expected a non-negative integer, got {v}"));
@@ -136,13 +136,13 @@ fn dec_u16(doc: &Json, path: &str) -> Result<u16, CodecError> {
         .or_else(|()| err(path, format!("{v} does not fit in 16 bits")))
 }
 
-fn dec_str<'a>(doc: &'a Json, path: &str) -> Result<&'a str, CodecError> {
+pub(crate) fn dec_str<'a>(doc: &'a Json, path: &str) -> Result<&'a str, CodecError> {
     doc.as_str()
         .ok_or(())
         .or_else(|()| err(path, "expected a string"))
 }
 
-fn dec_arr<'a>(doc: &'a Json, path: &str) -> Result<&'a [Json], CodecError> {
+pub(crate) fn dec_arr<'a>(doc: &'a Json, path: &str) -> Result<&'a [Json], CodecError> {
     doc.as_arr()
         .ok_or(())
         .or_else(|()| err(path, "expected an array"))

@@ -25,7 +25,7 @@ use crate::experiment::LoadPoint;
 use crate::message::MessageOutcome;
 use crate::network::{NetworkSim, SimConfig};
 use crate::traffic::TrafficPattern;
-use crate::workload::{ArrivalProcess, RateMap, StreamRecipe, StreamSeeds, WorkloadError};
+use crate::workload::{ArrivalProcess, RateMap, WorkloadError};
 use metro_harness::Json;
 use metro_topo::fault::FaultSet;
 use metro_topo::graph::LinkId;
@@ -314,7 +314,7 @@ impl ScenarioResult {
 }
 
 /// Applies every injection due at or before `now`, cumulatively.
-fn apply_due_injections(
+pub(crate) fn apply_due_injections(
     sim: &mut NetworkSim,
     pending: &mut Vec<FaultInjection>,
     active: &mut FaultSet,
@@ -371,106 +371,10 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, Box<dyn std::
 pub fn run_scenario_with_sim(
     scenario: &Scenario,
 ) -> Result<(ScenarioResult, NetworkSim), Box<dyn std::error::Error>> {
-    let mut sim = NetworkSim::from_scenario(scenario)?;
-    let n = sim.topology().endpoints();
-    let mut active = scenario.faults.clone();
-    let mut pending = scenario.injections.clone();
-    pending.sort_by_key(|i| i.at);
-
-    let mut point = None;
-    match &scenario.workload {
-        WorkloadSpec::Load {
-            pattern,
-            arrival,
-            rates,
-            load,
-            payload_words,
-            warmup,
-            measure,
-            drain,
-        } => {
-            let stream_words = sim.stream_for(0, &vec![0; *payload_words]).len();
-            let recipe = StreamRecipe {
-                arrival,
-                rates,
-                pattern,
-                load: *load,
-                stream_words,
-                payload_words: *payload_words,
-                endpoints: n,
-                seeds: StreamSeeds::load(scenario.seed),
-            };
-            let mut driver = recipe.driver();
-            let payload: Vec<u16> = (0..*payload_words).map(|k| k as u16).collect();
-            let total = warmup + measure;
-            for cycle in 0..total {
-                if cycle == *warmup {
-                    sim.reset_stats();
-                }
-                apply_due_injections(&mut sim, &mut pending, &mut active, cycle);
-                driver.poll(cycle, |a| {
-                    if a.payload_words == payload.len() {
-                        sim.send(a.src, a.dest, &payload);
-                    } else {
-                        // Trace entries may carry their own sizes.
-                        let p: Vec<u16> = (0..a.payload_words).map(|k| k as u16).collect();
-                        sim.send(a.src, a.dest, &p);
-                    }
-                });
-                sim.tick();
-            }
-            for cycle in total..total + drain {
-                if sim.is_quiescent() {
-                    break;
-                }
-                apply_due_injections(&mut sim, &mut pending, &mut active, cycle);
-                sim.tick();
-            }
-            let stats = sim.stats_mut();
-            let delivered = stats.delivered;
-            point = Some(LoadPoint {
-                offered: *load,
-                accepted: delivered as f64 * stream_words as f64 / *measure as f64 / n as f64,
-                mean_latency: stats.total_latency.mean(),
-                p50_latency: stats.total_latency.percentile(50.0),
-                p95_latency: stats.total_latency.percentile(95.0),
-                mean_network_latency: stats.network_latency.mean(),
-                retries_per_message: stats.retries_per_message(),
-                delivered,
-            });
-        }
-        WorkloadSpec::Sends { sends, cycles } => {
-            let mut queue = sends.clone();
-            queue.sort_by_key(|s| s.at);
-            for now in 0..*cycles {
-                while let Some(s) = queue.first() {
-                    if s.at > now {
-                        break;
-                    }
-                    let s = queue.remove(0);
-                    sim.send(s.src % n, s.dest % n, &s.payload);
-                }
-                apply_due_injections(&mut sim, &mut pending, &mut active, now);
-                sim.tick();
-            }
-        }
-    }
-
-    let outcomes = sim.drain_outcomes();
-    let payload_words = outcomes.iter().map(|o| o.payload_words).sum();
-    let fabric_idle = sim.fabric_idle();
-    let telemetry_every = sim.telemetry().interval();
-    let stats = sim.stats_mut();
-    let result = ScenarioResult {
-        delivered: stats.delivered,
-        abandoned: stats.abandoned,
-        point,
-        payload_words,
-        fabric_idle,
-        telemetry_every,
-        outcomes,
-    };
-    Ok((result, sim))
+    // The loop itself lives in the checkpoint module, generalized over
+    // a resume position and a periodic checkpoint hook; this entry
+    // point is the classic start-from-zero, no-checkpoints case.
+    crate::checkpoint::run_scenario_resumable(scenario, None, None)
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! snapshots to `metro report`.
 
 use crate::message::{FailureKind, MessageOutcome};
+use metro_telemetry::{StateError, StateReader, StateWriter};
 
 /// An online collector of latency samples with percentile queries —
 /// the telemetry histogram under its historical simulator name.
@@ -93,6 +94,45 @@ impl NetworkStats {
             return 0.0;
         }
         self.payload_words as f64 / cycles as f64 / endpoints as f64
+    }
+
+    /// Appends the collector to a checkpoint stream (histogram sample
+    /// order included, so restored percentile queries behave
+    /// identically).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.section("netstats");
+        self.total_latency.save_state(w);
+        self.network_latency.save_state(w);
+        w.u64(self.delivered);
+        w.u64(self.abandoned);
+        w.u64(self.retries);
+        w.u64_slice(&self.failure_counts);
+        w.u64(self.payload_words);
+        w.u64_slice(&self.blocked_by_stage);
+    }
+
+    /// Overwrites the collector from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] on a corrupt stream.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        r.section("netstats")?;
+        self.total_latency.restore_state(r)?;
+        self.network_latency.restore_state(r)?;
+        self.delivered = r.u64()?;
+        self.abandoned = r.u64()?;
+        self.retries = r.u64()?;
+        let counts = r.u64_vec()?;
+        self.failure_counts = counts
+            .try_into()
+            .map_err(|v: Vec<u64>| StateError::BadValue {
+                section: String::from("netstats"),
+                detail: format!("{} failure counters, expected 5", v.len()),
+            })?;
+        self.payload_words = r.u64()?;
+        self.blocked_by_stage = r.u64_vec()?;
+        Ok(())
     }
 }
 

@@ -12,7 +12,9 @@
 //! routing stage contributes a single pipeline register and the
 //! interconnect adds none.
 
+use metro_core::word::phit;
 use metro_core::Word;
+use metro_telemetry::state::{StateError, StateReader, StateWriter};
 use metro_topo::fault::FaultKind;
 use std::collections::VecDeque;
 
@@ -131,6 +133,66 @@ impl Wire {
         for b in self.bcb.iter_mut() {
             *b = false;
         }
+    }
+
+    /// Appends the in-flight words on every lane plus the intermittent
+    /// fault's word counter to a checkpoint stream. The delay is
+    /// construction-fixed and the fault field is owned by the fault
+    /// set (re-applied by the engine on restore), so neither is
+    /// written.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.fwd.len());
+        for &word in &self.fwd {
+            w.u64(phit::pack(word));
+        }
+        for &word in &self.rev {
+            w.u64(phit::pack(word));
+        }
+        for &b in &self.bcb {
+            w.bool(b);
+        }
+        w.u64(u64::from(self.words_seen));
+    }
+
+    /// Overwrites the in-flight state from a checkpoint stream. Never
+    /// touches the fault field — restore order is: rebuild, re-apply
+    /// faults, then restore wire contents.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] on a delay mismatch or a corrupt packed
+    /// word.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let bad = |detail: String| StateError::BadValue {
+            section: String::from("wire"),
+            detail,
+        };
+        let n = r.usize()?;
+        if n != self.delay {
+            return Err(bad(format!("saved delay {n}, wire has {}", self.delay)));
+        }
+        let read_lane = |r: &mut StateReader<'_>| -> Result<VecDeque<Word>, StateError> {
+            let mut lane = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                let cell = r.u64()?;
+                lane.push_back(
+                    phit::unpack(cell)
+                        .ok_or_else(|| bad(format!("{cell:#x} is not a packed channel word")))?,
+                );
+            }
+            Ok(lane)
+        };
+        self.fwd = read_lane(r)?;
+        self.rev = read_lane(r)?;
+        let mut bcb = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            bcb.push_back(r.bool()?);
+        }
+        self.bcb = bcb;
+        let seen = r.u64()?;
+        self.words_seen =
+            u32::try_from(seen).map_err(|_| bad(format!("{seen} overflows the word counter")))?;
+        Ok(())
     }
 }
 

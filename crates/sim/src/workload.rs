@@ -35,6 +35,7 @@
 
 use crate::traffic::{TrafficError, TrafficPattern};
 use metro_core::RandomSource;
+use metro_telemetry::{StateError, StateReader, StateWriter};
 
 /// Per-endpoint seed stride for load workloads: endpoint `e` of a run
 /// seeded `s` draws arrivals from `s + e * 7919` (the 1000th prime).
@@ -437,6 +438,45 @@ impl ArrivalSource {
             Self::OnOff(g) => g.arrival(),
         }
     }
+
+    /// Appends the source's stream position (and the bursty source's
+    /// dwell state) to a checkpoint stream. Thresholds are
+    /// construction-derived and not written.
+    fn save_state(&self, w: &mut StateWriter) {
+        match self {
+            Self::Bernoulli(g) => {
+                w.u64(0);
+                w.u64(g.rng.state_bits());
+            }
+            Self::OnOff(g) => {
+                w.u64(1);
+                w.u64(g.rng.state_bits());
+                w.bool(g.on);
+            }
+        }
+    }
+
+    /// Overwrites the stream position from a checkpoint stream; the
+    /// saved process kind must match this (construction-derived)
+    /// source's.
+    fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let kind = r.u64()?;
+        match (kind, self) {
+            (0, Self::Bernoulli(g)) => {
+                g.rng = RandomSource::from_state_bits(r.u64()?);
+                Ok(())
+            }
+            (1, Self::OnOff(g)) => {
+                g.rng = RandomSource::from_state_bits(r.u64()?);
+                g.on = r.bool()?;
+                Ok(())
+            }
+            (k, _) => Err(StateError::BadValue {
+                section: String::from("workload"),
+                detail: format!("saved arrival process {k} does not match the scenario's"),
+            }),
+        }
+    }
 }
 
 /// One message the workload offers this cycle.
@@ -677,6 +717,86 @@ impl WorkloadDriver {
                     *cursor += 1;
                 }
             }
+        }
+    }
+
+    /// Appends the driver's stream position to a checkpoint stream: the
+    /// pattern RNG and per-source positions (open loop) or the replay
+    /// cursor (trace). Everything else — thresholds, the pattern, the
+    /// trace entries — is rebuilt from the scenario's recipe.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.section("workload");
+        match &self.kind {
+            DriverKind::Open {
+                pattern_rng,
+                sources,
+                ..
+            } => {
+                w.u64(0);
+                w.u64(pattern_rng.state_bits());
+                w.usize(sources.len());
+                for s in sources {
+                    s.save_state(w);
+                }
+            }
+            DriverKind::Replay { cursor, .. } => {
+                w.u64(1);
+                w.usize(*cursor);
+            }
+        }
+    }
+
+    /// Overwrites the driver's stream position from a checkpoint stream
+    /// ([`Self::save_state`]'s inverse). The driver must have been
+    /// rebuilt from the same recipe.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] when the saved driver kind, source count, or
+    /// replay cursor does not fit this driver.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let bad = |detail: String| StateError::BadValue {
+            section: String::from("workload"),
+            detail,
+        };
+        r.section("workload")?;
+        let kind = r.u64()?;
+        match (&mut self.kind, kind) {
+            (
+                DriverKind::Open {
+                    pattern_rng,
+                    sources,
+                    ..
+                },
+                0,
+            ) => {
+                *pattern_rng = RandomSource::from_state_bits(r.u64()?);
+                let n = r.usize()?;
+                if n != sources.len() {
+                    return Err(bad(format!(
+                        "saved {n} arrival sources, driver has {}",
+                        sources.len()
+                    )));
+                }
+                for s in sources {
+                    s.restore_state(r)?;
+                }
+                Ok(())
+            }
+            (DriverKind::Replay { entries, cursor }, 1) => {
+                let c = r.usize()?;
+                if c > entries.len() {
+                    return Err(bad(format!(
+                        "saved replay cursor {c} beyond the {}-entry trace",
+                        entries.len()
+                    )));
+                }
+                *cursor = c;
+                Ok(())
+            }
+            (_, k) => Err(bad(format!(
+                "saved driver kind {k} does not match the scenario's workload"
+            ))),
         }
     }
 }
@@ -953,6 +1073,66 @@ mod tests {
             RateMap::PerEndpoint(vec![1.0, f64::NAN]).validate(2),
             Err(WorkloadError::RateValue { endpoint: 1, .. })
         ));
+    }
+
+    #[test]
+    fn driver_save_restore_resumes_every_process_exactly() {
+        let trace = ArrivalProcess::Trace(vec![
+            TraceEntry {
+                at: 100,
+                src: 0,
+                dest: 1,
+                payload_words: 2,
+            },
+            TraceEntry {
+                at: 400,
+                src: 2,
+                dest: 3,
+                payload_words: 2,
+            },
+        ]);
+        for arrival in [
+            ArrivalProcess::Bernoulli,
+            ArrivalProcess::OnOff {
+                burst_mean: 20,
+                idle_mean: 30,
+            },
+            trace,
+        ] {
+            let pattern = TrafficPattern::Uniform;
+            let recipe = StreamRecipe {
+                arrival: &arrival,
+                rates: &RateMap::Uniform,
+                pattern: &pattern,
+                load: 0.6,
+                stream_words: 25,
+                payload_words: 4,
+                endpoints: 8,
+                seeds: StreamSeeds::load(0x1CE),
+            };
+            // One driver runs straight through; a twin is rebuilt from
+            // the recipe mid-stream and restored from a checkpoint.
+            let mut straight = recipe.driver();
+            let mut live = recipe.driver();
+            for cycle in 0..300u64 {
+                straight.poll(cycle, |_| {});
+                live.poll(cycle, |_| {});
+            }
+            let mut w = StateWriter::new();
+            live.save_state(&mut w);
+            let words = w.into_words();
+            let mut resumed = recipe.driver();
+            let mut r = StateReader::new(&words);
+            resumed.restore_state(&mut r).expect("restore");
+            r.finish().expect("no trailing state");
+            for cycle in 300..600u64 {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                straight.poll(cycle, |x| a.push(x));
+                resumed.poll(cycle, |x| b.push(x));
+                assert_eq!(a, b, "cycle {cycle} under {arrival:?}");
+            }
+        }
     }
 
     #[test]

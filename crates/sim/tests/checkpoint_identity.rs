@@ -1,0 +1,181 @@
+//! Checkpoint/resume bit-identity, proven by property tests: run `N`
+//! cycles, checkpoint, restore into a fresh machine, run `M` more —
+//! the combined run must equal a straight `N + M` run in every
+//! observable: the outcome stream, the statistics, the telemetry
+//! snapshot, the healed sets, and the live fault mask. Exercised on
+//! the flat engine at shard counts 1, 2, and 4 and on the reference
+//! engine, plus the shard-count-agnosticism claim: a checkpoint taken
+//! under one shard count resumes bit-identically under another.
+
+use metro_sim::checkpoint::{resume_scenario, run_scenario_resumable, Checkpoint, CheckpointSink};
+use metro_sim::scenario::{FaultInjection, RepairSet, Scenario, ScenarioResult, WorkloadSpec};
+use metro_sim::{ArrivalProcess, EngineKind, NetworkSim, RateMap, SimConfig, TrafficPattern};
+use metro_topo::fault::{FaultKind, FaultSet};
+use metro_topo::graph::LinkId;
+use metro_topo::multibutterfly::MultibutterflySpec;
+use proptest::prelude::*;
+
+/// A randomized load scenario on the small8 topology, with self-heal
+/// on and a mid-run corrupting injection so retries, telemetry, and
+/// (sometimes) healing all have material to work with.
+fn load_scenario(seed: u64, load_milli: u64, shards: usize, engine: EngineKind) -> Scenario {
+    let mut injected = FaultSet::new();
+    injected.break_link(
+        LinkId::new(1, (seed % 4) as usize, 0),
+        FaultKind::CorruptData {
+            xor: 1 + (seed % 0xFF) as u16,
+        },
+    );
+    Scenario {
+        name: "ckpt-prop".to_string(),
+        topology: MultibutterflySpec::small8(),
+        sim: SimConfig {
+            seed: seed ^ 0x51AB,
+            engine,
+            shards,
+            self_heal: true,
+            telemetry_every: 4,
+            ..SimConfig::default()
+        },
+        seed,
+        faults: FaultSet::new(),
+        injections: vec![FaultInjection {
+            at: 60,
+            faults: injected,
+            repairs: RepairSet::default(),
+        }],
+        workload: WorkloadSpec::Load {
+            pattern: TrafficPattern::Uniform,
+            arrival: ArrivalProcess::Bernoulli,
+            rates: RateMap::Uniform,
+            load: load_milli as f64 / 1000.0,
+            payload_words: 5,
+            warmup: 40,
+            measure: 160,
+            drain: 120,
+        },
+    }
+}
+
+/// Runs the scenario straight through, capturing one checkpoint at
+/// cycle `at`.
+fn run_straight(scenario: &Scenario, at: u64) -> (ScenarioResult, NetworkSim, Checkpoint) {
+    let mut taken = None;
+    let mut sink = |c: &Checkpoint| {
+        if c.cycle == at {
+            taken = Some(c.clone());
+        }
+        Ok(())
+    };
+    let (result, sim) = run_scenario_resumable(
+        scenario,
+        None,
+        Some(CheckpointSink {
+            every: at,
+            sink: &mut sink,
+        }),
+    )
+    .unwrap();
+    (result, sim, taken.expect("checkpoint at requested cycle"))
+}
+
+/// Asserts every observable of the two finished machines matches.
+fn assert_machines_equal(straight: &mut NetworkSim, resumed: &mut NetworkSim) {
+    assert_eq!(
+        straight.telemetry_snapshot("s"),
+        resumed.telemetry_snapshot("s"),
+        "telemetry snapshots diverged"
+    );
+    assert_eq!(
+        straight.healed_links(),
+        resumed.healed_links(),
+        "healed link sets diverged"
+    );
+    assert_eq!(
+        straight.healed_injections(),
+        resumed.healed_injections(),
+        "healed injection sets diverged"
+    );
+    assert_eq!(straight.faults(), resumed.faults(), "fault masks diverged");
+    assert_eq!(straight.now(), resumed.now(), "clocks diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// N → checkpoint → resume → M ≡ straight N+M, on the flat engine
+    /// at every supported shard count.
+    #[test]
+    fn flat_engine_resumes_bit_identically_at_every_shard_count(
+        seed in any::<u64>(),
+        load_milli in 100u64..450,
+        at in 1u64..200,
+    ) {
+        for shards in [1usize, 2, 4] {
+            let s = load_scenario(seed, load_milli, shards, EngineKind::Flat);
+            let (straight, mut straight_sim, ckpt) = run_straight(&s, at);
+            let (resumed, mut resumed_sim) = resume_scenario(&ckpt).unwrap();
+            prop_assert_eq!(
+                &resumed, &straight,
+                "shards={} at={} diverged", shards, at
+            );
+            assert_machines_equal(&mut straight_sim, &mut resumed_sim);
+        }
+    }
+
+    /// The same contract on the reference engine — the independent
+    /// implementation both sides of the differential fuzzer trust.
+    #[test]
+    fn reference_engine_resumes_bit_identically(
+        seed in any::<u64>(),
+        load_milli in 100u64..450,
+        at in 1u64..200,
+    ) {
+        let s = load_scenario(seed, load_milli, 1, EngineKind::Reference);
+        let (straight, mut straight_sim, ckpt) = run_straight(&s, at);
+        let (resumed, mut resumed_sim) = resume_scenario(&ckpt).unwrap();
+        prop_assert_eq!(&resumed, &straight);
+        assert_machines_equal(&mut straight_sim, &mut resumed_sim);
+    }
+
+    /// A checkpoint is shard-count-agnostic: taken under `from` shards,
+    /// it resumes under `to` shards to the same run.
+    #[test]
+    fn checkpoints_resume_across_shard_counts(
+        seed in any::<u64>(),
+        load_milli in 100u64..450,
+        at in 1u64..200,
+        from_idx in 0usize..3,
+        to_idx in 0usize..3,
+    ) {
+        let counts = [1usize, 2, 4];
+        let (from, to) = (counts[from_idx], counts[to_idx]);
+        let s = load_scenario(seed, load_milli, from, EngineKind::Flat);
+        let (straight, mut straight_sim, mut ckpt) = run_straight(&s, at);
+        // Re-target the embedded scenario's shard count and resume.
+        ckpt.scenario.sim.shards = to;
+        let (resumed, mut resumed_sim) = resume_scenario(&ckpt).unwrap();
+        prop_assert_eq!(
+            &resumed, &straight,
+            "resume {}→{} shards at={} diverged", from, to, at
+        );
+        assert_machines_equal(&mut straight_sim, &mut resumed_sim);
+    }
+
+    /// The round trip through the JSON envelope changes nothing: a
+    /// checkpoint decoded from its own rendering resumes to the same
+    /// run as the in-memory original.
+    #[test]
+    fn envelope_round_trip_preserves_the_resume(
+        seed in any::<u64>(),
+        at in 1u64..200,
+    ) {
+        let s = load_scenario(seed, 300, 2, EngineKind::Flat);
+        let (straight, _sim, ckpt) = run_straight(&s, at);
+        let text = ckpt.to_json().render();
+        let back = Checkpoint::from_text(&text).unwrap();
+        prop_assert_eq!(&back, &ckpt);
+        let (resumed, _sim) = resume_scenario(&back).unwrap();
+        prop_assert_eq!(&resumed, &straight);
+    }
+}

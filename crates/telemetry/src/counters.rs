@@ -12,6 +12,7 @@
 //! so per-tick synchronization is pure index arithmetic.
 
 use crate::metric::RouterCounter;
+use crate::state::{StateError, StateReader, StateWriter};
 
 /// One router's counters: a fixed array indexed by [`RouterCounter`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +87,25 @@ impl CounterCell {
     #[must_use]
     pub fn is_zero(&self) -> bool {
         self.counts.iter().all(|&v| v == 0)
+    }
+
+    /// Appends every counter, in slot order, to a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for &v in &self.counts {
+            w.u64(v);
+        }
+    }
+
+    /// Overwrites every counter from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors (truncated stream).
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        for v in &mut self.counts {
+            *v = r.u64()?;
+        }
+        Ok(())
     }
 }
 
@@ -190,6 +210,36 @@ impl CounterBlock {
     #[must_use]
     pub fn total(&self, c: RouterCounter) -> u64 {
         self.cells.iter().map(|cell| cell.get(c)).sum()
+    }
+
+    /// Appends every cell, in slot order, to a checkpoint stream. The
+    /// offset table is construction-derived and not written.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.usize(self.cells.len());
+        for cell in &self.cells {
+            cell.save_state(w);
+        }
+    }
+
+    /// Overwrites every cell from a checkpoint stream. The block must
+    /// already have the shape it was saved with.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] when the saved cell count does not
+    /// match this block's shape.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n = r.usize()?;
+        if n != self.cells.len() {
+            return Err(StateError::BadValue {
+                section: String::from("counter-block"),
+                detail: format!("saved {n} cells, block holds {}", self.cells.len()),
+            });
+        }
+        for cell in &mut self.cells {
+            cell.restore_state(r)?;
+        }
+        Ok(())
     }
 
     /// Iterates `((stage, router), &cell)` in slot order.

@@ -4,6 +4,8 @@
 //! telemetry crate so every layer shares one sample collector;
 //! `metro_sim` re-exports it under the old name.
 
+use crate::state::{StateError, StateReader, StateWriter};
+
 /// An online collector of latency samples with percentile queries.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
@@ -89,6 +91,26 @@ impl Histogram {
     #[must_use]
     pub fn max(&self) -> u64 {
         self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Appends the samples (in their current, possibly-sorted order)
+    /// and the sorted flag to a checkpoint stream. Preserving sample
+    /// order — not just the multiset — keeps a restored histogram's
+    /// behavior identical under any future query sequence.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64_slice(&self.samples);
+        w.bool(self.sorted);
+    }
+
+    /// Overwrites the collector from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader errors (truncated stream, oversized length).
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.samples = r.u64_vec()?;
+        self.sorted = r.bool()?;
+        Ok(())
     }
 
     /// Condenses the distribution to the fixed summary a

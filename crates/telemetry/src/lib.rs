@@ -19,6 +19,9 @@
 //!   `results/<name>.telemetry.json` sidecar format.
 //! * [`report`] — per-stage utilization / block-rate / latency tables,
 //!   the engine behind `metro report`.
+//! * [`StateWriter`] / [`StateReader`] — the tagged word-stream codec
+//!   every checkpointable component serializes its mutable state
+//!   through (`metro_sim::checkpoint` assembles the full snapshot).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +33,7 @@ pub mod registry;
 pub mod report;
 pub mod series;
 pub mod snapshot;
+pub mod state;
 
 pub use counters::{CounterBlock, CounterCell};
 pub use histogram::{Histogram, HistogramSummary};
@@ -37,3 +41,4 @@ pub use metric::RouterCounter;
 pub use registry::TelemetryRegistry;
 pub use series::TimeSeries;
 pub use snapshot::{telemetry_hash, TelemetrySnapshot, TELEMETRY_SCHEMA};
+pub use state::{StateError, StateReader, StateWriter};

@@ -12,6 +12,7 @@
 use crate::counters::{CounterBlock, CounterCell};
 use crate::metric::RouterCounter;
 use crate::series::TimeSeries;
+use crate::state::{StateError, StateReader, StateWriter};
 
 /// Rebased counter registry + per-sync deltas + time series.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +133,49 @@ impl TelemetryRegistry {
             s.clear();
         }
         self.syncs = 0;
+    }
+
+    /// Appends the whole registry (baseline, rebased counts, deltas,
+    /// series, sync bookkeeping) to a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.section("telreg");
+        w.u64(self.interval);
+        w.u64(self.syncs);
+        self.pending.save_state(w);
+        self.baseline.save_state(w);
+        self.current.save_state(w);
+        self.deltas.save_state(w);
+        w.usize(self.series.len());
+        for s in &self.series {
+            s.save_state(w);
+        }
+    }
+
+    /// Overwrites the registry from a checkpoint stream. The registry
+    /// must already have the network shape it was saved with.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError`] on shape mismatch or a corrupt stream.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        r.section("telreg")?;
+        self.interval = r.u64()?.max(1);
+        self.syncs = r.u64()?;
+        self.pending.restore_state(r)?;
+        self.baseline.restore_state(r)?;
+        self.current.restore_state(r)?;
+        self.deltas.restore_state(r)?;
+        let n = r.usize()?;
+        if n != self.series.len() {
+            return Err(StateError::BadValue {
+                section: String::from("telreg"),
+                detail: format!("saved {n} series, registry holds {}", self.series.len()),
+            });
+        }
+        for s in &mut self.series {
+            s.restore_state(r)?;
+        }
+        Ok(())
     }
 }
 

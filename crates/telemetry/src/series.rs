@@ -7,6 +7,8 @@
 //! run at progressively coarser resolution, and (for counter deltas)
 //! conserves the total: `sum(samples) + pending == sum(pushed)`.
 
+use crate::state::{StateError, StateReader, StateWriter};
+
 /// A fixed-capacity, self-decimating series of `u64` samples.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimeSeries {
@@ -100,6 +102,49 @@ impl TimeSeries {
         self.stride = 1;
         self.pending_sum = 0;
         self.pending_n = 0;
+    }
+
+    /// Appends the full decimation state to a checkpoint stream
+    /// (capacity is construction-fixed and not written).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.u64(self.stride);
+        w.u64(self.pending_sum);
+        w.u64(self.pending_n);
+        w.u64_slice(&self.samples);
+    }
+
+    /// Overwrites the decimation state from a checkpoint stream.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] when the saved buffer exceeds this
+    /// series' capacity or the stride is zero.
+    pub fn restore_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let stride = r.u64()?;
+        let pending_sum = r.u64()?;
+        let pending_n = r.u64()?;
+        let samples = r.u64_vec()?;
+        if stride == 0 {
+            return Err(StateError::BadValue {
+                section: String::from("time-series"),
+                detail: String::from("stride must be nonzero"),
+            });
+        }
+        if samples.len() > self.capacity {
+            return Err(StateError::BadValue {
+                section: String::from("time-series"),
+                detail: format!(
+                    "saved {} buckets, capacity is {}",
+                    samples.len(),
+                    self.capacity
+                ),
+            });
+        }
+        self.stride = stride;
+        self.pending_sum = pending_sum;
+        self.pending_n = pending_n;
+        self.samples = samples;
+        Ok(())
     }
 }
 

@@ -1,0 +1,457 @@
+//! Word-stream codec primitives shared by every checkpointable layer.
+//!
+//! A checkpoint is ultimately a flat sequence of `u64` words. Each
+//! subsystem (router, endpoint, engine, telemetry registry, …) appends
+//! its mutable state behind an 8-byte ASCII section tag via
+//! [`StateWriter`] and reads it back — tag-checked, in the same order —
+//! via [`StateReader`]. Keeping the primitives here, at the bottom of
+//! the crate graph, lets `metro_core` components serialize themselves
+//! without the sim layer having to reach into private fields.
+//!
+//! The format is deliberately dumb: no varints, no alignment games,
+//! just tagged spans of words. Byte-stability falls out of the fact
+//! that every encoder walks its state in a fixed order, and mismatches
+//! fail loudly with the section name in the error.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A typed decode failure naming the offending section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The stream ended before the expected word.
+    UnexpectedEnd {
+        /// Section being decoded when the stream ran out.
+        section: String,
+    },
+    /// A section tag did not match what the decoder expected.
+    TagMismatch {
+        /// Section tag the decoder expected.
+        expected: String,
+        /// Tag actually found in the stream.
+        found: String,
+    },
+    /// A word decoded to a value that is out of range for its field.
+    BadValue {
+        /// Section being decoded.
+        section: String,
+        /// What was wrong with the value.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEnd { section } => {
+                write!(f, "state stream ended inside section `{section}`")
+            }
+            Self::TagMismatch { expected, found } => {
+                write!(f, "expected section `{expected}`, found `{found}`")
+            }
+            Self::BadValue { section, detail } => {
+                write!(f, "bad value in section `{section}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Packs an up-to-8-byte ASCII tag into one word (zero-padded).
+fn tag_word(tag: &str) -> u64 {
+    debug_assert!(tag.len() <= 8, "section tags are at most 8 bytes");
+    let mut bytes = [0u8; 8];
+    bytes[..tag.len()].copy_from_slice(tag.as_bytes());
+    u64::from_le_bytes(bytes)
+}
+
+/// Unpacks a tag word back to its ASCII form (for error messages).
+fn tag_name(word: u64) -> String {
+    let bytes = word.to_le_bytes();
+    let end = bytes.iter().position(|&b| b == 0).unwrap_or(8);
+    match std::str::from_utf8(&bytes[..end]) {
+        Ok(s) if !s.is_empty() => s.to_string(),
+        _ => format!("{word:#018x}"),
+    }
+}
+
+/// Appends state as a flat word stream with tagged sections.
+#[derive(Debug, Default, Clone)]
+pub struct StateWriter {
+    words: Vec<u64>,
+}
+
+impl StateWriter {
+    /// A fresh, empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a tagged section (tags are at most 8 ASCII bytes).
+    pub fn section(&mut self, tag: &str) {
+        self.words.push(tag_word(tag));
+    }
+
+    /// Appends one raw word.
+    pub fn u64(&mut self, v: u64) {
+        self.words.push(v);
+    }
+
+    /// Appends a `usize` (always encoded as a full word).
+    pub fn usize(&mut self, v: usize) {
+        self.words.push(v as u64);
+    }
+
+    /// Appends a bool as 0/1.
+    pub fn bool(&mut self, v: bool) {
+        self.words.push(u64::from(v));
+    }
+
+    /// Appends an `f64` via its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.words.push(v.to_bits());
+    }
+
+    /// Appends `Some`/`None` as a presence word followed by the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.words.push(1);
+                self.words.push(x);
+            }
+            None => self.words.push(0),
+        }
+    }
+
+    /// Appends a length-prefixed slice of words.
+    pub fn u64_slice(&mut self, vs: &[u64]) {
+        self.usize(vs.len());
+        self.words.extend_from_slice(vs);
+    }
+
+    /// Appends a length-prefixed string (bytes packed 8 per word).
+    pub fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        self.usize(bytes.len());
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.words.push(u64::from_le_bytes(w));
+        }
+    }
+
+    /// The accumulated words.
+    #[must_use]
+    pub fn into_words(self) -> Vec<u64> {
+        self.words
+    }
+
+    /// Number of words written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether nothing has been written yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Reads a word stream back, validating section tags as it goes.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+    /// Most recently opened section, for error context.
+    current: String,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader over `words`, positioned at the start.
+    #[must_use]
+    pub fn new(words: &'a [u64]) -> Self {
+        Self {
+            words,
+            pos: 0,
+            current: String::from("<start>"),
+        }
+    }
+
+    fn next_word(&mut self) -> Result<u64, StateError> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| StateError::UnexpectedEnd {
+                section: self.current.clone(),
+            })?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    /// Consumes and checks a section tag.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::TagMismatch`] when the stream holds a different
+    /// tag, [`StateError::UnexpectedEnd`] when it holds nothing.
+    pub fn section(&mut self, tag: &str) -> Result<(), StateError> {
+        let w = self.next_word()?;
+        if w != tag_word(tag) {
+            return Err(StateError::TagMismatch {
+                expected: tag.to_string(),
+                found: tag_name(w),
+            });
+        }
+        self.current = tag.to_string();
+        Ok(())
+    }
+
+    /// Reads one raw word.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::UnexpectedEnd`] at end of stream.
+    pub fn u64(&mut self) -> Result<u64, StateError> {
+        self.next_word()
+    }
+
+    /// Reads a `usize`, rejecting values that overflow the platform.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] when the word exceeds `usize::MAX`.
+    pub fn usize(&mut self) -> Result<usize, StateError> {
+        let w = self.next_word()?;
+        usize::try_from(w).map_err(|_| self.bad(format!("{w} overflows usize")))
+    }
+
+    /// Reads a bool, rejecting anything but 0/1.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] for words other than 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, StateError> {
+        match self.next_word()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            w => Err(self.bad(format!("{w} is not a bool"))),
+        }
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::UnexpectedEnd`] at end of stream.
+    pub fn f64(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.next_word()?))
+    }
+
+    /// Reads an optional word written by [`StateWriter::opt_u64`].
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] for a presence word other than 0/1.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, StateError> {
+        if self.bool()? {
+            Ok(Some(self.next_word()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a length-prefixed word slice, bounding the length by the
+    /// words remaining (so a corrupt length cannot trigger a huge
+    /// allocation).
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] when the prefix exceeds the remaining
+    /// stream.
+    pub fn u64_vec(&mut self) -> Result<Vec<u64>, StateError> {
+        let n = self.usize()?;
+        if n > self.words.len() - self.pos {
+            return Err(self.bad(format!("length {n} exceeds remaining stream")));
+        }
+        let out = self.words[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed string written by [`StateWriter::str`].
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] for invalid UTF-8 or an oversized
+    /// length prefix.
+    pub fn str(&mut self) -> Result<String, StateError> {
+        let n = self.usize()?;
+        let word_count = n.div_ceil(8);
+        if word_count > self.words.len() - self.pos {
+            return Err(self.bad(format!("string length {n} exceeds remaining stream")));
+        }
+        let mut bytes = Vec::with_capacity(n);
+        for _ in 0..word_count {
+            bytes.extend_from_slice(&self.next_word()?.to_le_bytes());
+        }
+        bytes.truncate(n);
+        String::from_utf8(bytes).map_err(|_| self.bad("string is not UTF-8".to_string()))
+    }
+
+    /// Checks that the stream has been fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`StateError::BadValue`] when trailing words remain.
+    pub fn finish(&self) -> Result<(), StateError> {
+        if self.pos != self.words.len() {
+            return Err(StateError::BadValue {
+                section: self.current.clone(),
+                detail: format!("{} trailing words", self.words.len() - self.pos),
+            });
+        }
+        Ok(())
+    }
+
+    /// Words remaining in the stream.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.words.len() - self.pos
+    }
+
+    fn bad(&self, detail: String) -> StateError {
+        StateError::BadValue {
+            section: self.current.clone(),
+            detail,
+        }
+    }
+}
+
+/// Writes a `VecDeque<u64>` as a length-prefixed run (helper used by
+/// pipeline/queue snapshots all over the core).
+pub fn write_deque(w: &mut StateWriter, q: &VecDeque<u64>) {
+    w.usize(q.len());
+    for &v in q {
+        w.u64(v);
+    }
+}
+
+/// Reads back a deque written by [`write_deque`].
+///
+/// # Errors
+///
+/// Propagates reader errors (truncated stream, oversized length).
+pub fn read_deque(r: &mut StateReader<'_>) -> Result<VecDeque<u64>, StateError> {
+    let n = r.usize()?;
+    if n > r.remaining() {
+        return Err(StateError::BadValue {
+            section: String::from("deque"),
+            detail: format!("length {n} exceeds remaining stream"),
+        });
+    }
+    let mut q = VecDeque::with_capacity(n);
+    for _ in 0..n {
+        q.push_back(r.u64()?);
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = StateWriter::new();
+        w.section("hdr");
+        w.u64(u64::MAX);
+        w.usize(42);
+        w.bool(true);
+        w.bool(false);
+        w.f64(-0.5);
+        w.opt_u64(Some(7));
+        w.opt_u64(None);
+        w.u64_slice(&[1, 2, 3]);
+        w.str("checkpoint §17");
+        let words = w.into_words();
+
+        let mut r = StateReader::new(&words);
+        r.section("hdr").unwrap();
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 42);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.f64().unwrap(), -0.5);
+        assert_eq!(r.opt_u64().unwrap(), Some(7));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.u64_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.str().unwrap(), "checkpoint §17");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn tag_mismatch_names_both_sections() {
+        let mut w = StateWriter::new();
+        w.section("alpha");
+        let words = w.into_words();
+        let mut r = StateReader::new(&words);
+        match r.section("beta") {
+            Err(StateError::TagMismatch { expected, found }) => {
+                assert_eq!(expected, "beta");
+                assert_eq!(found, "alpha");
+            }
+            other => panic!("expected tag mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_stream_names_the_section() {
+        let mut w = StateWriter::new();
+        w.section("routers");
+        let words = w.into_words();
+        let mut r = StateReader::new(&words);
+        r.section("routers").unwrap();
+        match r.u64() {
+            Err(StateError::UnexpectedEnd { section }) => assert_eq!(section, "routers"),
+            other => panic!("expected unexpected-end, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_length_is_rejected_not_allocated() {
+        let words = vec![u64::MAX];
+        let mut r = StateReader::new(&words);
+        assert!(matches!(r.u64_vec(), Err(StateError::BadValue { .. })));
+    }
+
+    #[test]
+    fn non_bool_word_is_rejected() {
+        let words = vec![2];
+        let mut r = StateReader::new(&words);
+        assert!(matches!(r.bool(), Err(StateError::BadValue { .. })));
+    }
+
+    #[test]
+    fn trailing_words_fail_finish() {
+        let words = vec![1, 2];
+        let mut r = StateReader::new(&words);
+        r.u64().unwrap();
+        assert!(matches!(r.finish(), Err(StateError::BadValue { .. })));
+    }
+
+    #[test]
+    fn deque_round_trips() {
+        let mut w = StateWriter::new();
+        let q: VecDeque<u64> = [9, 8, 7].into_iter().collect();
+        write_deque(&mut w, &q);
+        let words = w.into_words();
+        let mut r = StateReader::new(&words);
+        assert_eq!(read_deque(&mut r).unwrap(), q);
+        r.finish().unwrap();
+    }
+}
